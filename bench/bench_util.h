@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction binaries: every bench
+ * regenerates one of the paper's tables or figures and prints it as a
+ * text table next to the paper's reference values.
+ */
+
+#ifndef SCDCNN_BENCH_BENCH_UTIL_H
+#define SCDCNN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scdcnn {
+namespace bench {
+
+/** Unsigned environment knob with fallback. */
+inline size_t
+envSize(const char *name, size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || parsed == 0)
+        return fallback;
+    return static_cast<size_t>(parsed);
+}
+
+/** Dataset / weight-cache directory (repo-local by default). */
+inline std::string
+dataDir()
+{
+    const char *v = std::getenv("SCDCNN_DATA_DIR");
+    return v != nullptr && *v != '\0' ? std::string(v) : "data";
+}
+
+/** Number of test images for SC bit-level evaluations. */
+inline size_t
+evalImages()
+{
+    return envSize("SCDCNN_EVAL_IMAGES", 60);
+}
+
+/** Banner for one experiment binary. */
+inline void
+banner(const char *experiment_id, const char *what)
+{
+    std::printf("=== SC-DCNN reproduction: %s ===\n%s\n\n",
+                experiment_id, what);
+}
+
+} // namespace bench
+} // namespace scdcnn
+
+#endif // SCDCNN_BENCH_BENCH_UTIL_H

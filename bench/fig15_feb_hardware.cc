@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 15: input size vs area, path delay, total power and total
+ * energy for the four feature extraction block designs (L = 1024).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "blocks/feature_block.h"
+#include "common/table.h"
+#include "hw/cost_model.h"
+
+using namespace scdcnn;
+
+int
+main()
+{
+    bench::banner("Figure 15",
+                  "Input size vs (a) area, (b) path delay, (c) total "
+                  "power, (d) total energy for the four feature "
+                  "extraction blocks (L = 1024).");
+    const size_t len = 1024;
+    const size_t sizes[] = {16, 32, 64, 128, 256};
+    const blocks::FebKind kinds[] = {
+        blocks::FebKind::MuxAvgStanh, blocks::FebKind::MuxMaxStanh,
+        blocks::FebKind::ApcAvgBtanh, blocks::FebKind::ApcMaxBtanh};
+
+    struct Panel
+    {
+        const char *title;
+        double (*value)(const hw::HwCost &, size_t);
+    };
+    const Panel panels[] = {
+        {"(a) Area (um^2)",
+         [](const hw::HwCost &c, size_t) { return c.area_um2; }},
+        {"(b) Path delay (ns)",
+         [](const hw::HwCost &c, size_t) { return c.delay_ns; }},
+        {"(c) Total power (uW)",
+         [](const hw::HwCost &c, size_t) {
+             return c.totalPowerW() * 1e6;
+         }},
+        {"(d) Total energy (pJ, whole stream)",
+         [](const hw::HwCost &c, size_t l) {
+             return c.energyForLength(l) * 1e12;
+         }},
+    };
+
+    for (const Panel &panel : panels) {
+        TextTable t(panel.title);
+        t.header({"Input size", "MUX-Avg-Stanh", "MUX-Max-Stanh",
+                  "APC-Avg-Btanh", "APC-Max-Btanh"});
+        for (size_t n : sizes) {
+            std::vector<std::string> row = {
+                TextTable::num(static_cast<long long>(n))};
+            for (blocks::FebKind kind : kinds) {
+                blocks::FebConfig cfg;
+                cfg.kind = kind;
+                cfg.n_inputs = n;
+                cfg.length = len;
+                row.push_back(
+                    TextTable::num(panel.value(hw::febCost(cfg), len),
+                                   1));
+            }
+            t.row(row);
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    std::printf("Shape check (paper Fig. 15): APC blocks cost more "
+                "area/energy and have longer paths than MUX blocks at "
+                "every size; MUX-Avg-Stanh is the cheapest design; all "
+                "costs grow with input size.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-side microbenchmarks of the network layers and the SC inference
+ * engine on the reduced network (google-benchmark).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sc_network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+using namespace scdcnn;
+
+namespace {
+
+void
+BM_FloatForwardMini(benchmark::State &state)
+{
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
+    nn::Tensor img = nn::DigitDataset::render(3, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forward(img));
+}
+BENCHMARK(BM_FloatForwardMini);
+
+void
+BM_FloatForwardLeNet5(benchmark::State &state)
+{
+    nn::Network net = nn::buildLeNet5(nn::PoolingMode::Max, 1);
+    nn::Tensor img = nn::DigitDataset::render(3, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forward(img));
+}
+BENCHMARK(BM_FloatForwardLeNet5);
+
+void
+BM_ScPredictMini(benchmark::State &state)
+{
+    const auto adder = static_cast<core::AdderKind>(state.range(0));
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Average, 1);
+    core::ScNetworkConfig cfg;
+    cfg.pooling = nn::PoolingMode::Average;
+    cfg.layer_adders = {adder, core::AdderKind::Apc,
+                        core::AdderKind::Apc};
+    cfg.bitstream_len = static_cast<size_t>(state.range(1));
+    core::ScNetwork sc_net(net, cfg);
+    nn::Tensor img = nn::DigitDataset::render(5, 11);
+    uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sc_net.predict(img, ++seed));
+}
+BENCHMARK(BM_ScPredictMini)
+    ->Args({static_cast<long>(core::AdderKind::Apc), 256})
+    ->Args({static_cast<long>(core::AdderKind::Apc), 1024})
+    ->Args({static_cast<long>(core::AdderKind::Mux), 1024});
+
+void
+BM_DigitRender(benchmark::State &state)
+{
+    uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::DigitDataset::render(7, ++seed));
+}
+BENCHMARK(BM_DigitRender);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 2: absolute errors of the MUX-based inner product block across
+ * input sizes and bit-stream lengths.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "blocks/inner_product.h"
+#include "common/table.h"
+#include "sc/rng.h"
+
+using namespace scdcnn;
+
+namespace {
+
+double
+meanAbsError(size_t n, size_t len, int trials)
+{
+    double err = 0;
+    for (int t = 0; t < trials; ++t) {
+        sc::SplitMix64 vals(1000 + t * 37 + n + len);
+        std::vector<double> xs(n), ws(n);
+        for (size_t i = 0; i < n; ++i) {
+            xs[i] = vals.nextInRange(-1.0, 1.0);
+            ws[i] = vals.nextInRange(-1.0, 1.0);
+        }
+        sc::SngBank bank(700 + t);
+        err += std::abs(
+            blocks::MuxInnerProduct::estimate(xs, ws, len, bank) -
+            blocks::innerProductReference(xs, ws));
+    }
+    return err / trials;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2",
+                  "Absolute errors of the MUX-based inner product "
+                  "block vs input size and bit-stream length.");
+    const int trials = static_cast<int>(bench::envSize(
+        "SCDCNN_TABLE2_TRIALS", 30));
+    const size_t sizes[] = {16, 32, 64};
+    const size_t lengths[] = {512, 1024, 2048, 4096};
+    const double paper[3][4] = {{0.54, 0.39, 0.28, 0.21},
+                                {1.18, 0.77, 0.56, 0.38},
+                                {2.35, 1.58, 1.19, 0.79}};
+
+    TextTable t("Absolute error of MUX inner product "
+                "(paper values in parentheses)");
+    t.header({"Input size", "L=512", "L=1024", "L=2048", "L=4096"});
+    for (int i = 0; i < 3; ++i) {
+        std::vector<std::string> row = {
+            TextTable::num(static_cast<long long>(sizes[i]))};
+        for (int j = 0; j < 4; ++j) {
+            row.push_back(
+                TextTable::num(meanAbsError(sizes[i], lengths[j],
+                                            trials)) +
+                " (" + TextTable::num(paper[i][j]) + ")");
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+
+    std::printf("\nShape check: error grows with input size (more "
+                "dropped bits) and shrinks roughly as 1/sqrt(L), as in "
+                "the paper.\n");
+    return 0;
+}

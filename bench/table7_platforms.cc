@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 7: platform comparison — the SC-DCNN configurations No.6 and
+ * No.11 from our models next to the literature platforms.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/metrics.h"
+#include "core/sc_network.h"
+#include "nn/trainer.h"
+
+using namespace scdcnn;
+
+namespace {
+
+std::string
+orNa(double v, int digits = 1)
+{
+    return v > 0 ? TextTable::num(v, digits) : "N/A";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 7",
+                  "Existing hardware platforms vs SC-DCNN (No.6 most "
+                  "accurate max-pooling config, No.11 most "
+                  "energy-efficient average-pooling config).");
+    const std::string dir = bench::dataDir();
+    const size_t n_eval = bench::evalImages();
+
+    TextTable t("Table 7 (SC-DCNN rows from our models; reference "
+                "rows from the literature)");
+    t.header({"Platform", "Dataset", "Net", "Year", "Type",
+              "Area (mm2)", "Power (W)", "Accuracy (%)",
+              "Throughput (img/s)", "Area eff (img/s/mm2)",
+              "Energy eff (img/J)"});
+
+    // Our two rows.
+    for (int number : {6, 11}) {
+        const auto entries = core::table6Entries();
+        const core::Table6Entry &e = entries[number - 1];
+        nn::Network net = nn::trainedLeNet5(e.config.pooling, dir, dir);
+        nn::Dataset train, test;
+        nn::loadDigits(dir, 1, n_eval, train, test);
+        core::ScNetwork sc_net(net, e.config);
+        const double acc =
+            100.0 * (1.0 - sc_net.errorRate(test, n_eval));
+        core::PlatformRow row = core::scdcnnPlatformRow(
+            "SC-DCNN (No." + TextTable::num(
+                static_cast<long long>(number)) + ")",
+            e.config, acc);
+        t.row({row.platform, row.dataset, row.network_type,
+               TextTable::num(static_cast<long long>(row.year)),
+               row.platform_type, TextTable::num(row.area_mm2, 1),
+               TextTable::num(row.power_w, 2),
+               TextTable::num(row.accuracy_pct, 2),
+               TextTable::num(row.throughput, 0),
+               TextTable::num(row.area_eff, 0),
+               TextTable::num(row.energy_eff, 0)});
+    }
+    t.separator();
+    for (const core::PlatformRow &row : core::table7ReferenceRows()) {
+        t.row({row.platform, row.dataset, row.network_type,
+               TextTable::num(static_cast<long long>(row.year)),
+               row.platform_type, orNa(row.area_mm2),
+               orNa(row.power_w, 2), orNa(row.accuracy_pct, 2),
+               TextTable::num(row.throughput, 0), orNa(row.area_eff, 0),
+               TextTable::num(row.energy_eff, 0)});
+    }
+    t.print(std::cout);
+
+    std::printf(
+        "\nShape checks (paper Table 7): SC-DCNN throughput is 781250 "
+        "images/s at L=256 (1/1280 ns); its area and energy efficiency "
+        "dominate the CPU/GPU rows by orders of magnitude and every "
+        "listed accelerator on at least one efficiency axis.\n");
+    return 0;
+}

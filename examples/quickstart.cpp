@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: the SC-DCNN building blocks in ~60 lines.
+ *
+ * Encodes numbers as stochastic bit-streams, multiplies with an XNOR
+ * gate, sums with a MUX and an APC, applies Stanh — and shows each
+ * result against the exact arithmetic.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "blocks/inner_product.h"
+#include "sc/btanh.h"
+#include "sc/counter.h"
+#include "sc/ops.h"
+#include "sc/sng.h"
+#include "sc/stanh.h"
+
+using namespace scdcnn;
+using namespace scdcnn::sc;
+
+int
+main()
+{
+    const size_t len = 4096; // bit-stream length L
+    SngBank bank(42);        // deterministic stream source
+
+    // --- 1. Stochastic numbers -------------------------------------
+    Bitstream a = bank.bipolar(0.4, len);
+    Bitstream b = bank.bipolar(-0.6, len);
+    std::printf("encode:   0.4  -> stream decodes to %+.3f\n",
+                a.bipolar());
+    std::printf("encode:  -0.6  -> stream decodes to %+.3f\n\n",
+                b.bipolar());
+
+    // --- 2. Multiplication is one XNOR gate ------------------------
+    Bitstream prod = xnorMultiply(a, b);
+    std::printf("XNOR multiply: 0.4 * -0.6 = -0.24, SC gives %+.3f\n\n",
+                prod.bipolar());
+
+    // --- 3. Scaled addition is one MUX ------------------------------
+    std::vector<Bitstream> terms = {bank.bipolar(0.5, len),
+                                    bank.bipolar(-0.1, len),
+                                    bank.bipolar(0.3, len),
+                                    bank.bipolar(0.7, len)};
+    Xoshiro256ss sel = bank.makeRng();
+    Bitstream sum = muxAdd(terms, sel);
+    std::printf("MUX add: (0.5 - 0.1 + 0.3 + 0.7)/4 = 0.35, "
+                "SC gives %+.3f\n\n", sum.bipolar());
+
+    // --- 4. High-accuracy addition: the APC -------------------------
+    std::vector<double> xs = {0.9, -0.4, 0.2, 0.8, -0.3, 0.6, 0.1, -0.7};
+    std::vector<double> ws = {0.5, 0.5, -0.5, 0.25, 0.8, -0.1, 0.9, 0.3};
+    auto counts = blocks::ApcInnerProduct::counts(xs, ws, len, bank,
+                                                  /*approximate=*/true);
+    std::printf("APC inner product: exact %.3f, SC gives %.3f\n\n",
+                blocks::innerProductReference(xs, ws),
+                blocks::ApcInnerProduct::decode(counts, xs.size()));
+
+    // --- 5. Activation: the Stanh FSM -------------------------------
+    Bitstream x = bank.bipolar(0.25, len);
+    Stanh fsm(8); // Stanh(K, x) ~ tanh(K/2 * x)
+    std::printf("Stanh(8, 0.25): tanh(1.0) = 0.762, SC gives %.3f\n",
+                fsm.transform(x).bipolar());
+
+    // --- 6. Binary-domain activation: Btanh -------------------------
+    Btanh btanh(Btanh::stateCountDirect(8), 8);
+    std::printf("Btanh over the APC counts: tanh(%.3f) = %.3f, "
+                "SC gives %.3f\n",
+                blocks::innerProductReference(xs, ws),
+                std::tanh(blocks::innerProductReference(xs, ws)),
+                btanh.transform(counts).bipolar());
+    return 0;
+}

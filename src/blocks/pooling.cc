@@ -1,0 +1,155 @@
+#include "blocks/pooling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sc/ops.h"
+
+namespace scdcnn {
+namespace blocks {
+
+sc::Bitstream
+averagePooling(const std::vector<sc::Bitstream> &inputs,
+               sc::Xoshiro256ss &sel)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "average pooling with no inputs");
+    return sc::muxAdd(inputs, sel);
+}
+
+sc::Bitstream
+HardwareMaxPooling::compute(const std::vector<sc::Bitstream> &inputs,
+                            size_t segment_len, size_t first_choice,
+                            bool accumulate)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "max pooling with no inputs");
+    SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
+    SCDCNN_ASSERT(first_choice < inputs.size(),
+                  "first segment choice %zu out of range", first_choice);
+    const size_t len = inputs[0].length();
+    for (const auto &s : inputs)
+        SCDCNN_ASSERT(s.length() == len, "input length mismatch");
+
+    sc::Bitstream out(len);
+    std::vector<size_t> counters(inputs.size(), 0);
+    size_t selected = first_choice;
+    for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
+        const size_t seg_end = std::min(len, seg_begin + segment_len);
+        // Forward the currently selected input's segment.
+        for (size_t i = seg_begin; i < seg_end; ++i)
+            if (inputs[selected].get(i))
+                out.set(i, true);
+        // Count this segment on every input; the winner drives the
+        // next segment (ties keep the earliest index, as a priority
+        // comparator would).
+        size_t best = 0;
+        size_t best_count = 0;
+        for (size_t k = 0; k < inputs.size(); ++k) {
+            counters[k] += inputs[k].countOnes(seg_begin, seg_end);
+            if (counters[k] > best_count) {
+                best_count = counters[k];
+                best = k;
+            }
+            if (!accumulate)
+                counters[k] = 0;
+        }
+        selected = best;
+    }
+    return out;
+}
+
+size_t
+HardwareMaxPooling::argmaxStream(const std::vector<sc::Bitstream> &inputs)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "argmax of no streams");
+    size_t best = 0;
+    size_t best_count = inputs[0].countOnes();
+    for (size_t k = 1; k < inputs.size(); ++k) {
+        size_t c = inputs[k].countOnes();
+        if (c > best_count) {
+            best_count = c;
+            best = k;
+        }
+    }
+    return best;
+}
+
+std::vector<uint16_t>
+binaryAveragePooling(const std::vector<std::vector<uint16_t>> &counts)
+{
+    SCDCNN_ASSERT(!counts.empty(), "binary average pooling of nothing");
+    const size_t len = counts[0].size();
+    const size_t pool = counts.size();
+    for (const auto &c : counts)
+        SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
+
+    std::vector<uint16_t> out(len);
+    for (size_t i = 0; i < len; ++i) {
+        uint32_t sum = 0;
+        for (const auto &c : counts)
+            sum += c[i];
+        // Truncating integer division: mean(2,3,4,5) -> 3, not 3.5.
+        out[i] = static_cast<uint16_t>(sum / pool);
+    }
+    return out;
+}
+
+std::vector<int>
+binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
+                           size_t n_inputs)
+{
+    SCDCNN_ASSERT(!counts.empty(), "binary average pooling of nothing");
+    const size_t len = counts[0].size();
+    const auto pool = static_cast<int>(counts.size());
+    for (const auto &c : counts)
+        SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
+
+    std::vector<int> out(len);
+    for (size_t i = 0; i < len; ++i) {
+        int sum = 0;
+        for (const auto &c : counts)
+            sum += 2 * static_cast<int>(c[i]) - static_cast<int>(n_inputs);
+        out[i] = sum / pool; // C++ division truncates toward zero
+    }
+    return out;
+}
+
+std::vector<uint16_t>
+BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
+                          size_t segment_len, size_t first_choice,
+                          bool accumulate)
+{
+    SCDCNN_ASSERT(!counts.empty(), "binary max pooling of nothing");
+    SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
+    SCDCNN_ASSERT(first_choice < counts.size(),
+                  "first segment choice %zu out of range", first_choice);
+    const size_t len = counts[0].size();
+    for (const auto &c : counts)
+        SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
+
+    std::vector<uint16_t> out(len);
+    std::vector<uint64_t> accumulators(counts.size(), 0);
+    size_t selected = first_choice;
+    for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
+        const size_t seg_end = std::min(len, seg_begin + segment_len);
+        for (size_t i = seg_begin; i < seg_end; ++i)
+            out[i] = counts[selected][i];
+        // Accumulators replace the bit counters of Figure 8.
+        size_t best = 0;
+        uint64_t best_sum = 0;
+        for (size_t k = 0; k < counts.size(); ++k) {
+            for (size_t i = seg_begin; i < seg_end; ++i)
+                accumulators[k] += counts[k][i];
+            if (accumulators[k] > best_sum) {
+                best_sum = accumulators[k];
+                best = k;
+            }
+            if (!accumulate)
+                accumulators[k] = 0;
+        }
+        selected = best;
+    }
+    return out;
+}
+
+} // namespace blocks
+} // namespace scdcnn

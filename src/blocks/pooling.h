@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Pooling function blocks (Section 4.2).
+ *
+ * Average pooling reuses the down-scaling MUX (Figure 5(b)). Max pooling
+ * in the stochastic domain would normally require counting whole streams
+ * first; the paper's hardware-oriented design (Figure 8) instead slices
+ * the streams into c-bit segments, counts ones per segment, and forwards
+ * the segment of whichever input won the *previous* segment — zero added
+ * latency, approximately the maximum. The binary-domain variant replaces
+ * the bit counters with accumulators so APC count sequences can be
+ * max-pooled the same way (APC-Max-Btanh).
+ */
+
+#ifndef SCDCNN_BLOCKS_POOLING_H
+#define SCDCNN_BLOCKS_POOLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace blocks {
+
+/** MUX-based average pooling: output encodes mean of the inputs. */
+sc::Bitstream averagePooling(const std::vector<sc::Bitstream> &inputs,
+                             sc::Xoshiro256ss &sel);
+
+/**
+ * Hardware-oriented max pooling (Figure 8).
+ */
+class HardwareMaxPooling
+{
+  public:
+    /**
+     * @param inputs       candidate streams (equal lengths)
+     * @param segment_len  c, the slice length (paper uses 16)
+     * @param first_choice which input feeds the first segment (the
+     *        paper picks it randomly to avoid latency; defaults to 0)
+     * @param accumulate   when true the per-input counters are never
+     *        reset, so the selection integrates evidence over the whole
+     *        stream ("accumulative" reading of the Figure 8 counters).
+     *        Reset-per-segment matches Table 4; the accumulative mode
+     *        is what makes the selection reliable when the candidate
+     *        streams are separated by O(1/N), as inside a trained
+     *        network (see DESIGN.md reconstruction notes).
+     */
+    static sc::Bitstream compute(const std::vector<sc::Bitstream> &inputs,
+                                 size_t segment_len,
+                                 size_t first_choice = 0,
+                                 bool accumulate = false);
+
+    /** Software reference: the stream with the most total ones. */
+    static size_t argmaxStream(const std::vector<sc::Bitstream> &inputs);
+};
+
+/**
+ * Binary-domain average pooling for APC count sequences: per-cycle
+ * integer mean. The truncating division drops the fractional part —
+ * the information loss Section 6.1 attributes to APC-Avg-Btanh.
+ */
+std::vector<uint16_t>
+binaryAveragePooling(const std::vector<std::vector<uint16_t>> &counts);
+
+/**
+ * Signed binary average pooling: averages the bipolar per-cycle values
+ * 2v - n and truncates toward zero, as a signed hardware divider does.
+ * This is what feeds Btanh in the APC-Avg-Btanh block: truncating the
+ * *unsigned* mean instead would inject a constant -(pool-1)/2 drift
+ * into the counter, which contradicts the accuracy Figure 14(c)
+ * reports; the signed divider's +/-((pool-1)/2)/pool bias toward zero
+ * is the residual information loss the paper describes.
+ *
+ * @param counts   pool_size count sequences, entries in [0, n]
+ * @param n_inputs n, so each count v maps to the signed value 2v - n
+ * @return one signed step per cycle, trunc((sum_j (2v_j - n)) / pool)
+ */
+std::vector<int>
+binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
+                           size_t n_inputs);
+
+/**
+ * Binary-domain max pooling: the Figure 8 selector with the bit
+ * counters replaced by accumulators over the APC count sequences.
+ */
+class BinaryMaxPooling
+{
+  public:
+    /** See HardwareMaxPooling::compute for @p accumulate. */
+    static std::vector<uint16_t>
+    compute(const std::vector<std::vector<uint16_t>> &counts,
+            size_t segment_len, size_t first_choice = 0,
+            bool accumulate = false);
+};
+
+} // namespace blocks
+} // namespace scdcnn
+
+#endif // SCDCNN_BLOCKS_POOLING_H

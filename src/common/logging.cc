@@ -1,0 +1,90 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace scdcnn {
+namespace detail {
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::string out(static_cast<size_t>(needed) + 1, '\0');
+    std::vsnprintf(out.data(), out.size(), fmt, ap);
+    out.resize(static_cast<size_t>(needed));
+    return out;
+}
+
+void
+exitHelper(const char *tag, const std::string &msg, bool use_abort)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+    if (use_abort)
+        std::abort();
+    std::exit(1);
+}
+
+void
+assertFail(const char *cond, const char *file, int line,
+           const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    char head[512];
+    std::snprintf(head, sizeof(head), "assertion '%s' failed at %s:%d: ",
+                  cond, file, line);
+    exitHelper("panic", std::string(head) + msg, true);
+}
+
+} // namespace detail
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::exitHelper("fatal", msg, false);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::exitHelper("panic", msg, true);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace scdcnn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logging and error-exit helpers in the gem5 idiom.
+ *
+ * fatal()  — the situation is the *user's* fault (bad configuration,
+ *            invalid arguments); prints and exits with status 1.
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            prints and aborts so a core/backtrace is available.
+ * warn()   — something is off but the run can continue.
+ * inform() — plain status messages.
+ */
+
+#ifndef SCDCNN_COMMON_LOGGING_H
+#define SCDCNN_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace scdcnn {
+
+namespace detail {
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Print a tagged message to stderr and optionally terminate. */
+[[noreturn]] void exitHelper(const char *tag, const std::string &msg,
+                             bool use_abort);
+
+/** Assertion failure: formats the user message and panics. */
+[[noreturn]] void assertFail(const char *cond, const char *file, int line,
+                             const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace detail
+
+/** Terminate due to a user-facing error (bad config/arguments). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Terminate due to an internal bug; aborts for debuggability. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal-invariant check that survives NDEBUG builds.
+ *
+ * Unlike assert(), the check is always executed; violations indicate a
+ * library bug and route to panic().
+ */
+#define SCDCNN_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::scdcnn::detail::assertFail(#cond, __FILE__, __LINE__,         \
+                                         __VA_ARGS__);                      \
+        }                                                                   \
+    } while (0)
+
+} // namespace scdcnn
+
+#endif // SCDCNN_COMMON_LOGGING_H

@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace scdcnn {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return std::string(buf);
+}
+
+std::string
+TextTable::num(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return std::string(buf);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        if (!r.is_separator)
+            grow(r.cells);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+    if (total > 0)
+        total -= 1;
+
+    auto print_rule = [&os, total] {
+        os << std::string(total, '-') << "\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cell;
+            if (i + 1 < widths.size())
+                os << " | ";
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    print_rule();
+    if (!header_.empty()) {
+        print_cells(header_);
+        print_rule();
+    }
+    for (const auto &r : rows_) {
+        if (r.is_separator)
+            print_rule();
+        else
+            print_cells(r.cells);
+    }
+    print_rule();
+}
+
+} // namespace scdcnn

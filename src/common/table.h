@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-width text table printer.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures; a
+ * shared renderer keeps their output uniform and diffable.
+ */
+
+#ifndef SCDCNN_COMMON_TABLE_H
+#define SCDCNN_COMMON_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scdcnn {
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ */
+class TextTable
+{
+  public:
+    /** Optional table caption printed above the header. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator after the last added row. */
+    void separator();
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format an integer value. */
+    static std::string num(long long v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace scdcnn
+
+#endif // SCDCNN_COMMON_TABLE_H

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace scdcnn {
+
+ThreadPool::ThreadPool(size_t n_threads)
+{
+    if (n_threads == 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        n_threads = hc == 0 ? 2 : hc;
+    }
+    workers_.reserve(n_threads);
+    for (size_t i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stopping_ = true;
+    }
+    cv_job_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        jobs_.push(std::move(job));
+        ++in_flight_;
+    }
+    cv_job_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_job_.wait(lk, [this] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallelFor(size_t begin, size_t end, const std::function<void(size_t)> &body)
+{
+    if (end <= begin)
+        return;
+
+    ThreadPool &pool = ThreadPool::global();
+    const size_t n = end - begin;
+    const size_t n_workers = pool.size();
+    if (n_workers <= 1 || n < 4) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    const size_t n_chunks = std::min(n_workers, n);
+    const size_t chunk = (n + n_chunks - 1) / n_chunks;
+    for (size_t c = 0; c < n_chunks; ++c) {
+        const size_t lo = begin + c * chunk;
+        const size_t hi = std::min(end, lo + chunk);
+        if (lo >= hi)
+            break;
+        pool.submit([lo, hi, &body] {
+            for (size_t i = lo; i < hi; ++i)
+                body(i);
+        });
+    }
+    pool.wait();
+}
+
+} // namespace scdcnn

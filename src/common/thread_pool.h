@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a parallel_for helper.
+ *
+ * Both the trainer and the SC bit-level evaluation harness fan work out
+ * across samples; a shared pool avoids repeated thread creation and keeps
+ * the code 2-core friendly (the pool size defaults to the hardware
+ * concurrency).
+ */
+
+#ifndef SCDCNN_COMMON_THREAD_POOL_H
+#define SCDCNN_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scdcnn {
+
+/**
+ * Fixed-size worker pool executing void() jobs.
+ */
+class ThreadPool
+{
+  public:
+    /** Create @p n_threads workers (0 means hardware concurrency). */
+    explicit ThreadPool(size_t n_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /** Process-wide pool (lazily constructed). */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run body(i) for i in [begin, end) across the global pool.
+ *
+ * Work is divided into contiguous chunks, one per worker, which suits the
+ * mostly-uniform per-index cost of our workloads. Runs inline when the
+ * range is tiny or the pool has one thread.
+ */
+void parallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)> &body);
+
+} // namespace scdcnn
+
+#endif // SCDCNN_COMMON_THREAD_POOL_H

@@ -1,0 +1,127 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace core {
+
+Table6Row
+makeTable6Row(int number, const ScNetworkConfig &cfg,
+              double inaccuracy_fraction)
+{
+    const auto layers = hw::lenet5Layers(toHwConfig(cfg));
+    const auto cost = hw::networkCost(layers, toHwConfig(cfg));
+
+    Table6Row row;
+    row.number = number;
+    row.pooling =
+        cfg.pooling == nn::PoolingMode::Max ? "Max" : "Average";
+    row.bitstream_len = cfg.bitstream_len;
+    row.layer0 = adderKindName(cfg.layer_adders[0]);
+    row.layer1 = adderKindName(cfg.layer_adders[1]);
+    row.layer2 = adderKindName(cfg.layer_adders[2]);
+    row.inaccuracy_pct = inaccuracy_fraction * 100.0;
+    row.area_mm2 = cost.areaMm2();
+    row.power_w = cost.powerW();
+    row.delay_ns = cost.delayNs();
+    row.energy_uj = cost.energyUj();
+    return row;
+}
+
+std::vector<PlatformRow>
+table7ReferenceRows()
+{
+    // Literature values exactly as printed in Table 7.
+    return {
+        {"2x Intel Xeon W5580", "MNIST", "CNN", 2009, "CPU", 263, 156,
+         98.46, 656, 2.5, 4.2},
+        {"Nvidia Tesla C2075", "MNIST", "CNN", 2011, "GPU", 520, 202.5,
+         98.46, 2333, 4.5, 3.2},
+        {"Minitaur", "MNIST", "ANN", 2014, "FPGA", -1, 1.5, 92.00, 4880,
+         -1, 3253},
+        {"SpiNNaker", "MNIST", "DBN", 2015, "ARM", -1, 0.3, 95.00, 50,
+         -1, 166.7},
+        {"TrueNorth", "MNIST", "SNN", 2015, "ASIC", 430, 0.18, 99.42,
+         1000, 2.3, 9259},
+        {"DaDianNao", "ImageNet", "CNN", 2014, "ASIC", 67.7, 15.97, -1,
+         147938, 2185, 9263},
+        {"EIE-64PE", "CNN layer", "CNN", 2016, "ASIC", 40.8, 0.59, -1,
+         81967, 2009, 138927},
+    };
+}
+
+PlatformRow
+scdcnnPlatformRow(const std::string &name, const ScNetworkConfig &cfg,
+                  double accuracy_pct)
+{
+    const auto hw_cfg = toHwConfig(cfg);
+    const auto cost = hw::networkCost(hw::lenet5Layers(hw_cfg), hw_cfg);
+    PlatformRow row;
+    row.platform = name;
+    row.dataset = "MNIST*"; // the stand-in digit task (see DESIGN.md)
+    row.network_type = "CNN";
+    row.year = 2016;
+    row.platform_type = "ASIC";
+    row.area_mm2 = cost.areaMm2();
+    row.power_w = cost.powerW();
+    row.accuracy_pct = accuracy_pct;
+    row.throughput = cost.throughputImagesPerSec();
+    row.area_eff = cost.areaEfficiency();
+    row.energy_eff = cost.energyEfficiency();
+    return row;
+}
+
+double
+errorRateWithLayerNoise(const nn::Network &net, const nn::Dataset &ds,
+                        size_t layer_group, double sigma, uint64_t seed)
+{
+    SCDCNN_ASSERT(layer_group < 3, "layer group %zu out of range",
+                  layer_group);
+    SCDCNN_ASSERT(ds.size() > 0, "empty dataset");
+    // buildLeNet5 layer indices after which each paper layer group's
+    // output emerges: Layer0 -> tanh at 2, Layer1 -> tanh at 5,
+    // Layer2 -> tanh at 7.
+    const size_t inject_after = layer_group == 0 ? 2
+                                : layer_group == 1 ? 5
+                                                   : 7;
+
+    const size_t n_workers =
+        std::max<size_t>(1, ThreadPool::global().size());
+    std::vector<nn::Network> workers(n_workers, net);
+    std::vector<size_t> wrong(n_workers, 0);
+    const size_t chunk = (ds.size() + n_workers - 1) / n_workers;
+
+    parallelFor(0, n_workers, [&](size_t wi) {
+        const size_t lo = wi * chunk;
+        const size_t hi = std::min(ds.size(), lo + chunk);
+        for (size_t s = lo; s < hi; ++s) {
+            sc::Xoshiro256ss rng(seed + s * 31 + layer_group);
+            nn::Tensor x = ds.samples[s].image;
+            for (size_t li = 0; li < workers[wi].layerCount(); ++li) {
+                x = workers[wi].layer(li).forward(x);
+                if (li == inject_after) {
+                    for (auto &v : x.data())
+                        v += static_cast<float>(sigma *
+                                                rng.nextGaussian());
+                }
+            }
+            size_t best = 0;
+            for (size_t i = 1; i < x.size(); ++i)
+                if (x[i] > x[best])
+                    best = i;
+            if (best != ds.samples[s].label)
+                ++wrong[wi];
+        }
+    });
+    size_t total = 0;
+    for (size_t w : wrong)
+        total += w;
+    return static_cast<double>(total) / static_cast<double>(ds.size());
+}
+
+} // namespace core
+} // namespace scdcnn

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Result assembly: joins measured SC accuracy with the hardware cost
+ * model into Table 6 rows, the Table 7 platform comparison, and the
+ * Figure 16 noise-injection harness.
+ */
+
+#ifndef SCDCNN_CORE_METRICS_H
+#define SCDCNN_CORE_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "core/sc_config.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+namespace scdcnn {
+namespace core {
+
+/** One reproduced Table 6 row. */
+struct Table6Row
+{
+    int number;
+    std::string pooling;     //!< "Max" / "Average"
+    size_t bitstream_len;
+    std::string layer0, layer1, layer2;
+    double inaccuracy_pct;   //!< measured: SC error - software error
+    double area_mm2;
+    double power_w;
+    double delay_ns;
+    double energy_uj;
+};
+
+/** Assemble a row from a config and its measured inaccuracy. */
+Table6Row makeTable6Row(int number, const ScNetworkConfig &cfg,
+                        double inaccuracy_fraction);
+
+/** One Table 7 platform entry. */
+struct PlatformRow
+{
+    std::string platform;
+    std::string dataset;
+    std::string network_type;
+    int year;
+    std::string platform_type;
+    double area_mm2;      //!< <= 0 means N/A
+    double power_w;       //!< <= 0 means N/A
+    double accuracy_pct;  //!< <= 0 means N/A
+    double throughput;    //!< images/s
+    double area_eff;      //!< images/s/mm^2, <= 0 means N/A
+    double energy_eff;    //!< images/J
+};
+
+/** The reference platforms of Table 7 (literature constants). */
+std::vector<PlatformRow> table7ReferenceRows();
+
+/** Build the SC-DCNN row for a configuration from our models. */
+PlatformRow scdcnnPlatformRow(const std::string &name,
+                              const ScNetworkConfig &cfg,
+                              double accuracy_pct);
+
+/**
+ * Figure 16 harness: classification error of the float network with
+ * zero-mean Gaussian noise of the given standard deviation injected
+ * into the output of one paper layer group (0 = conv1 block,
+ * 1 = conv2 block, 2 = fc1).
+ */
+double errorRateWithLayerNoise(const nn::Network &net,
+                               const nn::Dataset &ds, size_t layer_group,
+                               double sigma, uint64_t seed);
+
+} // namespace core
+} // namespace scdcnn
+
+#endif // SCDCNN_CORE_METRICS_H

@@ -1,0 +1,47 @@
+#include "core/optimizer.h"
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace core {
+
+std::vector<OptimizedDesign>
+optimizeDesigns(const std::vector<ScNetworkConfig> &candidates,
+                const OptimizerSettings &settings,
+                const InaccuracyFn &inaccuracy)
+{
+    SCDCNN_ASSERT(settings.threshold > 0, "non-positive threshold");
+    SCDCNN_ASSERT(settings.min_len >= 2 &&
+                      settings.start_len >= settings.min_len,
+                  "bad length bounds");
+
+    std::vector<OptimizedDesign> survivors;
+    for (const ScNetworkConfig &candidate : candidates) {
+        OptimizedDesign design;
+        design.config = candidate;
+        design.config.bitstream_len = settings.start_len;
+
+        double err = inaccuracy(design.config);
+        ++design.evaluations;
+        if (err > settings.threshold)
+            continue; // removed: fails at the starting length
+
+        design.inaccuracy = err;
+        // Halve while the accuracy goal holds.
+        while (design.config.bitstream_len / 2 >= settings.min_len) {
+            ScNetworkConfig shorter = design.config;
+            shorter.bitstream_len /= 2;
+            double shorter_err = inaccuracy(shorter);
+            ++design.evaluations;
+            if (shorter_err > settings.threshold)
+                break;
+            design.config = shorter;
+            design.inaccuracy = shorter_err;
+        }
+        survivors.push_back(design);
+    }
+    return survivors;
+}
+
+} // namespace core
+} // namespace scdcnn

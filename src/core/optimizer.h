@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Section 6.3 design-space optimization procedure.
+ *
+ * Starting from candidate configurations at the maximum bit-stream
+ * length (1024, to bound delay), every configuration that meets the
+ * network-accuracy requirement (degradation vs the software baseline
+ * below a threshold, 1.5% in the paper) has its bit-stream length
+ * halved — halving energy — and is re-checked; configurations that
+ * miss the target are removed. Iteration continues until no
+ * configuration is left, and each candidate's last passing length is
+ * reported.
+ *
+ * The accuracy evaluator is injected as a callback so the procedure
+ * can run against the real bit-level engine (benches) or a cheap model
+ * (tests).
+ */
+
+#ifndef SCDCNN_CORE_OPTIMIZER_H
+#define SCDCNN_CORE_OPTIMIZER_H
+
+#include <functional>
+#include <vector>
+
+#include "core/sc_config.h"
+
+namespace scdcnn {
+namespace core {
+
+/** Evaluates the accuracy degradation (fraction, e.g. 0.015) of a
+ *  configuration vs the software baseline. */
+using InaccuracyFn = std::function<double(const ScNetworkConfig &)>;
+
+/** One surviving configuration with its final operating point. */
+struct OptimizedDesign
+{
+    ScNetworkConfig config;    //!< with the final bit-stream length
+    double inaccuracy = 0;     //!< at that length
+    size_t evaluations = 0;    //!< evaluator calls spent on this design
+};
+
+/** Optimization knobs. */
+struct OptimizerSettings
+{
+    double threshold = 0.015;  //!< max accuracy degradation
+    size_t start_len = 1024;   //!< initial bit-stream length
+    size_t min_len = 32;       //!< do not halve below this
+};
+
+/**
+ * Run the procedure over @p candidates; returns the surviving designs
+ * (one entry per candidate that passed at the starting length), each
+ * at the shortest bit-stream length that still met the threshold.
+ */
+std::vector<OptimizedDesign>
+optimizeDesigns(const std::vector<ScNetworkConfig> &candidates,
+                const OptimizerSettings &settings,
+                const InaccuracyFn &inaccuracy);
+
+} // namespace core
+} // namespace scdcnn
+
+#endif // SCDCNN_CORE_OPTIMIZER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SC-DCNN network configurations: per-layer feature extraction block
+ * choices, bit-stream length, weight precision — and the twelve Table 6
+ * configurations of the paper.
+ */
+
+#ifndef SCDCNN_CORE_SC_CONFIG_H
+#define SCDCNN_CORE_SC_CONFIG_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "blocks/feature_block.h"
+#include "hw/network_cost.h"
+#include "nn/network.h"
+
+namespace scdcnn {
+namespace core {
+
+/** Inner-product flavour chosen per layer in Table 6. */
+enum class AdderKind
+{
+    Mux,
+    Apc,
+};
+
+/** "MUX" / "APC". */
+std::string adderKindName(AdderKind kind);
+
+/** Full SC-DCNN configuration. */
+struct ScNetworkConfig
+{
+    nn::PoolingMode pooling = nn::PoolingMode::Max;
+    std::array<AdderKind, 3> layer_adders = {AdderKind::Apc,
+                                             AdderKind::Apc,
+                                             AdderKind::Apc};
+    size_t bitstream_len = 1024;
+    std::array<unsigned, 3> weight_bits = {7, 7, 6}; //!< Section 5.3
+    size_t segment_len = 16;
+    blocks::KPolicy k_policy = blocks::KPolicy::Paper;
+
+    /** The FEB kind a layer uses (combines adder + pooling mode). */
+    blocks::FebKind febKind(size_t layer) const;
+
+    /** Human-readable summary ("max L=1024 MUX-MUX-APC"). */
+    std::string describe() const;
+};
+
+/** One Table 6 row definition. */
+struct Table6Entry
+{
+    int number;            //!< 1..12
+    ScNetworkConfig config;
+    double paper_inaccuracy_pct; //!< the paper's reported value
+    double paper_area_mm2;
+    double paper_power_w;
+    double paper_delay_ns;
+    double paper_energy_uj;
+};
+
+/** The twelve configurations of Table 6 with the paper's numbers. */
+std::vector<Table6Entry> table6Entries();
+
+/** Map an SC config onto the hardware cost model's knobs. */
+hw::Lenet5HwConfig toHwConfig(const ScNetworkConfig &cfg);
+
+} // namespace core
+} // namespace scdcnn
+
+#endif // SCDCNN_CORE_SC_CONFIG_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The bit-level SC-DCNN inference engine.
+ *
+ * Runs the paper's LeNet5 entirely in the stochastic-computing domain:
+ * pixels and (quantized) trained weights enter through SNGs as bipolar
+ * bit-streams; every layer is evaluated by feature extraction blocks
+ * (XNOR multipliers + MUX/APC adders + pooling + Stanh/Btanh) exactly
+ * as the configured hardware would; the final 500->10 layer runs in
+ * the binary domain (APC counts accumulated per class, argmax).
+ *
+ * Weight streams are generated once per network instance and shared by
+ * all feature extraction blocks of a filter, mirroring the
+ * filter-aware SRAM sharing scheme of Section 5.1.
+ */
+
+#ifndef SCDCNN_CORE_SC_NETWORK_H
+#define SCDCNN_CORE_SC_NETWORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sc_config.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "sc/bitstream.h"
+
+namespace scdcnn {
+namespace core {
+
+/**
+ * SC-domain LeNet5 built from a trained float network.
+ */
+class ScNetwork
+{
+  public:
+    /**
+     * @param trained     a buildLeNet5() network with trained weights
+     * @param cfg         per-layer FEB configuration
+     * @param weight_seed seed for the weight-stream SNGs
+     */
+    ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
+              uint64_t weight_seed = 0xC0FFEE);
+
+    /** SC-domain forward pass + argmax for one image. */
+    size_t predict(const nn::Tensor &image, uint64_t seed) const;
+
+    /**
+     * Classification error rate over (up to @p max_images of) the
+     * dataset; threaded across images, deterministic per seed.
+     */
+    double errorRate(const nn::Dataset &ds, size_t max_images,
+                     uint64_t seed = 777) const;
+
+    /** The configuration this instance implements. */
+    const ScNetworkConfig &config() const { return cfg_; }
+
+    /**
+     * Output attenuation of layer 0/1/2 relative to the float
+     * network's activation: the ratio g_sc / g_float between the gain
+     * the SC activation unit realizes and the gain the float baseline
+     * was trained with. 1.0 when the unit could match the trained
+     * gain; below 1.0 when the FSM mixing-time clamp forced a smaller
+     * state count. The next layer's weight streams are programmed at
+     * w / layerGain (saturating in the SNG — the paper's pre-scaling)
+     * to compensate.
+     */
+    double layerGain(size_t layer) const { return layer_gain_[layer]; }
+
+    /** The activation state count layer 0/1/2 operates with. */
+    unsigned layerStateCount(size_t layer) const
+    {
+        return layer_k_[layer];
+    }
+
+  private:
+    /** A (c, h, w) grid of bit-streams. */
+    struct StreamGrid
+    {
+        size_t c = 0, h = 0, w = 0;
+        std::vector<sc::Bitstream> streams;
+
+        const sc::Bitstream &at(size_t ci, size_t y, size_t x) const
+        {
+            return streams[(ci * h + y) * w + x];
+        }
+    };
+
+    /** Conv layer weight streams: [filter][c_in*k*k + 1 bias]. */
+    struct ConvWeightStreams
+    {
+        size_t c_in = 0, c_out = 0, k = 0;
+        std::vector<std::vector<sc::Bitstream>> filters;
+    };
+
+    /** FC layer weight streams: [neuron][n_in + 1 bias]. */
+    struct FcWeightStreams
+    {
+        size_t n_in = 0, n_out = 0;
+        std::vector<std::vector<sc::Bitstream>> neurons;
+    };
+
+    StreamGrid encodeImage(const nn::Tensor &image, uint64_t seed) const;
+
+    StreamGrid runConvLayer(const StreamGrid &in,
+                            const ConvWeightStreams &weights,
+                            size_t layer_idx, uint64_t seed) const;
+
+    std::vector<sc::Bitstream>
+    runFcLayer(const std::vector<const sc::Bitstream *> &in,
+               const FcWeightStreams &weights, size_t layer_idx,
+               uint64_t seed) const;
+
+    std::vector<double>
+    runBinaryOutputLayer(const std::vector<const sc::Bitstream *> &in,
+                         const FcWeightStreams &weights) const;
+
+    ScNetworkConfig cfg_;
+    sc::Bitstream bias_line_; //!< the constant +1 stream
+    ConvWeightStreams conv1_, conv2_;
+    FcWeightStreams fc1_, fc2_;
+    std::array<double, 3> layer_gain_ = {1.0, 1.0, 1.0};
+    std::array<unsigned, 3> layer_k_ = {2, 2, 2};
+};
+
+} // namespace core
+} // namespace scdcnn
+
+#endif // SCDCNN_CORE_SC_NETWORK_H

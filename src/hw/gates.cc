@@ -1,0 +1,68 @@
+#include "hw/gates.h"
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace hw {
+
+namespace {
+
+// Areas: Nangate 45nm X1 cells. Energies/leakage/delays: 45nm-class
+// estimates including local interconnect load.
+const CellParams kCells[] = {
+    /* Inv       */ {0.532, 0.6, 10.0, 0.030},
+    /* Nand2     */ {0.798, 0.8, 18.0, 0.035},
+    /* Nor2      */ {0.798, 0.8, 18.0, 0.040},
+    /* And2      */ {1.064, 1.0, 22.0, 0.050},
+    /* Or2       */ {1.064, 1.0, 22.0, 0.050},
+    /* Xor2      */ {1.596, 1.6, 35.0, 0.070},
+    /* Xnor2     */ {1.596, 1.6, 35.0, 0.070},
+    /* Mux2      */ {1.862, 1.8, 40.0, 0.070},
+    /* Dff       */ {4.522, 3.0, 60.0, 0.090},
+    /* HalfAdder */ {2.394, 2.2, 50.0, 0.100},
+    /* FullAdder */ {4.256, 4.0, 90.0, 0.150},
+};
+
+} // namespace
+
+const CellParams &
+cellParams(Cell cell)
+{
+    const auto idx = static_cast<size_t>(cell);
+    SCDCNN_ASSERT(idx < sizeof(kCells) / sizeof(kCells[0]),
+                  "unknown cell %zu", idx);
+    return kCells[idx];
+}
+
+std::string
+cellName(Cell cell)
+{
+    switch (cell) {
+      case Cell::Inv:
+        return "INV";
+      case Cell::Nand2:
+        return "NAND2";
+      case Cell::Nor2:
+        return "NOR2";
+      case Cell::And2:
+        return "AND2";
+      case Cell::Or2:
+        return "OR2";
+      case Cell::Xor2:
+        return "XOR2";
+      case Cell::Xnor2:
+        return "XNOR2";
+      case Cell::Mux2:
+        return "MUX2";
+      case Cell::Dff:
+        return "DFF";
+      case Cell::HalfAdder:
+        return "HA";
+      case Cell::FullAdder:
+        return "FA";
+    }
+    panic("unknown cell");
+}
+
+} // namespace hw
+} // namespace scdcnn

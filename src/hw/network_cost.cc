@@ -1,0 +1,175 @@
+#include "hw/network_cost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace hw {
+
+std::vector<LayerSpec>
+lenet5Layers(const Lenet5HwConfig &cfg)
+{
+    std::vector<LayerSpec> layers;
+
+    // Layer0: conv 20@5x5 over 28x28 -> 24x24, pooled 2x2 -> 12x12.
+    layers.push_back(LayerSpec{
+        "Layer0 (conv1+pool)",
+        /*n_blocks=*/20 * 12 * 12,
+        /*n_inputs=*/5 * 5 + 1,
+        /*pool_size=*/4,
+        cfg.layer_kinds[0],
+        /*n_weights=*/20 * (5 * 5 + 1),
+        /*n_filters=*/20,
+        /*n_weight_sngs=*/20 * (5 * 5 + 1),
+        /*n_input_sngs=*/28 * 28,
+        cfg.weight_bits[0],
+        /*binary_output=*/false,
+    });
+
+    // Layer1: conv 50@5x5x20 over 12x12 -> 8x8, pooled 2x2 -> 4x4.
+    layers.push_back(LayerSpec{
+        "Layer1 (conv2+pool)",
+        /*n_blocks=*/50 * 4 * 4,
+        /*n_inputs=*/5 * 5 * 20 + 1,
+        /*pool_size=*/4,
+        cfg.layer_kinds[1],
+        /*n_weights=*/50 * (5 * 5 * 20 + 1),
+        /*n_filters=*/50,
+        /*n_weight_sngs=*/50 * (5 * 5 * 20 + 1),
+        /*n_input_sngs=*/0,
+        cfg.weight_bits[1],
+        /*binary_output=*/false,
+    });
+
+    // Layer2: fully connected 800 -> 500.
+    layers.push_back(LayerSpec{
+        "Layer2 (fc1)",
+        /*n_blocks=*/500,
+        /*n_inputs=*/800 + 1,
+        /*pool_size=*/1,
+        cfg.layer_kinds[2],
+        /*n_weights=*/500 * (800 + 1),
+        /*n_filters=*/500,
+        /*n_weight_sngs=*/500 * (800 + 1),
+        /*n_input_sngs=*/0,
+        cfg.weight_bits[2],
+        /*binary_output=*/false,
+    });
+
+    // Output: fully connected 500 -> 10, binary-domain argmax.
+    layers.push_back(LayerSpec{
+        "Output (fc2)",
+        /*n_blocks=*/10,
+        /*n_inputs=*/500 + 1,
+        /*pool_size=*/1,
+        blocks::FebKind::ApcAvgBtanh, // APC inner product path
+        /*n_weights=*/10 * (500 + 1),
+        /*n_filters=*/10,
+        /*n_weight_sngs=*/10 * (500 + 1),
+        /*n_input_sngs=*/0,
+        cfg.weight_bits[2],
+        /*binary_output=*/true,
+    });
+
+    return layers;
+}
+
+double
+NetworkCost::areaMm2() const
+{
+    return (logic.area_um2 + sngs.area_um2 + sram.totalAreaUm2()) * 1e-6;
+}
+
+double
+NetworkCost::powerW() const
+{
+    // SRAM dynamic power is one full read sweep per image (weights are
+    // then latched at the SNG comparators for the whole bit-stream).
+    const double sweeps_per_sec = 1e9 / delayNs();
+    const double sram_dyn_w = sram.read_energy_pj * 1e-12 * sweeps_per_sec;
+    return logic.totalPowerW() + sngs.totalPowerW() + sram.leakage_w +
+           sram_dyn_w;
+}
+
+double
+NetworkCost::delayNs() const
+{
+    return static_cast<double>(bitstream_len) * kClockNs;
+}
+
+double
+NetworkCost::energyUj() const
+{
+    return powerW() * delayNs() * 1e-9 * 1e6;
+}
+
+double
+NetworkCost::throughputImagesPerSec() const
+{
+    // The pipeline retires one image per bit-stream duration.
+    return 1e9 / delayNs();
+}
+
+double
+NetworkCost::areaEfficiency() const
+{
+    return throughputImagesPerSec() / areaMm2();
+}
+
+double
+NetworkCost::energyEfficiency() const
+{
+    return throughputImagesPerSec() / powerW();
+}
+
+NetworkCost
+networkCost(const std::vector<LayerSpec> &layers,
+            const Lenet5HwConfig &cfg)
+{
+    NetworkCost total;
+    total.bitstream_len = cfg.bitstream_len;
+
+    for (const LayerSpec &layer : layers) {
+        blocks::FebConfig feb;
+        feb.kind = layer.kind;
+        feb.n_inputs = layer.n_inputs;
+        feb.length = cfg.bitstream_len;
+        feb.pool_size = layer.pool_size;
+        feb.segment_len = cfg.segment_len;
+
+        HwCost block;
+        if (layer.binary_output) {
+            // APC inner product + output accumulator, no activation.
+            block = xnorArray(layer.n_inputs)
+                        .chainedWith(parallelCounterApprox(layer.n_inputs));
+            const auto acc_bits = 24.0;
+            block = block.chainedWith(cells(Cell::Dff, acc_bits, 0.0));
+            block = block.chainedWith(cells(Cell::FullAdder, acc_bits, 0.0));
+        } else {
+            block = febCost(feb);
+        }
+        total.logic += block.times(static_cast<double>(layer.n_blocks));
+        total.logic.delay_ns =
+            std::max(total.logic.delay_ns, block.delay_ns);
+
+        // Stream generation: weight SNGs (filter-aware shared) and any
+        // fresh input SNGs.
+        HwCost layer_sngs =
+            sng(layer.weight_bits)
+                .times(static_cast<double>(layer.n_weight_sngs));
+        layer_sngs += sng(8).times(static_cast<double>(layer.n_input_sngs));
+        total.sngs += layer_sngs;
+
+        // Weight SRAM, filter-aware.
+        SCDCNN_ASSERT(layer.n_weights % layer.n_filters == 0,
+                      "weights not evenly divided into filters");
+        total.sram += filterAwareSram(layer.n_filters,
+                                      layer.n_weights / layer.n_filters,
+                                      layer.weight_bits);
+    }
+    return total;
+}
+
+} // namespace hw
+} // namespace scdcnn

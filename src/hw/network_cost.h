@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Whole-network hardware rollup: LeNet5 structural costs for any
+ * per-layer feature-extraction-block configuration (Table 6 / Table 7).
+ *
+ * The LeNet5 of the paper is 784-11520-2880-3200-800-500-10:
+ *   Layer0: conv 20@5x5 (24x24) + 2x2 pooling -> 2880 FEBs of N=26
+ *   Layer1: conv 50@5x5x20 (8x8) + 2x2 pooling -> 800 FEBs of N=501
+ *   Layer2: FC 800 -> 500, no pooling -> 500 blocks of N=801
+ *   Output: FC 500 -> 10 in the binary domain (APC + accumulator)
+ *
+ * (N includes one bias line per inner product.) Weight streams are
+ * shared filter-aware (Section 5.1): convolution layers need one SNG
+ * per unique filter weight; fully-connected layers need one per weight.
+ */
+
+#ifndef SCDCNN_HW_NETWORK_COST_H
+#define SCDCNN_HW_NETWORK_COST_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "blocks/feature_block.h"
+#include "hw/cost_model.h"
+#include "hw/sram.h"
+
+namespace scdcnn {
+namespace hw {
+
+/** One network layer's structural parameters. */
+struct LayerSpec
+{
+    std::string name;
+    size_t n_blocks;       //!< FEB (or neuron) instances
+    size_t n_inputs;       //!< N per inner product (incl. bias line)
+    size_t pool_size;      //!< 4 for conv layers, 1 for FC
+    blocks::FebKind kind;  //!< inner product + pooling + activation mix
+    size_t n_weights;      //!< unique stored weights
+    size_t n_filters;      //!< SRAM macros under filter-aware sharing
+    size_t n_weight_sngs;  //!< concurrent weight stream generators
+    size_t n_input_sngs;   //!< fresh input SNGs (pixels); 0 downstream
+    unsigned weight_bits;  //!< stored precision w
+    bool binary_output;    //!< true: APC + accumulator, no activation
+};
+
+/** Per-layer configuration knobs for building the LeNet5 spec. */
+struct Lenet5HwConfig
+{
+    std::array<blocks::FebKind, 3> layer_kinds = {
+        blocks::FebKind::ApcAvgBtanh, blocks::FebKind::ApcAvgBtanh,
+        blocks::FebKind::ApcAvgBtanh};
+    std::array<unsigned, 3> weight_bits = {7, 7, 7};
+    size_t bitstream_len = 1024;
+    size_t segment_len = 16;
+};
+
+/** The four LeNet5 layers (three FEB layers + binary output layer). */
+std::vector<LayerSpec> lenet5Layers(const Lenet5HwConfig &cfg);
+
+/** Full-network cost summary (the Table 6 row for one config). */
+struct NetworkCost
+{
+    HwCost logic;     //!< FEB datapaths
+    HwCost sngs;      //!< stream generators + shared LFSRs
+    SramCost sram;    //!< weight storage (filter-aware)
+    size_t bitstream_len = 0;
+
+    double areaMm2() const;
+    double powerW() const;
+    /** End-to-end latency: L cycles at the 200 MHz clock. */
+    double delayNs() const;
+    double energyUj() const;
+    double throughputImagesPerSec() const;
+    double areaEfficiency() const;   //!< images/s/mm^2
+    double energyEfficiency() const; //!< images/J
+};
+
+/** Roll up a layer list at the given bit-stream length. */
+NetworkCost networkCost(const std::vector<LayerSpec> &layers,
+                        const Lenet5HwConfig &cfg);
+
+} // namespace hw
+} // namespace scdcnn
+
+#endif // SCDCNN_HW_NETWORK_COST_H

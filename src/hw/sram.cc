@@ -1,0 +1,83 @@
+#include "hw/sram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace hw {
+
+namespace {
+
+// 45nm-class SRAM constants.
+constexpr double kBitCellUm2 = 0.525;      // 6T cell / array efficiency
+constexpr double kMacroOverheadUm2 = 450;  // decoder, control
+constexpr double kSenseAmpUm2 = 18;        // per output bit
+constexpr double kLeakagePwPerBit = 22;    // static power
+constexpr double kReadFjPerBit = 9;        // dynamic read energy
+constexpr double kReadFjPerAccess = 180;   // wordline/decoder energy
+
+// Wire overhead: area charged per unit of Manhattan reach between a
+// macro and its consumer groups.
+constexpr double kWireUm2PerUmReach = 0.9;
+
+} // namespace
+
+SramCost &
+SramCost::operator+=(const SramCost &o)
+{
+    area_um2 += o.area_um2;
+    leakage_w += o.leakage_w;
+    read_energy_pj += o.read_energy_pj;
+    wire_area_um2 += o.wire_area_um2;
+    return *this;
+}
+
+SramCost
+sramMacro(size_t n_words, size_t word_bits)
+{
+    SCDCNN_ASSERT(n_words > 0 && word_bits > 0, "degenerate SRAM macro");
+    const double bits = static_cast<double>(n_words) *
+                        static_cast<double>(word_bits);
+    SramCost c;
+    c.area_um2 = bits * kBitCellUm2 + kMacroOverheadUm2 +
+                 kSenseAmpUm2 * static_cast<double>(word_bits);
+    c.leakage_w = bits * kLeakagePwPerBit * 1e-12;
+    c.read_energy_pj =
+        (bits * kReadFjPerBit +
+         static_cast<double>(n_words) * kReadFjPerAccess) * 1e-3;
+    return c;
+}
+
+SramCost
+filterAwareSram(size_t n_filters, size_t weights_per_filter,
+                size_t word_bits)
+{
+    SCDCNN_ASSERT(n_filters > 0, "no filters");
+    SramCost total;
+    for (size_t i = 0; i < n_filters; ++i)
+        total += sramMacro(weights_per_filter, word_bits);
+    // Local macros sit inside their feature-map group: wire reach is
+    // one group diameter, approximated by the macro's own edge.
+    const double reach =
+        std::sqrt(sramMacro(weights_per_filter, word_bits).area_um2);
+    total.wire_area_um2 =
+        static_cast<double>(n_filters) * reach * kWireUm2PerUmReach;
+    return total;
+}
+
+SramCost
+monolithicSram(size_t n_weights, size_t word_bits,
+               size_t n_consumer_groups)
+{
+    SramCost c = sramMacro(n_weights, word_bits);
+    // Every consumer group routes to one central array: reach grows
+    // with the array edge and the group count.
+    const double reach = std::sqrt(c.area_um2);
+    c.wire_area_um2 = static_cast<double>(n_consumer_groups) * reach *
+                      kWireUm2PerUmReach;
+    return c;
+}
+
+} // namespace hw
+} // namespace scdcnn

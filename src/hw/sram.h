@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic SRAM model (the paper's CACTI 5.3 stand-in) and the weight
+ * storage schemes of Section 5.
+ *
+ * Weights are trained offline and held in on-chip SRAM; each weight
+ * feeds an SNG comparator, so in steady state the arrays mostly pay
+ * area and leakage (reads happen once per image). The model captures
+ * how cost scales with capacity and word width, which is what the
+ * Section 5.2/5.3 ratios (10.3x, 12x, 11.9x) are made of, plus the
+ * filter-aware sharing scheme of Section 5.1 (many small per-filter
+ * macros close to their consumers vs one monolithic array with global
+ * routing).
+ */
+
+#ifndef SCDCNN_HW_SRAM_H
+#define SCDCNN_HW_SRAM_H
+
+#include <cstddef>
+
+namespace scdcnn {
+namespace hw {
+
+/** Cost summary of one or more SRAM macros. */
+struct SramCost
+{
+    double area_um2 = 0;
+    double leakage_w = 0;
+    double read_energy_pj = 0; //!< energy to read the whole capacity once
+    double wire_area_um2 = 0;  //!< routing overhead to the consumers
+
+    SramCost &operator+=(const SramCost &o);
+
+    /** Total area including routing. */
+    double totalAreaUm2() const { return area_um2 + wire_area_um2; }
+};
+
+/**
+ * One SRAM macro of @p n_words x @p word_bits.
+ */
+SramCost sramMacro(size_t n_words, size_t word_bits);
+
+/**
+ * Section 5.1 filter-aware sharing: one local macro per filter, wire
+ * length proportional to the local group only.
+ *
+ * @param n_filters          number of filter blocks (= macros)
+ * @param weights_per_filter words per macro
+ * @param word_bits          weight precision w
+ */
+SramCost filterAwareSram(size_t n_filters, size_t weights_per_filter,
+                         size_t word_bits);
+
+/**
+ * Baseline: one monolithic array for the layer with global routing to
+ * every consumer group.
+ */
+SramCost monolithicSram(size_t n_weights, size_t word_bits,
+                        size_t n_consumer_groups);
+
+} // namespace hw
+} // namespace scdcnn
+
+#endif // SCDCNN_HW_SRAM_H

@@ -1,0 +1,289 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace nn {
+
+namespace {
+
+struct Pt
+{
+    double x, y;
+};
+
+using Stroke = std::vector<Pt>;
+
+/** Closed polyline approximating a circle. */
+Stroke
+circleStroke(double cx, double cy, double rx, double ry, int segments = 14)
+{
+    Stroke s;
+    for (int i = 0; i <= segments; ++i) {
+        double a = 2.0 * M_PI * i / segments;
+        s.push_back({cx + rx * std::cos(a), cy + ry * std::sin(a)});
+    }
+    return s;
+}
+
+/**
+ * Canonical digit glyphs in a unit box (x right, y down). Hand-tuned
+ * polylines loosely following handwritten shapes.
+ */
+std::vector<Stroke>
+glyphFor(size_t digit)
+{
+    switch (digit) {
+      case 0:
+        return {circleStroke(0.5, 0.5, 0.26, 0.38)};
+      case 1:
+        return {{{0.35, 0.28}, {0.55, 0.10}, {0.55, 0.90}},
+                {{0.38, 0.90}, {0.72, 0.90}}};
+      case 2:
+        return {{{0.24, 0.28},
+                 {0.32, 0.13},
+                 {0.55, 0.09},
+                 {0.74, 0.18},
+                 {0.76, 0.34},
+                 {0.62, 0.52},
+                 {0.40, 0.68},
+                 {0.24, 0.88},
+                 {0.78, 0.88}}};
+      case 3:
+        return {{{0.26, 0.16},
+                 {0.50, 0.09},
+                 {0.72, 0.18},
+                 {0.72, 0.34},
+                 {0.50, 0.46},
+                 {0.72, 0.58},
+                 {0.74, 0.76},
+                 {0.52, 0.90},
+                 {0.26, 0.83}}};
+      case 4:
+        return {{{0.64, 0.10}, {0.22, 0.62}, {0.82, 0.62}},
+                {{0.64, 0.10}, {0.64, 0.90}}};
+      case 5:
+        return {{{0.74, 0.10},
+                 {0.28, 0.10},
+                 {0.26, 0.45},
+                 {0.52, 0.40},
+                 {0.74, 0.52},
+                 {0.76, 0.72},
+                 {0.56, 0.90},
+                 {0.26, 0.84}}};
+      case 6:
+        return {{{0.68, 0.12},
+                 {0.44, 0.10},
+                 {0.30, 0.34},
+                 {0.26, 0.60},
+                 {0.34, 0.84},
+                 {0.58, 0.90},
+                 {0.74, 0.74},
+                 {0.70, 0.56},
+                 {0.50, 0.48},
+                 {0.30, 0.58}}};
+      case 7:
+        return {{{0.22, 0.10}, {0.78, 0.10}, {0.46, 0.90}},
+                {{0.34, 0.48}, {0.66, 0.48}}};
+      case 8:
+        return {circleStroke(0.5, 0.30, 0.20, 0.20),
+                circleStroke(0.5, 0.68, 0.24, 0.22)};
+      case 9:
+        return {{{0.32, 0.88},
+                 {0.56, 0.90},
+                 {0.70, 0.66},
+                 {0.74, 0.40},
+                 {0.66, 0.16},
+                 {0.42, 0.10},
+                 {0.26, 0.26},
+                 {0.30, 0.44},
+                 {0.50, 0.52},
+                 {0.70, 0.42}}};
+      default:
+        fatal("digit %zu out of range", digit);
+    }
+}
+
+double
+distToSegment(double px, double py, const Pt &a, const Pt &b)
+{
+    const double vx = b.x - a.x;
+    const double vy = b.y - a.y;
+    const double len2 = vx * vx + vy * vy;
+    double t = 0;
+    if (len2 > 1e-12)
+        t = std::clamp(((px - a.x) * vx + (py - a.y) * vy) / len2, 0.0,
+                       1.0);
+    const double dx = px - (a.x + t * vx);
+    const double dy = py - (a.y + t * vy);
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace
+
+Tensor
+DigitDataset::render(size_t digit, uint64_t seed)
+{
+    sc::Xoshiro256ss rng(seed * 0x9E3779B97F4A7C15ull + digit + 1);
+
+    // Randomized affine placement into the 28x28 canvas.
+    const double angle = rng.nextInRange(-0.30, 0.30);      // ~±17°
+    const double scale_x = rng.nextInRange(0.75, 1.05) * 20.0;
+    const double scale_y = rng.nextInRange(0.80, 1.05) * 22.0;
+    const double shear = rng.nextInRange(-0.25, 0.25);
+    const double off_x = 4.0 + rng.nextInRange(-1.5, 2.5);
+    const double off_y = 3.0 + rng.nextInRange(-1.2, 2.0);
+    const double thickness = rng.nextInRange(0.9, 1.7);
+    const double ca = std::cos(angle);
+    const double sa = std::sin(angle);
+
+    auto glyph = glyphFor(digit);
+    // Per-vertex jitter makes every instance a distinct "handwriting".
+    for (auto &stroke : glyph) {
+        for (auto &p : stroke) {
+            p.x += rng.nextInRange(-0.035, 0.035);
+            p.y += rng.nextInRange(-0.035, 0.035);
+        }
+    }
+    // Map unit coordinates to canvas pixels.
+    for (auto &stroke : glyph) {
+        for (auto &p : stroke) {
+            const double gx = (p.x - 0.5) + shear * (p.y - 0.5);
+            const double gy = p.y - 0.5;
+            const double rx = ca * gx - sa * gy;
+            const double ry = sa * gx + ca * gy;
+            p.x = rx * scale_x + 10.0 + off_x;
+            p.y = ry * scale_y + 11.0 + off_y;
+        }
+    }
+
+    Tensor img(1, 28, 28);
+    for (size_t y = 0; y < 28; ++y) {
+        for (size_t x = 0; x < 28; ++x) {
+            double d = 1e9;
+            for (const auto &stroke : glyph)
+                for (size_t i = 0; i + 1 < stroke.size(); ++i)
+                    d = std::min(d, distToSegment(x + 0.5, y + 0.5,
+                                                  stroke[i],
+                                                  stroke[i + 1]));
+            // Soft-edged ink: 1 inside the stroke, fading over ~1px.
+            double v = std::clamp(1.0 - (d - thickness * 0.5), 0.0, 1.0);
+            img.at(0, y, x) = static_cast<float>(v);
+        }
+    }
+
+    // Pixel noise and contrast jitter.
+    const double contrast = rng.nextInRange(0.75, 1.0);
+    for (auto &v : img.data()) {
+        double noisy = v * contrast + 0.08 * rng.nextGaussian();
+        v = static_cast<float>(std::clamp(noisy, 0.0, 1.0));
+    }
+    return img;
+}
+
+Dataset
+DigitDataset::generate(size_t n, uint64_t seed)
+{
+    Dataset ds;
+    ds.samples.reserve(n);
+    sc::SplitMix64 seeder(seed);
+    for (size_t i = 0; i < n; ++i) {
+        Sample s;
+        s.label = i % 10;
+        s.image = render(s.label, seeder.next());
+        ds.samples.push_back(std::move(s));
+    }
+    return ds;
+}
+
+namespace {
+
+uint32_t
+readBigEndian32(std::FILE *f, bool &ok)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4) {
+        ok = false;
+        return 0;
+    }
+    return (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+           (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+}
+
+} // namespace
+
+bool
+loadMnist(const std::string &images_path, const std::string &labels_path,
+          Dataset &out, size_t limit)
+{
+    std::FILE *fi = std::fopen(images_path.c_str(), "rb");
+    if (fi == nullptr)
+        return false;
+    std::FILE *fl = std::fopen(labels_path.c_str(), "rb");
+    if (fl == nullptr) {
+        std::fclose(fi);
+        return false;
+    }
+
+    bool ok = true;
+    const uint32_t magic_i = readBigEndian32(fi, ok);
+    const uint32_t n_images = readBigEndian32(fi, ok);
+    const uint32_t rows = readBigEndian32(fi, ok);
+    const uint32_t cols = readBigEndian32(fi, ok);
+    const uint32_t magic_l = readBigEndian32(fl, ok);
+    const uint32_t n_labels = readBigEndian32(fl, ok);
+    ok = ok && magic_i == 2051 && magic_l == 2049 &&
+         n_images == n_labels && rows == 28 && cols == 28;
+
+    if (ok) {
+        size_t n = n_images;
+        if (limit != 0)
+            n = std::min<size_t>(n, limit);
+        out.samples.clear();
+        out.samples.reserve(n);
+        std::vector<unsigned char> buf(28 * 28);
+        for (size_t i = 0; i < n && ok; ++i) {
+            ok = std::fread(buf.data(), 1, buf.size(), fi) == buf.size();
+            int label = std::fgetc(fl);
+            ok = ok && label >= 0 && label <= 9;
+            if (!ok)
+                break;
+            Sample s;
+            s.label = static_cast<size_t>(label);
+            s.image = Tensor(1, 28, 28);
+            for (size_t p = 0; p < buf.size(); ++p)
+                s.image[p] = static_cast<float>(buf[p]) / 255.0f;
+            out.samples.push_back(std::move(s));
+        }
+    }
+    std::fclose(fi);
+    std::fclose(fl);
+    return ok && !out.samples.empty();
+}
+
+void
+loadDigits(const std::string &data_dir, size_t n_train, size_t n_test,
+           Dataset &train, Dataset &test)
+{
+    const std::string ti = data_dir + "/train-images-idx3-ubyte";
+    const std::string tl = data_dir + "/train-labels-idx1-ubyte";
+    const std::string si = data_dir + "/t10k-images-idx3-ubyte";
+    const std::string sl = data_dir + "/t10k-labels-idx1-ubyte";
+    if (loadMnist(ti, tl, train, n_train) &&
+        loadMnist(si, sl, test, n_test)) {
+        inform("loaded MNIST from %s (%zu train / %zu test)",
+               data_dir.c_str(), train.size(), test.size());
+        return;
+    }
+    // Disjoint seeds keep train and test independent.
+    train = DigitDataset::generate(n_train, 0xA11CE);
+    test = DigitDataset::generate(n_test, 0xB0B0B);
+}
+
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,328 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace nn {
+
+ConvLayer::ConvLayer(size_t c_in, size_t c_out, size_t k)
+    : c_in_(c_in), c_out_(c_out), k_(k),
+      weights_(c_out * c_in * k * k, 0.0f), biases_(c_out, 0.0f),
+      w_grads_(weights_.size(), 0.0f), b_grads_(biases_.size(), 0.0f)
+{
+}
+
+size_t
+ConvLayer::wIndex(size_t co, size_t ci, size_t ky, size_t kx) const
+{
+    return ((co * c_in_ + ci) * k_ + ky) * k_ + kx;
+}
+
+float
+ConvLayer::weightAt(size_t co, size_t ci, size_t ky, size_t kx) const
+{
+    return weights_[wIndex(co, ci, ky, kx)];
+}
+
+void
+ConvLayer::initWeights(uint64_t seed, double gain)
+{
+    sc::SplitMix64 rng(seed);
+    const double bound =
+        gain * std::sqrt(2.0 / static_cast<double>(c_in_ * k_ * k_));
+    for (auto &w : weights_)
+        w = static_cast<float>(rng.nextInRange(-bound, bound));
+    std::fill(biases_.begin(), biases_.end(), 0.0f);
+}
+
+Tensor
+ConvLayer::forward(const Tensor &in)
+{
+    SCDCNN_ASSERT(in.channels() == c_in_, "conv expects %zu channels",
+                  c_in_);
+    SCDCNN_ASSERT(in.height() >= k_ && in.width() >= k_,
+                  "input smaller than kernel");
+    cached_in_ = in;
+    const size_t oh = in.height() - k_ + 1;
+    const size_t ow = in.width() - k_ + 1;
+    Tensor out(c_out_, oh, ow);
+
+    for (size_t co = 0; co < c_out_; ++co) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                float acc = biases_[co];
+                for (size_t ci = 0; ci < c_in_; ++ci) {
+                    const float *w_base =
+                        &weights_[wIndex(co, ci, 0, 0)];
+                    for (size_t ky = 0; ky < k_; ++ky) {
+                        const float *in_row =
+                            &in.data()[(ci * in.height() + oy + ky) *
+                                           in.width() +
+                                       ox];
+                        const float *w_row = w_base + ky * k_;
+                        for (size_t kx = 0; kx < k_; ++kx)
+                            acc += in_row[kx] * w_row[kx];
+                    }
+                }
+                out.at(co, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+ConvLayer::backward(const Tensor &grad_out)
+{
+    const Tensor &in = cached_in_;
+    const size_t oh = grad_out.height();
+    const size_t ow = grad_out.width();
+    Tensor grad_in(in.channels(), in.height(), in.width());
+
+    for (size_t co = 0; co < c_out_; ++co) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                const float g = grad_out.at(co, oy, ox);
+                if (g == 0.0f)
+                    continue;
+                b_grads_[co] += g;
+                for (size_t ci = 0; ci < c_in_; ++ci) {
+                    float *wg_base = &w_grads_[wIndex(co, ci, 0, 0)];
+                    for (size_t ky = 0; ky < k_; ++ky) {
+                        const float *in_row =
+                            &in.data()[(ci * in.height() + oy + ky) *
+                                           in.width() +
+                                       ox];
+                        float *gin_row =
+                            &grad_in.data()[(ci * in.height() + oy + ky) *
+                                                in.width() +
+                                            ox];
+                        const float *w_row =
+                            &weights_[wIndex(co, ci, ky, 0)];
+                        float *wg_row = wg_base + ky * k_;
+                        for (size_t kx = 0; kx < k_; ++kx) {
+                            wg_row[kx] += g * in_row[kx];
+                            gin_row[kx] += g * w_row[kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::unique_ptr<Layer>
+ConvLayer::clone() const
+{
+    return std::make_unique<ConvLayer>(*this);
+}
+
+Tensor
+PoolLayer::forward(const Tensor &in)
+{
+    SCDCNN_ASSERT(in.height() % 2 == 0 && in.width() % 2 == 0,
+                  "pooling expects even dimensions, got %zux%zu",
+                  in.height(), in.width());
+    cached_in_ = in;
+    const size_t oh = in.height() / 2;
+    const size_t ow = in.width() / 2;
+    Tensor out(in.channels(), oh, ow);
+    if (mode_ == Mode::Max)
+        argmax_.assign(out.size(), 0);
+
+    for (size_t c = 0; c < in.channels(); ++c) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                if (mode_ == Mode::Avg) {
+                    float s = in.at(c, 2 * oy, 2 * ox) +
+                              in.at(c, 2 * oy, 2 * ox + 1) +
+                              in.at(c, 2 * oy + 1, 2 * ox) +
+                              in.at(c, 2 * oy + 1, 2 * ox + 1);
+                    out.at(c, oy, ox) = s / 4.0f;
+                } else {
+                    float best = -1e30f;
+                    uint32_t best_idx = 0;
+                    for (size_t dy = 0; dy < 2; ++dy) {
+                        for (size_t dx = 0; dx < 2; ++dx) {
+                            size_t iy = 2 * oy + dy;
+                            size_t ix = 2 * ox + dx;
+                            float v = in.at(c, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx = static_cast<uint32_t>(
+                                    (c * in.height() + iy) * in.width() +
+                                    ix);
+                            }
+                        }
+                    }
+                    out.at(c, oy, ox) = best;
+                    argmax_[(c * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+PoolLayer::backward(const Tensor &grad_out)
+{
+    const Tensor &in = cached_in_;
+    Tensor grad_in(in.channels(), in.height(), in.width());
+    const size_t oh = grad_out.height();
+    const size_t ow = grad_out.width();
+
+    for (size_t c = 0; c < in.channels(); ++c) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                const float g = grad_out.at(c, oy, ox);
+                if (mode_ == Mode::Avg) {
+                    const float q = g / 4.0f;
+                    grad_in.at(c, 2 * oy, 2 * ox) += q;
+                    grad_in.at(c, 2 * oy, 2 * ox + 1) += q;
+                    grad_in.at(c, 2 * oy + 1, 2 * ox) += q;
+                    grad_in.at(c, 2 * oy + 1, 2 * ox + 1) += q;
+                } else {
+                    grad_in.data()[argmax_[(c * oh + oy) * ow + ox]] += g;
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::unique_ptr<Layer>
+PoolLayer::clone() const
+{
+    return std::make_unique<PoolLayer>(*this);
+}
+
+FullyConnected::FullyConnected(size_t n_in, size_t n_out)
+    : n_in_(n_in), n_out_(n_out), weights_(n_in * n_out, 0.0f),
+      biases_(n_out, 0.0f), w_grads_(weights_.size(), 0.0f),
+      b_grads_(biases_.size(), 0.0f)
+{
+}
+
+float
+FullyConnected::weightAt(size_t out, size_t in) const
+{
+    return weights_[out * n_in_ + in];
+}
+
+void
+FullyConnected::initWeights(uint64_t seed, double gain)
+{
+    sc::SplitMix64 rng(seed);
+    const double bound =
+        gain * std::sqrt(2.0 / static_cast<double>(n_in_));
+    for (auto &w : weights_)
+        w = static_cast<float>(rng.nextInRange(-bound, bound));
+    std::fill(biases_.begin(), biases_.end(), 0.0f);
+}
+
+Tensor
+FullyConnected::forward(const Tensor &in)
+{
+    SCDCNN_ASSERT(in.size() == n_in_, "fc expects %zu inputs, got %zu",
+                  n_in_, in.size());
+    cached_in_ = in;
+    Tensor out(n_out_);
+    for (size_t o = 0; o < n_out_; ++o) {
+        float acc = biases_[o];
+        const float *w_row = &weights_[o * n_in_];
+        const float *x = in.data().data();
+        for (size_t i = 0; i < n_in_; ++i)
+            acc += w_row[i] * x[i];
+        out[o] = acc;
+    }
+    return out;
+}
+
+Tensor
+FullyConnected::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(cached_in_.channels(), cached_in_.height(),
+                   cached_in_.width());
+    const float *x = cached_in_.data().data();
+    for (size_t o = 0; o < n_out_; ++o) {
+        const float g = grad_out[o];
+        b_grads_[o] += g;
+        float *wg_row = &w_grads_[o * n_in_];
+        const float *w_row = &weights_[o * n_in_];
+        float *gi = grad_in.data().data();
+        for (size_t i = 0; i < n_in_; ++i) {
+            wg_row[i] += g * x[i];
+            gi[i] += g * w_row[i];
+        }
+    }
+    return grad_in;
+}
+
+std::unique_ptr<Layer>
+FullyConnected::clone() const
+{
+    return std::make_unique<FullyConnected>(*this);
+}
+
+Tensor
+TanhLayer::forward(const Tensor &in)
+{
+    Tensor out = in;
+    for (auto &v : out.data())
+        v = std::tanh(static_cast<float>(scale_) * v);
+    cached_out_ = out;
+    return out;
+}
+
+Tensor
+TanhLayer::backward(const Tensor &grad_out)
+{
+    Tensor grad_in = grad_out;
+    for (size_t i = 0; i < grad_in.size(); ++i) {
+        const float y = cached_out_[i];
+        grad_in[i] *= static_cast<float>(scale_) * (1.0f - y * y);
+    }
+    return grad_in;
+}
+
+std::unique_ptr<Layer>
+TanhLayer::clone() const
+{
+    return std::make_unique<TanhLayer>(*this);
+}
+
+std::vector<double>
+softmax(const Tensor &logits)
+{
+    double max_logit = -1e300;
+    for (size_t i = 0; i < logits.size(); ++i)
+        max_logit = std::max(max_logit, static_cast<double>(logits[i]));
+    std::vector<double> p(logits.size());
+    double z = 0;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(static_cast<double>(logits[i]) - max_logit);
+        z += p[i];
+    }
+    for (auto &v : p)
+        v /= z;
+    return p;
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits, size_t label, Tensor &dlogits)
+{
+    SCDCNN_ASSERT(label < logits.size(), "label %zu out of range", label);
+    auto p = softmax(logits);
+    dlogits = Tensor(logits.size());
+    for (size_t i = 0; i < logits.size(); ++i)
+        dlogits[i] = static_cast<float>(p[i] - (i == label ? 1.0 : 0.0));
+    return -std::log(std::max(p[label], 1e-12));
+}
+
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Float reference layers with forward and backward passes.
+ *
+ * These implement the software LeNet5 baseline the paper trains
+ * offline: valid 5x5 convolutions, 2x2 average/max pooling, tanh
+ * activations (Section 3.2 argues tanh costs no accuracy vs ReLU and
+ * maps naturally to SC), fully-connected layers, and a softmax
+ * cross-entropy loss for training.
+ */
+
+#ifndef SCDCNN_NN_LAYERS_H
+#define SCDCNN_NN_LAYERS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace nn {
+
+/**
+ * Base layer: forward caches whatever backward needs.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute the layer output for one sample. */
+    virtual Tensor forward(const Tensor &in) = 0;
+
+    /** Propagate gradients; accumulates parameter grads internally. */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Deep copy (used for data-parallel training workers). */
+    virtual std::unique_ptr<Layer> clone() const = 0;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+
+    /** Parameter / gradient access; null for stateless layers. */
+    virtual std::vector<float> *weights() { return nullptr; }
+    virtual std::vector<float> *biases() { return nullptr; }
+    virtual std::vector<float> *weightGrads() { return nullptr; }
+    virtual std::vector<float> *biasGrads() { return nullptr; }
+};
+
+/**
+ * Valid 2-D convolution with square kernels.
+ */
+class ConvLayer : public Layer
+{
+  public:
+    /** @param c_in input channels, @param c_out filters,
+     *  @param k kernel edge (the paper's LeNet5 uses 5) */
+    ConvLayer(size_t c_in, size_t c_out, size_t k);
+
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
+    std::string name() const override { return "conv"; }
+
+    std::vector<float> *weights() override { return &weights_; }
+    std::vector<float> *biases() override { return &biases_; }
+    std::vector<float> *weightGrads() override { return &w_grads_; }
+    std::vector<float> *biasGrads() override { return &b_grads_; }
+
+    /** Kaiming-ish uniform init, deterministic per seed. The bound is
+     *  multiplied by @p gain so layers feeding a scaled tanh(g*s) start
+     *  with pre-activations in the right dynamic range (gain ~ 1/g). */
+    void initWeights(uint64_t seed, double gain = 1.0);
+
+    size_t cIn() const { return c_in_; }
+    size_t cOut() const { return c_out_; }
+    size_t kernel() const { return k_; }
+
+    /** Filter element (c_out, c_in, ky, kx). */
+    float weightAt(size_t co, size_t ci, size_t ky, size_t kx) const;
+
+    /** Bias of filter co. */
+    float biasAt(size_t co) const { return biases_[co]; }
+
+  private:
+    size_t wIndex(size_t co, size_t ci, size_t ky, size_t kx) const;
+
+    size_t c_in_, c_out_, k_;
+    std::vector<float> weights_, biases_, w_grads_, b_grads_;
+    Tensor cached_in_;
+};
+
+/**
+ * 2x2 stride-2 pooling, average or max.
+ */
+class PoolLayer : public Layer
+{
+  public:
+    enum class Mode { Avg, Max };
+
+    explicit PoolLayer(Mode mode) : mode_(mode) {}
+
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
+    std::string name() const override { return "pool"; }
+
+    Mode mode() const { return mode_; }
+
+  private:
+    Mode mode_;
+    Tensor cached_in_;
+    std::vector<uint32_t> argmax_; // flat input index per output
+};
+
+/**
+ * Fully connected layer (flattens its input).
+ */
+class FullyConnected : public Layer
+{
+  public:
+    FullyConnected(size_t n_in, size_t n_out);
+
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
+    std::string name() const override { return "fc"; }
+
+    std::vector<float> *weights() override { return &weights_; }
+    std::vector<float> *biases() override { return &biases_; }
+    std::vector<float> *weightGrads() override { return &w_grads_; }
+    std::vector<float> *biasGrads() override { return &b_grads_; }
+
+    /** Kaiming-ish uniform init scaled by @p gain (see ConvLayer). */
+    void initWeights(uint64_t seed, double gain = 1.0);
+
+    size_t nIn() const { return n_in_; }
+    size_t nOut() const { return n_out_; }
+
+    /** Weight (out, in). */
+    float weightAt(size_t out, size_t in) const;
+
+    float biasAt(size_t out) const { return biases_[out]; }
+
+  private:
+    size_t n_in_, n_out_;
+    std::vector<float> weights_, biases_, w_grads_, b_grads_;
+    Tensor cached_in_;
+};
+
+/**
+ * Element-wise scaled tanh: f(s) = tanh(scale * s).
+ *
+ * SC activation units inherently compute a scaled tanh (Stanh with K
+ * states over an N-input MUX block realizes tanh(K/(2N) * s)), so the
+ * software baseline is trained with a matching gain; training then
+ * drives pre-activations into the same dynamic range the hardware
+ * sees. scale = 1 is the classic tanh.
+ */
+class TanhLayer : public Layer
+{
+  public:
+    explicit TanhLayer(double scale = 1.0) : scale_(scale) {}
+
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
+    std::string name() const override { return "tanh"; }
+
+    /** The activation gain. */
+    double scale() const { return scale_; }
+
+  private:
+    double scale_;
+    Tensor cached_out_;
+};
+
+/** Softmax + cross-entropy: returns the loss, fills dlogits. */
+double softmaxCrossEntropy(const Tensor &logits, size_t label,
+                           Tensor &dlogits);
+
+/** Softmax probabilities of a logit vector. */
+std::vector<double> softmax(const Tensor &logits);
+
+} // namespace nn
+} // namespace scdcnn
+
+#endif // SCDCNN_NN_LAYERS_H

@@ -1,0 +1,231 @@
+#include "nn/network.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace nn {
+
+Network::Network(const Network &o)
+{
+    layers_.reserve(o.layers_.size());
+    for (const auto &l : o.layers_)
+        layers_.push_back(l->clone());
+}
+
+Network &
+Network::operator=(const Network &o)
+{
+    if (this == &o)
+        return *this;
+    layers_.clear();
+    layers_.reserve(o.layers_.size());
+    for (const auto &l : o.layers_)
+        layers_.push_back(l->clone());
+    return *this;
+}
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &in)
+{
+    Tensor x = in;
+    for (auto &l : layers_)
+        x = l->forward(x);
+    return x;
+}
+
+void
+Network::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+size_t
+Network::predict(const Tensor &in)
+{
+    Tensor out = forward(in);
+    size_t best = 0;
+    for (size_t i = 1; i < out.size(); ++i)
+        if (out[i] > out[best])
+            best = i;
+    return best;
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto &l : layers_) {
+        if (auto *wg = l->weightGrads())
+            std::fill(wg->begin(), wg->end(), 0.0f);
+        if (auto *bg = l->biasGrads())
+            std::fill(bg->begin(), bg->end(), 0.0f);
+    }
+}
+
+void
+Network::copyParamsFrom(const Network &o)
+{
+    SCDCNN_ASSERT(layers_.size() == o.layers_.size(),
+                  "network structure mismatch");
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        auto *dst_w = layers_[i]->weights();
+        auto *src_w = o.layers_[i]->weights();
+        if (dst_w != nullptr && src_w != nullptr)
+            *dst_w = *src_w;
+        auto *dst_b = layers_[i]->biases();
+        auto *src_b = o.layers_[i]->biases();
+        if (dst_b != nullptr && src_b != nullptr)
+            *dst_b = *src_b;
+    }
+}
+
+void
+Network::addGradsFrom(const Network &o)
+{
+    SCDCNN_ASSERT(layers_.size() == o.layers_.size(),
+                  "network structure mismatch");
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        auto *dst = layers_[i]->weightGrads();
+        auto *src = o.layers_[i]->weightGrads();
+        if (dst != nullptr && src != nullptr)
+            for (size_t j = 0; j < dst->size(); ++j)
+                (*dst)[j] += (*src)[j];
+        auto *dstb = layers_[i]->biasGrads();
+        auto *srcb = o.layers_[i]->biasGrads();
+        if (dstb != nullptr && srcb != nullptr)
+            for (size_t j = 0; j < dstb->size(); ++j)
+                (*dstb)[j] += (*srcb)[j];
+    }
+}
+
+namespace {
+
+constexpr uint32_t kWeightsMagic = 0x5CDC0001;
+
+bool
+writeVec(std::FILE *f, const std::vector<float> &v)
+{
+    auto n = static_cast<uint64_t>(v.size());
+    if (std::fwrite(&n, sizeof(n), 1, f) != 1)
+        return false;
+    return std::fwrite(v.data(), sizeof(float), v.size(), f) == v.size();
+}
+
+bool
+readVec(std::FILE *f, std::vector<float> &v)
+{
+    uint64_t n = 0;
+    if (std::fread(&n, sizeof(n), 1, f) != 1)
+        return false;
+    if (n != v.size())
+        return false; // structure mismatch
+    return std::fread(v.data(), sizeof(float), v.size(), f) == v.size();
+}
+
+} // namespace
+
+bool
+Network::saveWeights(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    bool ok = std::fwrite(&kWeightsMagic, sizeof(kWeightsMagic), 1, f) == 1;
+    for (const auto &l : layers_) {
+        if (!ok)
+            break;
+        // clone() gives us non-const access patterns; cast is local.
+        auto *mutable_layer = const_cast<Layer *>(l.get());
+        if (auto *w = mutable_layer->weights())
+            ok = ok && writeVec(f, *w);
+        if (auto *b = mutable_layer->biases())
+            ok = ok && writeVec(f, *b);
+    }
+    std::fclose(f);
+    return ok;
+}
+
+bool
+Network::loadWeights(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    uint32_t magic = 0;
+    bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+              magic == kWeightsMagic;
+    for (auto &l : layers_) {
+        if (!ok)
+            break;
+        if (auto *w = l->weights())
+            ok = ok && readVec(f, *w);
+        if (auto *b = l->biases())
+            ok = ok && readVec(f, *b);
+    }
+    std::fclose(f);
+    return ok;
+}
+
+Network
+buildLeNet5(PoolingMode pooling, uint64_t seed, double act_scale)
+{
+    const auto mode = pooling == PoolingMode::Max ? PoolLayer::Mode::Max
+                                                  : PoolLayer::Mode::Avg;
+    Network net;
+    auto conv1 = std::make_unique<ConvLayer>(1, 20, 5);
+    conv1->initWeights(seed * 7919 + 1, 1.0 / act_scale);
+    net.add(std::move(conv1));
+    net.add(std::make_unique<PoolLayer>(mode));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto conv2 = std::make_unique<ConvLayer>(20, 50, 5);
+    conv2->initWeights(seed * 7919 + 2, 1.0 / act_scale);
+    net.add(std::move(conv2));
+    net.add(std::make_unique<PoolLayer>(mode));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto fc1 = std::make_unique<FullyConnected>(800, 500);
+    fc1->initWeights(seed * 7919 + 3, 1.0 / act_scale);
+    net.add(std::move(fc1));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto fc2 = std::make_unique<FullyConnected>(500, 10);
+    fc2->initWeights(seed * 7919 + 4);
+    net.add(std::move(fc2));
+    return net;
+}
+
+Network
+buildMiniLeNet(PoolingMode pooling, uint64_t seed, double act_scale)
+{
+    const auto mode = pooling == PoolingMode::Max ? PoolLayer::Mode::Max
+                                                  : PoolLayer::Mode::Avg;
+    Network net;
+    auto conv1 = std::make_unique<ConvLayer>(1, 8, 5);
+    conv1->initWeights(seed * 104729 + 1, 1.0 / act_scale);
+    net.add(std::move(conv1));
+    net.add(std::make_unique<PoolLayer>(mode));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto conv2 = std::make_unique<ConvLayer>(8, 16, 5);
+    conv2->initWeights(seed * 104729 + 2, 1.0 / act_scale);
+    net.add(std::move(conv2));
+    net.add(std::make_unique<PoolLayer>(mode));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto fc1 = std::make_unique<FullyConnected>(16 * 4 * 4, 64);
+    fc1->initWeights(seed * 104729 + 3, 1.0 / act_scale);
+    net.add(std::move(fc1));
+    net.add(std::make_unique<TanhLayer>(act_scale));
+    auto fc2 = std::make_unique<FullyConnected>(64, 10);
+    fc2->initWeights(seed * 104729 + 4);
+    net.add(std::move(fc2));
+    return net;
+}
+
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Network container and the paper's LeNet5 builder.
+ *
+ * The LeNet5 of Section 6.3 has the configuration
+ * 784-11520-2880-3200-800-500-10:
+ *
+ *   input 28x28 -> conv 20@5x5 -> (tanh) pool 2x2 -> conv 50@5x5
+ *   -> (tanh) pool 2x2 -> fc 500 (tanh) -> fc 10 -> softmax
+ *
+ * Both max-pooling and average-pooling variants are supported; tanh is
+ * applied after pooling, matching the feature extraction block order of
+ * Figure 10 (inner product -> pooling -> activation).
+ */
+
+#ifndef SCDCNN_NN_NETWORK_H
+#define SCDCNN_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace scdcnn {
+namespace nn {
+
+/**
+ * A sequential network.
+ */
+class Network
+{
+  public:
+    Network() = default;
+    Network(const Network &o);
+    Network &operator=(const Network &o);
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Append a layer. */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Forward through every layer. */
+    Tensor forward(const Tensor &in);
+
+    /** Backward from the loss gradient on the output. */
+    void backward(const Tensor &grad_out);
+
+    /** Predicted class: argmax of the output logits. */
+    size_t predict(const Tensor &in);
+
+    /** Layer access. */
+    size_t layerCount() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+    const Layer &layer(size_t i) const { return *layers_[i]; }
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Copy parameter values from another structurally-equal net. */
+    void copyParamsFrom(const Network &o);
+
+    /** Accumulate another net's gradients into this one's. */
+    void addGradsFrom(const Network &o);
+
+    /** Serialize / restore all parameters (simple binary format). */
+    bool saveWeights(const std::string &path) const;
+    bool loadWeights(const std::string &path);
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** Pooling flavour of the LeNet5 baseline. */
+enum class PoolingMode { Average, Max };
+
+/**
+ * Activation gain the baselines are trained with. SC activation units
+ * realize tanh(g*s) with g well below 1 at LeNet5 fan-ins (Stanh gain
+ * K/(2N) under the FSM mixing constraint), so the software baseline
+ * uses the same gain; training then drives pre-activations into the
+ * saturating dynamic range the hardware operates in.
+ */
+constexpr double kDefaultActivationScale = 0.35;
+
+/** Build the paper's LeNet5 (weights initialized from @p seed). */
+Network buildLeNet5(PoolingMode pooling, uint64_t seed = 1,
+                    double act_scale = kDefaultActivationScale);
+
+/** A reduced LeNet (8/16 maps, fc 64) for fast tests. */
+Network buildMiniLeNet(PoolingMode pooling, uint64_t seed = 1,
+                       double act_scale = kDefaultActivationScale);
+
+} // namespace nn
+} // namespace scdcnn
+
+#endif // SCDCNN_NN_NETWORK_H

@@ -1,0 +1,84 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace nn {
+
+uint64_t
+weightCode(double x, unsigned bits)
+{
+    SCDCNN_ASSERT(bits >= 1 && bits <= 63, "bad precision %u", bits);
+    x = std::clamp(x, -1.0, 1.0);
+    const double scaled = (x + 1.0) / 2.0 * std::pow(2.0, bits);
+    auto code = static_cast<uint64_t>(scaled); // Int(): truncate
+    const uint64_t max_code = (uint64_t{1} << bits) - 1;
+    return std::min(code, max_code); // x = +1 saturates to the top code
+}
+
+double
+quantizeWeight(double x, unsigned bits)
+{
+    const double y = static_cast<double>(weightCode(x, bits)) /
+                     std::pow(2.0, bits);
+    return 2.0 * y - 1.0;
+}
+
+void
+quantizeLayer(Layer &layer, unsigned bits)
+{
+    if (auto *w = layer.weights())
+        for (auto &v : *w)
+            v = static_cast<float>(quantizeWeight(v, bits));
+    if (auto *b = layer.biases())
+        for (auto &v : *b)
+            v = static_cast<float>(quantizeWeight(v, bits));
+}
+
+namespace {
+
+/**
+ * The paper's Layer0/1/2 grouping onto buildLeNet5() layer indices:
+ * Layer0 = conv1 (index 0), Layer1 = conv2 (index 3), Layer2 = the
+ * fully connected layers (indices 6 and 8).
+ */
+const size_t kLayer0Index = 0;
+const size_t kLayer1Index = 3;
+const size_t kLayer2Indices[] = {6, 8};
+
+} // namespace
+
+void
+quantizeLeNet5(Network &net, const std::array<unsigned, 3> &bits)
+{
+    SCDCNN_ASSERT(net.layerCount() == 9, "expected a buildLeNet5() net");
+    quantizeLayer(net.layer(kLayer0Index), bits[0]);
+    quantizeLayer(net.layer(kLayer1Index), bits[1]);
+    for (size_t idx : kLayer2Indices)
+        quantizeLayer(net.layer(idx), bits[2]);
+}
+
+void
+quantizeLeNet5SingleLayer(Network &net, size_t which, unsigned bits)
+{
+    SCDCNN_ASSERT(net.layerCount() == 9, "expected a buildLeNet5() net");
+    SCDCNN_ASSERT(which < 3, "layer group %zu out of range", which);
+    switch (which) {
+      case 0:
+        quantizeLayer(net.layer(kLayer0Index), bits);
+        break;
+      case 1:
+        quantizeLayer(net.layer(kLayer1Index), bits);
+        break;
+      default:
+        for (size_t idx : kLayer2Indices)
+            quantizeLayer(net.layer(idx), bits);
+        break;
+    }
+}
+
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Weight storage method (Section 5.2): the precision-reduction mapping
+ *
+ *     y = Int((x + 1)/2 * 2^w) / 2^w
+ *
+ * stores a real weight x in [-1, 1) as a w-bit unsigned code y (the
+ * paper's formula; Int() keeps the integer part). The reconstructed
+ * weight is 2y - 1. Layer-wise precision (Section 5.3) assigns each
+ * layer its own w, e.g. 7-7-6 for LeNet5.
+ */
+
+#ifndef SCDCNN_NN_QUANTIZE_H
+#define SCDCNN_NN_QUANTIZE_H
+
+#include <array>
+#include <cstdint>
+
+#include "nn/network.h"
+
+namespace scdcnn {
+namespace nn {
+
+/** The stored w-bit code for weight x (paper Section 5.2). */
+uint64_t weightCode(double x, unsigned bits);
+
+/** Reconstructed weight after storing x at w bits. */
+double quantizeWeight(double x, unsigned bits);
+
+/**
+ * Quantize all parameters of one layer in place (weights and biases).
+ */
+void quantizeLayer(Layer &layer, unsigned bits);
+
+/**
+ * Layer-wise quantization of a LeNet5 network built by buildLeNet5():
+ * bits[0] -> conv1, bits[1] -> conv2, bits[2] -> both FC layers
+ * (matching the paper's Layer0/1/2 grouping).
+ */
+void quantizeLeNet5(Network &net, const std::array<unsigned, 3> &bits);
+
+/**
+ * Quantize only the paper's Layer @p which of a LeNet5 (0, 1 or 2),
+ * leaving the rest at full precision — the Figure 13 per-layer sweep.
+ */
+void quantizeLeNet5SingleLayer(Network &net, size_t which, unsigned bits);
+
+} // namespace nn
+} // namespace scdcnn
+
+#endif // SCDCNN_NN_QUANTIZE_H

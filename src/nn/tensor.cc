@@ -1,0 +1,46 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace nn {
+
+Tensor::Tensor(size_t c, size_t h, size_t w)
+    : c_(c), h_(h), w_(w), data_(c * h * w, 0.0f)
+{
+}
+
+float &
+Tensor::at(size_t c, size_t y, size_t x)
+{
+    SCDCNN_ASSERT(c < c_ && y < h_ && x < w_,
+                  "tensor index (%zu,%zu,%zu) out of (%zu,%zu,%zu)",
+                  c, y, x, c_, h_, w_);
+    return data_[(c * h_ + y) * w_ + x];
+}
+
+float
+Tensor::at(size_t c, size_t y, size_t x) const
+{
+    SCDCNN_ASSERT(c < c_ && y < h_ && x < w_,
+                  "tensor index (%zu,%zu,%zu) out of (%zu,%zu,%zu)",
+                  c, y, x, c_, h_, w_);
+    return data_[(c * h_ + y) * w_ + x];
+}
+
+void
+Tensor::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+bool
+Tensor::sameShape(const Tensor &o) const
+{
+    return c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+}
+
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dense 3-D tensor (channels, height, width) used by the float
+ * reference network. Row-major, contiguous, float32.
+ */
+
+#ifndef SCDCNN_NN_TENSOR_H
+#define SCDCNN_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace scdcnn {
+namespace nn {
+
+/**
+ * A (c, h, w) tensor. A flat vector doubles as a (n, 1, 1) tensor for
+ * the fully-connected layers.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    Tensor(size_t c, size_t h, size_t w);
+
+    /** Flat tensor: shape (n, 1, 1). */
+    explicit Tensor(size_t n) : Tensor(n, 1, 1) {}
+
+    size_t channels() const { return c_; }
+    size_t height() const { return h_; }
+    size_t width() const { return w_; }
+    size_t size() const { return data_.size(); }
+
+    /** Element access by (channel, row, column). */
+    float &at(size_t c, size_t y, size_t x);
+    float at(size_t c, size_t y, size_t x) const;
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Reset every element to zero. */
+    void zero();
+
+    /** True when shapes match element-wise. */
+    bool sameShape(const Tensor &o) const;
+
+  private:
+    size_t c_ = 0, h_ = 0, w_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace nn
+} // namespace scdcnn
+
+#endif // SCDCNN_NN_TENSOR_H

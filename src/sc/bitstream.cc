@@ -1,0 +1,225 @@
+#include "sc/bitstream.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace sc {
+
+namespace {
+
+size_t
+wordsFor(size_t length)
+{
+    return (length + 63) / 64;
+}
+
+} // namespace
+
+Bitstream::Bitstream(size_t length)
+    : length_(length), words_(wordsFor(length), 0)
+{
+}
+
+Bitstream
+Bitstream::fromBits(const std::vector<int> &bits)
+{
+    Bitstream s(bits.size());
+    for (size_t i = 0; i < bits.size(); ++i)
+        if (bits[i])
+            s.set(i, true);
+    return s;
+}
+
+Bitstream
+Bitstream::fromString(const std::string &str)
+{
+    Bitstream s(str.size());
+    for (size_t i = 0; i < str.size(); ++i) {
+        if (str[i] == '1')
+            s.set(i, true);
+        else if (str[i] != '0')
+            fatal("Bitstream::fromString: bad character '%c'", str[i]);
+    }
+    return s;
+}
+
+bool
+Bitstream::get(size_t i) const
+{
+    SCDCNN_ASSERT(i < length_, "bit index %zu out of range %zu", i, length_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+Bitstream::set(size_t i, bool v)
+{
+    SCDCNN_ASSERT(i < length_, "bit index %zu out of range %zu", i, length_);
+    uint64_t mask = uint64_t{1} << (i % 64);
+    if (v)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+size_t
+Bitstream::countOnes() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+size_t
+Bitstream::countOnes(size_t begin, size_t end) const
+{
+    SCDCNN_ASSERT(begin <= end && end <= length_,
+                  "bad range [%zu, %zu) for length %zu", begin, end, length_);
+    if (begin == end)
+        return 0;
+
+    size_t first_word = begin / 64;
+    size_t last_word = (end - 1) / 64;
+    size_t n = 0;
+
+    if (first_word == last_word) {
+        uint64_t w = words_[first_word];
+        w >>= begin % 64;
+        size_t span = end - begin;
+        if (span < 64)
+            w &= (uint64_t{1} << span) - 1;
+        return static_cast<size_t>(std::popcount(w));
+    }
+
+    // Head partial word.
+    n += static_cast<size_t>(
+        std::popcount(words_[first_word] >> (begin % 64)));
+    // Full middle words.
+    for (size_t i = first_word + 1; i < last_word; ++i)
+        n += static_cast<size_t>(std::popcount(words_[i]));
+    // Tail partial word.
+    uint64_t w = words_[last_word];
+    size_t tail_bits = ((end - 1) % 64) + 1;
+    if (tail_bits < 64)
+        w &= (uint64_t{1} << tail_bits) - 1;
+    n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+double
+Bitstream::unipolar() const
+{
+    SCDCNN_ASSERT(length_ > 0, "unipolar value of empty stream");
+    return static_cast<double>(countOnes()) / static_cast<double>(length_);
+}
+
+double
+Bitstream::bipolar() const
+{
+    return 2.0 * unipolar() - 1.0;
+}
+
+Bitstream
+Bitstream::slice(size_t begin, size_t len) const
+{
+    SCDCNN_ASSERT(begin + len <= length_,
+                  "slice [%zu, +%zu) out of range %zu", begin, len, length_);
+    Bitstream out(len);
+    size_t shift = begin % 64;
+    size_t base = begin / 64;
+    for (size_t i = 0; i < out.words_.size(); ++i) {
+        uint64_t w = words_[base + i] >> shift;
+        if (shift != 0 && base + i + 1 < words_.size())
+            w |= words_[base + i + 1] << (64 - shift);
+        out.words_[i] = w;
+    }
+    out.maskTail();
+    return out;
+}
+
+std::string
+Bitstream::toString() const
+{
+    std::string s(length_, '0');
+    for (size_t i = 0; i < length_; ++i)
+        if (get(i))
+            s[i] = '1';
+    return s;
+}
+
+void
+Bitstream::checkSameLength(const Bitstream &o) const
+{
+    SCDCNN_ASSERT(length_ == o.length_,
+                  "stream length mismatch: %zu vs %zu", length_, o.length_);
+}
+
+Bitstream
+Bitstream::operator&(const Bitstream &o) const
+{
+    checkSameLength(o);
+    Bitstream out(length_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & o.words_[i];
+    return out;
+}
+
+Bitstream
+Bitstream::operator|(const Bitstream &o) const
+{
+    checkSameLength(o);
+    Bitstream out(length_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] | o.words_[i];
+    return out;
+}
+
+Bitstream
+Bitstream::operator^(const Bitstream &o) const
+{
+    checkSameLength(o);
+    Bitstream out(length_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] ^ o.words_[i];
+    return out;
+}
+
+Bitstream
+Bitstream::xnor(const Bitstream &o) const
+{
+    checkSameLength(o);
+    Bitstream out(length_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = ~(words_[i] ^ o.words_[i]);
+    out.maskTail();
+    return out;
+}
+
+Bitstream
+Bitstream::operator~() const
+{
+    Bitstream out(length_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = ~words_[i];
+    out.maskTail();
+    return out;
+}
+
+bool
+Bitstream::operator==(const Bitstream &o) const
+{
+    return length_ == o.length_ && words_ == o.words_;
+}
+
+void
+Bitstream::maskTail()
+{
+    size_t tail = length_ % 64;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Packed stochastic bit-stream.
+ *
+ * A stochastic number is carried by a stream of L bits; the represented
+ * value is a function of the fraction of ones (Section 3.2 of the paper):
+ *
+ *  - unipolar encoding:  p = ones/L          represents values in [0, 1]
+ *  - bipolar encoding:   x = 2*ones/L - 1    represents values in [-1, 1]
+ *
+ * Streams are packed 64 bits per word so the gate-level operators
+ * (AND/XNOR/OR/...) and population counts run at word speed on the host.
+ * Bit index 0 is the first clock cycle; within a word, cycle i maps to bit
+ * (i % 64) of word (i / 64). Tail bits past the length are kept zero by
+ * every mutator so popcounts never need masking.
+ */
+
+#ifndef SCDCNN_SC_BITSTREAM_H
+#define SCDCNN_SC_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Fixed-length packed bit-stream.
+ */
+class Bitstream
+{
+  public:
+    /** Empty stream (length zero). */
+    Bitstream() = default;
+
+    /** All-zero stream of @p length bits. */
+    explicit Bitstream(size_t length);
+
+    /** Build from explicit bits (each element 0 or 1). */
+    static Bitstream fromBits(const std::vector<int> &bits);
+
+    /** Build from a "0101..." string, cycle 0 first. */
+    static Bitstream fromString(const std::string &s);
+
+    /** Stream length in bits (clock cycles). */
+    size_t length() const { return length_; }
+
+    /** Whether the stream has zero length. */
+    bool empty() const { return length_ == 0; }
+
+    /** Read the bit at cycle @p i. */
+    bool get(size_t i) const;
+
+    /** Set the bit at cycle @p i. */
+    void set(size_t i, bool v);
+
+    /** Number of ones in the whole stream. */
+    size_t countOnes() const;
+
+    /** Number of ones in cycles [begin, end). */
+    size_t countOnes(size_t begin, size_t end) const;
+
+    /** Fraction of ones, i.e. the unipolar value. */
+    double unipolar() const;
+
+    /** Bipolar value 2*ones/L - 1. */
+    double bipolar() const;
+
+    /** Extract cycles [begin, begin+len) as a new stream. */
+    Bitstream slice(size_t begin, size_t len) const;
+
+    /** Render as a "0101..." string (cycle 0 first). */
+    std::string toString() const;
+
+    /** Bitwise AND (unipolar multiplication). Lengths must match. */
+    Bitstream operator&(const Bitstream &o) const;
+
+    /** Bitwise OR (OR-gate addition). Lengths must match. */
+    Bitstream operator|(const Bitstream &o) const;
+
+    /** Bitwise XOR. Lengths must match. */
+    Bitstream operator^(const Bitstream &o) const;
+
+    /** Bitwise XNOR (bipolar multiplication). Lengths must match. */
+    Bitstream xnor(const Bitstream &o) const;
+
+    /** Bitwise NOT (bipolar negation). */
+    Bitstream operator~() const;
+
+    bool operator==(const Bitstream &o) const;
+    bool operator!=(const Bitstream &o) const { return !(*this == o); }
+
+    /** Underlying words (read-only), tail bits guaranteed zero. */
+    const std::vector<uint64_t> &words() const { return words_; }
+
+    /** Mutable word access for bulk generators; caller must keep the
+     *  invariant that tail bits stay zero (call maskTail() after). */
+    std::vector<uint64_t> &mutableWords() { return words_; }
+
+    /** Zero any bits at positions >= length. */
+    void maskTail();
+
+    /** Number of 64-bit words backing the stream. */
+    size_t wordCount() const { return words_.size(); }
+
+  private:
+    void checkSameLength(const Bitstream &o) const;
+
+    size_t length_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_BITSTREAM_H

@@ -1,0 +1,86 @@
+#include "sc/btanh.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace sc {
+
+unsigned
+nearestEvenState(double value)
+{
+    auto k = static_cast<long>(std::llround(value / 2.0)) * 2;
+    if (k < 2)
+        k = 2;
+    return static_cast<unsigned>(k);
+}
+
+Btanh::Btanh(unsigned k, unsigned n_inputs) : k_(k), n_inputs_(n_inputs)
+{
+    if (k_ < 2)
+        fatal("Btanh needs at least 2 states, got %u", k_);
+    state_ = static_cast<int>(k_ / 2);
+}
+
+bool
+Btanh::applyDelta(int delta)
+{
+    state_ += delta;
+    if (state_ < 0)
+        state_ = 0;
+    if (state_ > static_cast<int>(k_) - 1)
+        state_ = static_cast<int>(k_) - 1;
+    return state_ >= static_cast<int>(k_ / 2);
+}
+
+bool
+Btanh::step(int count)
+{
+    return applyDelta(2 * count - static_cast<int>(n_inputs_));
+}
+
+Bitstream
+Btanh::transform(const std::vector<uint16_t> &counts)
+{
+    Bitstream out(counts.size());
+    auto &words = out.mutableWords();
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (step(static_cast<int>(counts[i])))
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return out;
+}
+
+Bitstream
+Btanh::transformSigned(const std::vector<int> &steps)
+{
+    Bitstream out(steps.size());
+    auto &words = out.mutableWords();
+    for (size_t i = 0; i < steps.size(); ++i) {
+        if (applyDelta(steps[i]))
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return out;
+}
+
+void
+Btanh::reset()
+{
+    state_ = static_cast<int>(k_ / 2);
+}
+
+unsigned
+Btanh::stateCountAvgPool(unsigned n_inputs)
+{
+    return nearestEvenState(static_cast<double>(n_inputs) / 2.0);
+}
+
+unsigned
+Btanh::stateCountDirect(unsigned n_inputs)
+{
+    return nearestEvenState(2.0 * static_cast<double>(n_inputs));
+}
+
+} // namespace sc
+} // namespace scdcnn

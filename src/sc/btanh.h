@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Btanh: the binary-input tanh unit for APC-based blocks (Section 4.3).
+ *
+ * Where Stanh consumes a single stochastic bit per cycle, Btanh consumes
+ * the binary column count v in [0, n] produced by an (approximate)
+ * parallel counter and converts it back to a stochastic output stream
+ * using a saturated up/down counter (Kim et al., DAC'16): each cycle the
+ * counter moves by the signed bipolar sum 2v - n and the output is 1
+ * while the counter sits in its upper half.
+ *
+ * State-count selection:
+ *  - directly attached to an APC (no pooling, or max pooling which
+ *    selects one APC's output): K ~= 2N — the original DAC'16 sizing,
+ *    which makes the unit compute tanh(s) for the non-scaled inner
+ *    product s (diffusion argument: drift s, variance ~N per cycle);
+ *  - behind a 4-way binary average pooling stage the per-cycle variance
+ *    drops 4x, giving the paper's re-formulated Eq. (3): K ~= N/2.
+ */
+
+#ifndef SCDCNN_SC_BTANH_H
+#define SCDCNN_SC_BTANH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/bitstream.h"
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Saturated up/down counter tanh for binary (APC) inputs.
+ */
+class Btanh
+{
+  public:
+    /**
+     * @param k        number of counter states (even, >= 2)
+     * @param n_inputs the APC input count n, so a column count v maps to
+     *                 the signed step 2v - n
+     */
+    Btanh(unsigned k, unsigned n_inputs);
+
+    /** Consume one binary count, emit one output bit. */
+    bool step(int count);
+
+    /** Apply a raw signed counter delta (already 2v - n), emit a bit. */
+    bool applyDelta(int delta);
+
+    /** Transform a whole count sequence into an output stream. */
+    Bitstream transform(const std::vector<uint16_t> &counts);
+
+    /** Transform counts that were already converted to signed steps. */
+    Bitstream transformSigned(const std::vector<int> &steps);
+
+    /** Reset the counter to its midpoint. */
+    void reset();
+
+    /** State count K. */
+    unsigned k() const { return k_; }
+
+    /** Eq. (3): state count for APC-Avg-Btanh, nearest even of N/2. */
+    static unsigned stateCountAvgPool(unsigned n_inputs);
+
+    /** Original DAC'16 sizing for a directly-attached APC: nearest even
+     *  of 2N (also used after binary max pooling). */
+    static unsigned stateCountDirect(unsigned n_inputs);
+
+  private:
+    unsigned k_;
+    unsigned n_inputs_;
+    int state_;
+};
+
+/** Round to the nearest even integer, minimum 2 (used by all the
+ *  empirical state-count equations). */
+unsigned nearestEvenState(double value);
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_BTANH_H

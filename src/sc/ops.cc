@@ -1,0 +1,91 @@
+#include "sc/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace sc {
+
+Bitstream
+andMultiply(const Bitstream &a, const Bitstream &b)
+{
+    return a & b;
+}
+
+Bitstream
+xnorMultiply(const Bitstream &a, const Bitstream &b)
+{
+    return a.xnor(b);
+}
+
+Bitstream
+orAdd(const std::vector<Bitstream> &inputs)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "orAdd with no inputs");
+    Bitstream out = inputs[0];
+    for (size_t i = 1; i < inputs.size(); ++i)
+        out = out | inputs[i];
+    return out;
+}
+
+Bitstream
+muxAdd(const std::vector<Bitstream> &inputs, Xoshiro256ss &rng)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "muxAdd with no inputs");
+    const size_t n = inputs.size();
+    const size_t len = inputs[0].length();
+    Bitstream out(len);
+    auto &words = out.mutableWords();
+    for (size_t i = 0; i < len; ++i) {
+        size_t sel = static_cast<size_t>(rng.nextBelow(n));
+        if (inputs[sel].get(i))
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return out;
+}
+
+Bitstream
+muxAddWithSelects(const std::vector<Bitstream> &inputs,
+                  const std::vector<uint32_t> &selects)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "muxAddWithSelects with no inputs");
+    const size_t len = inputs[0].length();
+    SCDCNN_ASSERT(selects.size() == len,
+                  "select count %zu != stream length %zu",
+                  selects.size(), len);
+    Bitstream out(len);
+    auto &words = out.mutableWords();
+    for (size_t i = 0; i < len; ++i) {
+        uint32_t sel = selects[i];
+        SCDCNN_ASSERT(sel < inputs.size(), "select %u out of range", sel);
+        if (inputs[sel].get(i))
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return out;
+}
+
+double
+scc(const Bitstream &a, const Bitstream &b)
+{
+    SCDCNN_ASSERT(a.length() == b.length() && a.length() > 0,
+                  "scc needs equal nonzero lengths");
+    const double len = static_cast<double>(a.length());
+    const double p1 = a.unipolar();
+    const double p2 = b.unipolar();
+    const double p11 = static_cast<double>((a & b).countOnes()) / len;
+    const double delta = p11 - p1 * p2;
+
+    if (std::abs(delta) < 1e-12)
+        return 0.0;
+    if (delta > 0) {
+        double denom = std::min(p1, p2) - p1 * p2;
+        return denom <= 0 ? 0.0 : delta / denom;
+    }
+    double denom = p1 * p2 - std::max(p1 + p2 - 1.0, 0.0);
+    return denom <= 0 ? 0.0 : delta / denom;
+}
+
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,98 @@
+#include "sc/sng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace sc {
+
+Bitstream
+constantStream(bool v, size_t length)
+{
+    Bitstream s(length);
+    if (v) {
+        for (auto &w : s.mutableWords())
+            w = ~uint64_t{0};
+        s.maskTail();
+    }
+    return s;
+}
+
+Bitstream
+sngUnipolar(double p, size_t length, Lfsr &lfsr)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    // LFSR states are uniform over [1, period]; emit 1 iff state <= T.
+    const uint64_t period = lfsr.period();
+    const auto threshold =
+        static_cast<uint64_t>(std::llround(p * static_cast<double>(period)));
+    Bitstream s(length);
+    auto &words = s.mutableWords();
+    for (size_t i = 0; i < length; ++i) {
+        if (lfsr.next() <= threshold && threshold > 0)
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return s;
+}
+
+Bitstream
+sngBipolar(double x, size_t length, Lfsr &lfsr)
+{
+    return sngUnipolar((x + 1.0) / 2.0, length, lfsr);
+}
+
+Bitstream
+sngUnipolar(double p, size_t length, Xoshiro256ss &rng)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    // Compare 16-bit lanes of each 64-bit draw against a 16-bit
+    // threshold: 4 stream bits per generator call. The 1/65536 value
+    // quantization is far below stochastic noise at practical lengths.
+    const auto threshold =
+        static_cast<uint32_t>(std::llround(p * 65536.0));
+    Bitstream s(length);
+    auto &words = s.mutableWords();
+    size_t bit = 0;
+    while (bit < length) {
+        uint64_t draw = rng.next();
+        for (int lane = 0; lane < 4 && bit < length; ++lane, ++bit) {
+            uint32_t r = static_cast<uint32_t>(draw >> (16 * lane)) & 0xFFFF;
+            if (r < threshold)
+                words[bit / 64] |= uint64_t{1} << (bit % 64);
+        }
+    }
+    return s;
+}
+
+Bitstream
+sngBipolar(double x, size_t length, Xoshiro256ss &rng)
+{
+    return sngUnipolar((x + 1.0) / 2.0, length, rng);
+}
+
+SngBank::SngBank(uint64_t master_seed) : seeder_(master_seed) {}
+
+Bitstream
+SngBank::bipolar(double x, size_t length)
+{
+    Xoshiro256ss rng(seeder_.next());
+    return sngBipolar(x, length, rng);
+}
+
+Bitstream
+SngBank::unipolar(double p, size_t length)
+{
+    Xoshiro256ss rng(seeder_.next());
+    return sngUnipolar(p, length, rng);
+}
+
+Xoshiro256ss
+SngBank::makeRng()
+{
+    return Xoshiro256ss(seeder_.next());
+}
+
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stochastic number generators (SNGs).
+ *
+ * An SNG is a comparator between a random number source and a threshold
+ * register: cycle i emits 1 iff rng_i < T. With T proportional to the
+ * encoded probability the stream's expected fraction of ones equals that
+ * probability. Two source flavours are provided:
+ *
+ *  - Lfsr-driven: models the hardware SNG (Kim et al., ASP-DAC'16 RNG);
+ *  - Xoshiro-driven: fast host-side source for Monte-Carlo experiments.
+ *
+ * Values outside the encodable range are saturated, mirroring the
+ * pre-scaling requirement discussed in Section 3.2 of the paper.
+ */
+
+#ifndef SCDCNN_SC_SNG_H
+#define SCDCNN_SC_SNG_H
+
+#include <cstdint>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace sc {
+
+/** Stream of @p length copies of bit @p v (bipolar +1 / -1). */
+Bitstream constantStream(bool v, size_t length);
+
+/** Unipolar stream for p in [0,1] (saturated) from an LFSR SNG. */
+Bitstream sngUnipolar(double p, size_t length, Lfsr &lfsr);
+
+/** Bipolar stream for x in [-1,1] (saturated) from an LFSR SNG. */
+Bitstream sngBipolar(double x, size_t length, Lfsr &lfsr);
+
+/** Unipolar stream from a Xoshiro-driven SNG (Monte-Carlo harnesses). */
+Bitstream sngUnipolar(double p, size_t length, Xoshiro256ss &rng);
+
+/** Bipolar stream from a Xoshiro-driven SNG (Monte-Carlo harnesses). */
+Bitstream sngBipolar(double x, size_t length, Xoshiro256ss &rng);
+
+/**
+ * A bank of independent SNGs.
+ *
+ * Hardware shares physical RNGs between SNGs via phase shifting; for
+ * simulation purposes what matters is that distinct operands receive
+ * streams that are statistically independent of each other. The bank
+ * derives one fresh generator per request from a master seed, so a given
+ * bank instance reproduces the same stream sequence run after run.
+ */
+class SngBank
+{
+  public:
+    explicit SngBank(uint64_t master_seed);
+
+    /** Next independent bipolar stream for x in [-1,1]. */
+    Bitstream bipolar(double x, size_t length);
+
+    /** Next independent unipolar stream for p in [0,1]. */
+    Bitstream unipolar(double p, size_t length);
+
+    /** A fresh independent generator (for MUX select lines etc.). */
+    Xoshiro256ss makeRng();
+
+  private:
+    SplitMix64 seeder_;
+};
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_SNG_H

@@ -1,0 +1,62 @@
+#include "sc/stanh.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace sc {
+
+Stanh::Stanh(unsigned k, int threshold) : k_(k)
+{
+    if (k_ < 2)
+        fatal("Stanh needs at least 2 states, got %u", k_);
+    threshold_ = threshold < 0 ? k_ / 2 : static_cast<unsigned>(threshold);
+    SCDCNN_ASSERT(threshold_ < k_, "Stanh threshold %u >= K %u",
+                  threshold_, k_);
+    state_ = k_ / 2;
+    if (state_ == k_)
+        state_ = k_ - 1;
+}
+
+bool
+Stanh::step(bool bit)
+{
+    if (bit) {
+        if (state_ + 1 < k_)
+            ++state_;
+    } else {
+        if (state_ > 0)
+            --state_;
+    }
+    return state_ >= threshold_;
+}
+
+Bitstream
+Stanh::transform(const Bitstream &in)
+{
+    Bitstream out(in.length());
+    auto &words = out.mutableWords();
+    for (size_t i = 0; i < in.length(); ++i) {
+        if (step(in.get(i)))
+            words[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    return out;
+}
+
+void
+Stanh::reset()
+{
+    state_ = k_ / 2;
+    if (state_ == k_)
+        state_ = k_ - 1;
+}
+
+double
+Stanh::reference(unsigned k, double x)
+{
+    return std::tanh(static_cast<double>(k) / 2.0 * x);
+}
+
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stanh: the K-state FSM hyperbolic tangent (Brown & Card; Figure 6).
+ *
+ * The FSM walks up on input 1 and down on input 0, saturating at the
+ * ends; the output is 1 while the state sits in the upper part of the
+ * chain. For a bipolar input stream carrying x,
+ *
+ *     Stanh(K, x) ~= tanh(K/2 * x).
+ *
+ * Two output thresholds are supported:
+ *  - K/2 (the classic design, Figure 6);
+ *  - K/5 (the re-designed FSM of Figure 11 used by MUX-Max-Stanh, which
+ *    compensates the systematic under-counting of the hardware-oriented
+ *    max pooling block).
+ */
+
+#ifndef SCDCNN_SC_STANH_H
+#define SCDCNN_SC_STANH_H
+
+#include <cstddef>
+
+#include "sc/bitstream.h"
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Streaming K-state FSM tanh unit.
+ */
+class Stanh
+{
+  public:
+    /**
+     * @param k          number of FSM states (>= 2, even per the paper)
+     * @param threshold  first state index that outputs 1; defaults to k/2
+     */
+    explicit Stanh(unsigned k, int threshold = -1);
+
+    /** Consume one input bit, produce one output bit. */
+    bool step(bool bit);
+
+    /** Transform a whole stream (state threads across cycles). */
+    Bitstream transform(const Bitstream &in);
+
+    /** Reset the FSM to the midpoint state. */
+    void reset();
+
+    /** State count K. */
+    unsigned k() const { return k_; }
+
+    /** Output threshold state. */
+    unsigned threshold() const { return threshold_; }
+
+    /** The function the FSM approximates: tanh(K/2 * x). */
+    static double reference(unsigned k, double x);
+
+  private:
+    unsigned k_;
+    unsigned threshold_;
+    unsigned state_;
+};
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_STANH_H

@@ -1,0 +1,106 @@
+#include "sc/two_line.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace sc {
+
+int
+TwoLineStream::digit(size_t i) const
+{
+    if (!mag.get(i))
+        return 0;
+    return sign.get(i) ? -1 : 1;
+}
+
+double
+TwoLineStream::value() const
+{
+    SCDCNN_ASSERT(mag.length() == sign.length() && mag.length() > 0,
+                  "malformed two-line stream");
+    // sum of digits = (+1 digits) - (-1 digits)
+    const auto minus = static_cast<int64_t>((mag & sign).countOnes());
+    const auto total = static_cast<int64_t>(mag.countOnes());
+    const int64_t plus = total - minus;
+    return static_cast<double>(plus - minus) /
+           static_cast<double>(mag.length());
+}
+
+TwoLineStream
+encodeTwoLine(double x, size_t length, Xoshiro256ss &rng)
+{
+    if (x > 1.0)
+        x = 1.0;
+    if (x < -1.0)
+        x = -1.0;
+    TwoLineStream out;
+    out.mag = sngUnipolar(std::abs(x), length, rng);
+    out.sign = constantStream(x < 0.0, length);
+    return out;
+}
+
+TwoLineStream
+twoLineMultiply(const TwoLineStream &a, const TwoLineStream &b)
+{
+    TwoLineStream out;
+    out.mag = a.mag & b.mag;
+    out.sign = (a.sign ^ b.sign) & out.mag;
+    return out;
+}
+
+TwoLineStream
+TwoLineAdder::add(const TwoLineStream &a, const TwoLineStream &b)
+{
+    const size_t len = a.length();
+    SCDCNN_ASSERT(b.length() == len, "two-line adder length mismatch");
+
+    TwoLineStream out;
+    out.mag = Bitstream(len);
+    out.sign = Bitstream(len);
+    for (size_t i = 0; i < len; ++i) {
+        int total = a.digit(i) + b.digit(i) + carry_;
+        int digit = total > 0 ? 1 : (total < 0 ? -1 : 0);
+        int residual = total - digit;
+        // The hardware carry is a three-state counter; anything beyond
+        // +/-1 cannot be stored and is dropped (overflow).
+        int carry = residual > 1 ? 1 : (residual < -1 ? -1 : residual);
+        dropped_ += static_cast<uint64_t>(std::abs(residual - carry));
+        carry_ = carry;
+        if (digit != 0) {
+            out.mag.set(i, true);
+            out.sign.set(i, digit < 0);
+        }
+    }
+    return out;
+}
+
+TwoLineStream
+twoLineAddTree(const std::vector<TwoLineStream> &inputs,
+               uint64_t *dropped_out)
+{
+    SCDCNN_ASSERT(!inputs.empty(), "two-line add tree with no inputs");
+    std::vector<TwoLineStream> level = inputs;
+    uint64_t dropped = 0;
+    while (level.size() > 1) {
+        std::vector<TwoLineStream> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            TwoLineAdder adder;
+            next.push_back(adder.add(level[i], level[i + 1]));
+            dropped += adder.droppedWeight();
+        }
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    if (dropped_out != nullptr)
+        *dropped_out = dropped;
+    return level[0];
+}
+
+} // namespace sc
+} // namespace scdcnn

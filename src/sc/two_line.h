@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-line stochastic number representation (Toral et al., Figure 5(d)).
+ *
+ * A number is carried by a magnitude stream M and a sign stream S (1 =
+ * negative). The represented value is
+ *
+ *     x = (1/L) * sum_i (1 - 2*S_i) * M_i,
+ *
+ * i.e. each cycle contributes a ternary digit in {-1, 0, +1}. The
+ * associated adder is non-scaling: it emits the digit-wise sum with a
+ * three-state (-1/0/+1) carry counter. Because a stream cannot encode
+ * magnitudes beyond [-1, 1], multi-operand sums overflow the carry and
+ * saturate — exactly the limitation Section 4.1 identifies for the
+ * two-line inner product block. The adder records how much weight was
+ * dropped so experiments can report it.
+ */
+
+#ifndef SCDCNN_SC_TWO_LINE_H
+#define SCDCNN_SC_TWO_LINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Sign/magnitude stream pair.
+ */
+struct TwoLineStream
+{
+    Bitstream sign; //!< 1 = negative contribution
+    Bitstream mag;  //!< 1 = a +/-1 digit this cycle, 0 = zero digit
+
+    /** Ternary digit at cycle i, in {-1, 0, +1}. */
+    int digit(size_t i) const;
+
+    /** Represented value, in [-1, 1]. */
+    double value() const;
+
+    /** Stream length. */
+    size_t length() const { return mag.length(); }
+};
+
+/** Encode x in [-1,1] (saturated): magnitude |x| unipolar, constant sign. */
+TwoLineStream encodeTwoLine(double x, size_t length, Xoshiro256ss &rng);
+
+/** Bipolar product of two two-line numbers: sign XOR, magnitude AND. */
+TwoLineStream twoLineMultiply(const TwoLineStream &a, const TwoLineStream &b);
+
+/**
+ * The two-line serial adder.
+ *
+ * Holds the three-state carry counter; addition is streaming so the
+ * carry threads through the whole stream, and saturation (overflow) is
+ * accumulated in droppedWeight().
+ */
+class TwoLineAdder
+{
+  public:
+    TwoLineAdder() = default;
+
+    /** Digit-wise a + b with carry; result is a two-line stream. */
+    TwoLineStream add(const TwoLineStream &a, const TwoLineStream &b);
+
+    /** Total absolute weight lost to carry saturation so far. */
+    uint64_t droppedWeight() const { return dropped_; }
+
+  private:
+    int carry_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * Sum many two-line streams with a balanced tree of two-line adders,
+ * as an inner-product block would. Returns the root stream; dropped
+ * overflow weight across all adders is reported via @p dropped_out when
+ * non-null.
+ */
+TwoLineStream twoLineAddTree(const std::vector<TwoLineStream> &inputs,
+                             uint64_t *dropped_out = nullptr);
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_TWO_LINE_H

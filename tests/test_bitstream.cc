@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the packed bit-stream container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+TEST(Bitstream, DefaultIsEmpty)
+{
+    Bitstream s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.length(), 0u);
+    EXPECT_EQ(s.countOnes(), 0u);
+}
+
+TEST(Bitstream, ConstructedZeroed)
+{
+    Bitstream s(130);
+    EXPECT_EQ(s.length(), 130u);
+    EXPECT_EQ(s.wordCount(), 3u);
+    EXPECT_EQ(s.countOnes(), 0u);
+    for (size_t i = 0; i < 130; ++i)
+        EXPECT_FALSE(s.get(i));
+}
+
+TEST(Bitstream, SetAndGetRoundTrip)
+{
+    Bitstream s(100);
+    s.set(0, true);
+    s.set(63, true);
+    s.set(64, true);
+    s.set(99, true);
+    EXPECT_TRUE(s.get(0));
+    EXPECT_TRUE(s.get(63));
+    EXPECT_TRUE(s.get(64));
+    EXPECT_TRUE(s.get(99));
+    EXPECT_FALSE(s.get(1));
+    EXPECT_EQ(s.countOnes(), 4u);
+    s.set(63, false);
+    EXPECT_FALSE(s.get(63));
+    EXPECT_EQ(s.countOnes(), 3u);
+}
+
+TEST(Bitstream, FromBitsAndString)
+{
+    Bitstream a = Bitstream::fromBits({0, 1, 0, 0, 1, 1});
+    Bitstream b = Bitstream::fromString("010011");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toString(), "010011");
+    EXPECT_EQ(a.countOnes(), 3u);
+}
+
+TEST(Bitstream, PaperUnipolarExample)
+{
+    // Section 3.2: 0100110100 has four ones in ten bits -> 0.4.
+    Bitstream s = Bitstream::fromString("0100110100");
+    EXPECT_DOUBLE_EQ(s.unipolar(), 0.4);
+}
+
+TEST(Bitstream, PaperBipolarExample)
+{
+    // Section 3.2: 1011011101 has P(X=1) = 7/10, so x = 0.4 bipolar.
+    Bitstream s = Bitstream::fromString("1011011101");
+    EXPECT_NEAR(s.bipolar(), 0.4, 1e-12);
+}
+
+TEST(Bitstream, CountRangeMatchesNaive)
+{
+    SplitMix64 rng(7);
+    Bitstream s(300);
+    for (size_t i = 0; i < 300; ++i)
+        s.set(i, rng.next() & 1);
+
+    for (auto [lo, hi] : {std::pair<size_t, size_t>{0, 300},
+                          {0, 0},
+                          {5, 5},
+                          {0, 64},
+                          {64, 128},
+                          {3, 61},
+                          {60, 70},
+                          {1, 299},
+                          {128, 300},
+                          {299, 300}}) {
+        size_t naive = 0;
+        for (size_t i = lo; i < hi; ++i)
+            naive += s.get(i);
+        EXPECT_EQ(s.countOnes(lo, hi), naive) << lo << ".." << hi;
+    }
+}
+
+TEST(Bitstream, SliceMatchesBitByBit)
+{
+    SplitMix64 rng(11);
+    Bitstream s(257);
+    for (size_t i = 0; i < 257; ++i)
+        s.set(i, rng.next() & 1);
+
+    for (auto [lo, len] : {std::pair<size_t, size_t>{0, 257},
+                           {0, 64},
+                           {1, 64},
+                           {63, 130},
+                           {64, 64},
+                           {100, 0},
+                           {250, 7}}) {
+        Bitstream sub = s.slice(lo, len);
+        ASSERT_EQ(sub.length(), len);
+        for (size_t i = 0; i < len; ++i)
+            EXPECT_EQ(sub.get(i), s.get(lo + i)) << lo << "+" << i;
+        EXPECT_EQ(sub.countOnes(), s.countOnes(lo, lo + len));
+    }
+}
+
+TEST(Bitstream, LogicOpsMatchTruthTables)
+{
+    Bitstream a = Bitstream::fromString("0011");
+    Bitstream b = Bitstream::fromString("0101");
+    EXPECT_EQ((a & b).toString(), "0001");
+    EXPECT_EQ((a | b).toString(), "0111");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ(a.xnor(b).toString(), "1001");
+    EXPECT_EQ((~a).toString(), "1100");
+}
+
+TEST(Bitstream, NotMaskedAtTail)
+{
+    // NOT of 70 zero bits must produce exactly 70 ones, not 128.
+    Bitstream s(70);
+    Bitstream inv = ~s;
+    EXPECT_EQ(inv.countOnes(), 70u);
+    EXPECT_EQ(inv.length(), 70u);
+}
+
+TEST(Bitstream, XnorMaskedAtTail)
+{
+    Bitstream a(70);
+    Bitstream b(70);
+    // XNOR(0,0) = 1 everywhere; tail must stay clear.
+    Bitstream z = a.xnor(b);
+    EXPECT_EQ(z.countOnes(), 70u);
+}
+
+TEST(Bitstream, BipolarNegationViaNot)
+{
+    // In bipolar encoding, NOT negates the value: P -> 1-P, x -> -x.
+    Bitstream s = Bitstream::fromString("1101");
+    EXPECT_NEAR((~s).bipolar(), -s.bipolar(), 1e-12);
+}
+
+TEST(Bitstream, EqualityIncludesLength)
+{
+    Bitstream a(10);
+    Bitstream b(11);
+    EXPECT_NE(a, b);
+    Bitstream c(10);
+    EXPECT_EQ(a, c);
+    c.set(3, true);
+    EXPECT_NE(a, c);
+}
+
+TEST(Bitstream, ConstantStreamsAtBipolarExtremes)
+{
+    Bitstream ones(64);
+    for (auto &w : ones.mutableWords())
+        w = ~uint64_t{0};
+    ones.maskTail();
+    EXPECT_DOUBLE_EQ(ones.bipolar(), 1.0);
+    Bitstream zeros(64);
+    EXPECT_DOUBLE_EQ(zeros.bipolar(), -1.0);
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

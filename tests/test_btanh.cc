@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the Btanh binary-input tanh unit (Section 4.3).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/btanh.h"
+#include "sc/counter.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+/**
+ * Build n product streams whose non-scaled inner-product sum is s (each
+ * line carries s/n bipolar), count columns exactly, run Btanh.
+ */
+double
+btanhOfSum(unsigned n, double s, unsigned k, size_t len, uint64_t seed)
+{
+    SngBank bank(seed);
+    std::vector<Bitstream> lines;
+    lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        lines.push_back(bank.bipolar(s / n, len));
+    auto counts = ParallelCounter::counts(lines);
+    Btanh unit(k, n);
+    return unit.transform(counts).bipolar();
+}
+
+TEST(Btanh, RejectsDegenerateStateCount)
+{
+    EXPECT_EQ(Btanh(2, 4).k(), 2u);
+}
+
+TEST(Btanh, SaturatesHighForLargePositiveSum)
+{
+    EXPECT_GT(btanhOfSum(16, 8.0, Btanh::stateCountDirect(16), 4096, 1),
+              0.95);
+}
+
+TEST(Btanh, SaturatesLowForLargeNegativeSum)
+{
+    EXPECT_LT(btanhOfSum(16, -8.0, Btanh::stateCountDirect(16), 4096, 2),
+              -0.95);
+}
+
+TEST(Btanh, ZeroSumGivesNearZero)
+{
+    EXPECT_NEAR(btanhOfSum(16, 0.0, Btanh::stateCountDirect(16),
+                           1 << 15, 3),
+                0.0, 0.1);
+}
+
+/**
+ * With the original (direct) sizing K ~= 2N, Btanh approximates
+ * tanh(s) for the non-scaled inner-product sum s.
+ */
+class BtanhDirect : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BtanhDirect, ApproximatesTanhOfSum)
+{
+    const double s = GetParam();
+    const unsigned n = 32;
+    double got = btanhOfSum(n, s, Btanh::stateCountDirect(n), 1 << 15, 7);
+    EXPECT_NEAR(got, std::tanh(s), 0.13) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sums, BtanhDirect,
+                         ::testing::Values(-2.0, -1.0, -0.5, 0.0, 0.5, 1.0,
+                                           2.0));
+
+TEST(Btanh, MonotonicInSum)
+{
+    const unsigned n = 16;
+    double prev = -2;
+    for (double s = -3.0; s <= 3.01; s += 0.75) {
+        double v = btanhOfSum(n, s, Btanh::stateCountDirect(n),
+                              1 << 14, 11);
+        EXPECT_GE(v, prev - 0.05) << "s=" << s;
+        prev = v;
+    }
+}
+
+TEST(Btanh, OddSymmetry)
+{
+    const unsigned n = 16;
+    for (double s : {0.5, 1.0, 2.0}) {
+        double pos = btanhOfSum(n, s, Btanh::stateCountDirect(n),
+                                1 << 14, 13);
+        double neg = btanhOfSum(n, -s, Btanh::stateCountDirect(n),
+                                1 << 14, 14);
+        EXPECT_NEAR(pos, -neg, 0.1) << "s=" << s;
+    }
+}
+
+TEST(Btanh, StateCountEquations)
+{
+    // Eq. (3): nearest even of N/2.
+    EXPECT_EQ(Btanh::stateCountAvgPool(16), 8u);
+    EXPECT_EQ(Btanh::stateCountAvgPool(25), 12u);
+    EXPECT_EQ(Btanh::stateCountAvgPool(64), 32u);
+    EXPECT_EQ(Btanh::stateCountAvgPool(2), 2u);
+    // Direct sizing: nearest even of 2N.
+    EXPECT_EQ(Btanh::stateCountDirect(16), 32u);
+    EXPECT_EQ(Btanh::stateCountDirect(25), 50u);
+}
+
+TEST(NearestEvenState, RoundsToEvenWithFloorOfTwo)
+{
+    EXPECT_EQ(nearestEvenState(7.9), 8u);
+    EXPECT_EQ(nearestEvenState(8.0), 8u);
+    EXPECT_EQ(nearestEvenState(9.1), 10u);
+    EXPECT_EQ(nearestEvenState(0.3), 2u);
+    EXPECT_EQ(nearestEvenState(-4.0), 2u);
+}
+
+TEST(Btanh, TransformSignedMatchesStepSequence)
+{
+    Btanh a(8, 4);
+    Btanh b(8, 4);
+    std::vector<uint16_t> counts = {4, 4, 3, 1, 0, 2, 4, 4, 4};
+    std::vector<int> steps;
+    for (auto c : counts)
+        steps.push_back(2 * c - 4);
+    EXPECT_EQ(a.transform(counts), b.transformSigned(steps));
+}
+
+TEST(Btanh, ResetRestoresMidpoint)
+{
+    Btanh unit(16, 4);
+    for (int i = 0; i < 50; ++i)
+        unit.step(4); // drive to the top
+    unit.reset();
+    // One neutral step from the midpoint must output 1 (state == K/2).
+    EXPECT_TRUE(unit.step(2));
+    // A strong negative step pulls below the threshold immediately.
+    EXPECT_FALSE(unit.step(0));
+}
+
+TEST(Btanh, ApproxCountsCloseToExactCounts)
+{
+    // End-to-end: Btanh over APC counts is close to Btanh over exact
+    // counts (the APC's bounded LSB error barely moves the output).
+    const unsigned n = 32;
+    SngBank bank(77);
+    std::vector<Bitstream> lines;
+    for (unsigned i = 0; i < n; ++i)
+        lines.push_back(bank.bipolar(0.02, 1 << 14));
+    auto exact = ParallelCounter::counts(lines);
+    auto approx = ApproxParallelCounter::counts(lines);
+    Btanh u1(Btanh::stateCountDirect(n), n);
+    Btanh u2(Btanh::stateCountDirect(n), n);
+    double v1 = u1.transform(exact).bipolar();
+    double v2 = u2.transform(approx).bipolar();
+    EXPECT_NEAR(v1, v2, 0.08);
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the shared infrastructure: thread pool and table printer.
+ */
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace scdcnn {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ParallelFor, CoversExactRange)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(0, hits.size(),
+                [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    bool touched = false;
+    parallelFor(5, 5, [&touched](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline)
+{
+    std::vector<int> hits(3, 0);
+    parallelFor(0, 3, [&hits](size_t i) { hits[i] += 1; });
+    EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsTitle)
+{
+    TextTable t("Table X");
+    t.header({"a", "bbbb"});
+    t.row({"xx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Table X"), std::string::npos);
+    EXPECT_NE(out.find("a  | bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xx | y"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, SeparatorRowsRender)
+{
+    TextTable t;
+    t.header({"h"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    std::ostringstream os;
+    t.print(os);
+    // Header rule + separator + trailing rule + top rule = 4 dashes rows.
+    std::string out = os.str();
+    size_t dashes = 0;
+    size_t pos = 0;
+    while ((pos = out.find("---", pos)) != std::string::npos) {
+        ++dashes;
+        pos = out.find('\n', pos);
+    }
+    EXPECT_EQ(dashes, 4u);
+}
+
+} // namespace
+} // namespace scdcnn

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the exact and approximate parallel counters (Section 4.1).
+ */
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/counter.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+std::vector<Bitstream>
+randomStreams(size_t n, size_t len, uint64_t seed)
+{
+    SngBank bank(seed);
+    SplitMix64 vals(seed ^ 0xABCD);
+    std::vector<Bitstream> streams;
+    streams.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        streams.push_back(bank.unipolar(vals.nextDouble(), len));
+    return streams;
+}
+
+TEST(ParallelCounter, MatchesNaivePerCycleCount)
+{
+    auto streams = randomStreams(9, 200, 1);
+    auto counts = ParallelCounter::counts(streams);
+    ASSERT_EQ(counts.size(), 200u);
+    for (size_t i = 0; i < 200; ++i) {
+        uint16_t naive = 0;
+        for (const auto &s : streams)
+            naive += s.get(i);
+        EXPECT_EQ(counts[i], naive) << "cycle " << i;
+    }
+}
+
+TEST(ParallelCounter, SingleStreamCountsItself)
+{
+    auto streams = randomStreams(1, 130, 2);
+    auto counts = ParallelCounter::counts(streams);
+    for (size_t i = 0; i < 130; ++i)
+        EXPECT_EQ(counts[i], streams[0].get(i) ? 1 : 0);
+}
+
+TEST(ParallelCounter, AllOnesCountsN)
+{
+    std::vector<Bitstream> streams(17, constantStream(true, 70));
+    auto counts = ParallelCounter::counts(streams);
+    for (uint16_t c : counts)
+        EXPECT_EQ(c, 17);
+}
+
+TEST(ParallelCounter, SumOfCountsEqualsTotalOnes)
+{
+    auto streams = randomStreams(33, 500, 3);
+    auto counts = ParallelCounter::counts(streams);
+    uint64_t sum = std::accumulate(counts.begin(), counts.end(),
+                                   uint64_t{0});
+    EXPECT_EQ(sum, ParallelCounter::totalOnes(streams));
+}
+
+TEST(ParallelCounter, HandlesManyStreams)
+{
+    auto streams = randomStreams(600, 128, 4);
+    auto counts = ParallelCounter::counts(streams);
+    for (size_t i = 0; i < 128; ++i) {
+        uint16_t naive = 0;
+        for (const auto &s : streams)
+            naive += s.get(i);
+        ASSERT_EQ(counts[i], naive);
+    }
+}
+
+TEST(ApproxParallelCounter, ErrorBoundedByOne)
+{
+    auto streams = randomStreams(16, 1024, 5);
+    auto exact = ParallelCounter::counts(streams);
+    auto approx = ApproxParallelCounter::counts(streams);
+    for (size_t i = 0; i < exact.size(); ++i) {
+        int err = static_cast<int>(approx[i]) - static_cast<int>(exact[i]);
+        EXPECT_LE(std::abs(err), 1) << "cycle " << i;
+    }
+}
+
+TEST(ApproxParallelCounter, UpperBitsAlwaysExact)
+{
+    auto streams = randomStreams(64, 2048, 6);
+    auto exact = ParallelCounter::counts(streams);
+    auto approx = ApproxParallelCounter::counts(streams);
+    for (size_t i = 0; i < exact.size(); ++i)
+        EXPECT_EQ(approx[i] >> 1, exact[i] >> 1);
+}
+
+TEST(ApproxParallelCounter, LsbIsTruncatedParityOfFirstFourLines)
+{
+    auto streams = randomStreams(16, 512, 7);
+    auto approx = ApproxParallelCounter::counts(streams);
+    for (size_t i = 0; i < approx.size(); ++i) {
+        int parity = 0;
+        for (size_t s = 0; s < ApproxParallelCounter::kLsbParityLines; ++s)
+            parity ^= streams[s].get(i) ? 1 : 0;
+        EXPECT_EQ(approx[i] & 1, parity);
+    }
+}
+
+TEST(ApproxParallelCounter, ExactForFourOrFewerLines)
+{
+    // With n <= kLsbParityLines the truncated parity is the full
+    // parity, so the APC degenerates to the exact counter.
+    auto streams = randomStreams(4, 512, 17);
+    EXPECT_EQ(ApproxParallelCounter::counts(streams),
+              ParallelCounter::counts(streams));
+}
+
+TEST(ApproxParallelCounter, MeanErrorNearZeroForBalancedInputs)
+{
+    // For p ~ 0.5 streams the dropped/injected LSB is unbiased.
+    SngBank bank(8);
+    std::vector<Bitstream> streams;
+    for (int i = 0; i < 32; ++i)
+        streams.push_back(bank.unipolar(0.5, 1 << 14));
+    auto exact = ParallelCounter::counts(streams);
+    auto approx = ApproxParallelCounter::counts(streams);
+    double bias = 0;
+    for (size_t i = 0; i < exact.size(); ++i)
+        bias += static_cast<int>(approx[i]) - static_cast<int>(exact[i]);
+    bias /= static_cast<double>(exact.size());
+    EXPECT_NEAR(bias, 0.0, 0.02);
+}
+
+/**
+ * Table 3 property: the relative error of the APC-based inner product
+ * shrinks as the input size grows.
+ */
+class ApcRelativeError : public ::testing::TestWithParam<int>
+{
+  public:
+    static double relativeError(int n, uint64_t seed)
+    {
+        auto streams = randomStreams(static_cast<size_t>(n), 512, seed);
+        auto exact = ParallelCounter::counts(streams);
+        auto approx = ApproxParallelCounter::counts(streams);
+        uint64_t se = std::accumulate(exact.begin(), exact.end(),
+                                      uint64_t{0});
+        uint64_t sa = std::accumulate(approx.begin(), approx.end(),
+                                      uint64_t{0});
+        return std::abs(static_cast<double>(sa) - static_cast<double>(se)) /
+               static_cast<double>(se);
+    }
+};
+
+TEST_P(ApcRelativeError, UnderOnePercent)
+{
+    const int n = GetParam();
+    double err = 0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t)
+        err += relativeError(n, 100 + t);
+    err /= trials;
+    EXPECT_LT(err, 0.011) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ApcRelativeError,
+                         ::testing::Values(16, 32, 64));
+
+TEST(ApcRelativeError, ShrinksWithInputSize)
+{
+    auto avg = [](int n) {
+        double e = 0;
+        for (int t = 0; t < 30; ++t)
+            e += ApcRelativeError::relativeError(n, 300 + t);
+        return e / 30;
+    };
+    EXPECT_LT(avg(64), avg(16));
+}
+
+TEST(ApproxParallelCounter, OutputBitsMatchCeilLog2)
+{
+    EXPECT_EQ(ApproxParallelCounter::outputBits(1), 1u);
+    EXPECT_EQ(ApproxParallelCounter::outputBits(2), 2u);
+    EXPECT_EQ(ApproxParallelCounter::outputBits(3), 2u);
+    EXPECT_EQ(ApproxParallelCounter::outputBits(16), 5u);
+    EXPECT_EQ(ApproxParallelCounter::outputBits(255), 8u);
+    EXPECT_EQ(ApproxParallelCounter::outputBits(256), 9u);
+}
+
+TEST(ParallelCounter, TailCyclesBeyondLengthIgnored)
+{
+    // Length deliberately not a multiple of 64.
+    auto streams = randomStreams(5, 70, 9);
+    auto counts = ParallelCounter::counts(streams);
+    EXPECT_EQ(counts.size(), 70u);
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the procedural digit dataset and the MNIST IDX loader.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+
+namespace scdcnn {
+namespace nn {
+namespace {
+
+TEST(DigitDataset, GeneratesRequestedCount)
+{
+    Dataset ds = DigitDataset::generate(25, 1);
+    EXPECT_EQ(ds.size(), 25u);
+}
+
+TEST(DigitDataset, LabelsAreBalancedRoundRobin)
+{
+    Dataset ds = DigitDataset::generate(100, 2);
+    std::vector<int> counts(10, 0);
+    for (const auto &s : ds.samples)
+        counts[s.label]++;
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(DigitDataset, DeterministicPerSeed)
+{
+    Dataset a = DigitDataset::generate(10, 42);
+    Dataset b = DigitDataset::generate(10, 42);
+    for (size_t i = 0; i < 10; ++i) {
+        ASSERT_EQ(a.samples[i].label, b.samples[i].label);
+        ASSERT_EQ(a.samples[i].image.data(), b.samples[i].image.data());
+    }
+}
+
+TEST(DigitDataset, DifferentSeedsDiffer)
+{
+    Tensor a = DigitDataset::render(5, 1);
+    Tensor b = DigitDataset::render(5, 2);
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(DigitDataset, PixelsInUnitRange)
+{
+    for (size_t d = 0; d < 10; ++d) {
+        Tensor img = DigitDataset::render(d, 7 + d);
+        for (float v : img.data()) {
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LE(v, 1.0f);
+        }
+    }
+}
+
+TEST(DigitDataset, EveryDigitHasInk)
+{
+    // Each rendered glyph must contain a meaningful amount of ink and
+    // a meaningful amount of background.
+    for (size_t d = 0; d < 10; ++d) {
+        Tensor img = DigitDataset::render(d, 100 + d);
+        double ink = 0;
+        for (float v : img.data())
+            ink += v;
+        EXPECT_GT(ink, 15.0) << "digit " << d;
+        EXPECT_LT(ink, 350.0) << "digit " << d;
+    }
+}
+
+TEST(DigitDataset, ClassesAreVisuallyDistinct)
+{
+    // Mean images of different classes should differ substantially
+    // more than instances within a class (a weak separability check).
+    auto mean_image = [](size_t digit) {
+        Tensor acc(1, 28, 28);
+        for (int i = 0; i < 20; ++i) {
+            Tensor img = DigitDataset::render(digit, 1000 + i);
+            for (size_t p = 0; p < acc.size(); ++p)
+                acc[p] += img[p] / 20.0f;
+        }
+        return acc;
+    };
+    Tensor m1 = mean_image(1);
+    Tensor m8 = mean_image(8);
+    double diff = 0;
+    for (size_t p = 0; p < m1.size(); ++p)
+        diff += std::abs(m1[p] - m8[p]);
+    EXPECT_GT(diff, 30.0);
+}
+
+TEST(LoadMnist, MissingFilesReturnFalse)
+{
+    Dataset ds;
+    EXPECT_FALSE(loadMnist("/no/such/images", "/no/such/labels", ds));
+}
+
+TEST(LoadMnist, ParsesWellFormedIdx)
+{
+    // Craft a 2-image IDX pair.
+    const std::string img_path = ::testing::TempDir() + "/imgs";
+    const std::string lbl_path = ::testing::TempDir() + "/lbls";
+    {
+        std::FILE *f = std::fopen(img_path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        auto be32 = [f](uint32_t v) {
+            unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                                  static_cast<unsigned char>(v >> 16),
+                                  static_cast<unsigned char>(v >> 8),
+                                  static_cast<unsigned char>(v)};
+            std::fwrite(b, 1, 4, f);
+        };
+        be32(2051);
+        be32(2);
+        be32(28);
+        be32(28);
+        std::vector<unsigned char> px(28 * 28 * 2, 128);
+        px[0] = 255;
+        std::fwrite(px.data(), 1, px.size(), f);
+        std::fclose(f);
+    }
+    {
+        std::FILE *f = std::fopen(lbl_path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        unsigned char hdr[8] = {0, 0, 8, 1, 0, 0, 0, 2};
+        std::fwrite(hdr, 1, 8, f);
+        unsigned char labels[2] = {3, 9};
+        std::fwrite(labels, 1, 2, f);
+        std::fclose(f);
+    }
+
+    Dataset ds;
+    ASSERT_TRUE(loadMnist(img_path, lbl_path, ds));
+    ASSERT_EQ(ds.size(), 2u);
+    EXPECT_EQ(ds.samples[0].label, 3u);
+    EXPECT_EQ(ds.samples[1].label, 9u);
+    EXPECT_NEAR(ds.samples[0].image[0], 1.0f, 1e-6);
+    EXPECT_NEAR(ds.samples[0].image[1], 128.0f / 255.0f, 1e-6);
+
+    // Limit applies.
+    Dataset limited;
+    ASSERT_TRUE(loadMnist(img_path, lbl_path, limited, 1));
+    EXPECT_EQ(limited.size(), 1u);
+
+    std::remove(img_path.c_str());
+    std::remove(lbl_path.c_str());
+}
+
+TEST(LoadDigits, FallsBackToProceduralData)
+{
+    Dataset train, test;
+    loadDigits("/no/such/dir", 50, 20, train, test);
+    EXPECT_EQ(train.size(), 50u);
+    EXPECT_EQ(test.size(), 20u);
+    // Train and test come from disjoint seeds.
+    EXPECT_NE(train.samples[0].image.data(), test.samples[0].image.data());
+}
+
+} // namespace
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Error-path and contract tests: the library promises to panic (abort)
+ * on internal-invariant violations and to reject malformed inputs
+ * loudly rather than corrupt results silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blocks/feature_block.h"
+#include "blocks/inner_product.h"
+#include "blocks/pooling.h"
+#include "sc/bitstream.h"
+#include "sc/counter.h"
+#include "sc/ops.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace {
+
+using sc::Bitstream;
+
+TEST(ErrorPaths, BitstreamIndexOutOfRangeAborts)
+{
+    Bitstream s(8);
+    EXPECT_DEATH(s.get(8), "out of range");
+    EXPECT_DEATH(s.set(100, true), "out of range");
+}
+
+TEST(ErrorPaths, BitstreamLengthMismatchAborts)
+{
+    Bitstream a(8);
+    Bitstream b(16);
+    EXPECT_DEATH(a & b, "length mismatch");
+    EXPECT_DEATH(a.xnor(b), "length mismatch");
+}
+
+TEST(ErrorPaths, BadRangeAborts)
+{
+    Bitstream s(8);
+    EXPECT_DEATH(s.countOnes(5, 3), "bad range");
+    EXPECT_DEATH(s.countOnes(0, 9), "bad range");
+}
+
+TEST(ErrorPaths, SliceBeyondEndAborts)
+{
+    Bitstream s(8);
+    EXPECT_DEATH(s.slice(4, 5), "out of range");
+}
+
+TEST(ErrorPaths, FromStringRejectsBadCharacters)
+{
+    EXPECT_DEATH(Bitstream::fromString("01x1"), "bad character");
+}
+
+TEST(ErrorPaths, EmptyOperandsAbort)
+{
+    EXPECT_DEATH(sc::orAdd({}), "no inputs");
+    sc::Xoshiro256ss rng(1);
+    EXPECT_DEATH(sc::muxAdd({}, rng), "no inputs");
+    EXPECT_DEATH(sc::ParallelCounter::counts(
+                     std::vector<const Bitstream *>{}),
+                 "zero streams");
+}
+
+TEST(ErrorPaths, MuxSelectOutOfRangeAborts)
+{
+    Bitstream a = Bitstream::fromString("10");
+    std::vector<uint32_t> sel = {0, 5};
+    EXPECT_DEATH(sc::muxAddWithSelects({a}, sel), "out of range");
+}
+
+TEST(ErrorPaths, MismatchedInnerProductOperandsAbort)
+{
+    sc::SngBank bank(1);
+    auto xs = blocks::encodeBipolar({0.1, 0.2}, 64, bank);
+    auto ws = blocks::encodeBipolar({0.1}, 64, bank);
+    EXPECT_DEATH(blocks::productStreams(xs, ws), "operand");
+}
+
+TEST(ErrorPaths, PoolingContractViolationsAbort)
+{
+    sc::Xoshiro256ss rng(2);
+    EXPECT_DEATH(blocks::averagePooling({}, rng), "no inputs");
+    std::vector<Bitstream> one = {Bitstream(32)};
+    EXPECT_DEATH(blocks::HardwareMaxPooling::compute(one, 0),
+                 "segment length");
+    EXPECT_DEATH(blocks::HardwareMaxPooling::compute(one, 16, 5),
+                 "out of range");
+}
+
+TEST(ErrorPaths, PreScaleBelowOneRejected)
+{
+    sc::SngBank bank(3);
+    EXPECT_DEATH(blocks::OrInnerProduct::estimateUnipolar(
+                     {0.5}, {0.5}, 0.5, 64, bank),
+                 "pre-scale");
+}
+
+TEST(ErrorPaths, LfsrWidthOutOfRangeIsFatal)
+{
+    // fatal() exits with status 1 (user error, not a panic/abort).
+    EXPECT_EXIT(sc::Lfsr(2), ::testing::ExitedWithCode(1),
+                "unsupported");
+    EXPECT_EXIT(sc::Lfsr(33), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+TEST(ErrorPaths, FeatureBlockRejectsDegenerateConfigs)
+{
+    blocks::FebConfig cfg;
+    cfg.n_inputs = 1;
+    EXPECT_DEATH(blocks::FeatureBlock feb(cfg), "receptive field");
+}
+
+} // namespace
+} // namespace scdcnn

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the fully-connected use of the feature extraction block
+ * (pool_size = 1, as in the paper's Layer2) and related sizing rules.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "blocks/feature_block.h"
+#include "sc/btanh.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace blocks {
+namespace {
+
+using Field = std::vector<std::vector<double>>;
+
+std::pair<Field, Field>
+singleField(size_t n, uint64_t seed)
+{
+    sc::SplitMix64 rng(seed);
+    Field xs(1), ws(1);
+    for (size_t i = 0; i < n; ++i) {
+        xs[0].push_back(rng.nextInRange(-1.0, 1.0));
+        ws[0].push_back(rng.nextInRange(-1.0, 1.0));
+    }
+    return {xs, ws};
+}
+
+TEST(FcFeatureBlock, PoolSizeOneUsesDirectBtanhSizing)
+{
+    FebConfig cfg;
+    cfg.kind = FebKind::ApcAvgBtanh;
+    cfg.n_inputs = 64;
+    cfg.pool_size = 1;
+    // No averaging stage -> per-cycle variance is n, so the direct
+    // (2N) sizing applies instead of Eq. (3)'s N/2.
+    EXPECT_EQ(FeatureBlock(cfg).stateCount(),
+              sc::Btanh::stateCountDirect(64));
+    cfg.pool_size = 4;
+    EXPECT_EQ(FeatureBlock(cfg).stateCount(),
+              sc::Btanh::stateCountAvgPool(64));
+}
+
+TEST(FcFeatureBlock, ApcTracksTanhOfInnerProduct)
+{
+    FebConfig cfg;
+    cfg.kind = FebKind::ApcAvgBtanh;
+    cfg.n_inputs = 32;
+    cfg.pool_size = 1;
+    cfg.length = 1 << 14;
+    FeatureBlock feb(cfg);
+    double err = 0;
+    const int trials = 12;
+    for (int t = 0; t < trials; ++t) {
+        auto [xs, ws] = singleField(32, 700 + t);
+        err += std::abs(feb.evaluate(xs, ws, 70 + t) -
+                        FeatureBlock::reference(xs, ws, cfg.kind));
+    }
+    EXPECT_LT(err / trials, 0.15);
+}
+
+TEST(FcFeatureBlock, ReferenceWithOneFieldIsPlainTanh)
+{
+    Field xs = {{0.5, 0.5}};
+    Field ws = {{0.6, -0.2}};
+    // pool of one field: tanh(0.3 - 0.1)
+    EXPECT_NEAR(FeatureBlock::reference(xs, ws, FebKind::ApcAvgBtanh),
+                std::tanh(0.2), 1e-12);
+    EXPECT_NEAR(FeatureBlock::reference(xs, ws, FebKind::ApcMaxBtanh),
+                std::tanh(0.2), 1e-12);
+}
+
+TEST(FcFeatureBlock, MuxVariantStillBounded)
+{
+    FebConfig cfg;
+    cfg.kind = FebKind::MuxAvgStanh;
+    cfg.n_inputs = 32;
+    cfg.pool_size = 1;
+    cfg.length = 2048;
+    FeatureBlock feb(cfg);
+    auto [xs, ws] = singleField(32, 900);
+    double v = feb.evaluate(xs, ws, 5);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+}
+
+TEST(FcFeatureBlock, SaturationSignsForStrongFields)
+{
+    FebConfig cfg;
+    cfg.kind = FebKind::ApcAvgBtanh;
+    cfg.n_inputs = 16;
+    cfg.pool_size = 1;
+    cfg.length = 2048;
+    FeatureBlock feb(cfg);
+    Field xs(1, std::vector<double>(16, 0.9));
+    Field ws_pos(1, std::vector<double>(16, 0.9));
+    Field ws_neg(1, std::vector<double>(16, -0.9));
+    EXPECT_GT(feb.evaluate(xs, ws_pos, 1), 0.9);
+    EXPECT_LT(feb.evaluate(xs, ws_neg, 2), -0.9);
+}
+
+} // namespace
+} // namespace blocks
+} // namespace scdcnn

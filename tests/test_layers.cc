@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the float reference layers, including numerical gradient
+ * checks for every parameterized layer.
+ */
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace nn {
+namespace {
+
+Tensor
+randomTensor(size_t c, size_t h, size_t w, uint64_t seed)
+{
+    sc::SplitMix64 rng(seed);
+    Tensor t(c, h, w);
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.nextInRange(-1.0, 1.0));
+    return t;
+}
+
+/** Scalar loss used by gradient checks: sum of squares / 2. */
+double
+halfSquares(const Tensor &t)
+{
+    double s = 0;
+    for (size_t i = 0; i < t.size(); ++i)
+        s += 0.5 * t[i] * t[i];
+    return s;
+}
+
+Tensor
+halfSquaresGrad(const Tensor &t)
+{
+    return t; // d/dx of x^2/2
+}
+
+/**
+ * Check analytic input gradients of @p layer against central
+ * differences on a random input.
+ */
+void
+checkInputGradient(Layer &layer, Tensor in, double tol = 2e-2)
+{
+    Tensor out = layer.forward(in);
+    Tensor grad_in = layer.backward(halfSquaresGrad(out));
+
+    sc::SplitMix64 pick(99);
+    const double eps = 1e-3;
+    for (int trial = 0; trial < 12; ++trial) {
+        size_t i = pick.nextBelow(in.size());
+        Tensor plus = in;
+        plus[i] += static_cast<float>(eps);
+        Tensor minus = in;
+        minus[i] -= static_cast<float>(eps);
+        double numeric = (halfSquares(layer.forward(plus)) -
+                          halfSquares(layer.forward(minus))) /
+                         (2 * eps);
+        EXPECT_NEAR(grad_in[i], numeric, tol) << "input index " << i;
+    }
+}
+
+/** Check analytic weight gradients against central differences. */
+void
+checkWeightGradient(Layer &layer, const Tensor &in, double tol = 2e-2)
+{
+    layer.forward(in);
+    auto *wg = layer.weightGrads();
+    ASSERT_NE(wg, nullptr);
+    std::fill(wg->begin(), wg->end(), 0.0f);
+    layer.backward(halfSquaresGrad(layer.forward(in)));
+
+    auto *w = layer.weights();
+    sc::SplitMix64 pick(7);
+    const double eps = 1e-3;
+    for (int trial = 0; trial < 12; ++trial) {
+        size_t i = pick.nextBelow(w->size());
+        float saved = (*w)[i];
+        (*w)[i] = saved + static_cast<float>(eps);
+        double up = halfSquares(layer.forward(in));
+        (*w)[i] = saved - static_cast<float>(eps);
+        double down = halfSquares(layer.forward(in));
+        (*w)[i] = saved;
+        EXPECT_NEAR((*wg)[i], (up - down) / (2 * eps), tol)
+            << "weight index " << i;
+    }
+}
+
+TEST(ConvLayer, OutputShapeIsValidConvolution)
+{
+    ConvLayer conv(2, 3, 5);
+    conv.initWeights(1);
+    Tensor out = conv.forward(randomTensor(2, 12, 12, 5));
+    EXPECT_EQ(out.channels(), 3u);
+    EXPECT_EQ(out.height(), 8u);
+    EXPECT_EQ(out.width(), 8u);
+}
+
+TEST(ConvLayer, IdentityKernelCopiesInput)
+{
+    ConvLayer conv(1, 1, 1);
+    (*conv.weights())[0] = 1.0f;
+    Tensor in = randomTensor(1, 4, 4, 6);
+    Tensor out = conv.forward(in);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(ConvLayer, KnownDotProduct)
+{
+    ConvLayer conv(1, 1, 2);
+    (*conv.weights()) = {1.0f, 2.0f, 3.0f, 4.0f};
+    (*conv.biases()) = {0.5f};
+    Tensor in(1, 2, 2);
+    in.data() = {1, 1, 1, 1};
+    Tensor out = conv.forward(in);
+    EXPECT_FLOAT_EQ(out[0], 1 + 2 + 3 + 4 + 0.5f);
+}
+
+TEST(ConvLayer, InputGradientMatchesNumeric)
+{
+    ConvLayer conv(2, 3, 3);
+    conv.initWeights(11);
+    checkInputGradient(conv, randomTensor(2, 6, 6, 12));
+}
+
+TEST(ConvLayer, WeightGradientMatchesNumeric)
+{
+    ConvLayer conv(2, 3, 3);
+    conv.initWeights(13);
+    checkWeightGradient(conv, randomTensor(2, 6, 6, 14));
+}
+
+TEST(ConvLayer, WeightAccessorsMatchStorage)
+{
+    ConvLayer conv(2, 4, 3);
+    conv.initWeights(15);
+    EXPECT_FLOAT_EQ(conv.weightAt(1, 1, 2, 2),
+                    (*conv.weights())[((1 * 2 + 1) * 3 + 2) * 3 + 2]);
+    EXPECT_FLOAT_EQ(conv.biasAt(3), (*conv.biases())[3]);
+}
+
+TEST(PoolLayer, AveragePoolsWindows)
+{
+    PoolLayer pool(PoolLayer::Mode::Avg);
+    Tensor in(1, 2, 2);
+    in.data() = {1, 2, 3, 6};
+    Tensor out = pool.forward(in);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(PoolLayer, MaxPicksWindowMaximum)
+{
+    PoolLayer pool(PoolLayer::Mode::Max);
+    Tensor in(1, 2, 2);
+    in.data() = {1, 7, 3, 6};
+    EXPECT_FLOAT_EQ(pool.forward(in)[0], 7.0f);
+}
+
+TEST(PoolLayer, AvgBackwardSpreadsGradient)
+{
+    PoolLayer pool(PoolLayer::Mode::Avg);
+    Tensor in = randomTensor(1, 2, 2, 21);
+    pool.forward(in);
+    Tensor g(1, 1, 1);
+    g[0] = 4.0f;
+    Tensor gi = pool.backward(g);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(gi[i], 1.0f);
+}
+
+TEST(PoolLayer, MaxBackwardRoutesToArgmax)
+{
+    PoolLayer pool(PoolLayer::Mode::Max);
+    Tensor in(1, 2, 2);
+    in.data() = {1, 7, 3, 6};
+    pool.forward(in);
+    Tensor g(1, 1, 1);
+    g[0] = 2.0f;
+    Tensor gi = pool.backward(g);
+    EXPECT_FLOAT_EQ(gi[0], 0.0f);
+    EXPECT_FLOAT_EQ(gi[1], 2.0f);
+    EXPECT_FLOAT_EQ(gi[2], 0.0f);
+    EXPECT_FLOAT_EQ(gi[3], 0.0f);
+}
+
+TEST(PoolLayer, InputGradientMatchesNumericAvg)
+{
+    PoolLayer pool(PoolLayer::Mode::Avg);
+    checkInputGradient(pool, randomTensor(2, 4, 4, 22));
+}
+
+TEST(FullyConnected, KnownOutput)
+{
+    FullyConnected fc(2, 1);
+    (*fc.weights()) = {2.0f, -1.0f};
+    (*fc.biases()) = {0.25f};
+    Tensor in(2);
+    in.data() = {3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(fc.forward(in)[0], 6 - 4 + 0.25f);
+}
+
+TEST(FullyConnected, FlattensConvInput)
+{
+    FullyConnected fc(8, 3);
+    fc.initWeights(31);
+    Tensor in = randomTensor(2, 2, 2, 32);
+    EXPECT_EQ(fc.forward(in).size(), 3u);
+}
+
+TEST(FullyConnected, InputGradientMatchesNumeric)
+{
+    FullyConnected fc(6, 4);
+    fc.initWeights(33);
+    checkInputGradient(fc, randomTensor(6, 1, 1, 34));
+}
+
+TEST(FullyConnected, WeightGradientMatchesNumeric)
+{
+    FullyConnected fc(6, 4);
+    fc.initWeights(35);
+    checkWeightGradient(fc, randomTensor(6, 1, 1, 36));
+}
+
+TEST(FullyConnected, WeightAccessorsMatchStorage)
+{
+    FullyConnected fc(3, 2);
+    fc.initWeights(37);
+    EXPECT_FLOAT_EQ(fc.weightAt(1, 2), (*fc.weights())[1 * 3 + 2]);
+}
+
+TEST(TanhLayer, ForwardAppliesTanh)
+{
+    TanhLayer t;
+    Tensor in(3);
+    in.data() = {-2.0f, 0.0f, 1.0f};
+    Tensor out = t.forward(in);
+    EXPECT_NEAR(out[0], std::tanh(-2.0), 1e-6);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_NEAR(out[2], std::tanh(1.0), 1e-6);
+}
+
+TEST(TanhLayer, InputGradientMatchesNumeric)
+{
+    TanhLayer t;
+    checkInputGradient(t, randomTensor(3, 2, 2, 41), 1e-2);
+}
+
+TEST(Softmax, SumsToOneAndOrdersLogits)
+{
+    Tensor logits(3);
+    logits.data() = {1.0f, 3.0f, 2.0f};
+    auto p = softmax(logits);
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-9);
+    EXPECT_GT(p[1], p[2]);
+    EXPECT_GT(p[2], p[0]);
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradientConsistent)
+{
+    Tensor logits(4);
+    logits.data() = {0.5f, -1.0f, 2.0f, 0.0f};
+    Tensor dlogits;
+    double loss = softmaxCrossEntropy(logits, 2, dlogits);
+    EXPECT_GT(loss, 0.0);
+
+    // Numerical check of d loss / d logit.
+    const double eps = 1e-4;
+    for (size_t i = 0; i < 4; ++i) {
+        Tensor up = logits, dn = logits, tmp;
+        up[i] += static_cast<float>(eps);
+        dn[i] -= static_cast<float>(eps);
+        double numeric = (softmaxCrossEntropy(up, 2, tmp) -
+                          softmaxCrossEntropy(dn, 2, tmp)) /
+                         (2 * eps);
+        EXPECT_NEAR(dlogits[i], numeric, 1e-3);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionHasTinyLoss)
+{
+    Tensor logits(3);
+    logits.data() = {20.0f, -10.0f, -10.0f};
+    Tensor dlogits;
+    EXPECT_LT(softmaxCrossEntropy(logits, 0, dlogits), 1e-6);
+}
+
+} // namespace
+} // namespace nn
+} // namespace scdcnn

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the network container and the LeNet5 builder.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+namespace scdcnn {
+namespace nn {
+namespace {
+
+Tensor
+randomImage(uint64_t seed)
+{
+    sc::SplitMix64 rng(seed);
+    Tensor t(1, 28, 28);
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.nextDouble());
+    return t;
+}
+
+TEST(BuildLeNet5, PaperConfiguration)
+{
+    Network net = buildLeNet5(PoolingMode::Max);
+    // conv-pool-tanh-conv-pool-tanh-fc-tanh-fc
+    ASSERT_EQ(net.layerCount(), 9u);
+    Tensor out = net.forward(randomImage(1));
+    EXPECT_EQ(out.size(), 10u);
+
+    auto &conv1 = dynamic_cast<ConvLayer &>(net.layer(0));
+    EXPECT_EQ(conv1.cOut(), 20u);
+    EXPECT_EQ(conv1.kernel(), 5u);
+    auto &conv2 = dynamic_cast<ConvLayer &>(net.layer(3));
+    EXPECT_EQ(conv2.cIn(), 20u);
+    EXPECT_EQ(conv2.cOut(), 50u);
+    auto &fc1 = dynamic_cast<FullyConnected &>(net.layer(6));
+    EXPECT_EQ(fc1.nIn(), 800u);
+    EXPECT_EQ(fc1.nOut(), 500u);
+    auto &fc2 = dynamic_cast<FullyConnected &>(net.layer(8));
+    EXPECT_EQ(fc2.nOut(), 10u);
+}
+
+TEST(BuildLeNet5, IntermediateSizesMatch784_11520_2880_3200_800_500_10)
+{
+    // Verify the paper's layer-size string by stepping manually.
+    Network net = buildLeNet5(PoolingMode::Average);
+    Tensor x = randomImage(2);
+    EXPECT_EQ(x.size(), 784u);
+    x = net.layer(0).forward(x);
+    EXPECT_EQ(x.size(), 11520u); // 20 x 24 x 24
+    x = net.layer(1).forward(x);
+    EXPECT_EQ(x.size(), 2880u); // 20 x 12 x 12
+    x = net.layer(2).forward(x);
+    x = net.layer(3).forward(x);
+    EXPECT_EQ(x.size(), 3200u); // 50 x 8 x 8
+    x = net.layer(4).forward(x);
+    EXPECT_EQ(x.size(), 800u); // 50 x 4 x 4
+    x = net.layer(5).forward(x);
+    x = net.layer(6).forward(x);
+    EXPECT_EQ(x.size(), 500u);
+    x = net.layer(7).forward(x);
+    x = net.layer(8).forward(x);
+    EXPECT_EQ(x.size(), 10u);
+}
+
+TEST(Network, CopyIsDeep)
+{
+    Network a = buildMiniLeNet(PoolingMode::Max);
+    Network b = a;
+    (*b.layer(0).weights())[0] += 1.0f;
+    EXPECT_NE((*a.layer(0).weights())[0], (*b.layer(0).weights())[0]);
+}
+
+TEST(Network, PredictIsArgmaxOfLogits)
+{
+    Network net = buildMiniLeNet(PoolingMode::Average, 3);
+    Tensor img = randomImage(4);
+    Tensor logits = net.forward(img);
+    size_t best = 0;
+    for (size_t i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    EXPECT_EQ(net.predict(img), best);
+}
+
+TEST(Network, CopyParamsSynchronizesOutputs)
+{
+    Network a = buildMiniLeNet(PoolingMode::Max, 5);
+    Network b = buildMiniLeNet(PoolingMode::Max, 6);
+    Tensor img = randomImage(7);
+    b.copyParamsFrom(a);
+    Tensor oa = a.forward(img);
+    Tensor ob = b.forward(img);
+    for (size_t i = 0; i < oa.size(); ++i)
+        EXPECT_FLOAT_EQ(oa[i], ob[i]);
+}
+
+TEST(Network, ZeroGradsClearsEverything)
+{
+    Network net = buildMiniLeNet(PoolingMode::Max, 8);
+    Tensor img = randomImage(9);
+    Tensor dlogits;
+    softmaxCrossEntropy(net.forward(img), 3, dlogits);
+    net.backward(dlogits);
+    net.zeroGrads();
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        if (auto *wg = net.layer(i).weightGrads()) {
+            for (float g : *wg)
+                ASSERT_EQ(g, 0.0f);
+        }
+    }
+}
+
+TEST(Network, AddGradsAccumulates)
+{
+    Network a = buildMiniLeNet(PoolingMode::Max, 10);
+    Network b = a;
+    Tensor img = randomImage(11);
+    Tensor dlogits;
+
+    a.zeroGrads();
+    softmaxCrossEntropy(a.forward(img), 1, dlogits);
+    a.backward(dlogits);
+
+    b.zeroGrads();
+    softmaxCrossEntropy(b.forward(img), 1, dlogits);
+    b.backward(dlogits);
+
+    Network sum = a;
+    sum.addGradsFrom(b);
+    auto *ga = a.layer(0).weightGrads();
+    auto *gs = sum.layer(0).weightGrads();
+    for (size_t i = 0; i < ga->size(); ++i)
+        ASSERT_NEAR((*gs)[i], 2.0f * (*ga)[i], 1e-6);
+}
+
+TEST(Network, SaveLoadRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/weights.bin";
+    Network a = buildMiniLeNet(PoolingMode::Max, 12);
+    ASSERT_TRUE(a.saveWeights(path));
+    Network b = buildMiniLeNet(PoolingMode::Max, 13); // different init
+    ASSERT_TRUE(b.loadWeights(path));
+    Tensor img = randomImage(14);
+    Tensor oa = a.forward(img);
+    Tensor ob = b.forward(img);
+    for (size_t i = 0; i < oa.size(); ++i)
+        EXPECT_FLOAT_EQ(oa[i], ob[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Network, LoadRejectsMissingFile)
+{
+    Network net = buildMiniLeNet(PoolingMode::Max, 15);
+    EXPECT_FALSE(net.loadWeights("/nonexistent/weights.bin"));
+}
+
+TEST(Network, LoadRejectsStructureMismatch)
+{
+    const std::string path = ::testing::TempDir() + "/mini.bin";
+    Network mini = buildMiniLeNet(PoolingMode::Max, 16);
+    ASSERT_TRUE(mini.saveWeights(path));
+    Network full = buildLeNet5(PoolingMode::Max, 17);
+    EXPECT_FALSE(full.loadWeights(path));
+    std::remove(path.c_str());
+}
+
+TEST(Network, MaxAndAvgPoolingVariantsDiffer)
+{
+    Network max_net = buildLeNet5(PoolingMode::Max, 18);
+    Network avg_net = buildLeNet5(PoolingMode::Average, 18);
+    auto &p_max = dynamic_cast<PoolLayer &>(max_net.layer(1));
+    auto &p_avg = dynamic_cast<PoolLayer &>(avg_net.layer(1));
+    EXPECT_EQ(p_max.mode(), PoolLayer::Mode::Max);
+    EXPECT_EQ(p_avg.mode(), PoolLayer::Mode::Avg);
+}
+
+} // namespace
+} // namespace nn
+} // namespace scdcnn

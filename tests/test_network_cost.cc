@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the whole-network cost rollup (Table 6 / Table 7 metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/network_cost.h"
+
+namespace scdcnn {
+namespace hw {
+namespace {
+
+using blocks::FebKind;
+
+Lenet5HwConfig
+makeConfig(FebKind k0, FebKind k1, FebKind k2, size_t len)
+{
+    Lenet5HwConfig cfg;
+    cfg.layer_kinds = {k0, k1, k2};
+    cfg.bitstream_len = len;
+    return cfg;
+}
+
+TEST(Lenet5Layers, PaperTopology)
+{
+    auto layers = lenet5Layers(makeConfig(FebKind::ApcAvgBtanh,
+                                          FebKind::ApcAvgBtanh,
+                                          FebKind::ApcAvgBtanh, 1024));
+    ASSERT_EQ(layers.size(), 4u);
+    // 784-11520-2880-3200-800-500-10: 2880 = 20*12*12 pooled outputs.
+    EXPECT_EQ(layers[0].n_blocks, 2880u);
+    EXPECT_EQ(layers[0].n_inputs, 26u);
+    EXPECT_EQ(layers[0].pool_size, 4u);
+    // 800 = 50*4*4 pooled outputs of conv2.
+    EXPECT_EQ(layers[1].n_blocks, 800u);
+    EXPECT_EQ(layers[1].n_inputs, 501u);
+    // FC 800 -> 500 and 500 -> 10.
+    EXPECT_EQ(layers[2].n_blocks, 500u);
+    EXPECT_EQ(layers[2].n_inputs, 801u);
+    EXPECT_EQ(layers[3].n_blocks, 10u);
+    EXPECT_TRUE(layers[3].binary_output);
+}
+
+TEST(Lenet5Layers, WeightCountsMatchTopology)
+{
+    auto layers = lenet5Layers(makeConfig(FebKind::ApcAvgBtanh,
+                                          FebKind::ApcAvgBtanh,
+                                          FebKind::ApcAvgBtanh, 1024));
+    EXPECT_EQ(layers[0].n_weights, 520u);
+    EXPECT_EQ(layers[1].n_weights, 25050u);
+    EXPECT_EQ(layers[2].n_weights, 400500u);
+    EXPECT_EQ(layers[3].n_weights, 5010u);
+}
+
+TEST(NetworkCost, DelayIsFiveNsPerCycle)
+{
+    // Table 6: delay = 5 ns * L exactly, for every configuration.
+    for (size_t len : {256u, 512u, 1024u}) {
+        auto cfg = makeConfig(FebKind::MuxAvgStanh, FebKind::ApcAvgBtanh,
+                              FebKind::ApcAvgBtanh, len);
+        auto cost = networkCost(lenet5Layers(cfg), cfg);
+        EXPECT_DOUBLE_EQ(cost.delayNs(), 5.0 * static_cast<double>(len));
+    }
+}
+
+TEST(NetworkCost, ThroughputMatchesPaperAtL256)
+{
+    // 1 / 1280 ns = 781250 images/s (the paper's headline).
+    auto cfg = makeConfig(FebKind::MuxAvgStanh, FebKind::ApcAvgBtanh,
+                          FebKind::ApcAvgBtanh, 256);
+    auto cost = networkCost(lenet5Layers(cfg), cfg);
+    EXPECT_NEAR(cost.throughputImagesPerSec(), 781250.0, 1.0);
+}
+
+TEST(NetworkCost, EnergyIsPowerTimesDelay)
+{
+    auto cfg = makeConfig(FebKind::ApcMaxBtanh, FebKind::ApcMaxBtanh,
+                          FebKind::ApcMaxBtanh, 512);
+    auto cost = networkCost(lenet5Layers(cfg), cfg);
+    EXPECT_NEAR(cost.energyUj(),
+                cost.powerW() * cost.delayNs() * 1e-3, 1e-9);
+}
+
+TEST(NetworkCost, MoreApcLayersCostMoreAreaAndPower)
+{
+    // Table 6 ordering: configurations with more APC-based feature
+    // extraction blocks are larger and hungrier.
+    auto mux_heavy = makeConfig(FebKind::MuxMaxStanh, FebKind::MuxMaxStanh,
+                                FebKind::ApcMaxBtanh, 1024);
+    auto apc_heavy = makeConfig(FebKind::ApcMaxBtanh, FebKind::ApcMaxBtanh,
+                                FebKind::ApcMaxBtanh, 1024);
+    auto c_mux = networkCost(lenet5Layers(mux_heavy), mux_heavy);
+    auto c_apc = networkCost(lenet5Layers(apc_heavy), apc_heavy);
+    EXPECT_LT(c_mux.areaMm2(), c_apc.areaMm2());
+    EXPECT_LT(c_mux.powerW(), c_apc.powerW());
+}
+
+TEST(NetworkCost, AreaInPaperBand)
+{
+    // Table 6 spans 17.0 .. 36.4 mm^2; our structural model must land
+    // in the same regime (documented tolerance: within ~2x).
+    auto cfg = makeConfig(FebKind::MuxAvgStanh, FebKind::ApcAvgBtanh,
+                          FebKind::ApcAvgBtanh, 1024);
+    auto cost = networkCost(lenet5Layers(cfg), cfg);
+    EXPECT_GT(cost.areaMm2(), 8.0);
+    EXPECT_LT(cost.areaMm2(), 40.0);
+}
+
+TEST(NetworkCost, PowerInPaperBand)
+{
+    // Table 6 spans 1.53 .. 3.53 W.
+    auto cfg = makeConfig(FebKind::MuxAvgStanh, FebKind::ApcAvgBtanh,
+                          FebKind::ApcAvgBtanh, 256);
+    auto cost = networkCost(lenet5Layers(cfg), cfg);
+    EXPECT_GT(cost.powerW(), 0.7);
+    EXPECT_LT(cost.powerW(), 7.0);
+}
+
+TEST(NetworkCost, ShorterStreamsCutEnergyProportionally)
+{
+    auto c1024 = makeConfig(FebKind::ApcAvgBtanh, FebKind::ApcAvgBtanh,
+                            FebKind::ApcAvgBtanh, 1024);
+    auto c256 = makeConfig(FebKind::ApcAvgBtanh, FebKind::ApcAvgBtanh,
+                           FebKind::ApcAvgBtanh, 256);
+    double e1024 = networkCost(lenet5Layers(c1024), c1024).energyUj();
+    double e256 = networkCost(lenet5Layers(c256), c256).energyUj();
+    EXPECT_NEAR(e1024 / e256, 4.0, 0.25);
+}
+
+TEST(NetworkCost, EfficiencyMetricsConsistent)
+{
+    auto cfg = makeConfig(FebKind::MuxAvgStanh, FebKind::ApcAvgBtanh,
+                          FebKind::ApcAvgBtanh, 256);
+    auto cost = networkCost(lenet5Layers(cfg), cfg);
+    EXPECT_NEAR(cost.areaEfficiency(),
+                cost.throughputImagesPerSec() / cost.areaMm2(), 1e-6);
+    EXPECT_NEAR(cost.energyEfficiency(),
+                cost.throughputImagesPerSec() / cost.powerW(), 1e-6);
+}
+
+TEST(NetworkCost, WeightPrecisionShrinksSram)
+{
+    auto high = makeConfig(FebKind::ApcAvgBtanh, FebKind::ApcAvgBtanh,
+                           FebKind::ApcAvgBtanh, 1024);
+    high.weight_bits = {64, 64, 64};
+    auto low = high;
+    low.weight_bits = {7, 7, 6};
+    double a_high =
+        networkCost(lenet5Layers(high), high).sram.totalAreaUm2();
+    double a_low = networkCost(lenet5Layers(low), low).sram.totalAreaUm2();
+    EXPECT_GT(a_high / a_low, 6.0);
+}
+
+} // namespace
+} // namespace hw
+} // namespace scdcnn

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the gate-level stochastic arithmetic of Section 3.2.
+ */
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/bitstream.h"
+#include "sc/ops.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+constexpr size_t kLen = 1 << 15;
+
+TEST(Multiply, PaperUnipolarExample)
+{
+    // Figure 4(a): 4/8 AND 6/8 -> 3/8 for these exact streams.
+    Bitstream a = Bitstream::fromString("11110000");
+    Bitstream b = Bitstream::fromString("11011110");
+    Bitstream z = andMultiply(a, b);
+    EXPECT_DOUBLE_EQ(z.unipolar(), 3.0 / 8.0);
+}
+
+TEST(Multiply, PaperBipolarExample)
+{
+    // Figure 4(b): bipolar XNOR of the two example streams gives 0/8
+    // ones -> represents -1... checking the gate behaviour bit-exact.
+    Bitstream a = Bitstream::fromString("11010010");
+    Bitstream b = Bitstream::fromString("10111110");
+    Bitstream z = xnorMultiply(a, b);
+    EXPECT_EQ(z.toString(), "10010011");
+}
+
+/** Property sweep: AND multiplies unipolar values. */
+class UnipolarMultiply
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(UnipolarMultiply, MatchesProduct)
+{
+    auto [pa, pb] = GetParam();
+    SngBank bank(1000 + static_cast<uint64_t>(pa * 100) * 101 +
+                 static_cast<uint64_t>(pb * 100));
+    Bitstream a = bank.unipolar(pa, kLen);
+    Bitstream b = bank.unipolar(pb, kLen);
+    EXPECT_NEAR(andMultiply(a, b).unipolar(), pa * pb, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnipolarMultiply,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+/** Property sweep: XNOR multiplies bipolar values. */
+class BipolarMultiply
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(BipolarMultiply, MatchesProduct)
+{
+    auto [xa, xb] = GetParam();
+    SngBank bank(2000 + static_cast<uint64_t>((xa + 1) * 100) * 211 +
+                 static_cast<uint64_t>((xb + 1) * 100));
+    Bitstream a = bank.bipolar(xa, kLen);
+    Bitstream b = bank.bipolar(xb, kLen);
+    EXPECT_NEAR(xnorMultiply(a, b).bipolar(), xa * xb, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BipolarMultiply,
+    ::testing::Combine(::testing::Values(-1.0, -0.6, 0.0, 0.4, 1.0),
+                       ::testing::Values(-0.8, -0.2, 0.3, 0.9)));
+
+TEST(BipolarMultiplyCorrelation, SharedRngBreaksTheProduct)
+{
+    // x * x with a shared generator gives XNOR(a,a) = all ones = +1,
+    // not x^2: the canonical correlation failure.
+    Lfsr l1(16, 33);
+    Lfsr l2(16, 33);
+    Bitstream a = sngBipolar(0.3, kLen, l1);
+    Bitstream b = sngBipolar(0.3, kLen, l2);
+    EXPECT_DOUBLE_EQ(xnorMultiply(a, b).bipolar(), 1.0);
+}
+
+TEST(OrAdd, ExactOnDisjointStreams)
+{
+    // The paper's example: 3/8 + 4/8 as "00100101 OR 11001010" = 7/8.
+    Bitstream a = Bitstream::fromString("00100101");
+    Bitstream b = Bitstream::fromString("11001010");
+    EXPECT_DOUBLE_EQ(orAdd({a, b}).unipolar(), 7.0 / 8.0);
+}
+
+TEST(OrAdd, LossyOnOverlappingStreams)
+{
+    // Same values, different representation: "10011000 OR 11001010"
+    // loses a one (5/8 instead of 7/8) — the multiple-representation
+    // inaccuracy the paper describes.
+    Bitstream a = Bitstream::fromString("10011000");
+    Bitstream b = Bitstream::fromString("11001010");
+    EXPECT_DOUBLE_EQ(orAdd({a, b}).unipolar(), 5.0 / 8.0);
+}
+
+TEST(OrAdd, ApproachesSumForSparseStreams)
+{
+    // With small probabilities, overlaps are rare and OR ~ sum.
+    SngBank bank(7);
+    Bitstream a = bank.unipolar(0.02, kLen);
+    Bitstream b = bank.unipolar(0.03, kLen);
+    EXPECT_NEAR(orAdd({a, b}).unipolar(), 0.05, 0.005);
+}
+
+TEST(MuxAdd, TwoInputsHalveTheSum)
+{
+    SngBank bank(11);
+    Bitstream a = bank.bipolar(0.6, kLen);
+    Bitstream b = bank.bipolar(-0.2, kLen);
+    Xoshiro256ss sel = bank.makeRng();
+    // Bipolar MUX: c = (a+b)/2.
+    EXPECT_NEAR(muxAdd({a, b}, sel).bipolar(), (0.6 - 0.2) / 2.0, 0.02);
+}
+
+/** Property sweep: n-input MUX scales by 1/n. */
+class MuxAddScaling : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MuxAddScaling, OutputIsScaledSum)
+{
+    const int n = GetParam();
+    SngBank bank(123 + n);
+    SplitMix64 vals(n);
+    std::vector<Bitstream> inputs;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = vals.nextInRange(-1.0, 1.0);
+        sum += x;
+        inputs.push_back(bank.bipolar(x, kLen));
+    }
+    Xoshiro256ss sel = bank.makeRng();
+    EXPECT_NEAR(muxAdd(inputs, sel).bipolar(), sum / n, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MuxAddScaling,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(MuxAdd, WithSelectsIsDeterministic)
+{
+    Bitstream a = Bitstream::fromString("1111");
+    Bitstream b = Bitstream::fromString("0000");
+    std::vector<uint32_t> sel = {0, 1, 0, 1};
+    EXPECT_EQ(muxAddWithSelects({a, b}, sel).toString(), "1010");
+}
+
+TEST(Scc, IdenticalStreamsFullyCorrelated)
+{
+    SngBank bank(3);
+    Bitstream a = bank.unipolar(0.4, kLen);
+    EXPECT_DOUBLE_EQ(scc(a, a), 1.0);
+}
+
+TEST(Scc, ComplementStreamsAntiCorrelated)
+{
+    SngBank bank(3);
+    Bitstream a = bank.unipolar(0.5, kLen);
+    EXPECT_NEAR(scc(a, ~a), -1.0, 1e-9);
+}
+
+TEST(Scc, IndependentStreamsNearZero)
+{
+    SngBank bank(3);
+    Bitstream a = bank.unipolar(0.5, kLen);
+    Bitstream b = bank.unipolar(0.5, kLen);
+    EXPECT_NEAR(scc(a, b), 0.0, 0.05);
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the pooling function blocks (Section 4.2).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocks/pooling.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace blocks {
+namespace {
+
+std::vector<sc::Bitstream>
+bipolarStreams(const std::vector<double> &values, size_t len, uint64_t seed)
+{
+    sc::SngBank bank(seed);
+    std::vector<sc::Bitstream> out;
+    for (double v : values)
+        out.push_back(bank.bipolar(v, len));
+    return out;
+}
+
+TEST(AveragePooling, FourInputMeanViaMux)
+{
+    auto ins = bipolarStreams({0.8, 0.4, -0.2, -0.6}, 1 << 15, 1);
+    sc::Xoshiro256ss sel(2);
+    EXPECT_NEAR(averagePooling(ins, sel).bipolar(), 0.1, 0.03);
+}
+
+TEST(AveragePooling, SingleInputPassesValueThrough)
+{
+    auto ins = bipolarStreams({0.5}, 1 << 14, 3);
+    sc::Xoshiro256ss sel(4);
+    EXPECT_NEAR(averagePooling(ins, sel).bipolar(), 0.5, 0.03);
+}
+
+TEST(HardwareMaxPooling, PicksDominantStream)
+{
+    // One clearly-largest input: output must track it closely.
+    auto ins = bipolarStreams({0.9, -0.5, -0.7, -0.1}, 4096, 5);
+    sc::Bitstream out = HardwareMaxPooling::compute(ins, 16);
+    EXPECT_NEAR(out.bipolar(), 0.9, 0.1);
+}
+
+TEST(HardwareMaxPooling, UnderCountsSlightly)
+{
+    // Section 4.4: the block's output is in most cases slightly *less*
+    // than the true maximum (segment mispredictions only hurt).
+    double sc_sum = 0, true_sum = 0;
+    for (int t = 0; t < 30; ++t) {
+        sc::SplitMix64 vals(100 + t);
+        std::vector<double> v = {vals.nextInRange(-1, 1),
+                                 vals.nextInRange(-1, 1),
+                                 vals.nextInRange(-1, 1),
+                                 vals.nextInRange(-1, 1)};
+        auto ins = bipolarStreams(v, 2048, 200 + t);
+        sc_sum += HardwareMaxPooling::compute(ins, 16).bipolar();
+        // Reference max over the *encoded* streams to isolate the
+        // pooling error from SNG noise.
+        double best = -1;
+        for (const auto &s : ins)
+            best = std::max(best, s.bipolar());
+        true_sum += best;
+    }
+    EXPECT_LE(sc_sum, true_sum);
+    EXPECT_NEAR(sc_sum / 30, true_sum / 30, 0.15);
+}
+
+/** Table 4 shape: deviation shrinks as streams lengthen. */
+class MaxPoolingLength : public ::testing::TestWithParam<int>
+{
+  public:
+    static double meanDeviation(size_t n_inputs, size_t len)
+    {
+        double dev = 0;
+        const int trials = 25;
+        for (int t = 0; t < trials; ++t) {
+            sc::SplitMix64 vals(300 + t);
+            std::vector<double> v;
+            for (size_t i = 0; i < n_inputs; ++i)
+                v.push_back(vals.nextInRange(-1, 1));
+            auto ins = bipolarStreams(v, len, 400 + t);
+            double got =
+                HardwareMaxPooling::compute(ins, 16).bipolar();
+            double best = -1;
+            for (const auto &s : ins)
+                best = std::max(best, s.bipolar());
+            dev += std::abs(got - best);
+        }
+        return dev / trials;
+    }
+};
+
+TEST_P(MaxPoolingLength, DeviationWithinTable4Band)
+{
+    const int len = GetParam();
+    double dev = meanDeviation(4, len);
+    // Table 4 reports 0.059..0.127 for 4 inputs over 128..512 bits.
+    EXPECT_LT(dev, 0.25) << "L=" << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MaxPoolingLength,
+                         ::testing::Values(128, 256, 384, 512));
+
+TEST(MaxPoolingLength, DeviationShrinksWithLength)
+{
+    EXPECT_LT(MaxPoolingLength::meanDeviation(4, 2048),
+              MaxPoolingLength::meanDeviation(4, 128));
+}
+
+TEST(HardwareMaxPooling, WorksForNineAndSixteenInputs)
+{
+    // Table 4 also evaluates 3x3 and 4x4 windows.
+    for (size_t n : {9u, 16u}) {
+        double dev = MaxPoolingLength::meanDeviation(n, 512);
+        EXPECT_LT(dev, 0.3) << "inputs=" << n;
+    }
+}
+
+TEST(HardwareMaxPooling, FirstSegmentUsesRequestedChoice)
+{
+    // Input 1 is all-ones, input 0 all-zeros; choosing 0 first leaves
+    // the first segment empty, and the selector must switch to input 1
+    // for every later segment.
+    std::vector<sc::Bitstream> ins = {sc::constantStream(false, 64),
+                                      sc::constantStream(true, 64)};
+    sc::Bitstream out = HardwareMaxPooling::compute(ins, 16, 0);
+    EXPECT_EQ(out.countOnes(0, 16), 0u);
+    EXPECT_EQ(out.countOnes(16, 64), 48u);
+}
+
+TEST(HardwareMaxPooling, SegmentNotDividingLengthHandled)
+{
+    auto ins = bipolarStreams({0.3, 0.7}, 100, 7); // 100 % 16 != 0
+    sc::Bitstream out = HardwareMaxPooling::compute(ins, 16);
+    EXPECT_EQ(out.length(), 100u);
+}
+
+TEST(HardwareMaxPooling, ArgmaxStreamFindsLargest)
+{
+    auto ins = bipolarStreams({-0.2, 0.9, 0.1}, 4096, 8);
+    EXPECT_EQ(HardwareMaxPooling::argmaxStream(ins), 1u);
+}
+
+TEST(BinaryAveragePooling, TruncatesFraction)
+{
+    // Paper example: mean(2,3,4,5) = 3.5 stored as 3.
+    std::vector<std::vector<uint16_t>> counts = {
+        {2}, {3}, {4}, {5}};
+    auto out = binaryAveragePooling(counts);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 3);
+}
+
+TEST(BinaryAveragePooling, ExactWhenDivisible)
+{
+    std::vector<std::vector<uint16_t>> counts = {
+        {2, 8}, {2, 8}, {2, 0}, {2, 0}};
+    auto out = binaryAveragePooling(counts);
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(out[1], 4);
+}
+
+TEST(BinaryMaxPooling, TracksLargestCountSequence)
+{
+    // Sequence 0 is uniformly larger; after the first segment the
+    // selector must lock onto it.
+    std::vector<std::vector<uint16_t>> counts(2);
+    for (int i = 0; i < 64; ++i) {
+        counts[0].push_back(10);
+        counts[1].push_back(2);
+    }
+    auto out = BinaryMaxPooling::compute(counts, 16, /*first=*/1);
+    // First segment forwarded the wrong row; the rest must be 10s.
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], 2);
+    for (size_t i = 16; i < 64; ++i)
+        EXPECT_EQ(out[i], 10);
+}
+
+TEST(BinaryMaxPooling, SelectsPerSegmentNotPerCycle)
+{
+    // Within a segment the selected row is forwarded even on cycles
+    // where another row momentarily exceeds it.
+    std::vector<std::vector<uint16_t>> counts(2);
+    counts[0] = {5, 0, 5, 5, 5, 5, 5, 5};
+    counts[1] = {1, 9, 1, 1, 1, 1, 1, 1};
+    auto out = BinaryMaxPooling::compute(counts, 4, 0);
+    // Row 0 wins segment 1 (sum 15 vs 12), so segment 2 is row 0
+    // verbatim including any dips.
+    EXPECT_EQ(out[4], 5);
+    EXPECT_EQ(out[5], 5);
+}
+
+TEST(BinaryMaxPooling, ApproximatesTrueMaxOnStochasticCounts)
+{
+    // Counts derived from streams with distinct values: the pooled
+    // sum should be close to the largest input's total.
+    sc::SngBank bank(9);
+    std::vector<std::vector<uint16_t>> counts;
+    std::vector<double> sums;
+    for (double v : {0.6, -0.2, 0.1, -0.5}) {
+        sc::Bitstream s = bank.bipolar(v, 1024);
+        std::vector<uint16_t> c(1024);
+        for (size_t i = 0; i < 1024; ++i)
+            c[i] = s.get(i);
+        double total = 0;
+        for (auto b : c)
+            total += b;
+        sums.push_back(total);
+        counts.push_back(std::move(c));
+    }
+    auto pooled = BinaryMaxPooling::compute(counts, 16);
+    double pooled_sum = 0;
+    for (auto v : pooled)
+        pooled_sum += v;
+    double best = *std::max_element(sums.begin(), sums.end());
+    EXPECT_NEAR(pooled_sum, best, best * 0.12);
+    EXPECT_LE(pooled_sum, best + 1e-9);
+}
+
+} // namespace
+} // namespace blocks
+} // namespace scdcnn

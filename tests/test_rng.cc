@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the random number generators, including exhaustive
+ * verification that the LFSR tap table gives maximal-length sequences.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+/** Exhaustive LFSR period check for widths small enough to enumerate. */
+class LfsrMaximalLength : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrMaximalLength, VisitsAllNonZeroStatesOnce)
+{
+    const unsigned width = GetParam();
+    Lfsr lfsr(width, 1);
+    const uint64_t period = lfsr.period();
+
+    uint32_t first = lfsr.state();
+    uint64_t steps = 0;
+    do {
+        lfsr.next();
+        ++steps;
+        ASSERT_NE(lfsr.state(), 0u) << "LFSR locked up at width " << width;
+        ASSERT_LE(steps, period) << "width " << width
+                                 << " repeated early or never";
+    } while (lfsr.state() != first);
+    EXPECT_EQ(steps, period) << "width " << width << " is not maximal";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths4To20, LfsrMaximalLength,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                           12u, 13u, 14u, 15u, 16u, 17u, 18u,
+                                           19u, 20u));
+
+TEST(Lfsr, LargerWidthsCycleWithoutLockupSpotCheck)
+{
+    for (unsigned width : {22u, 24u, 28u, 32u}) {
+        Lfsr lfsr(width, 0xDEADBEEF);
+        uint32_t first = lfsr.state();
+        bool returned_early = false;
+        for (int i = 0; i < 1000000; ++i) {
+            lfsr.next();
+            ASSERT_NE(lfsr.state(), 0u);
+            if (lfsr.state() == first) {
+                returned_early = true;
+                break;
+            }
+        }
+        EXPECT_FALSE(returned_early)
+            << "width " << width << " period is suspiciously small";
+    }
+}
+
+TEST(Lfsr, ZeroSeedRemapped)
+{
+    Lfsr lfsr(8, 0);
+    EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, NextReturnsPreAdvanceState)
+{
+    Lfsr lfsr(8, 0x5A);
+    uint32_t s = lfsr.state();
+    EXPECT_EQ(lfsr.next(), s);
+    EXPECT_NE(lfsr.state(), s);
+}
+
+TEST(Lfsr, StatesAreUniformOverOnePeriod)
+{
+    // Over a whole period each non-zero state appears exactly once, so
+    // the mean state is (2^w)/2 exactly.
+    Lfsr lfsr(12, 99);
+    const uint64_t period = lfsr.period();
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < period; ++i)
+        sum += lfsr.next();
+    EXPECT_EQ(sum, (period * (period + 1)) / 2);
+}
+
+TEST(Lfsr, DeterministicForSameSeed)
+{
+    Lfsr a(16, 0x1234);
+    Lfsr b(16, 0x1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, DoublesInUnitInterval)
+{
+    SplitMix64 rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(SplitMix64, NextBelowInRange)
+{
+    SplitMix64 rng(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(7), 7u);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed)
+{
+    Xoshiro256ss a(777);
+    Xoshiro256ss b(777);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, MeanOfDoublesNearHalf)
+{
+    Xoshiro256ss rng(3);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, NextBelowUniformish)
+{
+    Xoshiro256ss rng(5);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        buckets[rng.nextBelow(10)]++;
+    for (int b : buckets)
+        EXPECT_NEAR(b, n / 10, n / 100);
+}
+
+TEST(Xoshiro, GaussianMomentsMatch)
+{
+    Xoshiro256ss rng(9);
+    const int n = 200000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, RangeRespectsBounds)
+{
+    Xoshiro256ss rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextInRange(-1.0, 1.0);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

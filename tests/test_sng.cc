@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for stochastic number generators: expected values, saturation,
+ * determinism, and stream independence.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sc/bitstream.h"
+#include "sc/ops.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+TEST(ConstantStream, AllOnesIsPlusOne)
+{
+    Bitstream s = constantStream(true, 100);
+    EXPECT_EQ(s.countOnes(), 100u);
+    EXPECT_DOUBLE_EQ(s.bipolar(), 1.0);
+}
+
+TEST(ConstantStream, AllZerosIsMinusOne)
+{
+    Bitstream s = constantStream(false, 100);
+    EXPECT_EQ(s.countOnes(), 0u);
+    EXPECT_DOUBLE_EQ(s.bipolar(), -1.0);
+}
+
+/** Unipolar SNG value sweep, both sources. */
+class SngUnipolarSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SngUnipolarSweep, XoshiroHitsExpectedValue)
+{
+    const double p = GetParam();
+    Xoshiro256ss rng(1234);
+    Bitstream s = sngUnipolar(p, 1 << 16, rng);
+    EXPECT_NEAR(s.unipolar(), p, 0.01);
+}
+
+TEST_P(SngUnipolarSweep, LfsrHitsExpectedValue)
+{
+    const double p = GetParam();
+    Lfsr lfsr(16, 0xACE1);
+    Bitstream s = sngUnipolar(p, 1 << 16, lfsr);
+    // One full LFSR period is essentially exact (quasi-uniform source).
+    EXPECT_NEAR(s.unipolar(), p, 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SngUnipolarSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.5, 0.6,
+                                           0.75, 0.9, 1.0));
+
+/** Bipolar SNG value sweep. */
+class SngBipolarSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SngBipolarSweep, XoshiroHitsExpectedValue)
+{
+    const double x = GetParam();
+    Xoshiro256ss rng(99);
+    Bitstream s = sngBipolar(x, 1 << 16, rng);
+    EXPECT_NEAR(s.bipolar(), x, 0.02);
+}
+
+TEST_P(SngBipolarSweep, LfsrHitsExpectedValue)
+{
+    const double x = GetParam();
+    Lfsr lfsr(16, 0xBEEF);
+    Bitstream s = sngBipolar(x, 1 << 16, lfsr);
+    EXPECT_NEAR(s.bipolar(), x, 0.004);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SngBipolarSweep,
+                         ::testing::Values(-1.0, -0.75, -0.5, -0.1, 0.0, 0.1,
+                                           0.5, 0.75, 1.0));
+
+TEST(Sng, OutOfRangeValuesSaturate)
+{
+    Xoshiro256ss rng(5);
+    EXPECT_DOUBLE_EQ(sngUnipolar(1.7, 4096, rng).unipolar(), 1.0);
+    EXPECT_DOUBLE_EQ(sngUnipolar(-0.3, 4096, rng).unipolar(), 0.0);
+    EXPECT_DOUBLE_EQ(sngBipolar(2.5, 4096, rng).bipolar(), 1.0);
+    EXPECT_DOUBLE_EQ(sngBipolar(-9.0, 4096, rng).bipolar(), -1.0);
+}
+
+TEST(Sng, ErrorShrinksWithLength)
+{
+    // Stochastic representation error scales like 1/sqrt(L); check the
+    // averaged absolute error drops when L is 16x longer.
+    auto mean_abs_err = [](size_t len, uint64_t seed) {
+        Xoshiro256ss rng(seed);
+        SplitMix64 values(seed ^ 0x1111);
+        double err = 0;
+        const int trials = 200;
+        for (int t = 0; t < trials; ++t) {
+            double x = values.nextInRange(-1.0, 1.0);
+            err += std::abs(sngBipolar(x, len, rng).bipolar() - x);
+        }
+        return err / trials;
+    };
+    double err_short = mean_abs_err(256, 21);
+    double err_long = mean_abs_err(4096, 21);
+    EXPECT_LT(err_long, err_short * 0.5);
+}
+
+TEST(Sng, LfsrStreamsWithSameSeedAreIdentical)
+{
+    Lfsr a(16, 7);
+    Lfsr b(16, 7);
+    EXPECT_EQ(sngBipolar(0.3, 2048, a), sngBipolar(0.3, 2048, b));
+}
+
+TEST(SngBank, StreamsAreReproduciblePerSeed)
+{
+    SngBank bank1(42);
+    SngBank bank2(42);
+    EXPECT_EQ(bank1.bipolar(0.25, 1024), bank2.bipolar(0.25, 1024));
+}
+
+TEST(SngBank, ConsecutiveStreamsAreIndependent)
+{
+    SngBank bank(42);
+    Bitstream a = bank.bipolar(0.5, 1 << 15);
+    Bitstream b = bank.bipolar(0.5, 1 << 15);
+    EXPECT_NE(a, b);
+    // Independent streams have near-zero stochastic cross-correlation.
+    EXPECT_NEAR(scc(a, b), 0.0, 0.05);
+}
+
+TEST(SngBank, DifferentSeedsDiffer)
+{
+    SngBank bank1(1);
+    SngBank bank2(2);
+    EXPECT_NE(bank1.bipolar(0.0, 1024), bank2.bipolar(0.0, 1024));
+}
+
+TEST(Sng, SharedLfsrProducesMaximallyCorrelatedStreams)
+{
+    // Two SNGs driven by the *same* RNG sequence produce overlapping
+    // streams (SCC -> +1): the pathology that motivates independent
+    // seeds for multiplier operands.
+    Lfsr a(16, 7);
+    Lfsr b(16, 7);
+    Bitstream s1 = sngUnipolar(0.5, 1 << 14, a);
+    Bitstream s2 = sngUnipolar(0.7, 1 << 14, b);
+    EXPECT_GT(scc(s1, s2), 0.9);
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the SRAM model and the Section 5 weight storage schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/sram.h"
+
+namespace scdcnn {
+namespace hw {
+namespace {
+
+TEST(SramMacro, AreaScalesWithCapacity)
+{
+    double small = sramMacro(1024, 8).area_um2;
+    double large = sramMacro(4096, 8).area_um2;
+    EXPECT_GT(large, 3.0 * small);
+    EXPECT_LT(large, 4.0 * small); // sub-linear thanks to fixed overhead
+}
+
+TEST(SramMacro, AreaScalesWithWordWidth)
+{
+    // Section 5.2: cutting precision from 64 to 7 bits shrinks the
+    // array by ~10x (the paper reports 10.3x from CACTI).
+    double w64 = sramMacro(431000, 64).area_um2;
+    double w7 = sramMacro(431000, 7).area_um2;
+    EXPECT_GT(w64 / w7, 8.0);
+    EXPECT_LT(w64 / w7, 11.0);
+}
+
+TEST(SramMacro, LeakageProportionalToBits)
+{
+    double l1 = sramMacro(1000, 8).leakage_w;
+    double l2 = sramMacro(2000, 8).leakage_w;
+    EXPECT_NEAR(l2 / l1, 2.0, 1e-9);
+}
+
+TEST(SramMacro, ReadEnergyPositiveAndScales)
+{
+    double e1 = sramMacro(1000, 8).read_energy_pj;
+    double e2 = sramMacro(2000, 8).read_energy_pj;
+    EXPECT_GT(e1, 0.0);
+    EXPECT_NEAR(e2 / e1, 2.0, 0.01);
+}
+
+TEST(WeightStorage, LayerWisePrecisionSavesArea)
+{
+    // Section 5.3: 7-7-6 layer-wise precision vs a 64-bit baseline
+    // gives ~12x array savings.
+    double baseline = sramMacro(520, 64).area_um2 +
+                      sramMacro(25050, 64).area_um2 +
+                      sramMacro(400500, 64).area_um2;
+    double layered = sramMacro(520, 7).area_um2 +
+                     sramMacro(25050, 7).area_um2 +
+                     sramMacro(400500, 6).area_um2;
+    EXPECT_GT(baseline / layered, 9.0);
+    EXPECT_LT(baseline / layered, 13.0);
+}
+
+TEST(FilterAwareSharing, SplitsIntoPerFilterMacros)
+{
+    SramCost shared = filterAwareSram(20, 26, 7);
+    SramCost mono = monolithicSram(20 * 26, 7, 20);
+    // Many small macros pay more array overhead...
+    EXPECT_GT(shared.area_um2, mono.area_um2);
+    // ...but save global routing (the Section 5.1 claim).
+    EXPECT_LT(shared.wire_area_um2, mono.wire_area_um2);
+}
+
+TEST(FilterAwareSharing, WinsOnTotalForLargeLayers)
+{
+    // For the FC layer the central array's routing dominates.
+    SramCost shared = filterAwareSram(500, 801, 7);
+    SramCost mono = monolithicSram(500 * 801, 7, 500);
+    EXPECT_LT(shared.totalAreaUm2(), mono.totalAreaUm2());
+}
+
+TEST(SramCost, AccumulatesAcrossLayers)
+{
+    SramCost total;
+    total += sramMacro(100, 8);
+    total += sramMacro(100, 8);
+    SramCost one = sramMacro(200, 8);
+    // Two macros carry more overhead than one double-size macro.
+    EXPECT_GT(total.area_um2, one.area_um2);
+    EXPECT_NEAR(total.leakage_w, one.leakage_w, 1e-12);
+}
+
+} // namespace
+} // namespace hw
+} // namespace scdcnn

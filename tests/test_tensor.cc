@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the dense tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace scdcnn {
+namespace nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.channels(), 0u);
+}
+
+TEST(Tensor, ShapeAndZeroInit)
+{
+    Tensor t(3, 4, 5);
+    EXPECT_EQ(t.channels(), 3u);
+    EXPECT_EQ(t.height(), 4u);
+    EXPECT_EQ(t.width(), 5u);
+    EXPECT_EQ(t.size(), 60u);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FlatConstructor)
+{
+    Tensor t(7);
+    EXPECT_EQ(t.channels(), 7u);
+    EXPECT_EQ(t.height(), 1u);
+    EXPECT_EQ(t.width(), 1u);
+}
+
+TEST(Tensor, IndexingIsRowMajor)
+{
+    Tensor t(2, 3, 4);
+    t.at(1, 2, 3) = 42.0f;
+    EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 42.0f);
+    t[0] = 7.0f;
+    EXPECT_EQ(t.at(0, 0, 0), 7.0f);
+}
+
+TEST(Tensor, ZeroResets)
+{
+    Tensor t(2, 2, 2);
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(i);
+    t.zero();
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, SameShapeComparesAllDims)
+{
+    EXPECT_TRUE(Tensor(1, 2, 3).sameShape(Tensor(1, 2, 3)));
+    EXPECT_FALSE(Tensor(1, 2, 3).sameShape(Tensor(3, 2, 1)));
+    EXPECT_FALSE(Tensor(6).sameShape(Tensor(1, 2, 3)));
+}
+
+} // namespace
+} // namespace nn
+} // namespace scdcnn

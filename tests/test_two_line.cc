@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the two-line (sign/magnitude) representation and its
+ * non-scaled adder (Section 3.2, Figure 5(d)).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sc/rng.h"
+#include "sc/two_line.h"
+
+namespace scdcnn {
+namespace sc {
+namespace {
+
+TEST(TwoLine, PaperExampleValue)
+{
+    // The paper's example: M(-0.5)=10110001, S(-0.5)=11111111
+    // represents (1/8) * sum (1-2S)M = -4/8 = -0.5.
+    TwoLineStream s;
+    s.mag = Bitstream::fromString("10110001");
+    s.sign = Bitstream::fromString("11111111");
+    EXPECT_DOUBLE_EQ(s.value(), -0.5);
+}
+
+TEST(TwoLine, DigitExtraction)
+{
+    TwoLineStream s;
+    s.mag = Bitstream::fromString("101");
+    s.sign = Bitstream::fromString("100");
+    EXPECT_EQ(s.digit(0), -1);
+    EXPECT_EQ(s.digit(1), 0);
+    EXPECT_EQ(s.digit(2), 1);
+}
+
+/** Encoding sweep. */
+class TwoLineEncode : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TwoLineEncode, RoundTripsValue)
+{
+    const double x = GetParam();
+    Xoshiro256ss rng(55);
+    TwoLineStream s = encodeTwoLine(x, 1 << 15, rng);
+    EXPECT_NEAR(s.value(), x, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, TwoLineEncode,
+                         ::testing::Values(-1.0, -0.7, -0.5, -0.1, 0.0, 0.2,
+                                           0.5, 0.9, 1.0));
+
+TEST(TwoLineEncode, SaturatesOutOfRange)
+{
+    Xoshiro256ss rng(56);
+    EXPECT_DOUBLE_EQ(encodeTwoLine(3.0, 4096, rng).value(), 1.0);
+    EXPECT_DOUBLE_EQ(encodeTwoLine(-2.0, 4096, rng).value(), -1.0);
+}
+
+TEST(TwoLineMultiply, SignAndMagnitudeRules)
+{
+    Xoshiro256ss rng(57);
+    TwoLineStream a = encodeTwoLine(-0.6, 1 << 15, rng);
+    TwoLineStream b = encodeTwoLine(0.5, 1 << 15, rng);
+    TwoLineStream p = twoLineMultiply(a, b);
+    EXPECT_NEAR(p.value(), -0.3, 0.02);
+}
+
+TEST(TwoLineMultiply, PositiveTimesPositive)
+{
+    Xoshiro256ss rng(58);
+    TwoLineStream a = encodeTwoLine(0.4, 1 << 15, rng);
+    TwoLineStream b = encodeTwoLine(0.4, 1 << 15, rng);
+    EXPECT_NEAR(twoLineMultiply(a, b).value(), 0.16, 0.02);
+}
+
+TEST(TwoLineAdder, ExactWhenSumWithinRange)
+{
+    // The non-scaled adder computes a+b (not (a+b)/2) when |a+b| <= 1.
+    Xoshiro256ss rng(59);
+    TwoLineStream a = encodeTwoLine(0.3, 1 << 15, rng);
+    TwoLineStream b = encodeTwoLine(-0.5, 1 << 15, rng);
+    TwoLineAdder adder;
+    TwoLineStream sum = adder.add(a, b);
+    EXPECT_NEAR(sum.value(), -0.2, 0.02);
+}
+
+TEST(TwoLineAdder, CarryRecoversCoincidentDigits)
+{
+    // Digits (+1,+1) then (0,0): the carry defers one unit to the next
+    // cycle so no weight is lost.
+    TwoLineStream a;
+    a.mag = Bitstream::fromString("10");
+    a.sign = Bitstream::fromString("00");
+    TwoLineStream b;
+    b.mag = Bitstream::fromString("10");
+    b.sign = Bitstream::fromString("00");
+    TwoLineAdder adder;
+    TwoLineStream sum = adder.add(a, b);
+    EXPECT_DOUBLE_EQ(sum.value(), 1.0); // 2 units over 2 cycles
+    EXPECT_EQ(adder.droppedWeight(), 0u);
+}
+
+TEST(TwoLineAdder, OverflowSaturatesAndIsRecorded)
+{
+    // 1.0 + 1.0 cannot be represented: every cycle wants +2 and the
+    // three-state carry saturates, dropping weight.
+    Xoshiro256ss rng(60);
+    TwoLineStream a = encodeTwoLine(1.0, 1024, rng);
+    TwoLineStream b = encodeTwoLine(1.0, 1024, rng);
+    TwoLineAdder adder;
+    TwoLineStream sum = adder.add(a, b);
+    EXPECT_NEAR(sum.value(), 1.0, 1e-9);
+    EXPECT_GT(adder.droppedWeight(), 0u);
+}
+
+TEST(TwoLineAdder, NegativeOverflowSymmetric)
+{
+    Xoshiro256ss rng(61);
+    TwoLineStream a = encodeTwoLine(-1.0, 1024, rng);
+    TwoLineStream b = encodeTwoLine(-0.9, 1024, rng);
+    TwoLineAdder adder;
+    TwoLineStream sum = adder.add(a, b);
+    EXPECT_NEAR(sum.value(), -1.0, 0.02);
+    EXPECT_GT(adder.droppedWeight(), 0u);
+}
+
+TEST(TwoLineAddTree, SmallSumsStayAccurate)
+{
+    // Sum of 4 values within [-1,1]: 0.2+0.1-0.15-0.05 = 0.1.
+    Xoshiro256ss rng(62);
+    std::vector<TwoLineStream> inputs = {
+        encodeTwoLine(0.2, 1 << 15, rng),
+        encodeTwoLine(0.1, 1 << 15, rng),
+        encodeTwoLine(-0.15, 1 << 15, rng),
+        encodeTwoLine(-0.05, 1 << 15, rng),
+    };
+    uint64_t dropped = 0;
+    TwoLineStream sum = twoLineAddTree(inputs, &dropped);
+    EXPECT_NEAR(sum.value(), 0.1, 0.03);
+}
+
+TEST(TwoLineAddTree, ManyInputsOverflow)
+{
+    // Section 4.1 limitation (i): with many inputs the non-scaling
+    // adder overflows and loses significant accuracy.
+    Xoshiro256ss rng(63);
+    std::vector<TwoLineStream> inputs;
+    double true_sum = 0;
+    for (int i = 0; i < 16; ++i) {
+        double x = 0.4; // true sum 6.4, far beyond representable range
+        true_sum += x;
+        inputs.push_back(encodeTwoLine(x, 1 << 14, rng));
+    }
+    uint64_t dropped = 0;
+    TwoLineStream sum = twoLineAddTree(inputs, &dropped);
+    EXPECT_GT(dropped, 0u);
+    EXPECT_LT(sum.value(), true_sum - 4.0); // massive saturation loss
+}
+
+TEST(TwoLineAddTree, SingleInputPassThrough)
+{
+    Xoshiro256ss rng(64);
+    TwoLineStream a = encodeTwoLine(0.33, 4096, rng);
+    TwoLineStream out = twoLineAddTree({a});
+    EXPECT_DOUBLE_EQ(out.value(), a.value());
+}
+
+} // namespace
+} // namespace sc
+} // namespace scdcnn
