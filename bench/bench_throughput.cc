@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Throughput benchmark of the SC inference engine: single-image
+ * latency of the fused word-parallel engine vs the bit-serial
+ * reference oracle, and batched throughput (forwardBatch) across
+ * thread counts. Results are printed as a table and written as
+ * machine-readable JSON (default BENCH_throughput.json, override with
+ * SCDCNN_BENCH_JSON) so the perf trajectory can be tracked PR over PR.
+ *
+ * Knobs: SCDCNN_BENCH_LEN (bit-stream length, default 1024),
+ * SCDCNN_BENCH_REPS (fused single-image reps, default 3),
+ * SCDCNN_BENCH_REF_REPS (reference single-image reps, default 1),
+ * SCDCNN_BENCH_IMAGES (batch size, default 16),
+ * SCDCNN_BENCH_MAX_THREADS (largest pool size, default 4).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/sc_network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+
+using namespace scdcnn;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Feature extraction block instances in one LeNet5 forward pass:
+ *  conv1 6x12x12, conv2 16x4x4, fc1 500 (the binary output layer is
+ *  not an FEB). */
+constexpr double kFebsPerForward = 6 * 12 * 12 + 16 * 4 * 4 + 500;
+
+struct ThreadPoint
+{
+    size_t threads;
+    double ms_total;
+    double images_per_sec;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("throughput",
+                  "Word-parallel fused engine vs bit-serial reference; "
+                  "batched forward pass scaling");
+
+    const size_t len = bench::envSize("SCDCNN_BENCH_LEN", 1024);
+    // A zero rep count would make the timings (and the JSON) nonsense:
+    // at least one timed pass each.
+    const size_t fused_reps =
+        std::max<size_t>(1, bench::envSize("SCDCNN_BENCH_REPS", 3));
+    const size_t ref_reps =
+        std::max<size_t>(1, bench::envSize("SCDCNN_BENCH_REF_REPS", 1));
+    const size_t batch_images = bench::envSize("SCDCNN_BENCH_IMAGES", 16);
+    const size_t max_threads =
+        bench::envSize("SCDCNN_BENCH_MAX_THREADS", 4);
+
+    // Untrained weights time identically to trained ones; what matters
+    // is the paper's exact LeNet5 topology.
+    nn::Network net = nn::buildLeNet5(nn::PoolingMode::Max, 1);
+    core::ScNetworkConfig cfg; // APC-APC-APC, the paper's No.6 family
+    cfg.pooling = nn::PoolingMode::Max;
+    cfg.bitstream_len = len;
+    core::ScNetwork sc_net(net, cfg);
+    nn::Tensor img = nn::DigitDataset::render(3, 7);
+
+    // --- single-image latency, both engine modes -------------------
+    sc_net.setEngineMode(core::EngineMode::Fused);
+    sc_net.predict(img, 1); // warm-up
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < fused_reps; ++r)
+        sc_net.predict(img, 2 + r);
+    const double fused_ms = msSince(t0) / static_cast<double>(fused_reps);
+
+    sc_net.setEngineMode(core::EngineMode::Reference);
+    t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < ref_reps; ++r)
+        sc_net.predict(img, 2 + r);
+    const double ref_ms = msSince(t0) / static_cast<double>(ref_reps);
+    sc_net.setEngineMode(core::EngineMode::Fused);
+
+    const double speedup = ref_ms / fused_ms;
+    const double ns_per_feb = fused_ms * 1e6 / kFebsPerForward;
+
+    std::printf("single image (%s):\n", cfg.describe().c_str());
+    std::printf("  %-28s %10.1f ms\n", "bit-serial reference", ref_ms);
+    std::printf("  %-28s %10.1f ms\n", "fused word-parallel", fused_ms);
+    std::printf("  %-28s %10.1fx\n", "speedup", speedup);
+    std::printf("  %-28s %10.0f ns\n\n", "fused ns per FEB", ns_per_feb);
+
+    // --- batched throughput across thread counts -------------------
+    std::vector<nn::Tensor> images;
+    images.reserve(batch_images);
+    for (size_t i = 0; i < batch_images; ++i)
+        images.push_back(nn::DigitDataset::render(i % 10, 100 + i));
+
+    std::vector<size_t> thread_counts;
+    for (size_t t = 1; t <= max_threads; t *= 2)
+        thread_counts.push_back(t);
+
+    std::printf("forwardBatch of %zu images:\n", batch_images);
+    std::vector<ThreadPoint> points;
+    std::vector<size_t> baseline_preds;
+    for (size_t t : thread_counts) {
+        ThreadPool pool(t);
+        t0 = std::chrono::steady_clock::now();
+        const auto preds = sc_net.forwardBatch(images, 42, &pool);
+        const double ms = msSince(t0);
+        if (baseline_preds.empty())
+            baseline_preds = preds;
+        else if (preds != baseline_preds)
+            std::printf("  WARNING: thread count %zu changed "
+                        "predictions (determinism bug)\n",
+                        t);
+        const double ips =
+            static_cast<double>(batch_images) / (ms / 1000.0);
+        points.push_back({t, ms, ips});
+        std::printf("  %2zu thread%s %10.1f ms %10.2f images/sec\n", t,
+                    t == 1 ? " " : "s", ms, ips);
+    }
+
+    // --- machine-readable trajectory -------------------------------
+    const char *json_env = std::getenv("SCDCNN_BENCH_JSON");
+    const std::string json_path =
+        json_env != nullptr && *json_env != '\0' ? json_env
+                                                 : "BENCH_throughput.json";
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"throughput\",\n");
+    std::fprintf(f, "  \"network\": \"lenet5\",\n");
+    std::fprintf(f, "  \"config\": \"%s\",\n", cfg.describe().c_str());
+    std::fprintf(f, "  \"bitstream_len\": %zu,\n", len);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"single_image\": {\n");
+    std::fprintf(f, "    \"reference_ms\": %.3f,\n", ref_ms);
+    std::fprintf(f, "    \"fused_ms\": %.3f,\n", fused_ms);
+    std::fprintf(f, "    \"speedup\": %.2f,\n", speedup);
+    std::fprintf(f, "    \"fused_ns_per_feb\": %.1f\n", ns_per_feb);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"batch\": {\n");
+    std::fprintf(f, "    \"images\": %zu,\n", batch_images);
+    std::fprintf(f, "    \"runs\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const ThreadPoint &p = points[i];
+        std::fprintf(f,
+                     "      {\"threads\": %zu, \"ms_total\": %.3f, "
+                     "\"images_per_sec\": %.2f}%s\n",
+                     p.threads, p.ms_total, p.images_per_sec,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -8,6 +8,8 @@
 #ifndef SCDCNN_BENCH_BENCH_UTIL_H
 #define SCDCNN_BENCH_BENCH_UTIL_H
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,16 +17,24 @@
 namespace scdcnn {
 namespace bench {
 
-/** Unsigned environment knob with fallback. */
+/**
+ * Unsigned environment knob with fallback. Parses strictly: the value
+ * must be all digits with no trailing garbage, and only malformed or
+ * out-of-range input falls back — an explicit "0" is a valid setting
+ * (e.g. SCDCNN_EVAL_IMAGES=0 to skip an evaluation entirely).
+ */
 inline size_t
 envSize(const char *name, size_t fallback)
 {
     const char *v = std::getenv(name);
     if (v == nullptr || *v == '\0')
         return fallback;
+    if (!std::isdigit(static_cast<unsigned char>(*v)))
+        return fallback; // rejects "-1" (strtoull would wrap it)
     char *end = nullptr;
+    errno = 0;
     unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || parsed == 0)
+    if (end == v || *end != '\0' || errno == ERANGE)
         return fallback;
     return static_cast<size_t>(parsed);
 }

@@ -86,15 +86,31 @@ FeatureBlock::run(const std::vector<std::vector<sc::Bitstream>> &xs,
     SCDCNN_ASSERT(xs.size() == cfg_.pool_size && ws.size() == xs.size(),
                   "expected %zu receptive fields", cfg_.pool_size);
 
+    // Both paths run on the fused word-parallel kernels: the operand
+    // streams are handed to the XNOR+adder stage as pointers and no
+    // intermediate product streams are ever materialized.
+    std::vector<const sc::Bitstream *> x_ptrs(cfg_.n_inputs);
+    std::vector<const sc::Bitstream *> w_ptrs(cfg_.n_inputs);
+    auto gather = [&](size_t j) {
+        SCDCNN_ASSERT(xs[j].size() == cfg_.n_inputs &&
+                          ws[j].size() == cfg_.n_inputs,
+                      "receptive field %zu has wrong size", j);
+        for (size_t i = 0; i < cfg_.n_inputs; ++i) {
+            x_ptrs[i] = &xs[j][i];
+            w_ptrs[i] = &ws[j][i];
+        }
+    };
+
     if (!febUsesApc(cfg_.kind)) {
         // MUX path: per-field scaled inner products, stream pooling,
         // Stanh.
         std::vector<sc::Bitstream> ips;
         ips.reserve(cfg_.pool_size);
         for (size_t j = 0; j < cfg_.pool_size; ++j) {
-            auto products = productStreams(xs[j], ws[j]);
+            gather(j);
             sc::Xoshiro256ss sel = bank.makeRng();
-            ips.push_back(MuxInnerProduct::sumProducts(products, sel));
+            ips.push_back(
+                MuxInnerProduct::sumProductsFused(x_ptrs, w_ptrs, sel));
         }
         sc::Bitstream pooled;
         if (cfg_.kind == FebKind::MuxAvgStanh) {
@@ -117,9 +133,9 @@ FeatureBlock::run(const std::vector<std::vector<sc::Bitstream>> &xs,
     std::vector<std::vector<uint16_t>> counts;
     counts.reserve(cfg_.pool_size);
     for (size_t j = 0; j < cfg_.pool_size; ++j) {
-        auto products = productStreams(xs[j], ws[j]);
-        counts.push_back(
-            ApcInnerProduct::counts(products, /*approximate=*/true));
+        gather(j);
+        counts.push_back(ApcInnerProduct::countsFused(
+            x_ptrs, w_ptrs, /*approximate=*/true));
     }
     sc::Btanh unit(state_count_, static_cast<unsigned>(cfg_.n_inputs));
     if (cfg_.kind == FebKind::ApcAvgBtanh) {

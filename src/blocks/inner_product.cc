@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "sc/counter.h"
+#include "sc/fused.h"
 #include "sc/ops.h"
 
 namespace scdcnn {
@@ -54,15 +55,30 @@ MuxInnerProduct::sumProducts(const std::vector<sc::Bitstream> &products,
 }
 
 sc::Bitstream
+MuxInnerProduct::sumProductsFused(
+    const std::vector<const sc::Bitstream *> &xs,
+    const std::vector<const sc::Bitstream *> &ws, sc::Xoshiro256ss &sel)
+{
+    SCDCNN_ASSERT(xs.size() == ws.size() && !xs.empty(),
+                  "fused MUX needs matching nonzero operand counts");
+    std::vector<uint32_t> selects;
+    sc::fillMuxSelects(xs.size(), xs[0]->length(), sel, selects);
+    sc::Bitstream out;
+    sc::fusedMuxProduct(xs, ws, selects, out);
+    return out;
+}
+
+sc::Bitstream
 MuxInnerProduct::compute(const std::vector<double> &xs,
                          const std::vector<double> &ws, size_t length,
                          sc::SngBank &bank)
 {
     auto x_streams = encodeBipolar(xs, length, bank);
     auto w_streams = encodeBipolar(ws, length, bank);
-    auto products = productStreams(x_streams, w_streams);
     sc::Xoshiro256ss sel = bank.makeRng();
-    return sumProducts(products, sel);
+    return sumProductsFused(sc::toPointers(x_streams),
+                            sc::toPointers(w_streams),
+                            sel);
 }
 
 double
@@ -84,14 +100,25 @@ ApcInnerProduct::counts(const std::vector<sc::Bitstream> &products,
 }
 
 std::vector<uint16_t>
+ApcInnerProduct::countsFused(const std::vector<const sc::Bitstream *> &xs,
+                             const std::vector<const sc::Bitstream *> &ws,
+                             bool approximate)
+{
+    std::vector<uint16_t> out;
+    sc::fusedProductCounts(xs, ws, approximate, out);
+    return out;
+}
+
+std::vector<uint16_t>
 ApcInnerProduct::counts(const std::vector<double> &xs,
                         const std::vector<double> &ws, size_t length,
                         sc::SngBank &bank, bool approximate)
 {
     auto x_streams = encodeBipolar(xs, length, bank);
     auto w_streams = encodeBipolar(ws, length, bank);
-    auto products = productStreams(x_streams, w_streams);
-    return counts(products, approximate);
+    return countsFused(sc::toPointers(x_streams),
+                       sc::toPointers(w_streams),
+                       approximate);
 }
 
 double

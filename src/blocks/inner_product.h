@@ -52,6 +52,17 @@ class MuxInnerProduct
     static sc::Bitstream sumProducts(
         const std::vector<sc::Bitstream> &products, sc::Xoshiro256ss &sel);
 
+    /**
+     * Word-parallel fused path: XNOR-multiply + MUX without
+     * materializing product streams. Consumes one select draw per
+     * cycle from @p sel — bit-exact with sumProducts(productStreams())
+     * for the same generator state.
+     */
+    static sc::Bitstream
+    sumProductsFused(const std::vector<const sc::Bitstream *> &xs,
+                     const std::vector<const sc::Bitstream *> &ws,
+                     sc::Xoshiro256ss &sel);
+
     /** Full block: encode values, multiply, sum. */
     static sc::Bitstream compute(const std::vector<double> &xs,
                                  const std::vector<double> &ws,
@@ -82,6 +93,16 @@ class ApcInnerProduct
                                         const std::vector<double> &ws,
                                         size_t length, sc::SngBank &bank,
                                         bool approximate);
+
+    /**
+     * Word-parallel fused path: per-cycle counts of the XNOR products
+     * without materializing product streams (bit-exact with
+     * counts(productStreams())).
+     */
+    static std::vector<uint16_t>
+    countsFused(const std::vector<const sc::Bitstream *> &xs,
+                const std::vector<const sc::Bitstream *> &ws,
+                bool approximate);
 
     /** Decode sum x.w from counts: (2 * sum_t v_t - n*L) / L. */
     static double decode(const std::vector<uint16_t> &counts, size_t n);

@@ -93,9 +93,9 @@ binaryAveragePooling(const std::vector<std::vector<uint16_t>> &counts)
     return out;
 }
 
-std::vector<int>
+void
 binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
-                           size_t n_inputs)
+                           size_t n_inputs, std::vector<int> &out)
 {
     SCDCNN_ASSERT(!counts.empty(), "binary average pooling of nothing");
     const size_t len = counts[0].size();
@@ -103,20 +103,28 @@ binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
     for (const auto &c : counts)
         SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
 
-    std::vector<int> out(len);
+    out.resize(len);
     for (size_t i = 0; i < len; ++i) {
         int sum = 0;
         for (const auto &c : counts)
             sum += 2 * static_cast<int>(c[i]) - static_cast<int>(n_inputs);
         out[i] = sum / pool; // C++ division truncates toward zero
     }
+}
+
+std::vector<int>
+binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
+                           size_t n_inputs)
+{
+    std::vector<int> out;
+    binaryAveragePoolingSigned(counts, n_inputs, out);
     return out;
 }
 
-std::vector<uint16_t>
+void
 BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
                           size_t segment_len, size_t first_choice,
-                          bool accumulate)
+                          bool accumulate, std::vector<uint16_t> &out)
 {
     SCDCNN_ASSERT(!counts.empty(), "binary max pooling of nothing");
     SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
@@ -126,7 +134,7 @@ BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
     for (const auto &c : counts)
         SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
 
-    std::vector<uint16_t> out(len);
+    out.resize(len);
     std::vector<uint64_t> accumulators(counts.size(), 0);
     size_t selected = first_choice;
     for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
@@ -148,6 +156,15 @@ BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
         }
         selected = best;
     }
+}
+
+std::vector<uint16_t>
+BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
+                          size_t segment_len, size_t first_choice,
+                          bool accumulate)
+{
+    std::vector<uint16_t> out;
+    compute(counts, segment_len, first_choice, accumulate, out);
     return out;
 }
 

@@ -81,6 +81,12 @@ std::vector<int>
 binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
                            size_t n_inputs);
 
+/** Allocation-free variant writing into @p out (resized to the
+ *  sequence length) — the network engine's per-thread-workspace path. */
+void
+binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
+                           size_t n_inputs, std::vector<int> &out);
+
 /**
  * Binary-domain max pooling: the Figure 8 selector with the bit
  * counters replaced by accumulators over the APC count sequences.
@@ -93,6 +99,12 @@ class BinaryMaxPooling
     compute(const std::vector<std::vector<uint16_t>> &counts,
             size_t segment_len, size_t first_choice = 0,
             bool accumulate = false);
+
+    /** Allocation-free variant writing into @p out. */
+    static void
+    compute(const std::vector<std::vector<uint16_t>> &counts,
+            size_t segment_len, size_t first_choice, bool accumulate,
+            std::vector<uint16_t> &out);
 };
 
 } // namespace blocks

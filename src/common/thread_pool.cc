@@ -4,6 +4,23 @@
 
 namespace scdcnn {
 
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+/** Marks the current thread as executing on a pool's behalf, so
+ *  nested parallel helpers run inline instead of fanning out — the
+ *  pool's width stays the upper bound on parallelism even when a
+ *  chunk is executed inline on the caller. */
+struct InlineWorkerScope
+{
+    bool saved = tls_in_worker;
+    InlineWorkerScope() { tls_in_worker = true; }
+    ~InlineWorkerScope() { tls_in_worker = saved; }
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t n_threads)
 {
     if (n_threads == 0) {
@@ -47,6 +64,7 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    tls_in_worker = true;
     for (;;) {
         std::function<void()> job;
         {
@@ -77,18 +95,27 @@ ThreadPool::global()
     return pool;
 }
 
+bool
+ThreadPool::inWorker()
+{
+    return tls_in_worker;
+}
+
 void
-parallelFor(size_t begin, size_t end, const std::function<void(size_t)> &body)
+parallelForChunks(ThreadPool &pool, size_t begin, size_t end,
+                  const std::function<void(size_t, size_t)> &chunk_body)
 {
     if (end <= begin)
         return;
 
-    ThreadPool &pool = ThreadPool::global();
     const size_t n = end - begin;
     const size_t n_workers = pool.size();
-    if (n_workers <= 1 || n < 4) {
-        for (size_t i = begin; i < end; ++i)
-            body(i);
+    if (n_workers <= 1 || n < 2 || ThreadPool::inWorker()) {
+        // Inline execution stands in for a worker of this pool: cap
+        // nested parallelism at the pool's width (a 1-thread pool must
+        // mean 1 thread, even for the layers inside the body).
+        InlineWorkerScope scope;
+        chunk_body(begin, end);
         return;
     }
 
@@ -99,12 +126,40 @@ parallelFor(size_t begin, size_t end, const std::function<void(size_t)> &body)
         const size_t hi = std::min(end, lo + chunk);
         if (lo >= hi)
             break;
-        pool.submit([lo, hi, &body] {
-            for (size_t i = lo; i < hi; ++i)
-                body(i);
-        });
+        pool.submit([lo, hi, &chunk_body] { chunk_body(lo, hi); });
     }
     pool.wait();
+}
+
+void
+parallelForChunks(size_t begin, size_t end,
+                  const std::function<void(size_t, size_t)> &chunk_body)
+{
+    parallelForChunks(ThreadPool::global(), begin, end, chunk_body);
+}
+
+void
+parallelFor(ThreadPool &pool, size_t begin, size_t end,
+            const std::function<void(size_t)> &body)
+{
+    parallelForChunks(pool, begin, end, [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            body(i);
+    });
+}
+
+void
+parallelFor(size_t begin, size_t end, const std::function<void(size_t)> &body)
+{
+    if (end > begin && end - begin < 4 && !ThreadPool::inWorker()) {
+        // Tiny ranges on the shared global pool run inline without the
+        // worker cap: the caller keeps its right to fan nested work out
+        // (e.g. a 2-image batch still parallelizes inside each image).
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    parallelFor(ThreadPool::global(), begin, end, body);
 }
 
 } // namespace scdcnn

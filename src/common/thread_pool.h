@@ -46,6 +46,14 @@ class ThreadPool
     /** Process-wide pool (lazily constructed). */
     static ThreadPool &global();
 
+    /**
+     * Whether the calling thread is a pool worker (of any pool). The
+     * parallel helpers run inline in that case, so nested parallelism
+     * — e.g. a batched forward pass whose layers also fan out — never
+     * blocks a worker on work only it could execute.
+     */
+    static bool inWorker();
+
   private:
     void workerLoop();
 
@@ -63,10 +71,29 @@ class ThreadPool
  *
  * Work is divided into contiguous chunks, one per worker, which suits the
  * mostly-uniform per-index cost of our workloads. Runs inline when the
- * range is tiny or the pool has one thread.
+ * range is tiny, the pool has one thread, or the caller is itself a pool
+ * worker (nested parallelism).
  */
 void parallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)> &body);
+
+/** parallelFor on an explicit pool (deterministic thread-count tests,
+ *  dedicated batch pools). */
+void parallelFor(ThreadPool &pool, size_t begin, size_t end,
+                 const std::function<void(size_t)> &body);
+
+/**
+ * Run chunk(lo, hi) over contiguous sub-ranges of [begin, end), one
+ * chunk per worker. The chunk body owns the whole sub-range, so it can
+ * set up per-thread state (scratch workspaces) once and sweep — the
+ * allocation-free contract of the fused network kernels.
+ */
+void parallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)> &chunk);
+
+/** parallelForChunks on an explicit pool. */
+void parallelForChunks(ThreadPool &pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)> &chunk);
 
 } // namespace scdcnn
 

@@ -10,7 +10,7 @@
 #include "common/thread_pool.h"
 #include "nn/quantize.h"
 #include "sc/btanh.h"
-#include "sc/counter.h"
+#include "sc/fused.h"
 #include "sc/sng.h"
 #include "sc/stanh.h"
 
@@ -19,24 +19,51 @@ namespace core {
 
 namespace {
 
-/** MUX-based inner product over XNOR products, computed lazily: each
- *  cycle selects one operand pair and emits its product bit. */
-sc::Bitstream
-muxProductStream(const std::vector<const sc::Bitstream *> &xs,
-                 const std::vector<const sc::Bitstream *> &ws,
-                 sc::Xoshiro256ss &sel)
+/**
+ * Stateless per-site generator seed: mixes (base seed, layer, site)
+ * through SplitMix64 so every pixel/neuron derives its randomness from
+ * its position rather than from evaluation order. Any partition of a
+ * layer across threads therefore produces bit-identical streams.
+ */
+uint64_t
+siteSeed(uint64_t seed, uint64_t layer_idx, uint64_t site)
 {
-    const size_t n = xs.size();
-    const size_t len = xs[0]->length();
-    sc::Bitstream out(len);
-    auto &words = out.mutableWords();
-    for (size_t i = 0; i < len; ++i) {
-        const size_t k = static_cast<size_t>(sel.nextBelow(n));
-        const bool bit = !(xs[k]->get(i) ^ ws[k]->get(i));
-        if (bit)
-            words[i / 64] |= uint64_t{1} << (i % 64);
-    }
-    return out;
+    sc::SplitMix64 mix(seed ^
+                       0x9E3779B97F4A7C15ULL * (layer_idx + 1) ^
+                       0xBF58476D1CE4E5B9ULL * (site + 1));
+    return mix.next();
+}
+
+/**
+ * One MUX-based inner product in the selected engine mode. Both modes
+ * consume exactly @p length select draws from @p sel, so the generator
+ * state after the call — and the produced stream — are bit-identical.
+ */
+void
+muxInnerProduct(EngineMode mode,
+                const std::vector<const sc::Bitstream *> &xs,
+                const std::vector<const sc::Bitstream *> &ws,
+                sc::Xoshiro256ss &sel, sc::FusedWorkspace &wsp,
+                sc::Bitstream &out)
+{
+    sc::fillMuxSelects(xs.size(), xs[0]->length(), sel, wsp.selects);
+    if (mode == EngineMode::Fused)
+        sc::fusedMuxProduct(xs, ws, wsp.selects, out);
+    else
+        out = sc::referenceMuxProduct(xs, ws, wsp.selects);
+}
+
+/** One APC inner product (approximate counter) in the selected mode. */
+void
+apcInnerProduct(EngineMode mode,
+                const std::vector<const sc::Bitstream *> &xs,
+                const std::vector<const sc::Bitstream *> &ws,
+                std::vector<uint16_t> &out)
+{
+    if (mode == EngineMode::Fused)
+        sc::fusedProductCounts(xs, ws, /*approximate=*/true, out);
+    else
+        out = sc::referenceProductCounts(xs, ws, /*approximate=*/true);
 }
 
 } // namespace
@@ -233,92 +260,99 @@ ScNetwork::runConvLayer(const StreamGrid &in,
     out.w = out_w;
     out.streams.resize(out.c * out.h * out.w);
 
-    sc::SplitMix64 seeder(seed * 0x9E3779B9u + layer_idx);
+    // One output pixel per work item; contiguous chunks go to the pool
+    // workers, each with its own reusable workspace so the sweep runs
+    // allocation-free after the first pixel. Every pixel's generator is
+    // derived from its position (siteSeed), so the partition — and the
+    // thread count — never changes the produced streams.
+    const size_t pixels_per_channel = out_h * out_w;
+    const size_t n_pixels = out.c * pixels_per_channel;
+    parallelForChunks(0, n_pixels, [&](size_t lo, size_t hi) {
+        sc::FusedWorkspace wsp;
+        wsp.xs.resize(n_inputs);
+        wsp.ws.resize(n_inputs);
+        wsp.counts.resize(4);
+        wsp.streams.resize(4);
+        for (size_t p = lo; p < hi; ++p) {
+            const size_t co = p / pixels_per_channel;
+            const size_t rem = p % pixels_per_channel;
+            const size_t oy = rem / out_w;
+            const size_t ox = rem % out_w;
+            const auto &filter = weights.filters[co];
+            sc::Xoshiro256ss feb_rng(siteSeed(seed, layer_idx, p));
 
-    // Gather operand pointers for the receptive field at (cy, cx).
-    std::vector<const sc::Bitstream *> xs(n_inputs);
-    std::vector<const sc::Bitstream *> ws(n_inputs);
-    for (size_t co = 0; co < weights.c_out; ++co) {
-        const auto &filter = weights.filters[co];
-        for (size_t oy = 0; oy < out_h; ++oy) {
-            for (size_t ox = 0; ox < out_w; ++ox) {
-                sc::Xoshiro256ss feb_rng(seeder.next());
-
-                std::vector<sc::Bitstream> mux_ips;
-                std::vector<std::vector<uint16_t>> apc_counts;
-                for (size_t dy = 0; dy < 2; ++dy) {
-                    for (size_t dx = 0; dx < 2; ++dx) {
-                        const size_t cy = 2 * oy + dy;
-                        const size_t cx = 2 * ox + dx;
-                        size_t idx = 0;
-                        for (size_t ci = 0; ci < weights.c_in; ++ci) {
-                            for (size_t ky = 0; ky < k; ++ky) {
-                                for (size_t kx = 0; kx < k; ++kx) {
-                                    xs[idx] = &in.at(ci, cy + ky,
+            // The four pooling-window inner products of this pixel.
+            for (size_t dy = 0; dy < 2; ++dy) {
+                for (size_t dx = 0; dx < 2; ++dx) {
+                    const size_t cy = 2 * oy + dy;
+                    const size_t cx = 2 * ox + dx;
+                    size_t idx = 0;
+                    for (size_t ci = 0; ci < weights.c_in; ++ci) {
+                        for (size_t ky = 0; ky < k; ++ky) {
+                            for (size_t kx = 0; kx < k; ++kx) {
+                                wsp.xs[idx] = &in.at(ci, cy + ky,
                                                      cx + kx);
-                                    ws[idx] = &filter[idx];
-                                    ++idx;
-                                }
+                                wsp.ws[idx] = &filter[idx];
+                                ++idx;
                             }
                         }
-                        xs[idx] = &bias_line_;
-                        ws[idx] = &filter[idx];
-
-                        if (use_apc) {
-                            apc_counts.push_back(
-                                sc::ApproxParallelCounter::productCounts(
-                                    xs, ws));
-                        } else {
-                            mux_ips.push_back(
-                                muxProductStream(xs, ws, feb_rng));
-                        }
                     }
-                }
+                    wsp.xs[idx] = &bias_line_;
+                    wsp.ws[idx] = &filter[idx];
 
-                sc::Bitstream &result =
-                    out.streams[(co * out_h + oy) * out_w + ox];
-                // Max pooling uses the accumulative (non-resetting)
-                // reading of the Figure 8 counters: inside a trained
-                // network the candidate inner products are separated by
-                // O(1/N) in stream value, so per-segment counts cannot
-                // distinguish them, but the accumulated counts converge
-                // on the true maximum within a few hundred cycles (see
-                // DESIGN.md reconstruction notes).
-                if (use_apc) {
-                    sc::Btanh unit(state_count,
-                                   static_cast<unsigned>(n_inputs));
-                    if (use_max) {
-                        auto pooled = blocks::BinaryMaxPooling::compute(
-                            apc_counts, cfg_.segment_len, 0,
-                            /*accumulate=*/true);
-                        result = unit.transform(pooled);
-                    } else {
-                        auto steps = blocks::binaryAveragePoolingSigned(
-                            apc_counts, n_inputs);
-                        result = unit.transformSigned(steps);
-                    }
-                } else if (use_max) {
-                    sc::Bitstream pooled =
-                        blocks::HardwareMaxPooling::compute(
-                            mux_ips, cfg_.segment_len, 0,
-                            /*accumulate=*/true);
-                    sc::Stanh fsm(state_count);
-                    result = fsm.transform(pooled);
-                } else {
-                    sc::Bitstream pooled =
-                        blocks::averagePooling(mux_ips, feb_rng);
-                    // Unlike the isolated Figure 14(b) study (operands
-                    // uniform over [-1,1]), trained-network streams sit
-                    // near p=0.5 where the Figure 11 K/5 threshold
-                    // would swamp the signal with a constant positive
-                    // bias; the classic midpoint threshold is used for
-                    // network inference.
-                    sc::Stanh fsm(state_count);
-                    result = fsm.transform(pooled);
+                    const size_t window = dy * 2 + dx;
+                    if (use_apc)
+                        apcInnerProduct(engine_, wsp.xs, wsp.ws,
+                                        wsp.counts[window]);
+                    else
+                        muxInnerProduct(engine_, wsp.xs, wsp.ws,
+                                        feb_rng, wsp,
+                                        wsp.streams[window]);
                 }
             }
+
+            sc::Bitstream &result = out.streams[p];
+            // Max pooling uses the accumulative (non-resetting)
+            // reading of the Figure 8 counters: inside a trained
+            // network the candidate inner products are separated by
+            // O(1/N) in stream value, so per-segment counts cannot
+            // distinguish them, but the accumulated counts converge
+            // on the true maximum within a few hundred cycles (see
+            // DESIGN.md reconstruction notes).
+            if (use_apc) {
+                sc::Btanh unit(state_count,
+                               static_cast<unsigned>(n_inputs));
+                if (use_max) {
+                    blocks::BinaryMaxPooling::compute(
+                        wsp.counts, cfg_.segment_len, 0,
+                        /*accumulate=*/true, wsp.pooled);
+                    result = unit.transform(wsp.pooled);
+                } else {
+                    blocks::binaryAveragePoolingSigned(
+                        wsp.counts, n_inputs, wsp.steps);
+                    result = unit.transformSigned(wsp.steps);
+                }
+            } else if (use_max) {
+                sc::Bitstream pooled =
+                    blocks::HardwareMaxPooling::compute(
+                        wsp.streams, cfg_.segment_len, 0,
+                        /*accumulate=*/true);
+                sc::Stanh fsm(state_count);
+                result = fsm.transform(pooled);
+            } else {
+                sc::Bitstream pooled =
+                    blocks::averagePooling(wsp.streams, feb_rng);
+                // Unlike the isolated Figure 14(b) study (operands
+                // uniform over [-1,1]), trained-network streams sit
+                // near p=0.5 where the Figure 11 K/5 threshold
+                // would swamp the signal with a constant positive
+                // bias; the classic midpoint threshold is used for
+                // network inference.
+                sc::Stanh fsm(state_count);
+                result = fsm.transform(pooled);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -335,31 +369,37 @@ ScNetwork::runFcLayer(const std::vector<const sc::Bitstream *> &in,
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
 
-    std::vector<const sc::Bitstream *> xs(n_inputs);
-    std::vector<const sc::Bitstream *> ws(n_inputs);
-    for (size_t i = 0; i < weights.n_in; ++i)
-        xs[i] = in[i];
-    xs[weights.n_in] = &bias_line_;
-
-    sc::SplitMix64 seeder(seed * 0x85EBCA6Bu + layer_idx);
+    // One neuron per work item, chunked across the pool with per-chunk
+    // workspaces; neuron generators are position-derived like the conv
+    // pixels'.
     std::vector<sc::Bitstream> out(weights.n_out);
-    for (size_t o = 0; o < weights.n_out; ++o) {
-        const auto &neuron = weights.neurons[o];
-        for (size_t i = 0; i < n_inputs; ++i)
-            ws[i] = &neuron[i];
-        if (use_apc) {
-            auto counts =
-                sc::ApproxParallelCounter::productCounts(xs, ws);
-            sc::Btanh unit(state_count,
-                           static_cast<unsigned>(n_inputs));
-            out[o] = unit.transform(counts);
-        } else {
-            sc::Xoshiro256ss rng(seeder.next());
-            sc::Bitstream ip = muxProductStream(xs, ws, rng);
-            sc::Stanh fsm(state_count);
-            out[o] = fsm.transform(ip);
+    parallelForChunks(0, weights.n_out, [&](size_t lo, size_t hi) {
+        sc::FusedWorkspace wsp;
+        wsp.xs.resize(n_inputs);
+        wsp.ws.resize(n_inputs);
+        wsp.counts.resize(1);
+        wsp.streams.resize(1);
+        for (size_t i = 0; i < weights.n_in; ++i)
+            wsp.xs[i] = in[i];
+        wsp.xs[weights.n_in] = &bias_line_;
+        for (size_t o = lo; o < hi; ++o) {
+            const auto &neuron = weights.neurons[o];
+            for (size_t i = 0; i < n_inputs; ++i)
+                wsp.ws[i] = &neuron[i];
+            if (use_apc) {
+                apcInnerProduct(engine_, wsp.xs, wsp.ws, wsp.counts[0]);
+                sc::Btanh unit(state_count,
+                               static_cast<unsigned>(n_inputs));
+                out[o] = unit.transform(wsp.counts[0]);
+            } else {
+                sc::Xoshiro256ss rng(siteSeed(seed, layer_idx, o));
+                muxInnerProduct(engine_, wsp.xs, wsp.ws, rng, wsp,
+                                wsp.streams[0]);
+                sc::Stanh fsm(state_count);
+                out[o] = fsm.transform(wsp.streams[0]);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -380,11 +420,14 @@ ScNetwork::runBinaryOutputLayer(
     for (size_t o = 0; o < weights.n_out; ++o) {
         for (size_t i = 0; i < n_inputs; ++i)
             ws[i] = &weights.neurons[o][i];
-        auto counts = sc::ApproxParallelCounter::productCounts(xs, ws);
         // The accumulator de-randomizes: score = sum of bipolar sums.
-        uint64_t total = 0;
-        for (uint16_t c : counts)
-            total += c;
+        // The fused path never materializes the per-cycle counts — the
+        // accumulated total reduces to word popcounts.
+        const uint64_t total =
+            engine_ == EngineMode::Fused
+                ? sc::fusedProductCountTotal(xs, ws, /*approximate=*/true)
+                : sc::referenceProductCountTotal(xs, ws,
+                                                /*approximate=*/true);
         scores[o] = (2.0 * static_cast<double>(total) -
                      static_cast<double>(n_inputs) * len) / len;
     }
@@ -416,12 +459,29 @@ ScNetwork::predict(const nn::Tensor &image, uint64_t seed) const
         scores.begin());
 }
 
+std::vector<size_t>
+ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
+                        uint64_t seed, ThreadPool *pool) const
+{
+    std::vector<size_t> preds(images.size());
+    const auto body = [&](size_t i) {
+        preds[i] = predict(images[i], seed + i * 7919);
+    };
+    if (pool != nullptr)
+        parallelFor(*pool, 0, images.size(), body);
+    else
+        parallelFor(0, images.size(), body);
+    return preds;
+}
+
 double
 ScNetwork::errorRate(const nn::Dataset &ds, size_t max_images,
                      uint64_t seed) const
 {
     const size_t n = std::min(ds.size(), max_images);
     SCDCNN_ASSERT(n > 0, "empty SC evaluation set");
+    // Same per-image seed schedule as forwardBatch, so an error rate is
+    // reproducible from the batch predictions.
     std::vector<uint8_t> wrong(n, 0);
     parallelFor(0, n, [&](size_t i) {
         const nn::Sample &s = ds.samples[i];

@@ -24,9 +24,31 @@
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "sc/bitstream.h"
+#include "sc/fused.h"
 
 namespace scdcnn {
+
+class ThreadPool;
+
 namespace core {
+
+/**
+ * Which kernel implementation the engine runs on.
+ *
+ * Fused is the production path: word-parallel kernels over the packed
+ * uint64_t words, reusable per-thread workspaces, layers fanned out
+ * across the thread pool. Reference drives the same network structure
+ * through the bit-serial oracle kernels (one Bitstream::get() per
+ * cycle) — the ground truth the fused path is tested against and the
+ * baseline bench_throughput measures speedup over. Both modes consume
+ * identical RNG sequences, so predictions are bit-exact across modes
+ * and thread counts.
+ */
+enum class EngineMode
+{
+    Fused,
+    Reference,
+};
 
 /**
  * SC-domain LeNet5 built from a trained float network.
@@ -46,11 +68,30 @@ class ScNetwork
     size_t predict(const nn::Tensor &image, uint64_t seed) const;
 
     /**
+     * Batched forward pass: predictions for every image, fanned out
+     * across @p pool (the process-global pool when null). Image i runs
+     * at seed + i * 7919; every per-site generator is derived from
+     * position, not evaluation order, so the result is identical for
+     * any thread count — including 1 — and matches per-image predict()
+     * calls at the same seeds.
+     */
+    std::vector<size_t> forwardBatch(const std::vector<nn::Tensor> &images,
+                                     uint64_t seed,
+                                     ThreadPool *pool = nullptr) const;
+
+    /**
      * Classification error rate over (up to @p max_images of) the
      * dataset; threaded across images, deterministic per seed.
      */
     double errorRate(const nn::Dataset &ds, size_t max_images,
                      uint64_t seed = 777) const;
+
+    /** Select the fused fast path (default) or the bit-serial
+     *  reference oracle. Predictions are bit-exact across modes. */
+    void setEngineMode(EngineMode mode) { engine_ = mode; }
+
+    /** The kernel implementation currently selected. */
+    EngineMode engineMode() const { return engine_; }
 
     /** The configuration this instance implements. */
     const ScNetworkConfig &config() const { return cfg_; }
@@ -116,6 +157,7 @@ class ScNetwork
                          const FcWeightStreams &weights) const;
 
     ScNetworkConfig cfg_;
+    EngineMode engine_ = EngineMode::Fused;
     sc::Bitstream bias_line_; //!< the constant +1 stream
     ConvWeightStreams conv1_, conv2_;
     FcWeightStreams fc1_, fc2_;

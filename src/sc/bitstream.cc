@@ -214,6 +214,13 @@ Bitstream::operator==(const Bitstream &o) const
 }
 
 void
+Bitstream::reset(size_t length)
+{
+    length_ = length;
+    words_.assign(wordsFor(length), 0);
+}
+
+void
 Bitstream::maskTail()
 {
     size_t tail = length_ % 64;

@@ -102,6 +102,13 @@ class Bitstream
     /** Zero any bits at positions >= length. */
     void maskTail();
 
+    /**
+     * Reshape to an all-zero stream of @p length bits in place,
+     * reusing the existing word storage when it is large enough (the
+     * fused kernels' reusable-output contract).
+     */
+    void reset(size_t length);
+
     /** Number of 64-bit words backing the stream. */
     size_t wordCount() const { return words_.size(); }
 
@@ -111,6 +118,17 @@ class Bitstream
     size_t length_ = 0;
     std::vector<uint64_t> words_;
 };
+
+/** Pointer view of owned streams, for the pointer-based kernel APIs. */
+inline std::vector<const Bitstream *>
+toPointers(const std::vector<Bitstream> &streams)
+{
+    std::vector<const Bitstream *> ptrs;
+    ptrs.reserve(streams.size());
+    for (const auto &s : streams)
+        ptrs.push_back(&s);
+    return ptrs;
+}
 
 } // namespace sc
 } // namespace scdcnn

@@ -1,105 +1,22 @@
 #include "sc/counter.h"
 
-#include <algorithm>
-#include <bit>
-
-#include "common/logging.h"
+#include "sc/fused.h"
 
 namespace scdcnn {
 namespace sc {
 
-namespace {
-
-/** Max supported log2(inputs): 4096 lines. */
-constexpr int kMaxPlanes = 13;
-
-std::vector<const Bitstream *>
-toPointers(const std::vector<Bitstream> &streams)
-{
-    std::vector<const Bitstream *> ptrs;
-    ptrs.reserve(streams.size());
-    for (const auto &s : streams)
-        ptrs.push_back(&s);
-    return ptrs;
-}
-
-/**
- * Carry-save vertical count: add each line's word into bit planes,
- * then read each bit position's count back out. When @p ws is
- * non-null, the counted lines are the XNOR products xs[i] ^ ~ws[i].
- */
-std::vector<uint16_t>
-verticalCounts(const std::vector<const Bitstream *> &xs,
-               const std::vector<const Bitstream *> *ws)
-{
-    SCDCNN_ASSERT(!xs.empty(), "counting zero streams");
-    const size_t len = xs[0]->length();
-    for (const auto *s : xs)
-        SCDCNN_ASSERT(s->length() == len, "stream length mismatch");
-    if (ws != nullptr) {
-        SCDCNN_ASSERT(ws->size() == xs.size(), "operand count mismatch");
-        for (const auto *s : *ws)
-            SCDCNN_ASSERT(s->length() == len, "weight length mismatch");
-    }
-
-    std::vector<uint16_t> out(len, 0);
-    const size_t n_words = (len + 63) / 64;
-    // Mask for the (possibly partial) last word: XNOR products must not
-    // leak ones into the tail bits.
-    const size_t tail = len % 64;
-    const uint64_t tail_mask =
-        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
-
-    for (size_t w = 0; w < n_words; ++w) {
-        const uint64_t word_mask =
-            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
-        uint64_t planes[kMaxPlanes] = {0};
-        int used = 0;
-        for (size_t i = 0; i < xs.size(); ++i) {
-            uint64_t carry = xs[i]->words()[w];
-            if (ws != nullptr)
-                carry = ~(carry ^ (*ws)[i]->words()[w]) & word_mask;
-            int j = 0;
-            while (carry != 0) {
-                SCDCNN_ASSERT(j < kMaxPlanes, "too many input streams");
-                uint64_t t = planes[j] & carry;
-                planes[j] ^= carry;
-                carry = t;
-                ++j;
-            }
-            if (j > used)
-                used = j;
-        }
-        const size_t base = w * 64;
-        const size_t limit = std::min<size_t>(64, len - base);
-        for (size_t b = 0; b < limit; ++b) {
-            uint16_t c = 0;
-            for (int j = 0; j < used; ++j)
-                c |= static_cast<uint16_t>((planes[j] >> b) & 1) << j;
-            out[base + b] = c;
-        }
-    }
-    return out;
-}
-
-std::vector<uint16_t>
-exactCounts(const std::vector<const Bitstream *> &streams)
-{
-    return verticalCounts(streams, nullptr);
-}
-
-} // namespace
-
 std::vector<uint16_t>
 ParallelCounter::counts(const std::vector<const Bitstream *> &streams)
 {
-    return exactCounts(streams);
+    std::vector<uint16_t> out;
+    fusedLineCounts(streams, /*approximate=*/false, out);
+    return out;
 }
 
 std::vector<uint16_t>
 ParallelCounter::counts(const std::vector<Bitstream> &streams)
 {
-    return exactCounts(toPointers(streams));
+    return counts(toPointers(streams));
 }
 
 uint64_t
@@ -115,26 +32,16 @@ std::vector<uint16_t>
 ParallelCounter::productCounts(const std::vector<const Bitstream *> &xs,
                                const std::vector<const Bitstream *> &ws)
 {
-    return verticalCounts(xs, &ws);
+    std::vector<uint16_t> out;
+    fusedProductCounts(xs, ws, /*approximate=*/false, out);
+    return out;
 }
 
 std::vector<uint16_t>
 ApproxParallelCounter::counts(const std::vector<const Bitstream *> &streams)
 {
-    std::vector<uint16_t> out = exactCounts(streams);
-    const size_t len = streams[0]->length();
-    const size_t parity_lines = std::min(kLsbParityLines, streams.size());
-
-    Bitstream lsb(len);
-    auto &lsb_words = lsb.mutableWords();
-    for (size_t s = 0; s < parity_lines; ++s) {
-        const auto &words = streams[s]->words();
-        for (size_t w = 0; w < words.size(); ++w)
-            lsb_words[w] ^= words[w];
-    }
-    for (size_t i = 0; i < len; ++i)
-        out[i] = static_cast<uint16_t>((out[i] & ~uint16_t{1}) |
-                                       (lsb.get(i) ? 1 : 0));
+    std::vector<uint16_t> out;
+    fusedLineCounts(streams, /*approximate=*/true, out);
     return out;
 }
 
@@ -149,24 +56,8 @@ ApproxParallelCounter::productCounts(
     const std::vector<const Bitstream *> &xs,
     const std::vector<const Bitstream *> &ws)
 {
-    std::vector<uint16_t> out = verticalCounts(xs, &ws);
-    const size_t len = xs[0]->length();
-    const size_t parity_lines = std::min(kLsbParityLines, xs.size());
-
-    Bitstream lsb(len);
-    auto &lsb_words = lsb.mutableWords();
-    for (size_t s = 0; s < parity_lines; ++s) {
-        const auto &xw = xs[s]->words();
-        const auto &ww = ws[s]->words();
-        for (size_t w = 0; w < xw.size(); ++w)
-            lsb_words[w] ^= ~(xw[w] ^ ww[w]);
-    }
-    lsb.maskTail();
-    // Odd numbers of XNOR lines invert the parity of the tail-masked
-    // word, but maskTail() already cleared bits past the length.
-    for (size_t i = 0; i < len; ++i)
-        out[i] = static_cast<uint16_t>((out[i] & ~uint16_t{1}) |
-                                       (lsb.get(i) ? 1 : 0));
+    std::vector<uint16_t> out;
+    fusedProductCounts(xs, ws, /*approximate=*/true, out);
     return out;
 }
 

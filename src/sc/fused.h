@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fused word-parallel network kernels (and their bit-serial oracles).
+ *
+ * The inference hot path evaluates millions of XNOR-multiply + adder
+ * operations per image. Materializing one intermediate Bitstream per
+ * product (as the block-level API of blocks/inner_product.h does) costs
+ * an allocation and a full stream traversal per operand pair; walking
+ * streams one cycle at a time through Bitstream::get() costs a bounds
+ * check and a word extraction per bit. The kernels here avoid both:
+ *
+ *  - fusedProductCounts: XNOR-product + (approximate) parallel-counter
+ *    column counts computed directly on the packed uint64_t words with
+ *    carry-save bit-plane addition — no product streams are ever built;
+ *  - fusedMuxProduct: the MUX-based inner product driven by precomputed
+ *    per-cycle select indices, gathering one product bit per cycle with
+ *    direct word access;
+ *  - fusedProductCountTotal: the binary output layer's accumulated
+ *    count, reduced to word popcounts without per-cycle count vectors.
+ *
+ * Every fused kernel has a bit-serial reference twin (reference*) that
+ * computes the same result one cycle at a time through the public
+ * Bitstream bit API. The twins are the correctness oracle: randomized
+ * equivalence tests assert bit-exact agreement, and bench_throughput
+ * measures the speedup of an engine built on one against the other.
+ * See DESIGN.md for the packed-word layout and the kernel contract.
+ */
+
+#ifndef SCDCNN_SC_FUSED_H
+#define SCDCNN_SC_FUSED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Reusable per-thread scratch space for the fused kernels.
+ *
+ * The network engine keeps one workspace per worker chunk so the inner
+ * loops run allocation-free after warm-up: buffers are resized on first
+ * use and reused for every subsequent pixel/neuron.
+ */
+struct FusedWorkspace
+{
+    std::vector<const Bitstream *> xs; //!< gathered input operands
+    std::vector<const Bitstream *> ws; //!< gathered weight operands
+    std::vector<uint32_t> selects;     //!< per-cycle MUX select indices
+    std::vector<std::vector<uint16_t>> counts; //!< per-window APC counts
+    std::vector<uint16_t> pooled;      //!< max-pooled count sequence
+    std::vector<int> steps;            //!< signed pooled counter steps
+    std::vector<Bitstream> streams;    //!< reusable product streams
+};
+
+/**
+ * Draw one uniform select index per cycle into @p selects, resized to
+ * @p length. Consumes exactly @p length nextBelow(n_inputs) draws — the
+ * same sequence muxAdd() would consume — so a MUX built from these
+ * selects is bit-exact with the rng-driven one.
+ */
+void fillMuxSelects(size_t n_inputs, size_t length, Xoshiro256ss &rng,
+                    std::vector<uint32_t> &selects);
+
+/**
+ * Word-parallel MUX inner product: bit i of @p out is the XNOR product
+ * of operand pair selects[i] at cycle i. @p out is reshaped to the
+ * operand length in place (reusing its word storage when possible).
+ */
+void fusedMuxProduct(const std::vector<const Bitstream *> &xs,
+                     const std::vector<const Bitstream *> &ws,
+                     const std::vector<uint32_t> &selects, Bitstream &out);
+
+/**
+ * Fused XNOR-multiply + parallel-counter column counts into @p out
+ * (resized to the stream length). With @p approximate the output LSB is
+ * the truncated parity of the first four product lines, matching
+ * ApproxParallelCounter; otherwise counts are exact.
+ */
+void fusedProductCounts(const std::vector<const Bitstream *> &xs,
+                        const std::vector<const Bitstream *> &ws,
+                        bool approximate, std::vector<uint16_t> &out);
+
+/**
+ * Column counts of raw lines (no multiply), exact or approximate —
+ * the word-parallel core behind ParallelCounter/ApproxParallelCounter.
+ */
+void fusedLineCounts(const std::vector<const Bitstream *> &streams,
+                     bool approximate, std::vector<uint16_t> &out);
+
+/**
+ * Sum of the per-cycle product counts over the whole stream, i.e. the
+ * accumulated binary-domain inner product of the output layer. Equal to
+ * the sum over fusedProductCounts but computed with word popcounts
+ * only: for approximate counts the identity
+ *
+ *   sum_t c'_t = sum_t c_t - ones(parity_all) + ones(parity_4)
+ *
+ * (c' = approximate count, c = exact count) reduces the whole reduction
+ * to three popcount passes over the product words.
+ */
+uint64_t fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
+                                const std::vector<const Bitstream *> &ws,
+                                bool approximate);
+
+/** Bit-serial oracle for fusedMuxProduct (cycle-at-a-time get()). */
+Bitstream referenceMuxProduct(const std::vector<const Bitstream *> &xs,
+                              const std::vector<const Bitstream *> &ws,
+                              const std::vector<uint32_t> &selects);
+
+/** Bit-serial oracle for fusedProductCounts. */
+std::vector<uint16_t>
+referenceProductCounts(const std::vector<const Bitstream *> &xs,
+                       const std::vector<const Bitstream *> &ws,
+                       bool approximate);
+
+/** Bit-serial oracle for fusedProductCountTotal. */
+uint64_t
+referenceProductCountTotal(const std::vector<const Bitstream *> &xs,
+                           const std::vector<const Bitstream *> &ws,
+                           bool approximate);
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_FUSED_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the fused word-parallel kernels (sc/fused.h) against their
+ * bit-serial reference oracles, and for the determinism contract of
+ * the batched network engine: same seed => same predictions, for any
+ * engine mode and any thread count.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocks/inner_product.h"
+#include "common/thread_pool.h"
+#include "core/sc_network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "sc/counter.h"
+#include "sc/fused.h"
+#include "sc/ops.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace {
+
+/** Random operand pair set: n streams of length len each. */
+struct OperandSet
+{
+    std::vector<sc::Bitstream> xs, ws;
+    std::vector<const sc::Bitstream *> xp, wp;
+
+    OperandSet(size_t n, size_t len, uint64_t seed)
+    {
+        sc::SngBank bank(seed);
+        sc::SplitMix64 vals(seed ^ 0xABCD);
+        for (size_t i = 0; i < n; ++i) {
+            xs.push_back(bank.bipolar(vals.nextInRange(-1, 1), len));
+            ws.push_back(bank.bipolar(vals.nextInRange(-1, 1), len));
+        }
+        for (size_t i = 0; i < n; ++i) {
+            xp.push_back(&xs[i]);
+            wp.push_back(&ws[i]);
+        }
+    }
+};
+
+/** Sweep odd/even word counts, partial tails, and fan-ins around the
+ *  APC parity-line cutoff. */
+class FusedVsReference
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(FusedVsReference, ProductCountsBitExact)
+{
+    auto [n, len] = GetParam();
+    OperandSet ops(n, len, 1000 + n * 131 + len);
+    for (bool approximate : {false, true}) {
+        std::vector<uint16_t> fused;
+        sc::fusedProductCounts(ops.xp, ops.wp, approximate, fused);
+        EXPECT_EQ(fused,
+                  sc::referenceProductCounts(ops.xp, ops.wp, approximate))
+            << "n=" << n << " len=" << len << " approx=" << approximate;
+    }
+}
+
+TEST_P(FusedVsReference, MuxProductBitExact)
+{
+    auto [n, len] = GetParam();
+    OperandSet ops(n, len, 2000 + n * 131 + len);
+    sc::Xoshiro256ss rng(99 + n);
+    std::vector<uint32_t> selects;
+    sc::fillMuxSelects(n, len, rng, selects);
+    sc::Bitstream fused;
+    sc::fusedMuxProduct(ops.xp, ops.wp, selects, fused);
+    EXPECT_EQ(fused, sc::referenceMuxProduct(ops.xp, ops.wp, selects))
+        << "n=" << n << " len=" << len;
+}
+
+TEST_P(FusedVsReference, ProductCountTotalMatches)
+{
+    auto [n, len] = GetParam();
+    OperandSet ops(n, len, 3000 + n * 131 + len);
+    for (bool approximate : {false, true}) {
+        EXPECT_EQ(
+            sc::fusedProductCountTotal(ops.xp, ops.wp, approximate),
+            sc::referenceProductCountTotal(ops.xp, ops.wp, approximate))
+            << "n=" << n << " len=" << len << " approx=" << approximate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FusedVsReference,
+    ::testing::Combine(
+        // Fan-ins below/at/above the 4-line parity cutoff and past one
+        // carry-save plane's worth of lines.
+        ::testing::Values(1, 3, 4, 5, 26, 151),
+        // Lengths around the 64-bit word boundary and realistic L.
+        ::testing::Values(1, 63, 64, 65, 300, 1024)));
+
+TEST(FusedMuxBlock, MatchesMaterializedProductsBitExact)
+{
+    // The fused block-level MUX path must consume the RNG exactly like
+    // the materialize-then-muxAdd path and produce the same stream.
+    OperandSet ops(25, 512, 77);
+    auto products = blocks::productStreams(ops.xs, ops.ws);
+    sc::Xoshiro256ss sel_a(1234), sel_b(1234);
+    sc::Bitstream classic =
+        blocks::MuxInnerProduct::sumProducts(products, sel_a);
+    sc::Bitstream fused =
+        blocks::MuxInnerProduct::sumProductsFused(ops.xp, ops.wp, sel_b);
+    EXPECT_EQ(classic, fused);
+    // Generator states must coincide afterwards too.
+    EXPECT_EQ(sel_a.next(), sel_b.next());
+}
+
+TEST(FusedCounterBlock, MatchesMaterializedProductsBitExact)
+{
+    OperandSet ops(26, 300, 78);
+    auto products = blocks::productStreams(ops.xs, ops.ws);
+    EXPECT_EQ(blocks::ApcInnerProduct::countsFused(ops.xp, ops.wp, true),
+              sc::ApproxParallelCounter::counts(products));
+    EXPECT_EQ(blocks::ApcInnerProduct::countsFused(ops.xp, ops.wp, false),
+              sc::ParallelCounter::counts(products));
+}
+
+/** An untrained mini network is enough for engine equivalence: the
+ *  kernels see arbitrary weight streams either way. */
+core::ScNetwork
+makeMiniScNet(nn::PoolingMode pooling, core::AdderKind first_adder)
+{
+    nn::Network net = nn::buildMiniLeNet(pooling, 21);
+    core::ScNetworkConfig cfg;
+    cfg.pooling = pooling;
+    cfg.layer_adders = {first_adder, core::AdderKind::Apc,
+                        core::AdderKind::Apc};
+    cfg.bitstream_len = 256;
+    return core::ScNetwork(net, cfg);
+}
+
+TEST(EngineModes, FusedMatchesReferencePredictions)
+{
+    // Covers all four FEB kinds: MUX/APC crossed with avg/max pooling.
+    const struct
+    {
+        nn::PoolingMode pooling;
+        core::AdderKind adder;
+    } cases[] = {
+        {nn::PoolingMode::Average, core::AdderKind::Mux},
+        {nn::PoolingMode::Max, core::AdderKind::Mux},
+        {nn::PoolingMode::Average, core::AdderKind::Apc},
+        {nn::PoolingMode::Max, core::AdderKind::Apc},
+    };
+    for (const auto &c : cases) {
+        core::ScNetwork sc_net = makeMiniScNet(c.pooling, c.adder);
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            nn::Tensor img = nn::DigitDataset::render(seed % 10, seed);
+            sc_net.setEngineMode(core::EngineMode::Fused);
+            const size_t fused = sc_net.predict(img, seed);
+            sc_net.setEngineMode(core::EngineMode::Reference);
+            const size_t reference = sc_net.predict(img, seed);
+            EXPECT_EQ(fused, reference) << "seed=" << seed;
+        }
+    }
+}
+
+TEST(ForwardBatch, DeterministicAcrossThreadCounts)
+{
+    core::ScNetwork sc_net =
+        makeMiniScNet(nn::PoolingMode::Average, core::AdderKind::Apc);
+    std::vector<nn::Tensor> images;
+    for (size_t i = 0; i < 8; ++i)
+        images.push_back(nn::DigitDataset::render(i % 10, 50 + i));
+
+    ThreadPool serial(1), quad(4);
+    const auto preds1 = sc_net.forwardBatch(images, 42, &serial);
+    const auto preds4 = sc_net.forwardBatch(images, 42, &quad);
+    const auto preds_global = sc_net.forwardBatch(images, 42);
+    EXPECT_EQ(preds1, preds4);
+    EXPECT_EQ(preds1, preds_global);
+
+    // The batch must equal per-image predict() at the batch seeds.
+    for (size_t i = 0; i < images.size(); ++i)
+        EXPECT_EQ(preds1[i], sc_net.predict(images[i], 42 + i * 7919));
+}
+
+TEST(ForwardBatch, EmptyBatchIsFine)
+{
+    core::ScNetwork sc_net =
+        makeMiniScNet(nn::PoolingMode::Average, core::AdderKind::Apc);
+    EXPECT_TRUE(sc_net.forwardBatch({}, 1).empty());
+}
+
+} // namespace
+} // namespace scdcnn
