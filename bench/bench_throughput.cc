@@ -2,10 +2,12 @@
  * @file
  * Throughput benchmark of the SC inference engine: single-image
  * latency of the fused word-parallel engine vs the bit-serial
- * reference oracle, and batched throughput (forwardBatch) across
- * thread counts. Results are printed as a table and written as
- * machine-readable JSON (default BENCH_throughput.json, override with
- * SCDCNN_BENCH_JSON) so the perf trajectory can be tracked PR over PR.
+ * reference oracle (with a per-phase breakdown of the fused pass),
+ * and batched throughput (forwardBatch) across thread counts. Results
+ * are printed as a table and written as machine-readable JSON (default
+ * BENCH_throughput.json, override with SCDCNN_BENCH_JSON) so the perf
+ * trajectory can be tracked PR over PR; when a prior JSON exists at
+ * the output path, a fused-vs-previous-run comparison is printed.
  *
  * Knobs: SCDCNN_BENCH_LEN (bit-stream length, default 1024),
  * SCDCNN_BENCH_REPS (fused single-image reps, default 3),
@@ -26,6 +28,7 @@
 #include "core/sc_network.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "sc/simd.h"
 
 using namespace scdcnn;
 
@@ -50,6 +53,60 @@ struct ThreadPoint
     double ms_total;
     double images_per_sec;
 };
+
+/** Per-phase milliseconds, averaged over the profiled reps. */
+struct PhaseMs
+{
+    double encode = 0;
+    double inner_product = 0;
+    double pooling = 0;
+    double activation = 0;
+    double output = 0;
+};
+
+PhaseMs
+phaseMs(const core::PhaseBreakdown &p, size_t reps)
+{
+    const double scale = 1e-6 / static_cast<double>(reps);
+    PhaseMs ms;
+    ms.encode = static_cast<double>(p.encode_ns.load()) * scale;
+    ms.inner_product =
+        static_cast<double>(p.inner_product_ns.load()) * scale;
+    ms.pooling = static_cast<double>(p.pooling_ns.load()) * scale;
+    ms.activation = static_cast<double>(p.activation_ns.load()) * scale;
+    ms.output = static_cast<double>(p.output_ns.load()) * scale;
+    return ms;
+}
+
+/** Read a whole file, empty string when absent. */
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string content;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, got);
+    std::fclose(f);
+    return content;
+}
+
+/** Pull "<key>": <number> out of a JSON blob; NaN-free: returns false
+ *  when the key is missing. Good enough for our own flat output. */
+bool
+extractNumber(const std::string &json, const std::string &key,
+              double *value)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(json.c_str() + pos + needle.size(), " %lf",
+                       value) == 1;
+}
 
 } // namespace
 
@@ -83,10 +140,12 @@ main()
     // --- single-image latency, both engine modes -------------------
     sc_net.setEngineMode(core::EngineMode::Fused);
     sc_net.predict(img, 1); // warm-up
+    core::PhaseBreakdown phases;
     auto t0 = std::chrono::steady_clock::now();
     for (size_t r = 0; r < fused_reps; ++r)
-        sc_net.predict(img, 2 + r);
+        sc_net.predict(img, 2 + r, &phases);
     const double fused_ms = msSince(t0) / static_cast<double>(fused_reps);
+    const PhaseMs fused_phases = phaseMs(phases, fused_reps);
 
     sc_net.setEngineMode(core::EngineMode::Reference);
     t0 = std::chrono::steady_clock::now();
@@ -102,7 +161,17 @@ main()
     std::printf("  %-28s %10.1f ms\n", "bit-serial reference", ref_ms);
     std::printf("  %-28s %10.1f ms\n", "fused word-parallel", fused_ms);
     std::printf("  %-28s %10.1fx\n", "speedup", speedup);
-    std::printf("  %-28s %10.0f ns\n\n", "fused ns per FEB", ns_per_feb);
+    std::printf("  %-28s %10.0f ns\n", "fused ns per FEB", ns_per_feb);
+    std::printf("  fused per-phase breakdown (ms, summed over "
+                "threads):\n");
+    std::printf("    %-26s %10.1f\n", "encode", fused_phases.encode);
+    std::printf("    %-26s %10.1f\n", "inner product",
+                fused_phases.inner_product);
+    std::printf("    %-26s %10.1f\n", "pooling", fused_phases.pooling);
+    std::printf("    %-26s %10.1f\n", "activation",
+                fused_phases.activation);
+    std::printf("    %-26s %10.1f\n\n", "output layer",
+                fused_phases.output);
 
     // --- batched throughput across thread counts -------------------
     std::vector<nn::Tensor> images;
@@ -140,6 +209,23 @@ main()
     const std::string json_path =
         json_env != nullptr && *json_env != '\0' ? json_env
                                                  : "BENCH_throughput.json";
+
+    // Compare against the previous run at the same path before
+    // overwriting it, so regressions are visible run over run.
+    const std::string previous = readFile(json_path);
+    double prev_fused = 0, prev_ref = 0;
+    if (extractNumber(previous, "fused_ms", &prev_fused) &&
+        prev_fused > 0) {
+        std::printf("\nvs previous %s:\n", json_path.c_str());
+        std::printf("  %-28s %10.1f -> %8.1f ms (%.2fx)\n", "fused",
+                    prev_fused, fused_ms, prev_fused / fused_ms);
+        if (extractNumber(previous, "reference_ms", &prev_ref) &&
+            prev_ref > 0)
+            std::printf("  %-28s %10.1f -> %8.1f ms (%.2fx)\n",
+                        "reference", prev_ref, ref_ms,
+                        prev_ref / ref_ms);
+    }
+
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -152,11 +238,23 @@ main()
     std::fprintf(f, "  \"bitstream_len\": %zu,\n", len);
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"compiler\": \"%s\",\n", __VERSION__);
+    std::fprintf(f, "  \"simd\": \"%s\",\n",
+                 sc::simd::enabled() ? "avx2" : "scalar");
     std::fprintf(f, "  \"single_image\": {\n");
     std::fprintf(f, "    \"reference_ms\": %.3f,\n", ref_ms);
     std::fprintf(f, "    \"fused_ms\": %.3f,\n", fused_ms);
     std::fprintf(f, "    \"speedup\": %.2f,\n", speedup);
-    std::fprintf(f, "    \"fused_ns_per_feb\": %.1f\n", ns_per_feb);
+    std::fprintf(f, "    \"fused_ns_per_feb\": %.1f,\n", ns_per_feb);
+    std::fprintf(f, "    \"phases_ms\": {\n");
+    std::fprintf(f, "      \"encode\": %.3f,\n", fused_phases.encode);
+    std::fprintf(f, "      \"inner_product\": %.3f,\n",
+                 fused_phases.inner_product);
+    std::fprintf(f, "      \"pooling\": %.3f,\n", fused_phases.pooling);
+    std::fprintf(f, "      \"activation\": %.3f,\n",
+                 fused_phases.activation);
+    std::fprintf(f, "      \"output\": %.3f\n", fused_phases.output);
+    std::fprintf(f, "    }\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"batch\": {\n");
     std::fprintf(f, "    \"images\": %zu,\n", batch_images);

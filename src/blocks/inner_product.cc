@@ -61,7 +61,7 @@ MuxInnerProduct::sumProductsFused(
 {
     SCDCNN_ASSERT(xs.size() == ws.size() && !xs.empty(),
                   "fused MUX needs matching nonzero operand counts");
-    std::vector<uint32_t> selects;
+    std::vector<uint16_t> selects;
     sc::fillMuxSelects(xs.size(), xs[0]->length(), sel, selects);
     sc::Bitstream out;
     sc::fusedMuxProduct(xs, ws, selects, out);

@@ -1,9 +1,11 @@
 #include "blocks/pooling.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.h"
 #include "sc/ops.h"
+#include "sc/simd.h"
 
 namespace scdcnn {
 namespace blocks {
@@ -16,35 +18,60 @@ averagePooling(const std::vector<sc::Bitstream> &inputs,
     return sc::muxAdd(inputs, sel);
 }
 
-sc::Bitstream
-HardwareMaxPooling::compute(const std::vector<sc::Bitstream> &inputs,
-                            size_t segment_len, size_t first_choice,
-                            bool accumulate)
+namespace {
+
+void
+checkMaxPoolStreams(const std::vector<sc::BitstreamView> &inputs,
+                    size_t segment_len, size_t first_choice)
 {
     SCDCNN_ASSERT(!inputs.empty(), "max pooling with no inputs");
     SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
     SCDCNN_ASSERT(first_choice < inputs.size(),
                   "first segment choice %zu out of range", first_choice);
-    const size_t len = inputs[0].length();
+    const size_t len = inputs[0].length;
     for (const auto &s : inputs)
-        SCDCNN_ASSERT(s.length() == len, "input length mismatch");
+        SCDCNN_ASSERT(s.length == len, "input length mismatch");
+}
 
-    sc::Bitstream out(len);
+} // namespace
+
+void
+maxPoolStreamsFused(const std::vector<sc::BitstreamView> &inputs,
+                    size_t segment_len, size_t first_choice,
+                    bool accumulate, sc::Bitstream &out)
+{
+    checkMaxPoolStreams(inputs, segment_len, first_choice);
+    const size_t len = inputs[0].length;
+    out.reset(len);
+    auto &words = out.mutableWords();
     std::vector<size_t> counters(inputs.size(), 0);
     size_t selected = first_choice;
     for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
         const size_t seg_end = std::min(len, seg_begin + segment_len);
-        // Forward the currently selected input's segment.
-        for (size_t i = seg_begin; i < seg_end; ++i)
-            if (inputs[selected].get(i))
-                out.set(i, true);
-        // Count this segment on every input; the winner drives the
-        // next segment (ties keep the earliest index, as a priority
-        // comparator would).
+        // Forward the selected input's segment by word copy with
+        // boundary masks (the segment rarely starts or ends on a word
+        // boundary).
+        const uint64_t *src = inputs[selected].words;
+        const size_t w0 = seg_begin / 64;
+        const size_t w1 = (seg_end - 1) / 64;
+        for (size_t w = w0; w <= w1; ++w) {
+            uint64_t mask = ~uint64_t{0};
+            if (w == w0)
+                mask &= ~uint64_t{0} << (seg_begin % 64);
+            if (w == w1) {
+                const size_t t = ((seg_end - 1) % 64) + 1;
+                if (t < 64)
+                    mask &= (uint64_t{1} << t) - 1;
+            }
+            words[w] |= src[w] & mask;
+        }
+        // Masked word popcounts replace the per-bit counters; the
+        // winner drives the next segment (ties keep the earliest
+        // index, as a priority comparator would).
         size_t best = 0;
         size_t best_count = 0;
         for (size_t k = 0; k < inputs.size(); ++k) {
-            counters[k] += inputs[k].countOnes(seg_begin, seg_end);
+            counters[k] += sc::countOnes(inputs[k], seg_begin, seg_end);
             if (counters[k] > best_count) {
                 best_count = counters[k];
                 best = k;
@@ -54,6 +81,51 @@ HardwareMaxPooling::compute(const std::vector<sc::Bitstream> &inputs,
         }
         selected = best;
     }
+}
+
+sc::Bitstream
+maxPoolStreamsReference(const std::vector<sc::BitstreamView> &inputs,
+                        size_t segment_len, size_t first_choice,
+                        bool accumulate)
+{
+    checkMaxPoolStreams(inputs, segment_len, first_choice);
+    const size_t len = inputs[0].length;
+    sc::Bitstream out(len);
+    std::vector<size_t> counters(inputs.size(), 0);
+    size_t selected = first_choice;
+    for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
+        const size_t seg_end = std::min(len, seg_begin + segment_len);
+        // Forward the currently selected input's segment, one bit at
+        // a time.
+        for (size_t i = seg_begin; i < seg_end; ++i)
+            if (inputs[selected].get(i))
+                out.set(i, true);
+        // Count this segment on every input with per-bit counters.
+        size_t best = 0;
+        size_t best_count = 0;
+        for (size_t k = 0; k < inputs.size(); ++k) {
+            for (size_t i = seg_begin; i < seg_end; ++i)
+                counters[k] += inputs[k].get(i) ? 1 : 0;
+            if (counters[k] > best_count) {
+                best_count = counters[k];
+                best = k;
+            }
+            if (!accumulate)
+                counters[k] = 0;
+        }
+        selected = best;
+    }
+    return out;
+}
+
+sc::Bitstream
+HardwareMaxPooling::compute(const std::vector<sc::Bitstream> &inputs,
+                            size_t segment_len, size_t first_choice,
+                            bool accumulate)
+{
+    sc::Bitstream out;
+    maxPoolStreamsFused(sc::toViews(inputs), segment_len, first_choice,
+                        accumulate, out);
     return out;
 }
 
@@ -121,10 +193,11 @@ binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
     return out;
 }
 
+namespace {
+
 void
-BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
-                          size_t segment_len, size_t first_choice,
-                          bool accumulate, std::vector<uint16_t> &out)
+checkBinaryMaxPool(const std::vector<std::vector<uint16_t>> &counts,
+                   size_t segment_len, size_t first_choice)
 {
     SCDCNN_ASSERT(!counts.empty(), "binary max pooling of nothing");
     SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
@@ -133,15 +206,59 @@ BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
     const size_t len = counts[0].size();
     for (const auto &c : counts)
         SCDCNN_ASSERT(c.size() == len, "count sequence length mismatch");
+}
 
+} // namespace
+
+void
+binaryMaxPoolFused(const std::vector<std::vector<uint16_t>> &counts,
+                   size_t segment_len, size_t first_choice,
+                   bool accumulate, std::vector<uint16_t> &out)
+{
+    checkBinaryMaxPool(counts, segment_len, first_choice);
+    const size_t len = counts[0].size();
     out.resize(len);
+    std::vector<uint64_t> accumulators(counts.size(), 0);
+    size_t selected = first_choice;
+    for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
+        const size_t seg_end = std::min(len, seg_begin + segment_len);
+        std::copy(counts[selected].begin() +
+                      static_cast<ptrdiff_t>(seg_begin),
+                  counts[selected].begin() +
+                      static_cast<ptrdiff_t>(seg_end),
+                  out.begin() + static_cast<ptrdiff_t>(seg_begin));
+        // Accumulators replace the bit counters of Figure 8; the
+        // segment sums go through the SIMD-dispatched uint16 summer.
+        size_t best = 0;
+        uint64_t best_sum = 0;
+        for (size_t k = 0; k < counts.size(); ++k) {
+            accumulators[k] += sc::simd::avx2SumU16(
+                counts[k].data() + seg_begin, seg_end - seg_begin);
+            if (accumulators[k] > best_sum) {
+                best_sum = accumulators[k];
+                best = k;
+            }
+            if (!accumulate)
+                accumulators[k] = 0;
+        }
+        selected = best;
+    }
+}
+
+std::vector<uint16_t>
+binaryMaxPoolReference(const std::vector<std::vector<uint16_t>> &counts,
+                       size_t segment_len, size_t first_choice,
+                       bool accumulate)
+{
+    checkBinaryMaxPool(counts, segment_len, first_choice);
+    const size_t len = counts[0].size();
+    std::vector<uint16_t> out(len);
     std::vector<uint64_t> accumulators(counts.size(), 0);
     size_t selected = first_choice;
     for (size_t seg_begin = 0; seg_begin < len; seg_begin += segment_len) {
         const size_t seg_end = std::min(len, seg_begin + segment_len);
         for (size_t i = seg_begin; i < seg_end; ++i)
             out[i] = counts[selected][i];
-        // Accumulators replace the bit counters of Figure 8.
         size_t best = 0;
         uint64_t best_sum = 0;
         for (size_t k = 0; k < counts.size(); ++k) {
@@ -156,6 +273,15 @@ BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
         }
         selected = best;
     }
+    return out;
+}
+
+void
+BinaryMaxPooling::compute(const std::vector<std::vector<uint16_t>> &counts,
+                          size_t segment_len, size_t first_choice,
+                          bool accumulate, std::vector<uint16_t> &out)
+{
+    binaryMaxPoolFused(counts, segment_len, first_choice, accumulate, out);
 }
 
 std::vector<uint16_t>

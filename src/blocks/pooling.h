@@ -29,6 +29,24 @@ sc::Bitstream averagePooling(const std::vector<sc::Bitstream> &inputs,
                              sc::Xoshiro256ss &sel);
 
 /**
+ * Word-parallel Figure 8 selector over packed stream views: segment
+ * counts via masked word popcounts, forwarding via word copies with
+ * boundary masks. Supports both counter readings (see
+ * HardwareMaxPooling::compute for @p accumulate). Bit-exact with
+ * maxPoolStreamsReference — the twin contract of DESIGN.md.
+ */
+void maxPoolStreamsFused(const std::vector<sc::BitstreamView> &inputs,
+                         size_t segment_len, size_t first_choice,
+                         bool accumulate, sc::Bitstream &out);
+
+/** Bit-serial oracle for maxPoolStreamsFused: per-bit counters,
+ *  get()-driven forwarding. */
+sc::Bitstream
+maxPoolStreamsReference(const std::vector<sc::BitstreamView> &inputs,
+                        size_t segment_len, size_t first_choice,
+                        bool accumulate);
+
+/**
  * Hardware-oriented max pooling (Figure 8).
  */
 class HardwareMaxPooling
@@ -88,8 +106,24 @@ binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
                            size_t n_inputs, std::vector<int> &out);
 
 /**
+ * Word-parallel binary-domain max pooling: segment accumulation through
+ * the SIMD-dispatched uint16 summer, forwarding by segment copy.
+ * Bit-exact with binaryMaxPoolReference.
+ */
+void binaryMaxPoolFused(const std::vector<std::vector<uint16_t>> &counts,
+                        size_t segment_len, size_t first_choice,
+                        bool accumulate, std::vector<uint16_t> &out);
+
+/** Element-serial oracle for binaryMaxPoolFused. */
+std::vector<uint16_t>
+binaryMaxPoolReference(const std::vector<std::vector<uint16_t>> &counts,
+                       size_t segment_len, size_t first_choice,
+                       bool accumulate);
+
+/**
  * Binary-domain max pooling: the Figure 8 selector with the bit
  * counters replaced by accumulators over the APC count sequences.
+ * compute() runs the word-parallel kernel (binaryMaxPoolFused).
  */
 class BinaryMaxPooling
 {

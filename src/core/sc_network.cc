@@ -1,6 +1,7 @@
 #include "core/sc_network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "blocks/activation.h"
@@ -18,6 +19,52 @@ namespace scdcnn {
 namespace core {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Per-chunk phase stopwatch: laps accumulate locally (no atomics in
+ * the pixel loop) and the chunk flushes once into the shared
+ * PhaseBreakdown. All no-ops when profiling is off.
+ */
+struct PhaseTimer
+{
+    explicit PhaseTimer(bool enabled) : on(enabled) {}
+
+    void start()
+    {
+        if (on)
+            last = Clock::now();
+    }
+
+    void lap(uint64_t &bucket)
+    {
+        if (!on)
+            return;
+        const Clock::time_point now = Clock::now();
+        bucket += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 last)
+                .count());
+        last = now;
+    }
+
+    bool on;
+    Clock::time_point last;
+    uint64_t inner_product = 0;
+    uint64_t pooling = 0;
+    uint64_t activation = 0;
+};
+
+void
+flushPhases(PhaseBreakdown *profile, const PhaseTimer &t)
+{
+    if (profile == nullptr)
+        return;
+    profile->inner_product_ns += t.inner_product;
+    profile->pooling_ns += t.pooling;
+    profile->activation_ns += t.activation;
+}
 
 /**
  * Stateless per-site generator seed: mixes (base seed, layer, site)
@@ -41,12 +88,12 @@ siteSeed(uint64_t seed, uint64_t layer_idx, uint64_t site)
  */
 void
 muxInnerProduct(EngineMode mode,
-                const std::vector<const sc::Bitstream *> &xs,
-                const std::vector<const sc::Bitstream *> &ws,
+                const std::vector<sc::BitstreamView> &xs,
+                const std::vector<sc::BitstreamView> &ws,
                 sc::Xoshiro256ss &sel, sc::FusedWorkspace &wsp,
                 sc::Bitstream &out)
 {
-    sc::fillMuxSelects(xs.size(), xs[0]->length(), sel, wsp.selects);
+    sc::fillMuxSelects(xs.size(), xs[0].length, sel, wsp.selects);
     if (mode == EngineMode::Fused)
         sc::fusedMuxProduct(xs, ws, wsp.selects, out);
     else
@@ -56,8 +103,8 @@ muxInnerProduct(EngineMode mode,
 /** One APC inner product (approximate counter) in the selected mode. */
 void
 apcInnerProduct(EngineMode mode,
-                const std::vector<const sc::Bitstream *> &xs,
-                const std::vector<const sc::Bitstream *> &ws,
+                const std::vector<sc::BitstreamView> &xs,
+                const std::vector<sc::BitstreamView> &ws,
                 std::vector<uint16_t> &out)
 {
     if (mode == EngineMode::Fused)
@@ -169,6 +216,16 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
         layer_gain_[l] = std::min(1.0, sizing.gain / g_float);
     }
 
+    // Build the batched activation tables once; layers sharing
+    // (K, threshold) / (K, n_inputs) share one table through the cache.
+    for (size_t l = 0; l < 3; ++l) {
+        if (blocks::febUsesApc(cfg_.febKind(l)))
+            btanh_tables_[l] = &fsm_tables_.btanh(
+                layer_k_[l], static_cast<unsigned>(n_per_layer[l]));
+        else
+            stanh_tables_[l] = &fsm_tables_.stanh(layer_k_[l]);
+    }
+
     // MUX-based layers attenuate their features by layer_gain_; the
     // consuming layer's weight streams are programmed at w/gain
     // (saturating in the SNG — the pre-scaling of Section 3.2), so the
@@ -179,31 +236,33 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
         out.c_in = conv.cIn();
         out.c_out = conv.cOut();
         out.k = conv.kernel();
-        out.filters.resize(out.c_out);
+        out.n_per_filter = out.c_in * out.k * out.k + 1;
+        out.arena.reset(out.c_out * out.n_per_filter, len);
+        size_t slot = 0;
         for (size_t co = 0; co < out.c_out; ++co) {
-            auto &f = out.filters[co];
-            f.reserve(out.c_in * out.k * out.k + 1);
             for (size_t ci = 0; ci < out.c_in; ++ci)
                 for (size_t ky = 0; ky < out.k; ++ky)
                     for (size_t kx = 0; kx < out.k; ++kx)
-                        f.push_back(bank.bipolar(
-                            conv.weightAt(co, ci, ky, kx) / in_gain,
-                            len));
-            f.push_back(bank.bipolar(conv.biasAt(co), len));
+                        out.arena.assign(
+                            slot++,
+                            bank.bipolar(
+                                conv.weightAt(co, ci, ky, kx) / in_gain,
+                                len));
+            out.arena.assign(slot++, bank.bipolar(conv.biasAt(co), len));
         }
     };
     auto encode_fc = [&](const nn::FullyConnected &fc, double in_gain,
                          FcWeightStreams &out) {
         out.n_in = fc.nIn();
         out.n_out = fc.nOut();
-        out.neurons.resize(out.n_out);
+        out.arena.reset(out.n_out * (out.n_in + 1), len);
+        size_t slot = 0;
         for (size_t o = 0; o < out.n_out; ++o) {
-            auto &ws = out.neurons[o];
-            ws.reserve(out.n_in + 1);
             for (size_t i = 0; i < out.n_in; ++i)
-                ws.push_back(
-                    bank.bipolar(fc.weightAt(o, i) / in_gain, len));
-            ws.push_back(bank.bipolar(fc.biasAt(o), len));
+                out.arena.assign(
+                    slot++, bank.bipolar(fc.weightAt(o, i) / in_gain,
+                                         len));
+            out.arena.assign(slot++, bank.bipolar(fc.biasAt(o), len));
         }
     };
 
@@ -214,31 +273,38 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
 }
 
 ScNetwork::StreamGrid
-ScNetwork::encodeImage(const nn::Tensor &image, uint64_t seed) const
+ScNetwork::encodeImage(const nn::Tensor &image, uint64_t seed,
+                       PhaseBreakdown *profile) const
 {
     SCDCNN_ASSERT(image.channels() == 1 && image.height() == 28 &&
                       image.width() == 28,
                   "expected a 1x28x28 image");
+    const Clock::time_point t0 = Clock::now();
     StreamGrid grid;
     grid.c = 1;
     grid.h = 28;
     grid.w = 28;
-    grid.streams.reserve(784);
+    grid.arena.reset(784, cfg_.bitstream_len);
     sc::SngBank bank(seed);
     for (size_t i = 0; i < image.size(); ++i) {
         // Pixel values in [0,1] already lie inside the bipolar range;
         // they are encoded at face value so the SC network computes
         // the same function the float network was trained on.
-        grid.streams.push_back(
-            bank.bipolar(image[i], cfg_.bitstream_len));
+        grid.arena.assign(i, bank.bipolar(image[i], cfg_.bitstream_len));
     }
+    if (profile != nullptr)
+        profile->encode_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
     return grid;
 }
 
 ScNetwork::StreamGrid
 ScNetwork::runConvLayer(const StreamGrid &in,
                         const ConvWeightStreams &weights,
-                        size_t layer_idx, uint64_t seed) const
+                        size_t layer_idx, uint64_t seed,
+                        PhaseBreakdown *profile) const
 {
     const size_t k = weights.k;
     const size_t conv_h = in.h - k + 1;
@@ -248,17 +314,19 @@ ScNetwork::runConvLayer(const StreamGrid &in,
     const size_t out_h = conv_h / 2;
     const size_t out_w = conv_w / 2;
     const size_t n_inputs = weights.c_in * k * k + 1;
+    const size_t len = cfg_.bitstream_len;
 
     const blocks::FebKind kind = cfg_.febKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
     const bool use_max = blocks::febUsesMaxPool(kind);
+    const bool fused = engine_ == EngineMode::Fused;
 
     StreamGrid out;
     out.c = weights.c_out;
     out.h = out_h;
     out.w = out_w;
-    out.streams.resize(out.c * out.h * out.w);
+    out.arena.reset(out.c * out.h * out.w, len);
 
     // One output pixel per work item; contiguous chunks go to the pool
     // workers, each with its own reusable workspace so the sweep runs
@@ -273,15 +341,18 @@ ScNetwork::runConvLayer(const StreamGrid &in,
         wsp.ws.resize(n_inputs);
         wsp.counts.resize(4);
         wsp.streams.resize(4);
+        sc::Bitstream pooled_stream;
+        std::vector<sc::BitstreamView> pool_views(wsp.streams.size());
+        PhaseTimer timer(profile != nullptr);
         for (size_t p = lo; p < hi; ++p) {
             const size_t co = p / pixels_per_channel;
             const size_t rem = p % pixels_per_channel;
             const size_t oy = rem / out_w;
             const size_t ox = rem % out_w;
-            const auto &filter = weights.filters[co];
             sc::Xoshiro256ss feb_rng(siteSeed(seed, layer_idx, p));
 
             // The four pooling-window inner products of this pixel.
+            timer.start();
             for (size_t dy = 0; dy < 2; ++dy) {
                 for (size_t dx = 0; dx < 2; ++dx) {
                     const size_t cy = 2 * oy + dy;
@@ -290,15 +361,15 @@ ScNetwork::runConvLayer(const StreamGrid &in,
                     for (size_t ci = 0; ci < weights.c_in; ++ci) {
                         for (size_t ky = 0; ky < k; ++ky) {
                             for (size_t kx = 0; kx < k; ++kx) {
-                                wsp.xs[idx] = &in.at(ci, cy + ky,
-                                                     cx + kx);
-                                wsp.ws[idx] = &filter[idx];
+                                wsp.xs[idx] = in.at(ci, cy + ky,
+                                                    cx + kx);
+                                wsp.ws[idx] = weights.at(co, idx);
                                 ++idx;
                             }
                         }
                     }
-                    wsp.xs[idx] = &bias_line_;
-                    wsp.ws[idx] = &filter[idx];
+                    wsp.xs[idx] = bias_line_;
+                    wsp.ws[idx] = weights.at(co, idx);
 
                     const size_t window = dy * 2 + dx;
                     if (use_apc)
@@ -310,8 +381,9 @@ ScNetwork::runConvLayer(const StreamGrid &in,
                                         wsp.streams[window]);
                 }
             }
+            timer.lap(timer.inner_product);
 
-            sc::Bitstream &result = out.streams[p];
+            uint64_t *result = out.arena.wordsAt(p);
             // Max pooling uses the accumulative (non-resetting)
             // reading of the Figure 8 counters: inside a trained
             // network the candidate inner products are separated by
@@ -320,59 +392,104 @@ ScNetwork::runConvLayer(const StreamGrid &in,
             // on the true maximum within a few hundred cycles (see
             // DESIGN.md reconstruction notes).
             if (use_apc) {
-                sc::Btanh unit(state_count,
-                               static_cast<unsigned>(n_inputs));
                 if (use_max) {
-                    blocks::BinaryMaxPooling::compute(
-                        wsp.counts, cfg_.segment_len, 0,
-                        /*accumulate=*/true, wsp.pooled);
-                    result = unit.transform(wsp.pooled);
+                    if (fused)
+                        blocks::binaryMaxPoolFused(
+                            wsp.counts, cfg_.segment_len, 0,
+                            /*accumulate=*/true, wsp.pooled);
+                    else
+                        wsp.pooled = blocks::binaryMaxPoolReference(
+                            wsp.counts, cfg_.segment_len, 0,
+                            /*accumulate=*/true);
+                    timer.lap(timer.pooling);
+                    if (fused) {
+                        btanh_tables_[layer_idx]->transformWords(
+                            wsp.pooled.data(), len, result);
+                    } else {
+                        sc::Btanh unit(state_count,
+                                       static_cast<unsigned>(n_inputs));
+                        out.arena.assign(p, unit.transform(wsp.pooled));
+                    }
                 } else {
                     blocks::binaryAveragePoolingSigned(
                         wsp.counts, n_inputs, wsp.steps);
-                    result = unit.transformSigned(wsp.steps);
+                    timer.lap(timer.pooling);
+                    if (fused) {
+                        btanh_tables_[layer_idx]->transformSignedWords(
+                            wsp.steps.data(), len, result);
+                    } else {
+                        sc::Btanh unit(state_count,
+                                       static_cast<unsigned>(n_inputs));
+                        out.arena.assign(p,
+                                         unit.transformSigned(wsp.steps));
+                    }
                 }
             } else if (use_max) {
-                sc::Bitstream pooled =
-                    blocks::HardwareMaxPooling::compute(
-                        wsp.streams, cfg_.segment_len, 0,
+                // Refresh the hoisted views in place (stream storage
+                // can move between pixels) — no per-pixel allocation.
+                for (size_t i = 0; i < wsp.streams.size(); ++i)
+                    pool_views[i] = wsp.streams[i];
+                if (fused)
+                    blocks::maxPoolStreamsFused(
+                        pool_views, cfg_.segment_len, 0,
+                        /*accumulate=*/true, pooled_stream);
+                else
+                    pooled_stream = blocks::maxPoolStreamsReference(
+                        pool_views, cfg_.segment_len, 0,
                         /*accumulate=*/true);
-                sc::Stanh fsm(state_count);
-                result = fsm.transform(pooled);
+                timer.lap(timer.pooling);
+                if (fused) {
+                    stanh_tables_[layer_idx]->transformWords(
+                        pooled_stream.words().data(), len, result);
+                } else {
+                    sc::Stanh fsm(state_count);
+                    out.arena.assign(p, fsm.transform(pooled_stream));
+                }
             } else {
-                sc::Bitstream pooled =
-                    blocks::averagePooling(wsp.streams, feb_rng);
                 // Unlike the isolated Figure 14(b) study (operands
                 // uniform over [-1,1]), trained-network streams sit
                 // near p=0.5 where the Figure 11 K/5 threshold
                 // would swamp the signal with a constant positive
                 // bias; the classic midpoint threshold is used for
                 // network inference.
-                sc::Stanh fsm(state_count);
-                result = fsm.transform(pooled);
+                pooled_stream =
+                    blocks::averagePooling(wsp.streams, feb_rng);
+                timer.lap(timer.pooling);
+                if (fused) {
+                    stanh_tables_[layer_idx]->transformWords(
+                        pooled_stream.words().data(), len, result);
+                } else {
+                    sc::Stanh fsm(state_count);
+                    out.arena.assign(p, fsm.transform(pooled_stream));
+                }
             }
+            timer.lap(timer.activation);
         }
+        flushPhases(profile, timer);
     });
     return out;
 }
 
-std::vector<sc::Bitstream>
-ScNetwork::runFcLayer(const std::vector<const sc::Bitstream *> &in,
+sc::StreamArena
+ScNetwork::runFcLayer(const std::vector<sc::BitstreamView> &in,
                       const FcWeightStreams &weights, size_t layer_idx,
-                      uint64_t seed) const
+                      uint64_t seed, PhaseBreakdown *profile) const
 {
     SCDCNN_ASSERT(in.size() == weights.n_in,
                   "fc layer expects %zu inputs, got %zu", weights.n_in,
                   in.size());
     const size_t n_inputs = weights.n_in + 1;
+    const size_t len = cfg_.bitstream_len;
     const blocks::FebKind kind = cfg_.febKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
+    const bool fused = engine_ == EngineMode::Fused;
 
     // One neuron per work item, chunked across the pool with per-chunk
     // workspaces; neuron generators are position-derived like the conv
     // pixels'.
-    std::vector<sc::Bitstream> out(weights.n_out);
+    sc::StreamArena out;
+    out.reset(weights.n_out, len);
     parallelForChunks(0, weights.n_out, [&](size_t lo, size_t hi) {
         sc::FusedWorkspace wsp;
         wsp.xs.resize(n_inputs);
@@ -381,45 +498,62 @@ ScNetwork::runFcLayer(const std::vector<const sc::Bitstream *> &in,
         wsp.streams.resize(1);
         for (size_t i = 0; i < weights.n_in; ++i)
             wsp.xs[i] = in[i];
-        wsp.xs[weights.n_in] = &bias_line_;
+        wsp.xs[weights.n_in] = bias_line_;
+        PhaseTimer timer(profile != nullptr);
         for (size_t o = lo; o < hi; ++o) {
-            const auto &neuron = weights.neurons[o];
             for (size_t i = 0; i < n_inputs; ++i)
-                wsp.ws[i] = &neuron[i];
+                wsp.ws[i] = weights.at(o, i);
+            timer.start();
             if (use_apc) {
                 apcInnerProduct(engine_, wsp.xs, wsp.ws, wsp.counts[0]);
-                sc::Btanh unit(state_count,
-                               static_cast<unsigned>(n_inputs));
-                out[o] = unit.transform(wsp.counts[0]);
+                timer.lap(timer.inner_product);
+                if (fused) {
+                    btanh_tables_[layer_idx]->transformWords(
+                        wsp.counts[0].data(), len, out.wordsAt(o));
+                } else {
+                    sc::Btanh unit(state_count,
+                                   static_cast<unsigned>(n_inputs));
+                    out.assign(o, unit.transform(wsp.counts[0]));
+                }
             } else {
                 sc::Xoshiro256ss rng(siteSeed(seed, layer_idx, o));
                 muxInnerProduct(engine_, wsp.xs, wsp.ws, rng, wsp,
                                 wsp.streams[0]);
-                sc::Stanh fsm(state_count);
-                out[o] = fsm.transform(wsp.streams[0]);
+                timer.lap(timer.inner_product);
+                if (fused) {
+                    stanh_tables_[layer_idx]->transformWords(
+                        wsp.streams[0].words().data(), len,
+                        out.wordsAt(o));
+                } else {
+                    sc::Stanh fsm(state_count);
+                    out.assign(o, fsm.transform(wsp.streams[0]));
+                }
             }
+            timer.lap(timer.activation);
         }
+        flushPhases(profile, timer);
     });
     return out;
 }
 
 std::vector<double>
-ScNetwork::runBinaryOutputLayer(
-    const std::vector<const sc::Bitstream *> &in,
-    const FcWeightStreams &weights) const
+ScNetwork::runBinaryOutputLayer(const std::vector<sc::BitstreamView> &in,
+                                const FcWeightStreams &weights,
+                                PhaseBreakdown *profile) const
 {
+    const Clock::time_point t0 = Clock::now();
     const size_t n_inputs = weights.n_in + 1;
-    std::vector<const sc::Bitstream *> xs(n_inputs);
-    std::vector<const sc::Bitstream *> ws(n_inputs);
+    std::vector<sc::BitstreamView> xs(n_inputs);
+    std::vector<sc::BitstreamView> ws(n_inputs);
     for (size_t i = 0; i < weights.n_in; ++i)
         xs[i] = in[i];
-    xs[weights.n_in] = &bias_line_;
+    xs[weights.n_in] = bias_line_;
 
     std::vector<double> scores(weights.n_out);
     const double len = static_cast<double>(cfg_.bitstream_len);
     for (size_t o = 0; o < weights.n_out; ++o) {
         for (size_t i = 0; i < n_inputs; ++i)
-            ws[i] = &weights.neurons[o][i];
+            ws[i] = weights.at(o, i);
         // The accumulator de-randomizes: score = sum of bipolar sums.
         // The fused path never materializes the per-cycle counts — the
         // accumulated total reduces to word popcounts.
@@ -431,29 +565,36 @@ ScNetwork::runBinaryOutputLayer(
         scores[o] = (2.0 * static_cast<double>(total) -
                      static_cast<double>(n_inputs) * len) / len;
     }
+    if (profile != nullptr)
+        profile->output_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
     return scores;
 }
 
 size_t
-ScNetwork::predict(const nn::Tensor &image, uint64_t seed) const
+ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
+                   PhaseBreakdown *profile) const
 {
-    StreamGrid x = encodeImage(image, seed);
-    StreamGrid c1 = runConvLayer(x, conv1_, 0, seed ^ 0x1111);
-    StreamGrid c2 = runConvLayer(c1, conv2_, 1, seed ^ 0x2222);
+    StreamGrid x = encodeImage(image, seed, profile);
+    StreamGrid c1 = runConvLayer(x, conv1_, 0, seed ^ 0x1111, profile);
+    StreamGrid c2 = runConvLayer(c1, conv2_, 1, seed ^ 0x2222, profile);
 
-    std::vector<const sc::Bitstream *> flat;
-    flat.reserve(c2.streams.size());
-    for (const auto &s : c2.streams)
-        flat.push_back(&s);
+    std::vector<sc::BitstreamView> flat;
+    flat.reserve(c2.arena.count());
+    for (size_t i = 0; i < c2.arena.count(); ++i)
+        flat.push_back(c2.arena.view(i));
 
-    std::vector<sc::Bitstream> f1 =
-        runFcLayer(flat, fc1_, 2, seed ^ 0x3333);
-    std::vector<const sc::Bitstream *> f1_ptrs;
-    f1_ptrs.reserve(f1.size());
-    for (const auto &s : f1)
-        f1_ptrs.push_back(&s);
+    sc::StreamArena f1 =
+        runFcLayer(flat, fc1_, 2, seed ^ 0x3333, profile);
+    std::vector<sc::BitstreamView> f1_views;
+    f1_views.reserve(f1.count());
+    for (size_t i = 0; i < f1.count(); ++i)
+        f1_views.push_back(f1.view(i));
 
-    std::vector<double> scores = runBinaryOutputLayer(f1_ptrs, fc2_);
+    std::vector<double> scores =
+        runBinaryOutputLayer(f1_views, fc2_, profile);
     return static_cast<size_t>(
         std::max_element(scores.begin(), scores.end()) -
         scores.begin());
@@ -476,22 +617,23 @@ ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
 
 double
 ScNetwork::errorRate(const nn::Dataset &ds, size_t max_images,
-                     uint64_t seed) const
+                     uint64_t seed, ThreadPool *pool) const
 {
     const size_t n = std::min(ds.size(), max_images);
     SCDCNN_ASSERT(n > 0, "empty SC evaluation set");
-    // Same per-image seed schedule as forwardBatch, so an error rate is
-    // reproducible from the batch predictions.
-    std::vector<uint8_t> wrong(n, 0);
-    parallelFor(0, n, [&](size_t i) {
-        const nn::Sample &s = ds.samples[i];
-        if (predict(s.image, seed + i * 7919) != s.label)
-            wrong[i] = 1;
-    });
-    size_t total = 0;
-    for (uint8_t w : wrong)
-        total += w;
-    return static_cast<double>(total) / static_cast<double>(n);
+    // One seed schedule and one parallel loop for all batched
+    // prediction: forwardBatch's. An error rate is therefore
+    // reproducible from the batch predictions at the same seed.
+    std::vector<nn::Tensor> images;
+    images.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        images.push_back(ds.samples[i].image);
+    const std::vector<size_t> preds = forwardBatch(images, seed, pool);
+    size_t wrong = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (preds[i] != ds.samples[i].label)
+            ++wrong;
+    return static_cast<double>(wrong) / static_cast<double>(n);
 }
 
 } // namespace core

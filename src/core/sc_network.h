@@ -11,12 +11,18 @@
  *
  * Weight streams are generated once per network instance and shared by
  * all feature extraction blocks of a filter, mirroring the
- * filter-aware SRAM sharing scheme of Section 5.1.
+ * filter-aware SRAM sharing scheme of Section 5.1. Each filter's /
+ * neuron's weight streams — and each layer's pixel streams — are
+ * packed into one contiguous StreamArena, so the fused kernels stream
+ * through memory via BitstreamViews instead of chasing per-Bitstream
+ * heap allocations.
  */
 
 #ifndef SCDCNN_CORE_SC_NETWORK_H
 #define SCDCNN_CORE_SC_NETWORK_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +30,7 @@
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "sc/bitstream.h"
+#include "sc/fsm_batch.h"
 #include "sc/fused.h"
 
 namespace scdcnn {
@@ -36,18 +43,35 @@ namespace core {
  * Which kernel implementation the engine runs on.
  *
  * Fused is the production path: word-parallel kernels over the packed
- * uint64_t words, reusable per-thread workspaces, layers fanned out
+ * uint64_t words (SIMD-dispatched where available), table-driven
+ * activation FSMs, reusable per-thread workspaces, layers fanned out
  * across the thread pool. Reference drives the same network structure
- * through the bit-serial oracle kernels (one Bitstream::get() per
- * cycle) — the ground truth the fused path is tested against and the
- * baseline bench_throughput measures speedup over. Both modes consume
- * identical RNG sequences, so predictions are bit-exact across modes
- * and thread counts.
+ * through the bit-serial oracle kernels (one bit per cycle) and the
+ * scalar Stanh/Btanh steppers — the ground truth the fused path is
+ * tested against and the baseline bench_throughput measures speedup
+ * over. Both modes consume identical RNG sequences, so predictions
+ * are bit-exact across modes and thread counts.
  */
 enum class EngineMode
 {
     Fused,
     Reference,
+};
+
+/**
+ * Wall-clock nanoseconds spent in each phase of a forward pass,
+ * accumulated across all worker threads (so with more than one thread
+ * the phases sum to CPU time, not wall time; on one thread they are
+ * the same). bench_throughput divides these into the per-phase
+ * breakdown written to BENCH_throughput.json.
+ */
+struct PhaseBreakdown
+{
+    std::atomic<uint64_t> encode_ns{0};        //!< SNG image encoding
+    std::atomic<uint64_t> inner_product_ns{0}; //!< XNOR + MUX/APC adders
+    std::atomic<uint64_t> pooling_ns{0};       //!< avg / max pooling
+    std::atomic<uint64_t> activation_ns{0};    //!< Stanh / Btanh
+    std::atomic<uint64_t> output_ns{0};        //!< binary output layer
 };
 
 /**
@@ -64,8 +88,12 @@ class ScNetwork
     ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
               uint64_t weight_seed = 0xC0FFEE);
 
-    /** SC-domain forward pass + argmax for one image. */
-    size_t predict(const nn::Tensor &image, uint64_t seed) const;
+    /**
+     * SC-domain forward pass + argmax for one image. When @p profile
+     * is non-null, per-phase wall time is accumulated into it.
+     */
+    size_t predict(const nn::Tensor &image, uint64_t seed,
+                   PhaseBreakdown *profile = nullptr) const;
 
     /**
      * Batched forward pass: predictions for every image, fanned out
@@ -81,10 +109,13 @@ class ScNetwork
 
     /**
      * Classification error rate over (up to @p max_images of) the
-     * dataset; threaded across images, deterministic per seed.
+     * dataset. Routed through forwardBatch — the one place the
+     * per-image seed schedule and the parallel loop live — so results
+     * are reproducible from the batch predictions; @p pool as in
+     * forwardBatch.
      */
     double errorRate(const nn::Dataset &ds, size_t max_images,
-                     uint64_t seed = 777) const;
+                     uint64_t seed = 777, ThreadPool *pool = nullptr) const;
 
     /** Select the fused fast path (default) or the bit-serial
      *  reference oracle. Predictions are bit-exact across modes. */
@@ -115,46 +146,63 @@ class ScNetwork
     }
 
   private:
-    /** A (c, h, w) grid of bit-streams. */
+    /** A (c, h, w) grid of bit-streams packed into one arena. */
     struct StreamGrid
     {
         size_t c = 0, h = 0, w = 0;
-        std::vector<sc::Bitstream> streams;
+        sc::StreamArena arena;
 
-        const sc::Bitstream &at(size_t ci, size_t y, size_t x) const
+        sc::BitstreamView at(size_t ci, size_t y, size_t x) const
         {
-            return streams[(ci * h + y) * w + x];
+            return arena.view((ci * h + y) * w + x);
         }
     };
 
-    /** Conv layer weight streams: [filter][c_in*k*k + 1 bias]. */
+    /** Conv layer weight streams, one arena slot per (filter, tap):
+     *  filter f's streams are slots [f*n, (f+1)*n), n = c_in*k*k + 1
+     *  (bias last). */
     struct ConvWeightStreams
     {
         size_t c_in = 0, c_out = 0, k = 0;
-        std::vector<std::vector<sc::Bitstream>> filters;
+        size_t n_per_filter = 0;
+        sc::StreamArena arena;
+
+        sc::BitstreamView at(size_t filter, size_t i) const
+        {
+            return arena.view(filter * n_per_filter + i);
+        }
     };
 
-    /** FC layer weight streams: [neuron][n_in + 1 bias]. */
+    /** FC layer weight streams, neuron o's streams at slots
+     *  [o*(n_in+1), ...] (bias last). */
     struct FcWeightStreams
     {
         size_t n_in = 0, n_out = 0;
-        std::vector<std::vector<sc::Bitstream>> neurons;
+        sc::StreamArena arena;
+
+        sc::BitstreamView at(size_t neuron, size_t i) const
+        {
+            return arena.view(neuron * (n_in + 1) + i);
+        }
     };
 
-    StreamGrid encodeImage(const nn::Tensor &image, uint64_t seed) const;
+    StreamGrid encodeImage(const nn::Tensor &image, uint64_t seed,
+                           PhaseBreakdown *profile) const;
 
     StreamGrid runConvLayer(const StreamGrid &in,
                             const ConvWeightStreams &weights,
-                            size_t layer_idx, uint64_t seed) const;
+                            size_t layer_idx, uint64_t seed,
+                            PhaseBreakdown *profile) const;
 
-    std::vector<sc::Bitstream>
-    runFcLayer(const std::vector<const sc::Bitstream *> &in,
+    sc::StreamArena
+    runFcLayer(const std::vector<sc::BitstreamView> &in,
                const FcWeightStreams &weights, size_t layer_idx,
-               uint64_t seed) const;
+               uint64_t seed, PhaseBreakdown *profile) const;
 
     std::vector<double>
-    runBinaryOutputLayer(const std::vector<const sc::Bitstream *> &in,
-                         const FcWeightStreams &weights) const;
+    runBinaryOutputLayer(const std::vector<sc::BitstreamView> &in,
+                         const FcWeightStreams &weights,
+                         PhaseBreakdown *profile) const;
 
     ScNetworkConfig cfg_;
     EngineMode engine_ = EngineMode::Fused;
@@ -163,6 +211,13 @@ class ScNetwork
     FcWeightStreams fc1_, fc2_;
     std::array<double, 3> layer_gain_ = {1.0, 1.0, 1.0};
     std::array<unsigned, 3> layer_k_ = {2, 2, 2};
+
+    /** Batched activation tables, built once at construction and
+     *  shared by all pixels of a layer (null where the layer's FEB
+     *  kind uses the other activation family). */
+    sc::FsmTableCache fsm_tables_;
+    std::array<const sc::StanhBatchTable *, 3> stanh_tables_ = {};
+    std::array<const sc::BtanhBatchTable *, 3> btanh_tables_ = {};
 };
 
 } // namespace core

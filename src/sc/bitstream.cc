@@ -1,5 +1,6 @@
 #include "sc/bitstream.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -77,6 +78,15 @@ Bitstream::countOnes(size_t begin, size_t end) const
 {
     SCDCNN_ASSERT(begin <= end && end <= length_,
                   "bad range [%zu, %zu) for length %zu", begin, end, length_);
+    return sc::countOnes(BitstreamView(*this), begin, end);
+}
+
+size_t
+countOnes(BitstreamView v, size_t begin, size_t end)
+{
+    SCDCNN_ASSERT(begin <= end && end <= v.length,
+                  "bad range [%zu, %zu) for length %zu", begin, end,
+                  v.length);
     if (begin == end)
         return 0;
 
@@ -85,7 +95,7 @@ Bitstream::countOnes(size_t begin, size_t end) const
     size_t n = 0;
 
     if (first_word == last_word) {
-        uint64_t w = words_[first_word];
+        uint64_t w = v.words[first_word];
         w >>= begin % 64;
         size_t span = end - begin;
         if (span < 64)
@@ -95,12 +105,12 @@ Bitstream::countOnes(size_t begin, size_t end) const
 
     // Head partial word.
     n += static_cast<size_t>(
-        std::popcount(words_[first_word] >> (begin % 64)));
+        std::popcount(v.words[first_word] >> (begin % 64)));
     // Full middle words.
     for (size_t i = first_word + 1; i < last_word; ++i)
-        n += static_cast<size_t>(std::popcount(words_[i]));
+        n += static_cast<size_t>(std::popcount(v.words[i]));
     // Tail partial word.
-    uint64_t w = words_[last_word];
+    uint64_t w = v.words[last_word];
     size_t tail_bits = ((end - 1) % 64) + 1;
     if (tail_bits < 64)
         w &= (uint64_t{1} << tail_bits) - 1;
@@ -226,6 +236,34 @@ Bitstream::maskTail()
     size_t tail = length_ % 64;
     if (tail != 0 && !words_.empty())
         words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+void
+StreamArena::reset(size_t count, size_t length)
+{
+    count_ = count;
+    length_ = length;
+    stride_ = wordsFor(length);
+    words_.assign(count_ * stride_, 0);
+}
+
+void
+StreamArena::assign(size_t i, const Bitstream &s)
+{
+    SCDCNN_ASSERT(i < count_, "arena slot %zu out of range %zu", i,
+                  count_);
+    SCDCNN_ASSERT(s.length() == length_,
+                  "arena stream length mismatch: %zu vs %zu", s.length(),
+                  length_);
+    std::copy(s.words().begin(), s.words().end(), wordsAt(i));
+}
+
+void
+StreamArena::maskTail(size_t i)
+{
+    size_t tail = length_ % 64;
+    if (tail != 0 && stride_ != 0)
+        wordsAt(i)[stride_ - 1] &= (uint64_t{1} << tail) - 1;
 }
 
 } // namespace sc

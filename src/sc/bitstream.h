@@ -119,6 +119,93 @@ class Bitstream
     std::vector<uint64_t> words_;
 };
 
+/**
+ * Non-owning view of a packed stream: word pointer + bit length.
+ *
+ * The fused kernels take views as their operand type so a layer's
+ * streams can live in one contiguous StreamArena and be streamed
+ * through without chasing per-Bitstream heap allocations. A view does
+ * not extend the lifetime of its storage; the invariants of Bitstream
+ * (tail bits zero, cycle i at bit i%64 of word i/64) carry over.
+ */
+struct BitstreamView
+{
+    const uint64_t *words = nullptr;
+    size_t length = 0;
+
+    BitstreamView() = default;
+    BitstreamView(const uint64_t *w, size_t len) : words(w), length(len) {}
+    /*implicit*/ BitstreamView(const Bitstream &s)
+        : words(s.words().data()), length(s.length())
+    {
+    }
+
+    /** Number of 64-bit words backing the view. */
+    size_t wordCount() const { return (length + 63) / 64; }
+
+    /** Read the bit at cycle @p i (no bounds check beyond debug). */
+    bool get(size_t i) const { return (words[i / 64] >> (i % 64)) & 1; }
+};
+
+/** Number of ones in cycles [begin, end) of a view (word popcounts
+ *  with boundary masks; begin <= end <= length required). */
+size_t countOnes(BitstreamView v, size_t begin, size_t end);
+
+/**
+ * Contiguous word arena holding @c count equal-length packed streams.
+ *
+ * Stream i occupies words [i*stride, i*stride + wordCount) with the
+ * same layout and tail-zero invariant as a Bitstream, so a view of a
+ * slot is a drop-in kernel operand. The engine packs each conv
+ * filter's / FC neuron's weight streams and each layer's pixel
+ * streams into one arena, which removes per-stream allocations and
+ * keeps a window's operands cache-adjacent.
+ */
+class StreamArena
+{
+  public:
+    StreamArena() = default;
+
+    /** Reshape to @p count all-zero streams of @p length bits each,
+     *  reusing the existing storage when large enough. */
+    void reset(size_t count, size_t length);
+
+    /** Number of streams held. */
+    size_t count() const { return count_; }
+
+    /** Length in bits of every stream. */
+    size_t length() const { return length_; }
+
+    /** Words per stream slot. */
+    size_t strideWords() const { return stride_; }
+
+    /** Mutable word pointer of slot @p i; the caller must keep the
+     *  tail bits past length() zero. */
+    uint64_t *wordsAt(size_t i) { return words_.data() + i * stride_; }
+
+    /** Read-only word pointer of slot @p i. */
+    const uint64_t *wordsAt(size_t i) const
+    {
+        return words_.data() + i * stride_;
+    }
+
+    /** Kernel operand view of slot @p i. */
+    BitstreamView view(size_t i) const
+    {
+        return BitstreamView(wordsAt(i), length_);
+    }
+
+    /** Copy a Bitstream (of matching length) into slot @p i. */
+    void assign(size_t i, const Bitstream &s);
+
+    /** Zero any bits of slot @p i at positions >= length(). */
+    void maskTail(size_t i);
+
+  private:
+    size_t count_ = 0, length_ = 0, stride_ = 0;
+    std::vector<uint64_t> words_;
+};
+
 /** Pointer view of owned streams, for the pointer-based kernel APIs. */
 inline std::vector<const Bitstream *>
 toPointers(const std::vector<Bitstream> &streams)
@@ -128,6 +215,28 @@ toPointers(const std::vector<Bitstream> &streams)
     for (const auto &s : streams)
         ptrs.push_back(&s);
     return ptrs;
+}
+
+/** View vector of owned streams. */
+inline std::vector<BitstreamView>
+toViews(const std::vector<Bitstream> &streams)
+{
+    std::vector<BitstreamView> views;
+    views.reserve(streams.size());
+    for (const auto &s : streams)
+        views.emplace_back(s);
+    return views;
+}
+
+/** View vector of pointed-to streams. */
+inline std::vector<BitstreamView>
+toViews(const std::vector<const Bitstream *> &streams)
+{
+    std::vector<BitstreamView> views;
+    views.reserve(streams.size());
+    for (const auto *s : streams)
+        views.emplace_back(*s);
+    return views;
 }
 
 } // namespace sc

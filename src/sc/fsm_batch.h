@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Table-driven batched steppers for the activation FSMs.
+ *
+ * The scalar Stanh/Btanh units walk one cycle at a time through a
+ * state-dependent branch — the last bit-serial stage of the post-counter
+ * pipeline. Both FSMs are tiny deterministic automata, so their
+ * transition functions can be tabulated once and replayed at word
+ * speed:
+ *
+ *  - StanhBatchTable maps (state, input byte) -> (next state, output
+ *    byte), consuming 8 input cycles per lookup;
+ *  - BtanhBatchTable maps (state, bucketed signed delta) -> (next
+ *    state, output bit); deltas outside the bucket range fall back to
+ *    the scalar saturating step, so the table stays one cache-friendly
+ *    page while arbitrary counts remain exact.
+ *
+ * The scalar units (sc/stanh.h, sc/btanh.h) are the oracles: both
+ * tables are bit-exact with a freshly constructed scalar unit's
+ * transform() (randomized equivalence tests in tests/test_fsm_batch.cc).
+ * Tables are built once per (K, threshold) / (K, n_inputs) — the
+ * network caches them per layer through FsmTableCache so per-pixel
+ * construction cost disappears.
+ */
+
+#ifndef SCDCNN_SC_FSM_BATCH_H
+#define SCDCNN_SC_FSM_BATCH_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sc/bitstream.h"
+
+namespace scdcnn {
+namespace sc {
+
+/**
+ * Batched K-state FSM tanh: (state, input byte) transition table.
+ *
+ * transform() starts from the midpoint state, matching a freshly
+ * constructed Stanh — the per-pixel usage of the network engine.
+ */
+class StanhBatchTable
+{
+  public:
+    /** @param k          number of FSM states (>= 2)
+     *  @param threshold  first state index that outputs 1; -1 = k/2 */
+    explicit StanhBatchTable(unsigned k, int threshold = -1);
+
+    /** State count K. */
+    unsigned k() const { return k_; }
+
+    /** Output threshold state. */
+    unsigned threshold() const { return threshold_; }
+
+    /** Transform a whole stream (midpoint start), writing into @p out
+     *  (reshaped in place). Bit-exact with a fresh Stanh::transform. */
+    void transform(BitstreamView in, Bitstream &out) const;
+
+    /** Low-level variant: read wordCount(length) words at @p in, write
+     *  the same count at @p out (tail bits of the last word masked).
+     *  @p in tail bits past @p length must be zero (the Bitstream /
+     *  StreamArena invariant). */
+    void transformWords(const uint64_t *in, size_t length,
+                        uint64_t *out) const;
+
+  private:
+    /** Packed transition: next state + the 8 output bits. */
+    struct Entry
+    {
+        uint16_t next;
+        uint8_t out;
+    };
+
+    unsigned k_;
+    unsigned threshold_;
+    unsigned initial_state_;
+    std::vector<Entry> table_; //!< indexed by (state << 8) | input byte
+};
+
+/**
+ * Batched saturated up/down counter tanh for binary (APC) inputs:
+ * (state, signed delta) transition table over the bucketed delta range
+ * [-128, 127]; out-of-table deltas take the scalar saturating step.
+ *
+ * transform*() start from the midpoint state, matching a freshly
+ * constructed Btanh.
+ */
+class BtanhBatchTable
+{
+  public:
+    /** Bucketed delta range half-width: deltas in [-128, 127] are
+     *  table-driven, anything larger falls back to the scalar step. */
+    static constexpr int kDeltaOffset = 128;
+
+    /** @param k        number of counter states (even, >= 2)
+     *  @param n_inputs the APC input count n (count v steps 2v - n) */
+    BtanhBatchTable(unsigned k, unsigned n_inputs);
+
+    /** State count K. */
+    unsigned k() const { return k_; }
+
+    /** The APC input count the count->delta mapping uses. */
+    unsigned nInputs() const { return n_inputs_; }
+
+    /** Transform a count sequence (midpoint start), writing into
+     *  @p out. Bit-exact with a fresh Btanh::transform. */
+    void transform(const std::vector<uint16_t> &counts,
+                   Bitstream &out) const;
+
+    /** Transform pre-signed steps, cf. Btanh::transformSigned. */
+    void transformSigned(const std::vector<int> &steps,
+                         Bitstream &out) const;
+
+    /** Low-level variants writing wordCount(length) words at @p out
+     *  (tail bits masked). */
+    void transformWords(const uint16_t *counts, size_t length,
+                        uint64_t *out) const;
+    void transformSignedWords(const int *steps, size_t length,
+                              uint64_t *out) const;
+
+  private:
+    struct Entry
+    {
+        uint16_t next;
+        uint8_t out;
+    };
+
+    /** One table-or-fallback step from @p state on @p delta. */
+    unsigned stepState(unsigned state, int delta, bool &out_bit) const;
+
+    unsigned k_;
+    unsigned n_inputs_;
+    std::vector<Entry> table_; //!< (state << 8) | (delta + kDeltaOffset)
+};
+
+/**
+ * Owning cache of built FSM tables keyed by their construction
+ * parameters, so layers sharing a (K, threshold) / (K, n_inputs) pair
+ * share one table. Not thread-safe: populate at network construction,
+ * read-only afterwards.
+ */
+class FsmTableCache
+{
+  public:
+    /** The Stanh table for (k, threshold), building it on first use. */
+    const StanhBatchTable &stanh(unsigned k, int threshold = -1);
+
+    /** The Btanh table for (k, n_inputs), building it on first use. */
+    const BtanhBatchTable &btanh(unsigned k, unsigned n_inputs);
+
+  private:
+    std::map<std::pair<unsigned, int>,
+             std::unique_ptr<StanhBatchTable>>
+        stanh_;
+    std::map<std::pair<unsigned, unsigned>,
+             std::unique_ptr<BtanhBatchTable>>
+        btanh_;
+};
+
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_FSM_BATCH_H

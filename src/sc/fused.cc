@@ -5,27 +5,25 @@
 
 #include "common/logging.h"
 #include "sc/counter.h"
+#include "sc/simd.h"
 
 namespace scdcnn {
 namespace sc {
 
 namespace {
 
-/** Max supported log2(inputs): 4096 lines. */
-constexpr int kMaxPlanes = 13;
-
 size_t
-checkOperands(const std::vector<const Bitstream *> &xs,
-              const std::vector<const Bitstream *> *ws)
+checkOperands(const std::vector<BitstreamView> &xs,
+              const std::vector<BitstreamView> *ws)
 {
     SCDCNN_ASSERT(!xs.empty(), "fused kernel called with zero streams");
-    const size_t len = xs[0]->length();
-    for (const auto *s : xs)
-        SCDCNN_ASSERT(s->length() == len, "stream length mismatch");
+    const size_t len = xs[0].length;
+    for (const auto &s : xs)
+        SCDCNN_ASSERT(s.length == len, "stream length mismatch");
     if (ws != nullptr) {
         SCDCNN_ASSERT(ws->size() == xs.size(), "operand count mismatch");
-        for (const auto *s : *ws)
-            SCDCNN_ASSERT(s->length() == len, "weight length mismatch");
+        for (const auto &s : *ws)
+            SCDCNN_ASSERT(s.length == len, "weight length mismatch");
     }
     return len;
 }
@@ -35,11 +33,13 @@ checkOperands(const std::vector<const Bitstream *> &xs,
  * raw streams (ws == nullptr) or the XNOR products xs[i] ^ ~ws[i],
  * formed word-by-word without materializing product streams. The
  * approximate-counter LSB (truncated parity of the leading lines) is
- * fused into the same word pass.
+ * fused into the same word pass. Full 4-word blocks go through the
+ * AVX2 plane loop when available; the scalar loop handles the rest
+ * (and everything, when SIMD is off).
  */
 void
-countsImpl(const std::vector<const Bitstream *> &xs,
-           const std::vector<const Bitstream *> *ws, bool approximate,
+countsImpl(const std::vector<BitstreamView> &xs,
+           const std::vector<BitstreamView> *ws, bool approximate,
            std::vector<uint16_t> &out)
 {
     const size_t len = checkOperands(xs, ws);
@@ -55,21 +55,28 @@ countsImpl(const std::vector<const Bitstream *> &xs,
             ? std::min(ApproxParallelCounter::kLsbParityLines, n)
             : 0;
 
-    for (size_t w = 0; w < n_words; ++w) {
+    size_t w_begin = 0;
+    if (simd::enabled() && n >= 2)
+        w_begin = simd::avx2ProductCountBlocks(
+            xs.data(), ws != nullptr ? ws->data() : nullptr, n, len,
+            parity_lines, out.data());
+
+    for (size_t w = w_begin; w < n_words; ++w) {
         const uint64_t word_mask =
             (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
-        uint64_t planes[kMaxPlanes] = {0};
+        uint64_t planes[kMaxCarrySavePlanes] = {0};
         uint64_t lsb = 0;
         int used = 0;
         for (size_t i = 0; i < n; ++i) {
-            uint64_t carry = xs[i]->words()[w];
+            uint64_t carry = xs[i].words[w];
             if (ws != nullptr)
-                carry = ~(carry ^ (*ws)[i]->words()[w]) & word_mask;
+                carry = ~(carry ^ (*ws)[i].words[w]) & word_mask;
             if (i < parity_lines)
                 lsb ^= carry;
             int j = 0;
             while (carry != 0) {
-                SCDCNN_ASSERT(j < kMaxPlanes, "too many input streams");
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
                 uint64_t t = planes[j] & carry;
                 planes[j] ^= carry;
                 carry = t;
@@ -97,18 +104,21 @@ countsImpl(const std::vector<const Bitstream *> &xs,
 
 void
 fillMuxSelects(size_t n_inputs, size_t length, Xoshiro256ss &rng,
-               std::vector<uint32_t> &selects)
+               std::vector<uint16_t> &selects)
 {
     SCDCNN_ASSERT(n_inputs > 0, "MUX needs at least one input");
+    SCDCNN_ASSERT(n_inputs <= 65536,
+                  "MUX fan-in %zu exceeds the uint16_t select range",
+                  n_inputs);
     selects.resize(length);
     for (size_t i = 0; i < length; ++i)
-        selects[i] = static_cast<uint32_t>(rng.nextBelow(n_inputs));
+        selects[i] = static_cast<uint16_t>(rng.nextBelow(n_inputs));
 }
 
 void
-fusedMuxProduct(const std::vector<const Bitstream *> &xs,
-                const std::vector<const Bitstream *> &ws,
-                const std::vector<uint32_t> &selects, Bitstream &out)
+fusedMuxProduct(const std::vector<BitstreamView> &xs,
+                const std::vector<BitstreamView> &ws,
+                const std::vector<uint16_t> &selects, Bitstream &out)
 {
     const size_t len = checkOperands(xs, &ws);
     SCDCNN_ASSERT(selects.size() == len,
@@ -122,10 +132,10 @@ fusedMuxProduct(const std::vector<const Bitstream *> &xs,
         const size_t limit = std::min<size_t>(64, len - base);
         uint64_t acc = 0;
         for (size_t b = 0; b < limit; ++b) {
-            const uint32_t k = selects[base + b];
-            SCDCNN_ASSERT(k < xs.size(), "select %u out of range", k);
-            const uint64_t product =
-                ~(xs[k]->words()[w] ^ ws[k]->words()[w]);
+            const uint16_t k = selects[base + b];
+            SCDCNN_ASSERT(k < xs.size(), "select %u out of range",
+                          unsigned{k});
+            const uint64_t product = ~(xs[k].words[w] ^ ws[k].words[w]);
             acc |= ((product >> b) & uint64_t{1}) << b;
         }
         words[w] = acc;
@@ -133,23 +143,23 @@ fusedMuxProduct(const std::vector<const Bitstream *> &xs,
 }
 
 void
-fusedProductCounts(const std::vector<const Bitstream *> &xs,
-                   const std::vector<const Bitstream *> &ws,
-                   bool approximate, std::vector<uint16_t> &out)
+fusedProductCounts(const std::vector<BitstreamView> &xs,
+                   const std::vector<BitstreamView> &ws, bool approximate,
+                   std::vector<uint16_t> &out)
 {
     countsImpl(xs, &ws, approximate, out);
 }
 
 void
-fusedLineCounts(const std::vector<const Bitstream *> &streams,
+fusedLineCounts(const std::vector<BitstreamView> &streams,
                 bool approximate, std::vector<uint16_t> &out)
 {
     countsImpl(streams, nullptr, approximate, out);
 }
 
 uint64_t
-fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
-                       const std::vector<const Bitstream *> &ws,
+fusedProductCountTotal(const std::vector<BitstreamView> &xs,
+                       const std::vector<BitstreamView> &ws,
                        bool approximate)
 {
     const size_t len = checkOperands(xs, &ws);
@@ -164,14 +174,19 @@ fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
     uint64_t total = 0;
     uint64_t exact_lsb_ones = 0;
     uint64_t approx_lsb_ones = 0;
-    for (size_t w = 0; w < n_words; ++w) {
+    size_t w_begin = 0;
+    if (simd::enabled())
+        w_begin = simd::avx2ProductCountTotal(
+            xs.data(), ws.data(), n, len, parity_lines, &total,
+            &exact_lsb_ones, &approx_lsb_ones);
+    for (size_t w = w_begin; w < n_words; ++w) {
         const uint64_t word_mask =
             (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
         uint64_t parity_all = 0;
         uint64_t parity_leading = 0;
         for (size_t i = 0; i < n; ++i) {
             const uint64_t product =
-                ~(xs[i]->words()[w] ^ ws[i]->words()[w]) & word_mask;
+                ~(xs[i].words[w] ^ ws[i].words[w]) & word_mask;
             total += static_cast<uint64_t>(std::popcount(product));
             parity_all ^= product;
             if (i < parity_lines)
@@ -190,9 +205,9 @@ fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
 }
 
 Bitstream
-referenceMuxProduct(const std::vector<const Bitstream *> &xs,
-                    const std::vector<const Bitstream *> &ws,
-                    const std::vector<uint32_t> &selects)
+referenceMuxProduct(const std::vector<BitstreamView> &xs,
+                    const std::vector<BitstreamView> &ws,
+                    const std::vector<uint16_t> &selects)
 {
     const size_t len = checkOperands(xs, &ws);
     SCDCNN_ASSERT(selects.size() == len,
@@ -200,17 +215,18 @@ referenceMuxProduct(const std::vector<const Bitstream *> &xs,
                   len);
     Bitstream out(len);
     for (size_t i = 0; i < len; ++i) {
-        const uint32_t k = selects[i];
-        SCDCNN_ASSERT(k < xs.size(), "select %u out of range", k);
-        if (xs[k]->get(i) == ws[k]->get(i))
+        const uint16_t k = selects[i];
+        SCDCNN_ASSERT(k < xs.size(), "select %u out of range",
+                      unsigned{k});
+        if (xs[k].get(i) == ws[k].get(i))
             out.set(i, true);
     }
     return out;
 }
 
 std::vector<uint16_t>
-referenceProductCounts(const std::vector<const Bitstream *> &xs,
-                       const std::vector<const Bitstream *> &ws,
+referenceProductCounts(const std::vector<BitstreamView> &xs,
+                       const std::vector<BitstreamView> &ws,
                        bool approximate)
 {
     const size_t len = checkOperands(xs, &ws);
@@ -222,7 +238,7 @@ referenceProductCounts(const std::vector<const Bitstream *> &xs,
         uint16_t c = 0;
         uint16_t lsb = 0;
         for (size_t k = 0; k < n; ++k) {
-            const uint16_t bit = xs[k]->get(i) == ws[k]->get(i) ? 1 : 0;
+            const uint16_t bit = xs[k].get(i) == ws[k].get(i) ? 1 : 0;
             c = static_cast<uint16_t>(c + bit);
             if (k < parity_lines)
                 lsb ^= bit;
@@ -235,8 +251,8 @@ referenceProductCounts(const std::vector<const Bitstream *> &xs,
 }
 
 uint64_t
-referenceProductCountTotal(const std::vector<const Bitstream *> &xs,
-                           const std::vector<const Bitstream *> &ws,
+referenceProductCountTotal(const std::vector<BitstreamView> &xs,
+                           const std::vector<BitstreamView> &ws,
                            bool approximate)
 {
     uint64_t total = 0;

@@ -18,9 +18,16 @@
  *  - fusedProductCountTotal: the binary output layer's accumulated
  *    count, reduced to word popcounts without per-cycle count vectors.
  *
+ * Operands are BitstreamViews (pointer + length), so a layer's streams
+ * can be packed into one contiguous StreamArena and streamed through;
+ * convenience overloads accept Bitstream pointer vectors. The
+ * carry-save plane loop and the popcount reductions dispatch to the
+ * AVX2 kernels of sc/simd.h at runtime, with the portable scalar path
+ * kept as the always-built default.
+ *
  * Every fused kernel has a bit-serial reference twin (reference*) that
- * computes the same result one cycle at a time through the public
- * Bitstream bit API. The twins are the correctness oracle: randomized
+ * computes the same result one cycle at a time through the per-bit
+ * view API. The twins are the correctness oracle: randomized
  * equivalence tests assert bit-exact agreement, and bench_throughput
  * measures the speedup of an engine built on one against the other.
  * See DESIGN.md for the packed-word layout and the kernel contract.
@@ -38,6 +45,10 @@
 namespace scdcnn {
 namespace sc {
 
+/** Max supported log2(inputs) of the carry-save counters: 4096 lines
+ *  (shared by the scalar and AVX2 plane loops). */
+constexpr int kMaxCarrySavePlanes = 13;
+
 /**
  * Reusable per-thread scratch space for the fused kernels.
  *
@@ -47,9 +58,9 @@ namespace sc {
  */
 struct FusedWorkspace
 {
-    std::vector<const Bitstream *> xs; //!< gathered input operands
-    std::vector<const Bitstream *> ws; //!< gathered weight operands
-    std::vector<uint32_t> selects;     //!< per-cycle MUX select indices
+    std::vector<BitstreamView> xs;     //!< gathered input operands
+    std::vector<BitstreamView> ws;     //!< gathered weight operands
+    std::vector<uint16_t> selects;     //!< per-cycle MUX select indices
     std::vector<std::vector<uint16_t>> counts; //!< per-window APC counts
     std::vector<uint16_t> pooled;      //!< max-pooled count sequence
     std::vector<int> steps;            //!< signed pooled counter steps
@@ -60,19 +71,21 @@ struct FusedWorkspace
  * Draw one uniform select index per cycle into @p selects, resized to
  * @p length. Consumes exactly @p length nextBelow(n_inputs) draws — the
  * same sequence muxAdd() would consume — so a MUX built from these
- * selects is bit-exact with the rng-driven one.
+ * selects is bit-exact with the rng-driven one. Fan-in is limited to
+ * 65536 (select indices are stored as uint16_t to halve the per-pixel
+ * select-buffer traffic).
  */
 void fillMuxSelects(size_t n_inputs, size_t length, Xoshiro256ss &rng,
-                    std::vector<uint32_t> &selects);
+                    std::vector<uint16_t> &selects);
 
 /**
  * Word-parallel MUX inner product: bit i of @p out is the XNOR product
  * of operand pair selects[i] at cycle i. @p out is reshaped to the
  * operand length in place (reusing its word storage when possible).
  */
-void fusedMuxProduct(const std::vector<const Bitstream *> &xs,
-                     const std::vector<const Bitstream *> &ws,
-                     const std::vector<uint32_t> &selects, Bitstream &out);
+void fusedMuxProduct(const std::vector<BitstreamView> &xs,
+                     const std::vector<BitstreamView> &ws,
+                     const std::vector<uint16_t> &selects, Bitstream &out);
 
 /**
  * Fused XNOR-multiply + parallel-counter column counts into @p out
@@ -80,15 +93,15 @@ void fusedMuxProduct(const std::vector<const Bitstream *> &xs,
  * the truncated parity of the first four product lines, matching
  * ApproxParallelCounter; otherwise counts are exact.
  */
-void fusedProductCounts(const std::vector<const Bitstream *> &xs,
-                        const std::vector<const Bitstream *> &ws,
+void fusedProductCounts(const std::vector<BitstreamView> &xs,
+                        const std::vector<BitstreamView> &ws,
                         bool approximate, std::vector<uint16_t> &out);
 
 /**
  * Column counts of raw lines (no multiply), exact or approximate —
  * the word-parallel core behind ParallelCounter/ApproxParallelCounter.
  */
-void fusedLineCounts(const std::vector<const Bitstream *> &streams,
+void fusedLineCounts(const std::vector<BitstreamView> &streams,
                      bool approximate, std::vector<uint16_t> &out);
 
 /**
@@ -102,26 +115,84 @@ void fusedLineCounts(const std::vector<const Bitstream *> &streams,
  * (c' = approximate count, c = exact count) reduces the whole reduction
  * to three popcount passes over the product words.
  */
-uint64_t fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
-                                const std::vector<const Bitstream *> &ws,
+uint64_t fusedProductCountTotal(const std::vector<BitstreamView> &xs,
+                                const std::vector<BitstreamView> &ws,
                                 bool approximate);
 
 /** Bit-serial oracle for fusedMuxProduct (cycle-at-a-time get()). */
-Bitstream referenceMuxProduct(const std::vector<const Bitstream *> &xs,
-                              const std::vector<const Bitstream *> &ws,
-                              const std::vector<uint32_t> &selects);
+Bitstream referenceMuxProduct(const std::vector<BitstreamView> &xs,
+                              const std::vector<BitstreamView> &ws,
+                              const std::vector<uint16_t> &selects);
 
 /** Bit-serial oracle for fusedProductCounts. */
 std::vector<uint16_t>
-referenceProductCounts(const std::vector<const Bitstream *> &xs,
-                       const std::vector<const Bitstream *> &ws,
+referenceProductCounts(const std::vector<BitstreamView> &xs,
+                       const std::vector<BitstreamView> &ws,
                        bool approximate);
 
 /** Bit-serial oracle for fusedProductCountTotal. */
 uint64_t
+referenceProductCountTotal(const std::vector<BitstreamView> &xs,
+                           const std::vector<BitstreamView> &ws,
+                           bool approximate);
+
+// ------- Bitstream-pointer convenience overloads (block APIs, tests)
+
+inline void
+fusedMuxProduct(const std::vector<const Bitstream *> &xs,
+                const std::vector<const Bitstream *> &ws,
+                const std::vector<uint16_t> &selects, Bitstream &out)
+{
+    fusedMuxProduct(toViews(xs), toViews(ws), selects, out);
+}
+
+inline void
+fusedProductCounts(const std::vector<const Bitstream *> &xs,
+                   const std::vector<const Bitstream *> &ws,
+                   bool approximate, std::vector<uint16_t> &out)
+{
+    fusedProductCounts(toViews(xs), toViews(ws), approximate, out);
+}
+
+inline void
+fusedLineCounts(const std::vector<const Bitstream *> &streams,
+                bool approximate, std::vector<uint16_t> &out)
+{
+    fusedLineCounts(toViews(streams), approximate, out);
+}
+
+inline uint64_t
+fusedProductCountTotal(const std::vector<const Bitstream *> &xs,
+                       const std::vector<const Bitstream *> &ws,
+                       bool approximate)
+{
+    return fusedProductCountTotal(toViews(xs), toViews(ws), approximate);
+}
+
+inline Bitstream
+referenceMuxProduct(const std::vector<const Bitstream *> &xs,
+                    const std::vector<const Bitstream *> &ws,
+                    const std::vector<uint16_t> &selects)
+{
+    return referenceMuxProduct(toViews(xs), toViews(ws), selects);
+}
+
+inline std::vector<uint16_t>
+referenceProductCounts(const std::vector<const Bitstream *> &xs,
+                       const std::vector<const Bitstream *> &ws,
+                       bool approximate)
+{
+    return referenceProductCounts(toViews(xs), toViews(ws), approximate);
+}
+
+inline uint64_t
 referenceProductCountTotal(const std::vector<const Bitstream *> &xs,
                            const std::vector<const Bitstream *> &ws,
-                           bool approximate);
+                           bool approximate)
+{
+    return referenceProductCountTotal(toViews(xs), toViews(ws),
+                                      approximate);
+}
 
 } // namespace sc
 } // namespace scdcnn

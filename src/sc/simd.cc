@@ -1,0 +1,309 @@
+#include "sc/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "sc/fused.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SCDCNN_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SCDCNN_SIMD_X86 0
+#endif
+
+namespace scdcnn {
+namespace sc {
+namespace simd {
+
+namespace {
+
+/** -1 = not yet decided, 0 = scalar, 1 = AVX2. */
+std::atomic<int> g_enabled{-1};
+
+/** SCDCNN_FORCE_SCALAR forces the scalar path when set to anything
+ *  but empty or "0" (so FORCE_SCALAR=0 keeps AVX2 selected). */
+bool
+forcedScalar()
+{
+    const char *v = std::getenv("SCDCNN_FORCE_SCALAR");
+    return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+int
+decide()
+{
+    const int on = available() && !forcedScalar() ? 1 : 0;
+    g_enabled.store(on, std::memory_order_relaxed);
+    return on;
+}
+
+} // namespace
+
+bool
+available()
+{
+#if SCDCNN_SIMD_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+bool
+enabled()
+{
+    int state = g_enabled.load(std::memory_order_relaxed);
+    if (state < 0)
+        state = decide();
+    return state == 1;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on && available() ? 1 : 0, std::memory_order_relaxed);
+}
+
+#if SCDCNN_SIMD_X86
+
+namespace {
+
+/** Per-byte popcount: nibble lookup via PSHUFB. */
+__attribute__((target("avx2"))) inline __m256i
+popcountBytes(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2,
+        2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i nibble = _mm256_set1_epi8(0x0F);
+    const __m256i lo = _mm256_and_si256(v, nibble);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                           _mm256_shuffle_epi8(lut, hi));
+}
+
+/** Sum of the four 64-bit lanes. */
+__attribute__((target("avx2"))) inline uint64_t
+horizontalSum64(__m256i v)
+{
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), v);
+    return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+/** Expand 16 bits into 16 uint16 lanes of 0/1 scaled by @p weight. */
+__attribute__((target("avx2"))) inline __m256i
+spreadBits16(uint16_t bits, __m256i lane_bit, short weight)
+{
+    const __m256i v = _mm256_set1_epi16(static_cast<short>(bits));
+    const __m256i m =
+        _mm256_cmpeq_epi16(_mm256_and_si256(v, lane_bit), lane_bit);
+    return _mm256_and_si256(m, _mm256_set1_epi16(weight));
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) size_t
+avx2ProductCountBlocks(const BitstreamView *xs, const BitstreamView *ws,
+                       size_t n, size_t length, size_t parity_lines,
+                       uint16_t *out)
+{
+    if (!enabled())
+        return 0;
+    const size_t n_full_words = (length / 256) * 4;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+    const __m256i lane_bit = _mm256_setr_epi16(
+        1 << 0, 1 << 1, 1 << 2, 1 << 3, 1 << 4, 1 << 5, 1 << 6, 1 << 7,
+        1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14,
+        static_cast<short>(1 << 15));
+
+    for (size_t w = 0; w < n_full_words; w += 4) {
+        __m256i planes[kMaxCarrySavePlanes];
+        __m256i lsb = _mm256_setzero_si256();
+        int used = 0;
+        for (size_t i = 0; i < n; ++i) {
+            __m256i carry = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(xs[i].words + w));
+            if (ws != nullptr) {
+                const __m256i wv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(ws[i].words + w));
+                carry = _mm256_xor_si256(_mm256_xor_si256(carry, wv),
+                                         all_ones);
+            }
+            if (i < parity_lines)
+                lsb = _mm256_xor_si256(lsb, carry);
+            int j = 0;
+            while (!_mm256_testz_si256(carry, carry)) {
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
+                if (j == used) {
+                    planes[used++] = carry;
+                    break;
+                }
+                const __m256i t = _mm256_and_si256(planes[j], carry);
+                planes[j] = _mm256_xor_si256(planes[j], carry);
+                carry = t;
+                ++j;
+            }
+        }
+
+        alignas(32) uint64_t pw[kMaxCarrySavePlanes][4];
+        for (int j = 0; j < used; ++j)
+            _mm256_store_si256(reinterpret_cast<__m256i *>(pw[j]),
+                               planes[j]);
+        alignas(32) uint64_t lw[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lw), lsb);
+
+        // Transpose plane bits into per-cycle counts, 16 lanes at a
+        // time: lane l of a group holds bit (g*16 + l) of each plane.
+        for (int lane = 0; lane < 4; ++lane) {
+            for (int g = 0; g < 4; ++g) {
+                __m256i acc = _mm256_setzero_si256();
+                for (int j = 0; j < used; ++j) {
+                    const auto bits = static_cast<uint16_t>(
+                        pw[j][lane] >> (g * 16));
+                    acc = _mm256_or_si256(
+                        acc, spreadBits16(bits, lane_bit,
+                                          static_cast<short>(1 << j)));
+                }
+                if (parity_lines > 0) {
+                    const auto bits =
+                        static_cast<uint16_t>(lw[lane] >> (g * 16));
+                    acc = _mm256_or_si256(
+                        _mm256_and_si256(
+                            acc, _mm256_set1_epi16(
+                                     static_cast<short>(~1))),
+                        spreadBits16(bits, lane_bit, 1));
+                }
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(
+                        out + (w + static_cast<size_t>(lane)) * 64 +
+                        static_cast<size_t>(g) * 16),
+                    acc);
+            }
+        }
+    }
+    return n_full_words;
+}
+
+__attribute__((target("avx2"))) size_t
+avx2ProductCountTotal(const BitstreamView *xs, const BitstreamView *ws,
+                      size_t n, size_t length, size_t parity_lines,
+                      uint64_t *total, uint64_t *exact_lsb_ones,
+                      uint64_t *approx_lsb_ones)
+{
+    if (!enabled())
+        return 0;
+    const size_t n_full_words = (length / 256) * 4;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+    const __m256i zero = _mm256_setzero_si256();
+
+    __m256i total_acc = zero;
+    __m256i exact_acc = zero;
+    __m256i approx_acc = zero;
+    for (size_t w = 0; w < n_full_words; w += 4) {
+        __m256i parity_all = zero;
+        __m256i parity_leading = zero;
+        for (size_t i = 0; i < n; ++i) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(xs[i].words + w));
+            const __m256i wv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(ws[i].words + w));
+            const __m256i product = _mm256_xor_si256(
+                _mm256_xor_si256(xv, wv), all_ones);
+            total_acc = _mm256_add_epi64(
+                total_acc, _mm256_sad_epu8(popcountBytes(product), zero));
+            parity_all = _mm256_xor_si256(parity_all, product);
+            if (i < parity_lines)
+                parity_leading = _mm256_xor_si256(parity_leading, product);
+        }
+        exact_acc = _mm256_add_epi64(
+            exact_acc, _mm256_sad_epu8(popcountBytes(parity_all), zero));
+        approx_acc = _mm256_add_epi64(
+            approx_acc,
+            _mm256_sad_epu8(popcountBytes(parity_leading), zero));
+    }
+    *total += horizontalSum64(total_acc);
+    *exact_lsb_ones += horizontalSum64(exact_acc);
+    *approx_lsb_ones += horizontalSum64(approx_acc);
+    return n_full_words;
+}
+
+__attribute__((target("avx2"))) static uint64_t
+avx2SumU16Impl(const uint16_t *values, size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    uint64_t sum = 0;
+    size_t i = 0;
+    while (i + 16 <= n) {
+        // Zero-extend to 32-bit lanes (full uint16 range) and flush
+        // the lane accumulators to 64 bits before they can overflow:
+        // each of the 8 lanes gains at most 2 * 65535 per iteration,
+        // so 2^14 iterations stay under 2^31.
+        __m256i acc = zero;
+        const size_t chunk_end =
+            std::min(n - (n - i) % 16, i + (size_t{1} << 14) * 16);
+        for (; i + 16 <= chunk_end; i += 16) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(values + i));
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_unpacklo_epi16(v, zero));
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_unpackhi_epi16(v, zero));
+        }
+        alignas(32) uint32_t lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        for (uint32_t l : lanes)
+            sum += l;
+    }
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+uint64_t
+avx2SumU16(const uint16_t *values, size_t n)
+{
+    if (!enabled() || n < 32) {
+        uint64_t sum = 0;
+        for (size_t i = 0; i < n; ++i)
+            sum += values[i];
+        return sum;
+    }
+    return avx2SumU16Impl(values, n);
+}
+
+#else // !SCDCNN_SIMD_X86
+
+size_t
+avx2ProductCountBlocks(const BitstreamView *, const BitstreamView *,
+                       size_t, size_t, size_t, uint16_t *)
+{
+    return 0;
+}
+
+size_t
+avx2ProductCountTotal(const BitstreamView *, const BitstreamView *, size_t,
+                      size_t, size_t, uint64_t *, uint64_t *, uint64_t *)
+{
+    return 0;
+}
+
+uint64_t
+avx2SumU16(const uint16_t *values, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+#endif // SCDCNN_SIMD_X86
+
+} // namespace simd
+} // namespace sc
+} // namespace scdcnn

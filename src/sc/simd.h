@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the word-parallel hot paths.
+ *
+ * The portable scalar implementations in sc/fused.cc and
+ * blocks/pooling.cc are the always-built default and the correctness
+ * oracle; the AVX2 variants here are selected at runtime when the host
+ * CPU supports them and must be bit-exact with the scalar paths (the
+ * dispatch rule DESIGN.md documents, enforced by tests/test_simd.cc).
+ *
+ * Kernels:
+ *  - avx2ProductCountBlocks: the carry-save bit-plane loop of
+ *    fusedProductCounts over blocks of four words (256 cycles) at a
+ *    time, including the vectorized plane-to-count transpose;
+ *  - avx2ProductCountTotal: the popcount reductions of
+ *    fusedProductCountTotal (nibble-LUT shuffle + psadbw);
+ *  - avx2SumU16: the segment accumulation of the masked binary
+ *    max-pooling kernel.
+ *
+ * Dispatch: enabled() is true when the binary carries the AVX2 paths,
+ * the CPU reports AVX2, and neither SCDCNN_FORCE_SCALAR nor
+ * setEnabled(false) turned them off. Callers branch on enabled() and
+ * fall back to the scalar path for tails and small sizes.
+ */
+
+#ifndef SCDCNN_SC_SIMD_H
+#define SCDCNN_SC_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sc/bitstream.h"
+
+namespace scdcnn {
+namespace sc {
+namespace simd {
+
+/** Whether AVX2 paths were compiled in and the CPU supports them. */
+bool available();
+
+/** Whether the AVX2 paths are currently selected: available(), not
+ *  disabled via the SCDCNN_FORCE_SCALAR environment variable, and not
+ *  turned off with setEnabled(false). */
+bool enabled();
+
+/** Test hook: select (true) or bypass (false) the AVX2 paths at
+ *  runtime. Enabling when !available() is a no-op. */
+void setEnabled(bool on);
+
+/**
+ * Carry-save column counts over full 4-word blocks of the operand
+ * views: processes words [0, W) where W is the largest multiple of 4
+ * with W * 64 <= length, writing counts for cycles [0, W * 64) into
+ * @p out. Lines are xs[i] when ws == nullptr, else the XNOR products
+ * xs[i] ^~ ws[i]. The approximate-counter LSB (parity of the first
+ * @p parity_lines lines) is fused in when parity_lines > 0.
+ *
+ * @return the number of words processed (the scalar caller continues
+ *         from there); 0 when AVX2 is not enabled.
+ */
+size_t avx2ProductCountBlocks(const BitstreamView *xs,
+                              const BitstreamView *ws, size_t n,
+                              size_t length, size_t parity_lines,
+                              uint16_t *out);
+
+/**
+ * Popcount reduction over full 4-word blocks: accumulates the total
+ * product popcount plus the all-lines and leading-lines parity
+ * popcounts for cycles [0, W * 64), W as above.
+ *
+ * @return the number of words processed; 0 when AVX2 is not enabled.
+ */
+size_t avx2ProductCountTotal(const BitstreamView *xs,
+                             const BitstreamView *ws, size_t n,
+                             size_t length, size_t parity_lines,
+                             uint64_t *total, uint64_t *exact_lsb_ones,
+                             uint64_t *approx_lsb_ones);
+
+/**
+ * Sum of @p n uint16 values (the masked pooling segment accumulator),
+ * exact for the full uint16 range and any length (lane accumulators
+ * are flushed to 64 bits before they can overflow). Falls back to a
+ * scalar loop when AVX2 is not enabled.
+ */
+uint64_t avx2SumU16(const uint16_t *values, size_t n);
+
+} // namespace simd
+} // namespace sc
+} // namespace scdcnn
+
+#endif // SCDCNN_SC_SIMD_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Randomized bit-exact equivalence tests for the table-driven batched
+ * activation FSMs (sc/fsm_batch.h) against the scalar Stanh/Btanh
+ * steppers — the oracle side of the twin contract: K across even
+ * values, custom thresholds, lengths across word boundaries, and
+ * Btanh deltas on both sides of the bucketed-table range.
+ */
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/btanh.h"
+#include "sc/fsm_batch.h"
+#include "sc/rng.h"
+#include "sc/sng.h"
+#include "sc/stanh.h"
+
+namespace scdcnn {
+namespace {
+
+class StanhBatchVsScalar
+    : public ::testing::TestWithParam<std::tuple<unsigned, size_t>>
+{
+};
+
+TEST_P(StanhBatchVsScalar, DefaultThresholdBitExact)
+{
+    auto [k, len] = GetParam();
+    sc::SngBank bank(10 + k * 131 + len);
+    sc::SplitMix64 vals(k ^ len);
+    sc::StanhBatchTable table(k);
+    for (int rep = 0; rep < 4; ++rep) {
+        sc::Bitstream in =
+            bank.bipolar(vals.nextInRange(-1, 1), len);
+        sc::Stanh scalar(k);
+        sc::Bitstream batch;
+        table.transform(in, batch);
+        EXPECT_EQ(batch, scalar.transform(in))
+            << "k=" << k << " len=" << len << " rep=" << rep;
+    }
+}
+
+TEST_P(StanhBatchVsScalar, CustomThresholdBitExact)
+{
+    auto [k, len] = GetParam();
+    // The Figure 11 re-designed threshold K/5 (>= 1), plus an extreme.
+    const int thresholds[] = {std::max(1, static_cast<int>(k) / 5),
+                              static_cast<int>(k) - 1};
+    sc::SngBank bank(20 + k * 131 + len);
+    sc::SplitMix64 vals(k * 3 ^ len);
+    for (int thr : thresholds) {
+        sc::StanhBatchTable table(k, thr);
+        sc::Bitstream in =
+            bank.bipolar(vals.nextInRange(-1, 1), len);
+        sc::Stanh scalar(k, thr);
+        sc::Bitstream batch;
+        table.transform(in, batch);
+        EXPECT_EQ(batch, scalar.transform(in))
+            << "k=" << k << " thr=" << thr << " len=" << len;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StanhBatchVsScalar,
+    ::testing::Combine(
+        // Even state counts per the paper, including the minimum.
+        ::testing::Values(2u, 4u, 6u, 16u, 32u, 178u),
+        // Lengths around byte and word boundaries and realistic L.
+        ::testing::Values(1, 7, 8, 9, 63, 64, 65, 300, 1024)));
+
+class BtanhBatchVsScalar
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, size_t>>
+{
+};
+
+TEST_P(BtanhBatchVsScalar, CountsBitExact)
+{
+    auto [k, n, len] = GetParam();
+    sc::SplitMix64 vals(30 + k * 131 + n * 17 + len);
+    sc::BtanhBatchTable table(k, n);
+    for (int rep = 0; rep < 4; ++rep) {
+        // Counts across the full [0, n] range: with n > 63 many of the
+        // deltas 2v - n land outside the bucketed table and exercise
+        // the scalar fallback.
+        std::vector<uint16_t> counts(len);
+        for (auto &c : counts)
+            c = static_cast<uint16_t>(vals.nextBelow(n + 1));
+        sc::Btanh scalar(k, n);
+        sc::Bitstream batch;
+        table.transform(counts, batch);
+        EXPECT_EQ(batch, scalar.transform(counts))
+            << "k=" << k << " n=" << n << " len=" << len
+            << " rep=" << rep;
+    }
+}
+
+TEST_P(BtanhBatchVsScalar, SignedStepsBitExact)
+{
+    auto [k, n, len] = GetParam();
+    sc::SplitMix64 vals(40 + k * 131 + n * 17 + len);
+    sc::BtanhBatchTable table(k, n);
+    const int span = 2 * static_cast<int>(n) + 1;
+    std::vector<int> steps(len);
+    for (auto &s : steps)
+        s = static_cast<int>(vals.nextBelow(
+                static_cast<uint64_t>(span))) -
+            static_cast<int>(n);
+    sc::Btanh scalar(k, n);
+    sc::Bitstream batch;
+    table.transformSigned(steps, batch);
+    EXPECT_EQ(batch, scalar.transformSigned(steps))
+        << "k=" << k << " n=" << n << " len=" << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BtanhBatchVsScalar,
+    ::testing::Combine(
+        // State counts across the layer sizings (2N clamped).
+        ::testing::Values(2u, 8u, 34u, 180u),
+        // Fan-ins below and above the +/-127 delta bucket range.
+        ::testing::Values(5u, 26u, 151u, 257u),
+        // Lengths across word boundaries.
+        ::testing::Values(1, 63, 64, 65, 300, 1024)));
+
+TEST(FsmTableCache, SharesTablesByParameters)
+{
+    sc::FsmTableCache cache;
+    const sc::StanhBatchTable &a = cache.stanh(8);
+    const sc::StanhBatchTable &b = cache.stanh(8, 4); // 4 == 8/2 default
+    const sc::StanhBatchTable &c = cache.stanh(8, 2);
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+
+    const sc::BtanhBatchTable &d = cache.btanh(8, 26);
+    const sc::BtanhBatchTable &e = cache.btanh(8, 26);
+    const sc::BtanhBatchTable &f = cache.btanh(8, 27);
+    EXPECT_EQ(&d, &e);
+    EXPECT_NE(&d, &f);
+}
+
+TEST(StanhBatchTable, EmptyStreamIsFine)
+{
+    sc::StanhBatchTable table(4);
+    sc::Bitstream out;
+    table.transform(sc::Bitstream(), out);
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace scdcnn

@@ -69,7 +69,7 @@ TEST_P(FusedVsReference, MuxProductBitExact)
     auto [n, len] = GetParam();
     OperandSet ops(n, len, 2000 + n * 131 + len);
     sc::Xoshiro256ss rng(99 + n);
-    std::vector<uint32_t> selects;
+    std::vector<uint16_t> selects;
     sc::fillMuxSelects(n, len, rng, selects);
     sc::Bitstream fused;
     sc::fusedMuxProduct(ops.xp, ops.wp, selects, fused);

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -224,6 +225,80 @@ TEST(BinaryMaxPooling, ApproximatesTrueMaxOnStochasticCounts)
     double best = *std::max_element(sums.begin(), sums.end());
     EXPECT_NEAR(pooled_sum, best, best * 0.12);
     EXPECT_LE(pooled_sum, best + 1e-9);
+}
+
+/**
+ * Twin-contract equivalence: the word-parallel max pooling kernels
+ * must be bit-exact with their bit-serial/element-serial references
+ * for both counter readings and segment lengths not dividing L.
+ */
+class MaxPoolFusedVsReference
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(MaxPoolFusedVsReference, StreamsBitExact)
+{
+    auto [len, seg] = GetParam();
+    sc::SplitMix64 vals(800 + len * 7 + seg);
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<double> v;
+        for (int i = 0; i < 4; ++i)
+            v.push_back(vals.nextInRange(-1, 1));
+        auto ins =
+            bipolarStreams(v, len, 900 + len + seg * 13 + rep);
+        const auto views = sc::toViews(ins);
+        for (bool accumulate : {false, true}) {
+            sc::Bitstream fused;
+            maxPoolStreamsFused(views, seg, rep % ins.size(),
+                                accumulate, fused);
+            EXPECT_EQ(fused,
+                      maxPoolStreamsReference(views, seg,
+                                              rep % ins.size(),
+                                              accumulate))
+                << "len=" << len << " seg=" << seg
+                << " accumulate=" << accumulate;
+        }
+    }
+}
+
+TEST_P(MaxPoolFusedVsReference, BinaryCountsBitExact)
+{
+    auto [len, seg] = GetParam();
+    sc::SplitMix64 vals(1000 + len * 7 + seg);
+    std::vector<std::vector<uint16_t>> counts(4);
+    for (auto &c : counts) {
+        c.resize(len);
+        for (auto &x : c)
+            x = static_cast<uint16_t>(vals.nextBelow(152));
+    }
+    for (bool accumulate : {false, true}) {
+        std::vector<uint16_t> fused;
+        binaryMaxPoolFused(counts, seg, 1, accumulate, fused);
+        EXPECT_EQ(fused,
+                  binaryMaxPoolReference(counts, seg, 1, accumulate))
+            << "len=" << len << " seg=" << seg
+            << " accumulate=" << accumulate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MaxPoolFusedVsReference,
+    ::testing::Combine(
+        // Lengths across word boundaries.
+        ::testing::Values(1, 63, 64, 65, 100, 257, 1024),
+        // Segment lengths dividing and not dividing L, including
+        // one spanning multiple words and one longer than L.
+        ::testing::Values(1, 3, 16, 17, 100, 2048)));
+
+TEST(MaxPoolFused, HardwareMaxPoolingRunsTheFusedKernel)
+{
+    // The block API must agree with the oracle too (it delegates to
+    // the fused kernel).
+    auto ins = bipolarStreams({0.4, -0.1, 0.7}, 300, 42);
+    sc::Bitstream block = HardwareMaxPooling::compute(ins, 16, 2, true);
+    EXPECT_EQ(block, maxPoolStreamsReference(sc::toViews(ins), 16, 2,
+                                             true));
 }
 
 } // namespace
