@@ -42,10 +42,10 @@ msSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Feature extraction block instances in one LeNet5 forward pass:
- *  conv1 6x12x12, conv2 16x4x4, fc1 500 (the binary output layer is
- *  not an FEB). */
-constexpr double kFebsPerForward = 6 * 12 * 12 + 16 * 4 * 4 + 500;
+/** Feature extraction block instances in one buildLeNet5() forward
+ *  pass (the Caffe LeNet shape: conv1 20x12x12, conv2 50x4x4, fc1 500;
+ *  the binary output layer is not an FEB). */
+constexpr double kFebsPerForward = 20 * 12 * 12 + 50 * 4 * 4 + 500;
 
 struct ThreadPoint
 {
@@ -152,6 +152,42 @@ main()
     for (size_t r = 0; r < ref_reps; ++r)
         sc_net.predict(img, 2 + r);
     const double ref_ms = msSince(t0) / static_cast<double>(ref_reps);
+
+    // Progressive precision at the configured margin. Untrained random
+    // logits are near-tied, so a sound margin test (rightly) never
+    // fires on them; the early-exit point is therefore measured on a
+    // decisive-logit variant of the same network — the output layer
+    // programmed to +1 / -1 / 0 weight rows, the confident-image
+    // regime a trained network produces (the accuracy side of the
+    // trade-off is regression-tested on trained networks in
+    // tests/test_segment_stream.cc and shown by lenet5_inference).
+    nn::Network decisive = net;
+    {
+        auto &fc2 = dynamic_cast<nn::FullyConnected &>(decisive.layer(8));
+        std::vector<float> &w = *fc2.weights();
+        std::vector<float> &b = *fc2.biases();
+        std::fill(w.begin(), w.end(), 0.0f);
+        std::fill(b.begin(), b.end(), 0.0f);
+        for (size_t i = 0; i < fc2.nIn(); ++i) {
+            w[3 * fc2.nIn() + i] = 1.0f;
+            w[5 * fc2.nIn() + i] = -1.0f;
+        }
+    }
+    core::ScNetwork prog_net(decisive, cfg);
+    prog_net.setEngineMode(core::EngineMode::Progressive);
+    prog_net.predict(img, 1); // warm-up
+    core::ForwardInfo prog_info;
+    uint64_t prog_bits = 0;
+    size_t prog_exits = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < fused_reps; ++r) {
+        prog_net.predict(img, 2 + r, nullptr, &prog_info);
+        prog_bits += prog_info.effective_bits;
+        prog_exits += prog_info.early_exit ? 1 : 0;
+    }
+    const double prog_ms = msSince(t0) / static_cast<double>(fused_reps);
+    const double prog_avg_bits =
+        static_cast<double>(prog_bits) / static_cast<double>(fused_reps);
     sc_net.setEngineMode(core::EngineMode::Fused);
 
     const double speedup = ref_ms / fused_ms;
@@ -172,6 +208,14 @@ main()
                 fused_phases.activation);
     std::printf("    %-26s %10.1f\n\n", "output layer",
                 fused_phases.output);
+    std::printf("  progressive (margin %.2f, min %zu bits):\n",
+                cfg.progressive_margin, cfg.progressive_min_bits);
+    std::printf("    %-26s %10.1f ms (%.2fx vs fused)\n", "latency",
+                prog_ms, fused_ms / prog_ms);
+    std::printf("    %-26s %10.0f of %zu\n", "avg effective bits",
+                prog_avg_bits, len);
+    std::printf("    %-26s %9zu/%zu\n\n", "early exits", prog_exits,
+                fused_reps);
 
     // --- batched throughput across thread counts -------------------
     std::vector<nn::Tensor> images;
@@ -179,8 +223,12 @@ main()
     for (size_t i = 0; i < batch_images; ++i)
         images.push_back(nn::DigitDataset::render(i % 10, 100 + i));
 
+    // On a single-hardware-thread box the multi-thread points are the
+    // same run three times (the pool degenerates to inline execution);
+    // skip the repeats and keep the one honest measurement.
     std::vector<size_t> thread_counts;
-    for (size_t t = 1; t <= max_threads; t *= 2)
+    const size_t hw = std::thread::hardware_concurrency();
+    for (size_t t = 1; t <= (hw <= 1 ? size_t{1} : max_threads); t *= 2)
         thread_counts.push_back(t);
 
     std::printf("forwardBatch of %zu images:\n", batch_images);
@@ -241,6 +289,9 @@ main()
     std::fprintf(f, "  \"compiler\": \"%s\",\n", __VERSION__);
     std::fprintf(f, "  \"simd\": \"%s\",\n",
                  sc::simd::enabled() ? "avx2" : "scalar");
+    std::fprintf(f, "  \"filter_block\": %zu,\n", sc::kFilterLanes);
+    std::fprintf(f, "  \"segment_words\": %zu,\n",
+                 cfg.stream_segment_words);
     std::fprintf(f, "  \"single_image\": {\n");
     std::fprintf(f, "    \"reference_ms\": %.3f,\n", ref_ms);
     std::fprintf(f, "    \"fused_ms\": %.3f,\n", fused_ms);
@@ -254,6 +305,17 @@ main()
     std::fprintf(f, "      \"activation\": %.3f,\n",
                  fused_phases.activation);
     std::fprintf(f, "      \"output\": %.3f\n", fused_phases.output);
+    std::fprintf(f, "    },\n");
+    std::fprintf(f, "    \"progressive\": {\n");
+    std::fprintf(f, "      \"margin\": %.3f,\n", cfg.progressive_margin);
+    std::fprintf(f, "      \"min_bits\": %zu,\n",
+                 cfg.progressive_min_bits);
+    std::fprintf(f, "      \"ms\": %.3f,\n", prog_ms);
+    std::fprintf(f, "      \"speedup_vs_fused\": %.2f,\n",
+                 fused_ms / prog_ms);
+    std::fprintf(f, "      \"effective_bits\": %.1f,\n", prog_avg_bits);
+    std::fprintf(f, "      \"early_exits\": %zu,\n", prog_exits);
+    std::fprintf(f, "      \"reps\": %zu\n", fused_reps);
     std::fprintf(f, "    }\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"batch\": {\n");

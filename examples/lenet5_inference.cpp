@@ -62,6 +62,44 @@ main(int argc, char **argv)
                 100.0 * sc_correct / test.size(),
                 100.0 * float_correct / test.size());
 
+    // Progressive precision: re-run the same images with the margin
+    // test enabled at two thresholds, so the latency/accuracy trade is
+    // visible next to the full-length number. Effective bits translate
+    // ~proportionally into latency (and, in hardware, energy).
+    std::printf("progressive precision vs full L=%zu "
+                "(same images/seeds):\n", entry.config.bitstream_len);
+    for (double margin : {2.0, 4.0}) {
+        core::ScNetworkConfig prog_cfg = entry.config;
+        prog_cfg.progressive_margin = margin;
+        // The default exit floor equals short configs' whole stream;
+        // scale it so every Table 6 length can demonstrate the trade.
+        prog_cfg.progressive_min_bits = prog_cfg.bitstream_len / 4;
+        core::ScNetwork prog_net(net, prog_cfg);
+        prog_net.setEngineMode(core::EngineMode::Progressive);
+        size_t prog_correct = 0;
+        uint64_t bits = 0;
+        core::ForwardInfo info;
+        for (size_t i = 0; i < test.size(); ++i) {
+            const nn::Sample &s = test.samples[i];
+            prog_correct +=
+                prog_net.predict(s.image, 1000 + i, nullptr, &info) ==
+                s.label;
+            bits += info.effective_bits;
+        }
+        const double avg_bits = static_cast<double>(bits) /
+                                static_cast<double>(test.size());
+        std::printf("  margin %.1f: accuracy %.1f%% (delta %+.1f%%), "
+                    "avg %.0f bits (%.2fx fewer)\n", margin,
+                    100.0 * prog_correct / test.size(),
+                    100.0 * (static_cast<double>(prog_correct) -
+                             static_cast<double>(sc_correct)) /
+                        test.size(),
+                    avg_bits,
+                    static_cast<double>(entry.config.bitstream_len) /
+                        avg_bits);
+    }
+    std::printf("\n");
+
     const auto hw_cfg = core::toHwConfig(entry.config);
     const auto cost = hw::networkCost(hw::lenet5Layers(hw_cfg), hw_cfg);
     std::printf("hardware summary (cost model): area %.1f mm2, power "

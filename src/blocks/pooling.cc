@@ -118,6 +118,96 @@ maxPoolStreamsReference(const std::vector<sc::BitstreamView> &inputs,
     return out;
 }
 
+namespace {
+
+/**
+ * Shared pooling-segment walk of the ranged Figure 8 selectors: for
+ * every pooling segment intersecting [abs_begin, abs_begin + n_cycles)
+ * — local sub-range [lo, hi) — forward the currently selected input,
+ * add every input's evidence to the carried counters, and decide a new
+ * winner only when the range covers the segment's end; a segment
+ * straddling the range boundary keeps its partial evidence in the
+ * carried counters. The forwarding and evidence metrics are the only
+ * things that differ between the stream and binary-count selectors.
+ */
+template <typename Forward, typename Evidence>
+void
+rangedSelectorWalk(size_t n_inputs, size_t abs_begin, size_t n_cycles,
+                   size_t segment_len, bool accumulate,
+                   MaxPoolCarryState &state, Forward &&forward,
+                   Evidence &&evidence)
+{
+    SCDCNN_ASSERT(n_inputs > 0, "max pooling with no inputs");
+    SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
+    SCDCNN_ASSERT(state.counters.size() == n_inputs,
+                  "pool state holds %zu counters for %zu inputs",
+                  state.counters.size(), n_inputs);
+    size_t pos = abs_begin;
+    const size_t end = abs_begin + n_cycles;
+    while (pos < end) {
+        const size_t seg_end = (pos / segment_len + 1) * segment_len;
+        const size_t chunk_end = std::min(end, seg_end);
+        const size_t lo = pos - abs_begin;
+        const size_t hi = chunk_end - abs_begin;
+        forward(state.selected, lo, hi);
+        for (size_t k = 0; k < n_inputs; ++k)
+            state.counters[k] += evidence(k, lo, hi);
+        if (chunk_end == seg_end) {
+            size_t best = 0;
+            uint64_t best_count = 0;
+            for (size_t k = 0; k < n_inputs; ++k) {
+                if (state.counters[k] > best_count) {
+                    best_count = state.counters[k];
+                    best = k;
+                }
+                if (!accumulate)
+                    state.counters[k] = 0;
+            }
+            state.selected = best;
+        }
+        pos = chunk_end;
+    }
+}
+
+} // namespace
+
+void
+maxPoolStreamsRange(const uint64_t *const *inputs, size_t n_inputs,
+                    size_t abs_begin, size_t n_cycles, size_t segment_len,
+                    bool accumulate, MaxPoolCarryState &state,
+                    uint64_t *out)
+{
+    SCDCNN_ASSERT(abs_begin % 64 == 0,
+                  "range begin %zu not word-aligned", abs_begin);
+    const size_t n_words = (n_cycles + 63) / 64;
+    std::fill(out, out + n_words, uint64_t{0});
+    rangedSelectorWalk(
+        n_inputs, abs_begin, n_cycles, segment_len, accumulate, state,
+        // Forward by word copy with boundary masks (the pooling
+        // segment rarely starts or ends on a word boundary).
+        [&](size_t selected, size_t lo, size_t hi) {
+            const uint64_t *src = inputs[selected];
+            const size_t w0 = lo / 64;
+            const size_t w1 = (hi - 1) / 64;
+            for (size_t w = w0; w <= w1; ++w) {
+                uint64_t mask = ~uint64_t{0};
+                if (w == w0)
+                    mask &= ~uint64_t{0} << (lo % 64);
+                if (w == w1) {
+                    const size_t t = ((hi - 1) % 64) + 1;
+                    if (t < 64)
+                        mask &= (uint64_t{1} << t) - 1;
+                }
+                out[w] |= src[w] & mask;
+            }
+        },
+        // Evidence: masked word popcounts replace the bit counters.
+        [&](size_t k, size_t lo, size_t hi) {
+            return sc::countOnes(sc::BitstreamView(inputs[k], n_cycles),
+                                 lo, hi);
+        });
+}
+
 sc::Bitstream
 HardwareMaxPooling::compute(const std::vector<sc::Bitstream> &inputs,
                             size_t segment_len, size_t first_choice,
@@ -193,6 +283,36 @@ binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
     return out;
 }
 
+void
+binaryAveragePoolingSignedRange(const uint16_t *const *counts,
+                                size_t pool_size, size_t n_inputs,
+                                size_t n_cycles, int *out)
+{
+    SCDCNN_ASSERT(pool_size > 0, "binary average pooling of nothing");
+    const int pool = static_cast<int>(pool_size);
+    for (size_t i = 0; i < n_cycles; ++i) {
+        int sum = 0;
+        for (size_t j = 0; j < pool_size; ++j)
+            sum += 2 * static_cast<int>(counts[j][i]) -
+                   static_cast<int>(n_inputs);
+        out[i] = sum / pool; // C++ division truncates toward zero
+    }
+}
+
+void
+averagePoolingRange(const uint64_t *const *inputs, size_t n_inputs,
+                    size_t n_cycles, sc::Xoshiro256ss &rng, uint64_t *out)
+{
+    SCDCNN_ASSERT(n_inputs > 0, "average pooling with no inputs");
+    const size_t n_words = (n_cycles + 63) / 64;
+    std::fill(out, out + n_words, uint64_t{0});
+    for (size_t i = 0; i < n_cycles; ++i) {
+        const size_t sel = static_cast<size_t>(rng.nextBelow(n_inputs));
+        if ((inputs[sel][i / 64] >> (i % 64)) & 1)
+            out[i / 64] |= uint64_t{1} << (i % 64);
+    }
+}
+
 namespace {
 
 void
@@ -243,6 +363,25 @@ binaryMaxPoolFused(const std::vector<std::vector<uint16_t>> &counts,
         }
         selected = best;
     }
+}
+
+void
+binaryMaxPoolRange(const uint16_t *const *counts, size_t n_inputs,
+                   size_t abs_begin, size_t n_cycles, size_t segment_len,
+                   bool accumulate, MaxPoolCarryState &state, uint16_t *out)
+{
+    // The shared walk with the bit counters replaced by count
+    // accumulators (SIMD-dispatched segment sums) and forwarding by
+    // element copy.
+    rangedSelectorWalk(
+        n_inputs, abs_begin, n_cycles, segment_len, accumulate, state,
+        [&](size_t selected, size_t lo, size_t hi) {
+            std::copy(counts[selected] + lo, counts[selected] + hi,
+                      out + lo);
+        },
+        [&](size_t k, size_t lo, size_t hi) {
+            return sc::simd::avx2SumU16(counts[k] + lo, hi - lo);
+        });
 }
 
 std::vector<uint16_t>

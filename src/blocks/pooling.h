@@ -47,6 +47,42 @@ maxPoolStreamsReference(const std::vector<sc::BitstreamView> &inputs,
                         bool accumulate);
 
 /**
+ * Carried state of a segment-streamed Figure 8 selector: the
+ * per-input counters (bit counters for streams, accumulators for
+ * binary counts) and the currently selected input. A stream processed
+ * range by range through the *Range functions below is bit-exact with
+ * the corresponding whole-stream kernel — selection decisions happen
+ * at the same absolute pooling-segment boundaries with the same
+ * accumulated evidence, partial pooling segments straddling a range
+ * boundary included.
+ */
+struct MaxPoolCarryState
+{
+    std::vector<uint64_t> counters;
+    size_t selected = 0;
+
+    /** Zero the counters and select @p first_choice for the first
+     *  pooling segment (the whole-stream kernels' first_choice). */
+    void reset(size_t n_inputs, size_t first_choice = 0)
+    {
+        counters.assign(n_inputs, 0);
+        selected = first_choice;
+    }
+};
+
+/**
+ * Range-streamed maxPoolStreamsFused: processes absolute cycles
+ * [@p abs_begin, @p abs_begin + @p n_cycles) of the pooled stream.
+ * @p inputs are segment-local packed words (bit i of inputs[k] is
+ * input k's bit at absolute cycle abs_begin + i; abs_begin must be
+ * word-aligned), @p out likewise. Output words are fully rewritten.
+ */
+void maxPoolStreamsRange(const uint64_t *const *inputs, size_t n_inputs,
+                         size_t abs_begin, size_t n_cycles,
+                         size_t segment_len, bool accumulate,
+                         MaxPoolCarryState &state, uint64_t *out);
+
+/**
  * Hardware-oriented max pooling (Figure 8).
  */
 class HardwareMaxPooling
@@ -104,6 +140,34 @@ binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
 void
 binaryAveragePoolingSigned(const std::vector<std::vector<uint16_t>> &counts,
                            size_t n_inputs, std::vector<int> &out);
+
+/** Pointer variant over segment-local count buffers (the per-cycle
+ *  mean is stateless, so ranges need no carried state): counts[j][i]
+ *  for pool input j, @p n_cycles entries each, steps into @p out. */
+void binaryAveragePoolingSignedRange(const uint16_t *const *counts,
+                                     size_t pool_size, size_t n_inputs,
+                                     size_t n_cycles, int *out);
+
+/**
+ * Range-streamed binaryMaxPoolFused over segment-local count buffers:
+ * counts[k][i] is input k's count at absolute cycle abs_begin + i.
+ * See maxPoolStreamsRange for the carry contract.
+ */
+void binaryMaxPoolRange(const uint16_t *const *counts, size_t n_inputs,
+                        size_t abs_begin, size_t n_cycles,
+                        size_t segment_len, bool accumulate,
+                        MaxPoolCarryState &state, uint16_t *out);
+
+/**
+ * Range-streamed MUX average pooling: one select draw per cycle from
+ * @p rng — exactly the draws sc::muxAdd would consume, so successive
+ * ranges with a carried generator reproduce the whole-stream result
+ * bit-exactly. Inputs/outputs are segment-local packed words; output
+ * words are fully rewritten.
+ */
+void averagePoolingRange(const uint64_t *const *inputs, size_t n_inputs,
+                         size_t n_cycles, sc::Xoshiro256ss &rng,
+                         uint64_t *out);
 
 /**
  * Word-parallel binary-domain max pooling: segment accumulation through

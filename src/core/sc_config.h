@@ -41,6 +41,35 @@ struct ScNetworkConfig
     size_t segment_len = 16;
     blocks::KPolicy k_policy = blocks::KPolicy::Paper;
 
+    /**
+     * Segment-streaming granularity of the fused engine, in 64-bit
+     * words: the whole network (inner product -> pooling -> activation
+     * -> output accumulation) advances this many words of the streams
+     * at a time, carrying FSM/pooling/select state across segments, so
+     * a layer's live slice stays cache-resident. 0 runs whole-stream
+     * (except under EngineMode::Progressive, which needs mid-stream
+     * checkpoints and falls back to the default granularity). Results
+     * are bit-exact for every value (the segment-streaming equivalence
+     * tests pin this down).
+     */
+    size_t stream_segment_words = 4;
+
+    /**
+     * EngineMode::Progressive early-exit threshold: stop consuming
+     * stream segments once the output layer's bipolar-score gap
+     * between the best and second-best class exceeds this margin.
+     * Progressive precision trades a configurable sliver of accuracy
+     * for latency; 0 exits at the first margin check. The default is
+     * calibrated on the trained LeNet-5 digit task: margin 4.0 halves
+     * the average consumed bits with no measured error-rate change
+     * (see DESIGN.md; smaller margins exit earlier but start flipping
+     * borderline images).
+     */
+    double progressive_margin = 4.0;
+
+    /** Progressive mode never exits before this many stream cycles. */
+    size_t progressive_min_bits = 256;
+
     /** The FEB kind a layer uses (combines adder + pooling mode). */
     blocks::FebKind febKind(size_t layer) const;
 

@@ -81,37 +81,17 @@ siteSeed(uint64_t seed, uint64_t layer_idx, uint64_t site)
     return mix.next();
 }
 
-/**
- * One MUX-based inner product in the selected engine mode. Both modes
- * consume exactly @p length select draws from @p sel, so the generator
- * state after the call — and the produced stream — are bit-identical.
- */
-void
-muxInnerProduct(EngineMode mode,
-                const std::vector<sc::BitstreamView> &xs,
-                const std::vector<sc::BitstreamView> &ws,
-                sc::Xoshiro256ss &sel, sc::FusedWorkspace &wsp,
-                sc::Bitstream &out)
-{
-    sc::fillMuxSelects(xs.size(), xs[0].length, sel, wsp.selects);
-    if (mode == EngineMode::Fused)
-        sc::fusedMuxProduct(xs, ws, wsp.selects, out);
-    else
-        out = sc::referenceMuxProduct(xs, ws, wsp.selects);
-}
+/** Salt separating the MUX-select generator family from other
+ *  randomized sites of the same (seed, layer). */
+constexpr uint64_t kSelectSalt = 0x5E1EC7A5C0DEBEEFULL;
 
-/** One APC inner product (approximate counter) in the selected mode. */
-void
-apcInnerProduct(EngineMode mode,
-                const std::vector<sc::BitstreamView> &xs,
-                const std::vector<sc::BitstreamView> &ws,
-                std::vector<uint16_t> &out)
-{
-    if (mode == EngineMode::Fused)
-        sc::fusedProductCounts(xs, ws, /*approximate=*/true, out);
-    else
-        out = sc::referenceProductCounts(xs, ws, /*approximate=*/true);
-}
+/** Salt for the MUX average-pooling generators. */
+constexpr uint64_t kPoolSalt = 0xAB00057EDB00157EULL;
+
+/** Segment granularity Progressive mode falls back to when the config
+ *  asks for whole-stream execution (which would leave it no mid-stream
+ *  checkpoint to exit at). */
+constexpr size_t kProgressiveFallbackSegmentWords = 4;
 
 } // namespace
 
@@ -250,6 +230,13 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
                                 len));
             out.arena.assign(slot++, bank.bipolar(conv.biasAt(co), len));
         }
+        // Filter-interleaved copy of the same words for the blocked
+        // kernels; the plain arena stays the Reference path's (and the
+        // round-trip tests') layout of record.
+        out.blocked.reset(out.c_out, out.n_per_filter, len);
+        for (size_t co = 0; co < out.c_out; ++co)
+            for (size_t i = 0; i < out.n_per_filter; ++i)
+                out.blocked.assign(co, i, out.at(co, i));
     };
     auto encode_fc = [&](const nn::FullyConnected &fc, double in_gain,
                          FcWeightStreams &out) {
@@ -264,6 +251,10 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
                                          len));
             out.arena.assign(slot++, bank.bipolar(fc.biasAt(o), len));
         }
+        out.blocked.reset(out.n_out, out.n_in + 1, len);
+        for (size_t o = 0; o < out.n_out; ++o)
+            for (size_t i = 0; i < out.n_in + 1; ++i)
+                out.blocked.assign(o, i, out.at(o, i));
     };
 
     encode_conv(c1, 1.0, conv1_);
@@ -300,180 +291,320 @@ ScNetwork::encodeImage(const nn::Tensor &image, uint64_t seed,
     return grid;
 }
 
-ScNetwork::StreamGrid
-ScNetwork::runConvLayer(const StreamGrid &in,
-                        const ConvWeightStreams &weights,
-                        size_t layer_idx, uint64_t seed,
-                        PhaseBreakdown *profile) const
+void
+ScNetwork::initConvRun(ConvRun &run, const StreamGrid &in,
+                       const ConvWeightStreams &weights, size_t layer_idx,
+                       uint64_t seed) const
 {
     const size_t k = weights.k;
     const size_t conv_h = in.h - k + 1;
     const size_t conv_w = in.w - k + 1;
     SCDCNN_ASSERT(conv_h % 2 == 0 && conv_w % 2 == 0,
                   "conv output not poolable");
-    const size_t out_h = conv_h / 2;
-    const size_t out_w = conv_w / 2;
-    const size_t n_inputs = weights.c_in * k * k + 1;
+    run.out.c = weights.c_out;
+    run.out.h = conv_h / 2;
+    run.out.w = conv_w / 2;
+    run.out.arena.reset(run.out.c * run.out.h * run.out.w,
+                        cfg_.bitstream_len);
+
+    const blocks::FebKind kind = cfg_.febKind(layer_idx);
+    const bool use_apc = blocks::febUsesApc(kind);
+    const bool use_max = blocks::febUsesMaxPool(kind);
+    const size_t n_pixels = run.out.c * run.out.h * run.out.w;
+
+    run.fsm.assign(n_pixels,
+                   use_apc ? btanh_tables_[layer_idx]->initialState()
+                           : stanh_tables_[layer_idx]->initialState());
+    run.pool.clear();
+    if (use_max) {
+        run.pool.resize(n_pixels);
+        for (auto &st : run.pool)
+            st.reset(4, 0);
+    }
+    // Every generator is derived from its position: MUX selects per
+    // (filter block, position, window) — shared by the block's lanes,
+    // the way the blocked MUX kernel samples — and the average-pooling
+    // MUX per pixel. Any thread partition reproduces the same streams.
+    run.sel_rng.clear();
+    run.pool_rng.clear();
+    if (!use_apc) {
+        const size_t positions = run.out.h * run.out.w;
+        const size_t n_sites = weights.blocked.groups() * positions * 4;
+        run.sel_rng.reserve(n_sites);
+        for (size_t s = 0; s < n_sites; ++s)
+            run.sel_rng.emplace_back(
+                siteSeed(seed ^ kSelectSalt, layer_idx, s));
+        if (!use_max) {
+            run.pool_rng.reserve(n_pixels);
+            for (size_t p = 0; p < n_pixels; ++p)
+                run.pool_rng.emplace_back(
+                    siteSeed(seed ^ kPoolSalt, layer_idx, p));
+        }
+    }
+}
+
+void
+ScNetwork::runConvLayerSegment(const StreamGrid &in,
+                               const ConvWeightStreams &weights,
+                               size_t layer_idx, const SegRange &seg,
+                               ConvRun &run, PhaseBreakdown *profile) const
+{
+    const size_t k = weights.k;
+    const size_t out_w = run.out.w;
+    const size_t n_inputs = weights.n_per_filter;
     const size_t len = cfg_.bitstream_len;
 
     const blocks::FebKind kind = cfg_.febKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
     const bool use_max = blocks::febUsesMaxPool(kind);
-    const bool fused = engine_ == EngineMode::Fused;
+    const bool fused = engine_ != EngineMode::Reference;
 
-    StreamGrid out;
-    out.c = weights.c_out;
-    out.h = out_h;
-    out.w = out_w;
-    out.arena.reset(out.c * out.h * out.w, len);
+    const size_t positions = run.out.h * run.out.w;
+    const size_t n_groups = weights.blocked.groups();
+    const size_t seg_words = seg.w1 - seg.w0;
+    const size_t seg_stride = seg_words * 64;
 
-    // One output pixel per work item; contiguous chunks go to the pool
-    // workers, each with its own reusable workspace so the sweep runs
-    // allocation-free after the first pixel. Every pixel's generator is
-    // derived from its position (siteSeed), so the partition — and the
-    // thread count — never changes the produced streams.
-    const size_t pixels_per_channel = out_h * out_w;
-    const size_t n_pixels = out.c * pixels_per_channel;
-    parallelForChunks(0, n_pixels, [&](size_t lo, size_t hi) {
+    // One (filter block, output position) pair per work item: the four
+    // pooling-window inner products of a position are computed once
+    // per block with every input word shared across the block's
+    // filter lanes, then each lane's pixel is pooled and activated.
+    // Contiguous chunks go to the pool workers, each with its own
+    // reusable workspace; everything randomized is position-derived,
+    // so the partition never changes the produced streams.
+    parallelForChunks(0, n_groups * positions, [&](size_t lo, size_t hi) {
         sc::FusedWorkspace wsp;
         wsp.xs.resize(n_inputs);
-        wsp.ws.resize(n_inputs);
         wsp.counts.resize(4);
         wsp.streams.resize(4);
+        wsp.pooled.resize(seg_stride);
+        wsp.steps.resize(seg_stride);
+        std::vector<uint16_t> counts_block(4 * sc::kFilterLanes *
+                                           seg_stride);
+        std::vector<uint64_t> product_block;
+        std::vector<uint64_t> seg_stream;
+        if (!use_apc) {
+            product_block.resize(4 * sc::kFilterLanes * seg_words);
+            seg_stream.resize(seg_words);
+        }
         sc::Bitstream pooled_stream;
-        std::vector<sc::BitstreamView> pool_views(wsp.streams.size());
         PhaseTimer timer(profile != nullptr);
-        for (size_t p = lo; p < hi; ++p) {
-            const size_t co = p / pixels_per_channel;
-            const size_t rem = p % pixels_per_channel;
-            const size_t oy = rem / out_w;
-            const size_t ox = rem % out_w;
-            sc::Xoshiro256ss feb_rng(siteSeed(seed, layer_idx, p));
+        for (size_t item = lo; item < hi; ++item) {
+            const size_t g = item / positions;
+            const size_t q = item % positions;
+            const size_t oy = q / out_w;
+            const size_t ox = q % out_w;
+            const sc::WeightBlockView block = weights.blocked.block(g);
 
-            // The four pooling-window inner products of this pixel.
+            // The four pooling-window inner products of this filter
+            // block, every lane in one pass.
             timer.start();
             for (size_t dy = 0; dy < 2; ++dy) {
                 for (size_t dx = 0; dx < 2; ++dx) {
                     const size_t cy = 2 * oy + dy;
                     const size_t cx = 2 * ox + dx;
                     size_t idx = 0;
-                    for (size_t ci = 0; ci < weights.c_in; ++ci) {
-                        for (size_t ky = 0; ky < k; ++ky) {
-                            for (size_t kx = 0; kx < k; ++kx) {
-                                wsp.xs[idx] = in.at(ci, cy + ky,
-                                                    cx + kx);
-                                wsp.ws[idx] = weights.at(co, idx);
-                                ++idx;
-                            }
-                        }
-                    }
+                    for (size_t ci = 0; ci < weights.c_in; ++ci)
+                        for (size_t ky = 0; ky < k; ++ky)
+                            for (size_t kx = 0; kx < k; ++kx)
+                                wsp.xs[idx++] =
+                                    in.at(ci, cy + ky, cx + kx);
                     wsp.xs[idx] = bias_line_;
-                    wsp.ws[idx] = weights.at(co, idx);
 
                     const size_t window = dy * 2 + dx;
-                    if (use_apc)
-                        apcInnerProduct(engine_, wsp.xs, wsp.ws,
-                                        wsp.counts[window]);
-                    else
-                        muxInnerProduct(engine_, wsp.xs, wsp.ws,
-                                        feb_rng, wsp,
-                                        wsp.streams[window]);
+                    if (use_apc) {
+                        uint16_t *dst = counts_block.data() +
+                                        window * sc::kFilterLanes *
+                                            seg_stride;
+                        if (fused)
+                            sc::fusedProductCountsMulti(
+                                wsp.xs, block, /*approximate=*/true,
+                                seg.w0, seg.w1, dst, seg_stride);
+                        else
+                            sc::referenceProductCountsMulti(
+                                wsp.xs, block, /*approximate=*/true,
+                                seg.w0, seg.w1, dst, seg_stride);
+                    } else {
+                        sc::Xoshiro256ss &sel =
+                            run.sel_rng[item * 4 + window];
+                        sc::fillMuxSelects(n_inputs, seg.n_cycles, sel,
+                                           wsp.selects);
+                        uint64_t *dst = product_block.data() +
+                                        window * sc::kFilterLanes *
+                                            seg_words;
+                        if (fused)
+                            sc::fusedMuxProductMulti(
+                                wsp.xs, block, wsp.selects, seg.w0,
+                                seg.w1, dst, seg_words);
+                        else
+                            sc::referenceMuxProductMulti(
+                                wsp.xs, block, wsp.selects, seg.w0,
+                                seg.w1, dst, seg_words);
+                    }
                 }
             }
             timer.lap(timer.inner_product);
 
-            uint64_t *result = out.arena.wordsAt(p);
-            // Max pooling uses the accumulative (non-resetting)
-            // reading of the Figure 8 counters: inside a trained
-            // network the candidate inner products are separated by
-            // O(1/N) in stream value, so per-segment counts cannot
-            // distinguish them, but the accumulated counts converge
-            // on the true maximum within a few hundred cycles (see
-            // DESIGN.md reconstruction notes).
-            if (use_apc) {
-                if (use_max) {
-                    if (fused)
-                        blocks::binaryMaxPoolFused(
-                            wsp.counts, cfg_.segment_len, 0,
-                            /*accumulate=*/true, wsp.pooled);
-                    else
-                        wsp.pooled = blocks::binaryMaxPoolReference(
-                            wsp.counts, cfg_.segment_len, 0,
-                            /*accumulate=*/true);
-                    timer.lap(timer.pooling);
-                    if (fused) {
-                        btanh_tables_[layer_idx]->transformWords(
-                            wsp.pooled.data(), len, result);
+            // Pool + activate each lane's pixel, carrying the selector
+            // counters and the FSM state across segments. Max pooling
+            // uses the accumulative (non-resetting) reading of the
+            // Figure 8 counters: inside a trained network the
+            // candidate inner products are separated by O(1/N) in
+            // stream value, so per-segment counts cannot distinguish
+            // them, but the accumulated counts converge on the true
+            // maximum within a few hundred cycles (see DESIGN.md
+            // reconstruction notes).
+            for (size_t f = 0; f < block.lanes; ++f) {
+                const size_t p =
+                    (g * sc::kFilterLanes + f) * positions + q;
+                uint64_t *result = run.out.arena.wordsAt(p) + seg.w0;
+                if (use_apc) {
+                    const uint16_t *cnt[4];
+                    for (size_t w = 0; w < 4; ++w)
+                        cnt[w] = counts_block.data() +
+                                 (w * sc::kFilterLanes + f) * seg_stride;
+                    if (use_max) {
+                        if (fused) {
+                            blocks::binaryMaxPoolRange(
+                                cnt, 4, seg.c0, seg.n_cycles,
+                                cfg_.segment_len, /*accumulate=*/true,
+                                run.pool[p], wsp.pooled.data());
+                            timer.lap(timer.pooling);
+                            btanh_tables_[layer_idx]->transformWords(
+                                wsp.pooled.data(), seg.n_cycles, result,
+                                &run.fsm[p]);
+                        } else {
+                            for (size_t w = 0; w < 4; ++w)
+                                wsp.counts[w].assign(cnt[w],
+                                                     cnt[w] + len);
+                            wsp.pooled = blocks::binaryMaxPoolReference(
+                                wsp.counts, cfg_.segment_len, 0,
+                                /*accumulate=*/true);
+                            timer.lap(timer.pooling);
+                            sc::Btanh unit(
+                                state_count,
+                                static_cast<unsigned>(n_inputs));
+                            run.out.arena.assign(
+                                p, unit.transform(wsp.pooled));
+                        }
                     } else {
-                        sc::Btanh unit(state_count,
-                                       static_cast<unsigned>(n_inputs));
-                        out.arena.assign(p, unit.transform(wsp.pooled));
+                        if (fused) {
+                            blocks::binaryAveragePoolingSignedRange(
+                                cnt, 4, n_inputs, seg.n_cycles,
+                                wsp.steps.data());
+                            timer.lap(timer.pooling);
+                            btanh_tables_[layer_idx]
+                                ->transformSignedWords(
+                                    wsp.steps.data(), seg.n_cycles,
+                                    result, &run.fsm[p]);
+                        } else {
+                            for (size_t w = 0; w < 4; ++w)
+                                wsp.counts[w].assign(cnt[w],
+                                                     cnt[w] + len);
+                            blocks::binaryAveragePoolingSigned(
+                                wsp.counts, n_inputs, wsp.steps);
+                            timer.lap(timer.pooling);
+                            sc::Btanh unit(
+                                state_count,
+                                static_cast<unsigned>(n_inputs));
+                            run.out.arena.assign(
+                                p, unit.transformSigned(wsp.steps));
+                        }
                     }
                 } else {
-                    blocks::binaryAveragePoolingSigned(
-                        wsp.counts, n_inputs, wsp.steps);
-                    timer.lap(timer.pooling);
-                    if (fused) {
-                        btanh_tables_[layer_idx]->transformSignedWords(
-                            wsp.steps.data(), len, result);
+                    const uint64_t *prod[4];
+                    for (size_t w = 0; w < 4; ++w)
+                        prod[w] = product_block.data() +
+                                  (w * sc::kFilterLanes + f) * seg_words;
+                    if (use_max) {
+                        if (fused) {
+                            blocks::maxPoolStreamsRange(
+                                prod, 4, seg.c0, seg.n_cycles,
+                                cfg_.segment_len, /*accumulate=*/true,
+                                run.pool[p], seg_stream.data());
+                            timer.lap(timer.pooling);
+                            stanh_tables_[layer_idx]->transformWords(
+                                seg_stream.data(), seg.n_cycles, result,
+                                &run.fsm[p]);
+                        } else {
+                            std::vector<sc::BitstreamView> pv;
+                            for (size_t w = 0; w < 4; ++w)
+                                pv.emplace_back(prod[w], len);
+                            pooled_stream = blocks::maxPoolStreamsReference(
+                                pv, cfg_.segment_len, 0,
+                                /*accumulate=*/true);
+                            timer.lap(timer.pooling);
+                            sc::Stanh fsm(state_count);
+                            run.out.arena.assign(
+                                p, fsm.transform(pooled_stream));
+                        }
                     } else {
-                        sc::Btanh unit(state_count,
-                                       static_cast<unsigned>(n_inputs));
-                        out.arena.assign(p,
-                                         unit.transformSigned(wsp.steps));
+                        // Unlike the isolated Figure 14(b) study
+                        // (operands uniform over [-1,1]),
+                        // trained-network streams sit near p=0.5 where
+                        // the Figure 11 K/5 threshold would swamp the
+                        // signal with a constant positive bias; the
+                        // classic midpoint threshold is used for
+                        // network inference.
+                        if (fused) {
+                            blocks::averagePoolingRange(
+                                prod, 4, seg.n_cycles, run.pool_rng[p],
+                                seg_stream.data());
+                            timer.lap(timer.pooling);
+                            stanh_tables_[layer_idx]->transformWords(
+                                seg_stream.data(), seg.n_cycles, result,
+                                &run.fsm[p]);
+                        } else {
+                            for (size_t w = 0; w < 4; ++w) {
+                                wsp.streams[w].reset(len);
+                                std::copy(prod[w],
+                                          prod[w] + seg_words,
+                                          wsp.streams[w]
+                                              .mutableWords()
+                                              .begin());
+                            }
+                            pooled_stream = blocks::averagePooling(
+                                wsp.streams, run.pool_rng[p]);
+                            timer.lap(timer.pooling);
+                            sc::Stanh fsm(state_count);
+                            run.out.arena.assign(
+                                p, fsm.transform(pooled_stream));
+                        }
                     }
                 }
-            } else if (use_max) {
-                // Refresh the hoisted views in place (stream storage
-                // can move between pixels) — no per-pixel allocation.
-                for (size_t i = 0; i < wsp.streams.size(); ++i)
-                    pool_views[i] = wsp.streams[i];
-                if (fused)
-                    blocks::maxPoolStreamsFused(
-                        pool_views, cfg_.segment_len, 0,
-                        /*accumulate=*/true, pooled_stream);
-                else
-                    pooled_stream = blocks::maxPoolStreamsReference(
-                        pool_views, cfg_.segment_len, 0,
-                        /*accumulate=*/true);
-                timer.lap(timer.pooling);
-                if (fused) {
-                    stanh_tables_[layer_idx]->transformWords(
-                        pooled_stream.words().data(), len, result);
-                } else {
-                    sc::Stanh fsm(state_count);
-                    out.arena.assign(p, fsm.transform(pooled_stream));
-                }
-            } else {
-                // Unlike the isolated Figure 14(b) study (operands
-                // uniform over [-1,1]), trained-network streams sit
-                // near p=0.5 where the Figure 11 K/5 threshold
-                // would swamp the signal with a constant positive
-                // bias; the classic midpoint threshold is used for
-                // network inference.
-                pooled_stream =
-                    blocks::averagePooling(wsp.streams, feb_rng);
-                timer.lap(timer.pooling);
-                if (fused) {
-                    stanh_tables_[layer_idx]->transformWords(
-                        pooled_stream.words().data(), len, result);
-                } else {
-                    sc::Stanh fsm(state_count);
-                    out.arena.assign(p, fsm.transform(pooled_stream));
-                }
+                timer.lap(timer.activation);
             }
-            timer.lap(timer.activation);
         }
         flushPhases(profile, timer);
     });
-    return out;
 }
 
-sc::StreamArena
-ScNetwork::runFcLayer(const std::vector<sc::BitstreamView> &in,
-                      const FcWeightStreams &weights, size_t layer_idx,
-                      uint64_t seed, PhaseBreakdown *profile) const
+void
+ScNetwork::initFcRun(FcRun &run, const FcWeightStreams &weights,
+                     size_t layer_idx, uint64_t seed) const
+{
+    run.out.reset(weights.n_out, cfg_.bitstream_len);
+    const bool use_apc = blocks::febUsesApc(cfg_.febKind(layer_idx));
+    run.fsm.assign(weights.n_out,
+                   use_apc ? btanh_tables_[layer_idx]->initialState()
+                           : stanh_tables_[layer_idx]->initialState());
+    run.sel_rng.clear();
+    if (!use_apc) {
+        // One select generator per neuron block, shared by its lanes
+        // (cf. the conv layers' per-(block, position, window) scheme).
+        const size_t n_groups = weights.blocked.groups();
+        run.sel_rng.reserve(n_groups);
+        for (size_t g = 0; g < n_groups; ++g)
+            run.sel_rng.emplace_back(
+                siteSeed(seed ^ kSelectSalt, layer_idx, g));
+    }
+}
+
+void
+ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
+                             const FcWeightStreams &weights,
+                             size_t layer_idx, const SegRange &seg,
+                             FcRun &run, PhaseBreakdown *profile) const
 {
     SCDCNN_ASSERT(in.size() == weights.n_in,
                   "fc layer expects %zu inputs, got %zu", weights.n_in,
@@ -483,63 +614,98 @@ ScNetwork::runFcLayer(const std::vector<sc::BitstreamView> &in,
     const blocks::FebKind kind = cfg_.febKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
-    const bool fused = engine_ == EngineMode::Fused;
+    const bool fused = engine_ != EngineMode::Reference;
 
-    // One neuron per work item, chunked across the pool with per-chunk
-    // workspaces; neuron generators are position-derived like the conv
-    // pixels'.
-    sc::StreamArena out;
-    out.reset(weights.n_out, len);
-    parallelForChunks(0, weights.n_out, [&](size_t lo, size_t hi) {
+    const size_t n_groups = weights.blocked.groups();
+    const size_t seg_words = seg.w1 - seg.w0;
+    const size_t seg_stride = seg_words * 64;
+
+    // One neuron block per work item, chunked across the pool with
+    // per-chunk workspaces; the shared input views are gathered once
+    // per chunk and every block's weight slice streams contiguously.
+    parallelForChunks(0, n_groups, [&](size_t lo, size_t hi) {
         sc::FusedWorkspace wsp;
         wsp.xs.resize(n_inputs);
-        wsp.ws.resize(n_inputs);
         wsp.counts.resize(1);
-        wsp.streams.resize(1);
         for (size_t i = 0; i < weights.n_in; ++i)
             wsp.xs[i] = in[i];
         wsp.xs[weights.n_in] = bias_line_;
+        std::vector<uint16_t> counts_block(sc::kFilterLanes * seg_stride);
+        std::vector<uint64_t> product_block;
+        if (!use_apc)
+            product_block.resize(sc::kFilterLanes * seg_words);
         PhaseTimer timer(profile != nullptr);
-        for (size_t o = lo; o < hi; ++o) {
-            for (size_t i = 0; i < n_inputs; ++i)
-                wsp.ws[i] = weights.at(o, i);
+        for (size_t g = lo; g < hi; ++g) {
+            const sc::WeightBlockView block = weights.blocked.block(g);
             timer.start();
             if (use_apc) {
-                apcInnerProduct(engine_, wsp.xs, wsp.ws, wsp.counts[0]);
-                timer.lap(timer.inner_product);
-                if (fused) {
-                    btanh_tables_[layer_idx]->transformWords(
-                        wsp.counts[0].data(), len, out.wordsAt(o));
-                } else {
-                    sc::Btanh unit(state_count,
-                                   static_cast<unsigned>(n_inputs));
-                    out.assign(o, unit.transform(wsp.counts[0]));
-                }
+                if (fused)
+                    sc::fusedProductCountsMulti(
+                        wsp.xs, block, /*approximate=*/true, seg.w0,
+                        seg.w1, counts_block.data(), seg_stride);
+                else
+                    sc::referenceProductCountsMulti(
+                        wsp.xs, block, /*approximate=*/true, seg.w0,
+                        seg.w1, counts_block.data(), seg_stride);
             } else {
-                sc::Xoshiro256ss rng(siteSeed(seed, layer_idx, o));
-                muxInnerProduct(engine_, wsp.xs, wsp.ws, rng, wsp,
-                                wsp.streams[0]);
-                timer.lap(timer.inner_product);
-                if (fused) {
-                    stanh_tables_[layer_idx]->transformWords(
-                        wsp.streams[0].words().data(), len,
-                        out.wordsAt(o));
-                } else {
-                    sc::Stanh fsm(state_count);
-                    out.assign(o, fsm.transform(wsp.streams[0]));
-                }
+                sc::Xoshiro256ss &sel = run.sel_rng[g];
+                sc::fillMuxSelects(n_inputs, seg.n_cycles, sel,
+                                   wsp.selects);
+                if (fused)
+                    sc::fusedMuxProductMulti(wsp.xs, block, wsp.selects,
+                                             seg.w0, seg.w1,
+                                             product_block.data(),
+                                             seg_words);
+                else
+                    sc::referenceMuxProductMulti(wsp.xs, block,
+                                                 wsp.selects, seg.w0,
+                                                 seg.w1,
+                                                 product_block.data(),
+                                                 seg_words);
             }
-            timer.lap(timer.activation);
+            timer.lap(timer.inner_product);
+
+            for (size_t f = 0; f < block.lanes; ++f) {
+                const size_t o = g * sc::kFilterLanes + f;
+                uint64_t *result = run.out.wordsAt(o) + seg.w0;
+                if (use_apc) {
+                    const uint16_t *cnt =
+                        counts_block.data() + f * seg_stride;
+                    if (fused) {
+                        btanh_tables_[layer_idx]->transformWords(
+                            cnt, seg.n_cycles, result, &run.fsm[o]);
+                    } else {
+                        wsp.counts[0].assign(cnt, cnt + len);
+                        sc::Btanh unit(state_count,
+                                       static_cast<unsigned>(n_inputs));
+                        run.out.assign(o, unit.transform(wsp.counts[0]));
+                    }
+                } else {
+                    const uint64_t *prod =
+                        product_block.data() + f * seg_words;
+                    if (fused) {
+                        stanh_tables_[layer_idx]->transformWords(
+                            prod, seg.n_cycles, result, &run.fsm[o]);
+                    } else {
+                        sc::Stanh fsm(state_count);
+                        sc::Bitstream stream(len);
+                        std::copy(prod, prod + seg_words,
+                                  stream.mutableWords().begin());
+                        run.out.assign(o, fsm.transform(stream));
+                    }
+                }
+                timer.lap(timer.activation);
+            }
         }
         flushPhases(profile, timer);
     });
-    return out;
 }
 
-std::vector<double>
-ScNetwork::runBinaryOutputLayer(const std::vector<sc::BitstreamView> &in,
-                                const FcWeightStreams &weights,
-                                PhaseBreakdown *profile) const
+void
+ScNetwork::runOutputSegment(const std::vector<sc::BitstreamView> &in,
+                            const FcWeightStreams &weights,
+                            const SegRange &seg, OutputRun &run,
+                            PhaseBreakdown *profile) const
 {
     const Clock::time_point t0 = Clock::now();
     const size_t n_inputs = weights.n_in + 1;
@@ -549,55 +715,121 @@ ScNetwork::runBinaryOutputLayer(const std::vector<sc::BitstreamView> &in,
         xs[i] = in[i];
     xs[weights.n_in] = bias_line_;
 
-    std::vector<double> scores(weights.n_out);
-    const double len = static_cast<double>(cfg_.bitstream_len);
+    // The accumulator de-randomizes: score = sum of bipolar sums. The
+    // fused path never materializes the per-cycle counts — each
+    // segment's contribution reduces to word popcounts, summed into
+    // the per-class running accumulators.
     for (size_t o = 0; o < weights.n_out; ++o) {
         for (size_t i = 0; i < n_inputs; ++i)
             ws[i] = weights.at(o, i);
-        // The accumulator de-randomizes: score = sum of bipolar sums.
-        // The fused path never materializes the per-cycle counts — the
-        // accumulated total reduces to word popcounts.
-        const uint64_t total =
-            engine_ == EngineMode::Fused
-                ? sc::fusedProductCountTotal(xs, ws, /*approximate=*/true)
-                : sc::referenceProductCountTotal(xs, ws,
-                                                /*approximate=*/true);
-        scores[o] = (2.0 * static_cast<double>(total) -
-                     static_cast<double>(n_inputs) * len) / len;
+        if (engine_ != EngineMode::Reference)
+            sc::fusedProductCountTotalRange(xs, ws, seg.w0, seg.w1,
+                                            run.acc[o]);
+        else
+            sc::referenceProductCountTotalRange(xs, ws, seg.w0, seg.w1,
+                                                run.acc[o]);
     }
+    run.consumed += seg.n_cycles;
     if (profile != nullptr)
         profile->output_ns += static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
                 .count());
-    return scores;
 }
 
 size_t
 ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
-                   PhaseBreakdown *profile) const
+                   PhaseBreakdown *profile, ForwardInfo *info) const
 {
+    const size_t len = cfg_.bitstream_len;
+    const size_t n_words = (len + 63) / 64;
+    // The Reference oracle always runs whole streams; the fused engine
+    // streams the whole network segment by segment (whole-stream when
+    // the knob is 0), carrying all FSM/pooling/select state — results
+    // are bit-exact for every segment size. Progressive needs mid-
+    // stream checkpoints to exist at all, so a whole-stream knob falls
+    // back to the default granularity there instead of silently
+    // degrading to plain Fused.
+    size_t seg_words = cfg_.stream_segment_words;
+    if (engine_ == EngineMode::Reference)
+        seg_words = n_words;
+    else if (seg_words == 0)
+        seg_words = engine_ == EngineMode::Progressive
+                        ? kProgressiveFallbackSegmentWords
+                        : n_words;
+    seg_words = std::min(seg_words, n_words);
+
     StreamGrid x = encodeImage(image, seed, profile);
-    StreamGrid c1 = runConvLayer(x, conv1_, 0, seed ^ 0x1111, profile);
-    StreamGrid c2 = runConvLayer(c1, conv2_, 1, seed ^ 0x2222, profile);
+    ConvRun c1, c2;
+    FcRun f1;
+    OutputRun out;
+    initConvRun(c1, x, conv1_, 0, seed ^ 0x1111);
+    initConvRun(c2, c1.out, conv2_, 1, seed ^ 0x2222);
+    initFcRun(f1, fc1_, 2, seed ^ 0x3333);
+    out.acc.assign(fc2_.n_out, {});
 
     std::vector<sc::BitstreamView> flat;
-    flat.reserve(c2.arena.count());
-    for (size_t i = 0; i < c2.arena.count(); ++i)
-        flat.push_back(c2.arena.view(i));
-
-    sc::StreamArena f1 =
-        runFcLayer(flat, fc1_, 2, seed ^ 0x3333, profile);
+    flat.reserve(c2.out.arena.count());
+    for (size_t i = 0; i < c2.out.arena.count(); ++i)
+        flat.push_back(c2.out.arena.view(i));
     std::vector<sc::BitstreamView> f1_views;
-    f1_views.reserve(f1.count());
-    for (size_t i = 0; i < f1.count(); ++i)
-        f1_views.push_back(f1.view(i));
+    f1_views.reserve(f1.out.count());
+    for (size_t i = 0; i < f1.out.count(); ++i)
+        f1_views.push_back(f1.out.view(i));
 
-    std::vector<double> scores =
-        runBinaryOutputLayer(f1_views, fc2_, profile);
-    return static_cast<size_t>(
-        std::max_element(scores.begin(), scores.end()) -
-        scores.begin());
+    bool early_exit = false;
+    for (size_t w0 = 0; w0 < n_words && !early_exit; w0 += seg_words) {
+        SegRange seg;
+        seg.w0 = w0;
+        seg.w1 = std::min(w0 + seg_words, n_words);
+        seg.c0 = w0 * 64;
+        seg.n_cycles = std::min(seg.w1 * 64, len) - seg.c0;
+
+        runConvLayerSegment(x, conv1_, 0, seg, c1, profile);
+        runConvLayerSegment(c1.out, conv2_, 1, seg, c2, profile);
+        runFcLayerSegment(flat, fc1_, 2, seg, f1, profile);
+        runOutputSegment(f1_views, fc2_, seg, out, profile);
+
+        // Progressive precision: once the class decision is stable by
+        // a configurable margin, the remaining segments cannot
+        // plausibly flip it — stop and report the bits consumed.
+        if (engine_ == EngineMode::Progressive && seg.w1 < n_words &&
+            out.consumed >= cfg_.progressive_min_bits) {
+            uint64_t best = 0, second = 0;
+            for (const auto &acc : out.acc) {
+                const uint64_t v = acc.value(/*approximate=*/true);
+                if (v > best) {
+                    second = best;
+                    best = v;
+                } else if (v > second) {
+                    second = v;
+                }
+            }
+            const double margin =
+                2.0 *
+                (static_cast<double>(best) - static_cast<double>(second)) /
+                static_cast<double>(out.consumed);
+            early_exit = margin >= cfg_.progressive_margin;
+        }
+    }
+
+    const auto consumed = static_cast<double>(out.consumed);
+    const auto fan_in = static_cast<double>(fc2_.n_in + 1);
+    std::vector<double> scores(fc2_.n_out);
+    for (size_t o = 0; o < fc2_.n_out; ++o)
+        scores[o] =
+            (2.0 * static_cast<double>(
+                       out.acc[o].value(/*approximate=*/true)) -
+             fan_in * consumed) /
+            consumed;
+    const auto pred = static_cast<size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    if (info != nullptr) {
+        info->scores = std::move(scores);
+        info->effective_bits = out.consumed;
+        info->early_exit = early_exit;
+    }
+    return pred;
 }
 
 std::vector<size_t>

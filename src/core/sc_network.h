@@ -26,12 +26,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "blocks/pooling.h"
 #include "core/sc_config.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "sc/bitstream.h"
 #include "sc/fsm_batch.h"
 #include "sc/fused.h"
+#include "sc/rng.h"
 
 namespace scdcnn {
 
@@ -42,20 +44,41 @@ namespace core {
 /**
  * Which kernel implementation the engine runs on.
  *
- * Fused is the production path: word-parallel kernels over the packed
- * uint64_t words (SIMD-dispatched where available), table-driven
- * activation FSMs, reusable per-thread workspaces, layers fanned out
- * across the thread pool. Reference drives the same network structure
- * through the bit-serial oracle kernels (one bit per cycle) and the
- * scalar Stanh/Btanh steppers — the ground truth the fused path is
- * tested against and the baseline bench_throughput measures speedup
- * over. Both modes consume identical RNG sequences, so predictions
- * are bit-exact across modes and thread counts.
+ * Fused is the production path: filter-blocked word-parallel kernels
+ * over the packed uint64_t words (SIMD-dispatched where available),
+ * table-driven activation FSMs, reusable per-thread workspaces,
+ * layers fanned out across the thread pool, the whole network
+ * advanced in stream segments (ScNetworkConfig::stream_segment_words)
+ * with FSM/pooling/select state carried across segments. Reference
+ * drives the same network structure through the bit-serial oracle
+ * kernels (one bit per cycle, whole streams) and the scalar
+ * Stanh/Btanh steppers — the ground truth the fused path is tested
+ * against and the baseline bench_throughput measures speedup over.
+ * Progressive is Fused plus stochastic computing's progressive
+ * precision: after each segment the output layer's class-score gap is
+ * tested and the remaining segments are skipped once the argmax
+ * margin exceeds ScNetworkConfig::progressive_margin — a
+ * latency/accuracy trade, so it is opt-in and never the default.
+ * Fused and Reference consume identical RNG sequences, so their
+ * predictions are bit-exact across modes, segment sizes, and thread
+ * counts.
  */
 enum class EngineMode
 {
     Fused,
     Reference,
+    Progressive,
+};
+
+/**
+ * Per-forward-pass outcome details (scores and, in Progressive mode,
+ * the effective stream length actually consumed).
+ */
+struct ForwardInfo
+{
+    std::vector<double> scores; //!< output-layer bipolar-sum scores
+    size_t effective_bits = 0;  //!< stream cycles consumed
+    bool early_exit = false;    //!< Progressive margin test fired
 };
 
 /**
@@ -90,10 +113,14 @@ class ScNetwork
 
     /**
      * SC-domain forward pass + argmax for one image. When @p profile
-     * is non-null, per-phase wall time is accumulated into it.
+     * is non-null, per-phase wall time is accumulated into it; when
+     * @p info is non-null, the class scores and the effective stream
+     * length (== bitstream_len except under Progressive early exit)
+     * are reported there.
      */
     size_t predict(const nn::Tensor &image, uint64_t seed,
-                   PhaseBreakdown *profile = nullptr) const;
+                   PhaseBreakdown *profile = nullptr,
+                   ForwardInfo *info = nullptr) const;
 
     /**
      * Batched forward pass: predictions for every image, fanned out
@@ -160,12 +187,15 @@ class ScNetwork
 
     /** Conv layer weight streams, one arena slot per (filter, tap):
      *  filter f's streams are slots [f*n, (f+1)*n), n = c_in*k*k + 1
-     *  (bias last). */
+     *  (bias last). The Reference path reads the plain arena; the
+     *  fused path reads the filter-interleaved copy (same words, the
+     *  layout the filter-blocked kernels stream through). */
     struct ConvWeightStreams
     {
         size_t c_in = 0, c_out = 0, k = 0;
         size_t n_per_filter = 0;
         sc::StreamArena arena;
+        sc::InterleavedWeightArena blocked;
 
         sc::BitstreamView at(size_t filter, size_t i) const
         {
@@ -174,11 +204,12 @@ class ScNetwork
     };
 
     /** FC layer weight streams, neuron o's streams at slots
-     *  [o*(n_in+1), ...] (bias last). */
+     *  [o*(n_in+1), ...] (bias last); interleaved copy as above. */
     struct FcWeightStreams
     {
         size_t n_in = 0, n_out = 0;
         sc::StreamArena arena;
+        sc::InterleavedWeightArena blocked;
 
         sc::BitstreamView at(size_t neuron, size_t i) const
         {
@@ -186,23 +217,66 @@ class ScNetwork
         }
     };
 
+    /** One segment of the stream axis: words [w0, w1) covering cycles
+     *  [c0, c0 + n_cycles). */
+    struct SegRange
+    {
+        size_t w0 = 0, w1 = 0;
+        size_t c0 = 0, n_cycles = 0;
+    };
+
+    /** Per-forward carried state of a conv layer: the output grid plus
+     *  per-pixel activation-FSM states, pooling-selector carry, and
+     *  (MUX layers) the per-site generators, all indexed positionally
+     *  so any thread partition reproduces the same streams. */
+    struct ConvRun
+    {
+        StreamGrid out;
+        std::vector<uint16_t> fsm;
+        std::vector<blocks::MaxPoolCarryState> pool;
+        std::vector<sc::Xoshiro256ss> sel_rng;  //!< per (group, position, window)
+        std::vector<sc::Xoshiro256ss> pool_rng; //!< per pixel (MUX avg)
+    };
+
+    /** Per-forward carried state of an FC layer. */
+    struct FcRun
+    {
+        sc::StreamArena out;
+        std::vector<uint16_t> fsm;
+        std::vector<sc::Xoshiro256ss> sel_rng; //!< per neuron group
+    };
+
+    /** Per-forward carried state of the binary output layer. */
+    struct OutputRun
+    {
+        std::vector<sc::ProductCountAccum> acc; //!< per class
+        size_t consumed = 0;                    //!< cycles accumulated
+    };
+
     StreamGrid encodeImage(const nn::Tensor &image, uint64_t seed,
                            PhaseBreakdown *profile) const;
 
-    StreamGrid runConvLayer(const StreamGrid &in,
-                            const ConvWeightStreams &weights,
-                            size_t layer_idx, uint64_t seed,
-                            PhaseBreakdown *profile) const;
+    void initConvRun(ConvRun &run, const StreamGrid &in,
+                     const ConvWeightStreams &weights, size_t layer_idx,
+                     uint64_t seed) const;
 
-    sc::StreamArena
-    runFcLayer(const std::vector<sc::BitstreamView> &in,
-               const FcWeightStreams &weights, size_t layer_idx,
-               uint64_t seed, PhaseBreakdown *profile) const;
+    void initFcRun(FcRun &run, const FcWeightStreams &weights,
+                   size_t layer_idx, uint64_t seed) const;
 
-    std::vector<double>
-    runBinaryOutputLayer(const std::vector<sc::BitstreamView> &in,
-                         const FcWeightStreams &weights,
-                         PhaseBreakdown *profile) const;
+    void runConvLayerSegment(const StreamGrid &in,
+                             const ConvWeightStreams &weights,
+                             size_t layer_idx, const SegRange &seg,
+                             ConvRun &run, PhaseBreakdown *profile) const;
+
+    void runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
+                           const FcWeightStreams &weights,
+                           size_t layer_idx, const SegRange &seg,
+                           FcRun &run, PhaseBreakdown *profile) const;
+
+    void runOutputSegment(const std::vector<sc::BitstreamView> &in,
+                          const FcWeightStreams &weights,
+                          const SegRange &seg, OutputRun &run,
+                          PhaseBreakdown *profile) const;
 
     ScNetworkConfig cfg_;
     EngineMode engine_ = EngineMode::Fused;

@@ -266,5 +266,52 @@ StreamArena::maskTail(size_t i)
         wordsAt(i)[stride_ - 1] &= (uint64_t{1} << tail) - 1;
 }
 
+void
+InterleavedWeightArena::reset(size_t filters, size_t taps, size_t length)
+{
+    filters_ = filters;
+    taps_ = taps;
+    length_ = length;
+    stream_words_ = wordsFor(length);
+    group_words_ = stream_words_ * taps_ * kFilterLanes;
+    groups_ = (filters + kFilterLanes - 1) / kFilterLanes;
+    words_.assign(groups_ * group_words_, 0);
+}
+
+size_t
+InterleavedWeightArena::lanesInGroup(size_t g) const
+{
+    SCDCNN_ASSERT(g < groups_, "filter block %zu out of range %zu", g,
+                  groups_);
+    return std::min(kFilterLanes, filters_ - g * kFilterLanes);
+}
+
+WeightBlockView
+InterleavedWeightArena::block(size_t g) const
+{
+    WeightBlockView v;
+    v.words = words_.data() + g * group_words_;
+    v.lanes = lanesInGroup(g);
+    v.taps = taps_;
+    v.length = length_;
+    return v;
+}
+
+void
+InterleavedWeightArena::assign(size_t filter, size_t tap, BitstreamView s)
+{
+    SCDCNN_ASSERT(filter < filters_, "filter %zu out of range %zu",
+                  filter, filters_);
+    SCDCNN_ASSERT(tap < taps_, "tap %zu out of range %zu", tap, taps_);
+    SCDCNN_ASSERT(s.length == length_,
+                  "interleaved stream length mismatch: %zu vs %zu",
+                  s.length, length_);
+    const size_t g = filter / kFilterLanes;
+    const size_t lane = filter % kFilterLanes;
+    uint64_t *base = words_.data() + g * group_words_;
+    for (size_t w = 0; w < stream_words_; ++w)
+        base[(w * taps_ + tap) * kFilterLanes + lane] = s.words[w];
+}
+
 } // namespace sc
 } // namespace scdcnn

@@ -206,6 +206,96 @@ class StreamArena
     std::vector<uint64_t> words_;
 };
 
+/** Filters per interleave block: one 64-bit lane per filter in a
+ *  256-bit AVX2 vector, so a filter block's weight words load with one
+ *  unaligned vector load. */
+constexpr size_t kFilterLanes = 4;
+
+/**
+ * View of one filter block of an InterleavedWeightArena.
+ *
+ * Layout is word-major: the kFilterLanes weight words of (word w,
+ * tap t) sit contiguously at words[(w * taps + t) * kFilterLanes],
+ * lane f first. The filter-blocked kernels therefore stream linearly
+ * through the block while sharing each input word across all lanes —
+ * and a word range [w0, w1) of the block is one contiguous region,
+ * which is what keeps a segment's weight slice resident in L2.
+ *
+ * Only the first @c lanes lanes carry real filters; padding lanes (the
+ * last block of a layer whose filter count is not a multiple of
+ * kFilterLanes) hold zero words and their outputs are discarded.
+ */
+struct WeightBlockView
+{
+    const uint64_t *words = nullptr;
+    size_t lanes = 0;  //!< real filters in this block (1..kFilterLanes)
+    size_t taps = 0;   //!< operand streams per filter (bias included)
+    size_t length = 0; //!< stream length in bits
+
+    /** The kFilterLanes weight words of (word @p w, tap @p t). */
+    const uint64_t *at(size_t w, size_t t) const
+    {
+        return words + (w * taps + t) * kFilterLanes;
+    }
+
+    /** Bit of lane @p f, tap @p t at cycle @p i (reference twins). */
+    bool get(size_t f, size_t t, size_t i) const
+    {
+        return (at(i / 64, t)[f] >> (i % 64)) & 1;
+    }
+
+    /** Number of 64-bit words per stream. */
+    size_t wordCount() const { return (length + 63) / 64; }
+};
+
+/**
+ * Filter-interleaved weight storage for the filter-blocked kernels.
+ *
+ * Filters are grouped into blocks of kFilterLanes; within a block the
+ * words are laid out as WeightBlockView describes. Streams are
+ * assigned from their packed (Bitstream / StreamArena) form, so the
+ * interleaved copy is bit-identical to the plain layout — the
+ * round-trip the layout tests pin down. Tail-zero and cycle-order
+ * invariants carry over per lane.
+ */
+class InterleavedWeightArena
+{
+  public:
+    InterleavedWeightArena() = default;
+
+    /** Reshape to @p filters filters of @p taps streams of @p length
+     *  bits, all zero, reusing storage when large enough. */
+    void reset(size_t filters, size_t taps, size_t length);
+
+    /** Number of real filters held. */
+    size_t filters() const { return filters_; }
+
+    /** Operand streams per filter. */
+    size_t taps() const { return taps_; }
+
+    /** Stream length in bits. */
+    size_t length() const { return length_; }
+
+    /** Number of filter blocks, ceil(filters / kFilterLanes). */
+    size_t groups() const { return groups_; }
+
+    /** Real filters in block @p g (kFilterLanes except maybe last). */
+    size_t lanesInGroup(size_t g) const;
+
+    /** Kernel operand view of block @p g. */
+    WeightBlockView block(size_t g) const;
+
+    /** Copy packed stream words into (filter, tap)'s lane. */
+    void assign(size_t filter, size_t tap, BitstreamView s);
+
+  private:
+    size_t filters_ = 0, taps_ = 0, length_ = 0;
+    size_t stream_words_ = 0; //!< words per stream
+    size_t group_words_ = 0;  //!< words per filter block
+    size_t groups_ = 0;
+    std::vector<uint64_t> words_;
+};
+
 /** Pointer view of owned streams, for the pointer-based kernel APIs. */
 inline std::vector<const Bitstream *>
 toPointers(const std::vector<Bitstream> &streams)

@@ -44,8 +44,16 @@ void
 StanhBatchTable::transformWords(const uint64_t *in, size_t length,
                                 uint64_t *out) const
 {
+    uint16_t state = initialState();
+    transformWords(in, length, out, &state);
+}
+
+void
+StanhBatchTable::transformWords(const uint64_t *in, size_t length,
+                                uint64_t *out, uint16_t *state_io) const
+{
     const size_t n_words = (length + 63) / 64;
-    unsigned state = initial_state_;
+    unsigned state = *state_io;
     for (size_t w = 0; w < n_words; ++w) {
         const uint64_t in_w = in[w];
         uint64_t out_w = 0;
@@ -63,6 +71,7 @@ StanhBatchTable::transformWords(const uint64_t *in, size_t length,
     const size_t tail = length % 64;
     if (tail != 0 && n_words != 0)
         out[n_words - 1] &= (uint64_t{1} << tail) - 1;
+    *state_io = static_cast<uint16_t>(state);
 }
 
 void
@@ -117,9 +126,17 @@ void
 BtanhBatchTable::transformWords(const uint16_t *counts, size_t length,
                                 uint64_t *out) const
 {
+    uint16_t state = initialState();
+    transformWords(counts, length, out, &state);
+}
+
+void
+BtanhBatchTable::transformWords(const uint16_t *counts, size_t length,
+                                uint64_t *out, uint16_t *state_io) const
+{
     const size_t n_words = (length + 63) / 64;
     const int n = static_cast<int>(n_inputs_);
-    unsigned state = k_ / 2;
+    unsigned state = *state_io;
     for (size_t w = 0; w < n_words; ++w) {
         const size_t base = w * 64;
         const size_t limit = std::min<size_t>(64, length - base);
@@ -132,14 +149,23 @@ BtanhBatchTable::transformWords(const uint16_t *counts, size_t length,
         }
         out[w] = out_w;
     }
+    *state_io = static_cast<uint16_t>(state);
 }
 
 void
 BtanhBatchTable::transformSignedWords(const int *steps, size_t length,
                                       uint64_t *out) const
 {
+    uint16_t state = initialState();
+    transformSignedWords(steps, length, out, &state);
+}
+
+void
+BtanhBatchTable::transformSignedWords(const int *steps, size_t length,
+                                      uint64_t *out, uint16_t *state_io) const
+{
     const size_t n_words = (length + 63) / 64;
-    unsigned state = k_ / 2;
+    unsigned state = *state_io;
     for (size_t w = 0; w < n_words; ++w) {
         const size_t base = w * 64;
         const size_t limit = std::min<size_t>(64, length - base);
@@ -151,6 +177,7 @@ BtanhBatchTable::transformSignedWords(const int *steps, size_t length,
         }
         out[w] = out_w;
     }
+    *state_io = static_cast<uint16_t>(state);
 }
 
 void

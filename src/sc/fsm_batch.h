@@ -67,6 +67,20 @@ class StanhBatchTable
     void transformWords(const uint64_t *in, size_t length,
                         uint64_t *out) const;
 
+    /** Resumable variant for segment streaming: starts from *state and
+     *  leaves the post-segment state there, so successive calls over a
+     *  word-aligned partition of a stream (only the final segment may
+     *  end off a word boundary) are bit-exact with one whole-stream
+     *  transform. Initialize *state with initialState(). */
+    void transformWords(const uint64_t *in, size_t length, uint64_t *out,
+                        uint16_t *state) const;
+
+    /** The midpoint start state of a fresh transform. */
+    uint16_t initialState() const
+    {
+        return static_cast<uint16_t>(initial_state_);
+    }
+
   private:
     /** Packed transition: next state + the 8 output bits. */
     struct Entry
@@ -121,6 +135,19 @@ class BtanhBatchTable
                         uint64_t *out) const;
     void transformSignedWords(const int *steps, size_t length,
                               uint64_t *out) const;
+
+    /** Resumable variants for segment streaming (see the Stanh
+     *  counterpart): *state carries the counter across calls. */
+    void transformWords(const uint16_t *counts, size_t length,
+                        uint64_t *out, uint16_t *state) const;
+    void transformSignedWords(const int *steps, size_t length,
+                              uint64_t *out, uint16_t *state) const;
+
+    /** The midpoint start state of a fresh transform. */
+    uint16_t initialState() const
+    {
+        return static_cast<uint16_t>(k_ / 2);
+    }
 
   private:
     struct Entry

@@ -100,7 +100,279 @@ countsImpl(const std::vector<BitstreamView> &xs,
     }
 }
 
+/** Shared operand checks of the filter-blocked ranged kernels;
+ *  returns the cycle count covered by [begin_word, end_word). */
+size_t
+checkMultiOperands(const std::vector<BitstreamView> &xs,
+                   const WeightBlockView &block, size_t begin_word,
+                   size_t end_word)
+{
+    SCDCNN_ASSERT(block.lanes >= 1 && block.lanes <= kFilterLanes,
+                  "bad filter block lane count %zu", block.lanes);
+    SCDCNN_ASSERT(xs.size() == block.taps,
+                  "operand count %zu != block taps %zu", xs.size(),
+                  block.taps);
+    SCDCNN_ASSERT(!xs.empty(), "fused kernel called with zero streams");
+    for (const auto &s : xs)
+        SCDCNN_ASSERT(s.length == block.length, "stream length mismatch");
+    const size_t n_words = block.wordCount();
+    SCDCNN_ASSERT(begin_word <= end_word && end_word <= n_words,
+                  "bad word range [%zu, %zu) for %zu words", begin_word,
+                  end_word, n_words);
+    // Clamp both ends: an empty range starting at the ragged tail word
+    // (begin == end == wordCount, length % 64 != 0) must yield 0, not
+    // underflow.
+    return std::min(end_word * 64, block.length) -
+           std::min(begin_word * 64, block.length);
+}
+
 } // namespace
+
+void
+fusedProductCountsMulti(const std::vector<BitstreamView> &xs,
+                        const WeightBlockView &block, bool approximate,
+                        size_t begin_word, size_t end_word, uint16_t *out,
+                        size_t out_stride)
+{
+    checkMultiOperands(xs, block, begin_word, end_word);
+    const size_t len = block.length;
+    const size_t n = xs.size();
+    const size_t n_words = block.wordCount();
+    const size_t tail = len % 64;
+    const uint64_t tail_mask =
+        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    const size_t parity_lines =
+        approximate
+            ? std::min(ApproxParallelCounter::kLsbParityLines, n)
+            : 0;
+
+    size_t w = begin_word;
+    if (simd::enabled() && n >= 2)
+        w += simd::avx2ProductCountsMulti(xs.data(), block, parity_lines,
+                                          begin_word, end_word, out,
+                                          out_stride);
+
+    for (; w < end_word; ++w) {
+        const uint64_t word_mask =
+            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
+        uint64_t planes[kFilterLanes][kMaxCarrySavePlanes] = {};
+        uint64_t lsbs[kFilterLanes] = {};
+        int used[kFilterLanes] = {};
+        const uint64_t *wrow = block.at(w, 0);
+        for (size_t i = 0; i < n; ++i, wrow += kFilterLanes) {
+            const uint64_t xw = xs[i].words[w];
+            for (size_t f = 0; f < block.lanes; ++f) {
+                uint64_t carry = ~(xw ^ wrow[f]) & word_mask;
+                if (i < parity_lines)
+                    lsbs[f] ^= carry;
+                int j = 0;
+                while (carry != 0) {
+                    SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    uint64_t t = planes[f][j] & carry;
+                    planes[f][j] ^= carry;
+                    carry = t;
+                    ++j;
+                }
+                if (j > used[f])
+                    used[f] = j;
+            }
+        }
+        const size_t base = (w - begin_word) * 64;
+        const size_t limit = std::min<size_t>(64, len - w * 64);
+        for (size_t f = 0; f < block.lanes; ++f) {
+            uint16_t *dst = out + f * out_stride + base;
+            for (size_t b = 0; b < limit; ++b) {
+                uint16_t c = 0;
+                for (int j = 0; j < used[f]; ++j)
+                    c |= static_cast<uint16_t>((planes[f][j] >> b) & 1)
+                         << j;
+                if (approximate)
+                    c = static_cast<uint16_t>(
+                        (c & ~uint16_t{1}) |
+                        static_cast<uint16_t>((lsbs[f] >> b) & 1));
+                dst[b] = c;
+            }
+        }
+    }
+}
+
+void
+fusedMuxProductMulti(const std::vector<BitstreamView> &xs,
+                     const WeightBlockView &block,
+                     const std::vector<uint16_t> &selects,
+                     size_t begin_word, size_t end_word, uint64_t *out,
+                     size_t out_word_stride)
+{
+    const size_t n_cycles =
+        checkMultiOperands(xs, block, begin_word, end_word);
+    SCDCNN_ASSERT(selects.size() == n_cycles,
+                  "select count %zu != ranged cycle count %zu",
+                  selects.size(), n_cycles);
+    const size_t len = block.length;
+    for (size_t w = begin_word; w < end_word; ++w) {
+        const size_t base = (w - begin_word) * 64;
+        const size_t limit = std::min<size_t>(64, len - w * 64);
+        uint64_t acc[kFilterLanes] = {};
+        for (size_t b = 0; b < limit; ++b) {
+            const uint16_t k = selects[base + b];
+            SCDCNN_ASSERT(k < xs.size(), "select %u out of range",
+                          unsigned{k});
+            const uint64_t xb = (xs[k].words[w] >> b) & 1;
+            const uint64_t *wrow = block.at(w, k);
+            for (size_t f = 0; f < block.lanes; ++f)
+                acc[f] |= (~(xb ^ (wrow[f] >> b)) & uint64_t{1}) << b;
+        }
+        for (size_t f = 0; f < block.lanes; ++f)
+            out[f * out_word_stride + (w - begin_word)] = acc[f];
+    }
+}
+
+void
+fusedProductCountTotalRange(const std::vector<BitstreamView> &xs,
+                            const std::vector<BitstreamView> &ws,
+                            size_t begin_word, size_t end_word,
+                            ProductCountAccum &acc)
+{
+    const size_t len = checkOperands(xs, &ws);
+    const size_t n = xs.size();
+    const size_t n_words = (len + 63) / 64;
+    SCDCNN_ASSERT(begin_word <= end_word && end_word <= n_words,
+                  "bad word range [%zu, %zu) for %zu words", begin_word,
+                  end_word, n_words);
+    const size_t tail = len % 64;
+    const uint64_t tail_mask =
+        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    const size_t parity_lines =
+        std::min(ApproxParallelCounter::kLsbParityLines, n);
+
+    uint64_t total = 0;
+    uint64_t exact_lsb_ones = 0;
+    uint64_t approx_lsb_ones = 0;
+    size_t w = begin_word;
+    // The AVX2 reduction covers full words only; the stream's partial
+    // tail word (when the range reaches it) stays scalar.
+    const size_t full_end = std::min(end_word, len / 64);
+    if (simd::enabled() && full_end > w)
+        w += simd::avx2ProductCountTotal(xs.data(), ws.data(), n, w,
+                                         full_end, parity_lines, &total,
+                                         &exact_lsb_ones,
+                                         &approx_lsb_ones);
+    for (; w < end_word; ++w) {
+        const uint64_t word_mask =
+            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
+        uint64_t parity_all = 0;
+        uint64_t parity_leading = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t product =
+                ~(xs[i].words[w] ^ ws[i].words[w]) & word_mask;
+            total += static_cast<uint64_t>(std::popcount(product));
+            parity_all ^= product;
+            if (i < parity_lines)
+                parity_leading ^= product;
+        }
+        exact_lsb_ones +=
+            static_cast<uint64_t>(std::popcount(parity_all));
+        approx_lsb_ones +=
+            static_cast<uint64_t>(std::popcount(parity_leading));
+    }
+    acc.total += total;
+    acc.exact_lsb_ones += exact_lsb_ones;
+    acc.approx_lsb_ones += approx_lsb_ones;
+}
+
+void
+referenceProductCountsMulti(const std::vector<BitstreamView> &xs,
+                            const WeightBlockView &block, bool approximate,
+                            size_t begin_word, size_t end_word,
+                            uint16_t *out, size_t out_stride)
+{
+    const size_t n_cycles =
+        checkMultiOperands(xs, block, begin_word, end_word);
+    const size_t n = xs.size();
+    const size_t parity_lines =
+        std::min(ApproxParallelCounter::kLsbParityLines, n);
+    const size_t c0 = begin_word * 64;
+    for (size_t f = 0; f < block.lanes; ++f) {
+        for (size_t i = 0; i < n_cycles; ++i) {
+            const size_t cycle = c0 + i;
+            uint16_t c = 0;
+            uint16_t lsb = 0;
+            for (size_t t = 0; t < n; ++t) {
+                const uint16_t bit =
+                    xs[t].get(cycle) == block.get(f, t, cycle) ? 1 : 0;
+                c = static_cast<uint16_t>(c + bit);
+                if (t < parity_lines)
+                    lsb ^= bit;
+            }
+            if (approximate)
+                c = static_cast<uint16_t>((c & ~uint16_t{1}) | lsb);
+            out[f * out_stride + i] = c;
+        }
+    }
+}
+
+void
+referenceMuxProductMulti(const std::vector<BitstreamView> &xs,
+                         const WeightBlockView &block,
+                         const std::vector<uint16_t> &selects,
+                         size_t begin_word, size_t end_word, uint64_t *out,
+                         size_t out_word_stride)
+{
+    const size_t n_cycles =
+        checkMultiOperands(xs, block, begin_word, end_word);
+    SCDCNN_ASSERT(selects.size() == n_cycles,
+                  "select count %zu != ranged cycle count %zu",
+                  selects.size(), n_cycles);
+    const size_t n_seg_words = end_word - begin_word;
+    for (size_t f = 0; f < block.lanes; ++f)
+        std::fill(out + f * out_word_stride,
+                  out + f * out_word_stride + n_seg_words, uint64_t{0});
+    const size_t c0 = begin_word * 64;
+    for (size_t i = 0; i < n_cycles; ++i) {
+        const uint16_t k = selects[i];
+        SCDCNN_ASSERT(k < xs.size(), "select %u out of range",
+                      unsigned{k});
+        const bool xb = xs[k].get(c0 + i);
+        for (size_t f = 0; f < block.lanes; ++f)
+            if (xb == block.get(f, k, c0 + i))
+                out[f * out_word_stride + i / 64] |= uint64_t{1}
+                                                    << (i % 64);
+    }
+}
+
+void
+referenceProductCountTotalRange(const std::vector<BitstreamView> &xs,
+                                const std::vector<BitstreamView> &ws,
+                                size_t begin_word, size_t end_word,
+                                ProductCountAccum &acc)
+{
+    const size_t len = checkOperands(xs, &ws);
+    const size_t n = xs.size();
+    const size_t n_words = (len + 63) / 64;
+    SCDCNN_ASSERT(begin_word <= end_word && end_word <= n_words,
+                  "bad word range [%zu, %zu) for %zu words", begin_word,
+                  end_word, n_words);
+    const size_t parity_lines =
+        std::min(ApproxParallelCounter::kLsbParityLines, n);
+    const size_t c0 = begin_word * 64;
+    const size_t c1 = std::min(end_word * 64, len);
+    for (size_t i = c0; i < c1; ++i) {
+        uint64_t c = 0;
+        uint64_t parity_all = 0;
+        uint64_t parity_leading = 0;
+        for (size_t t = 0; t < n; ++t) {
+            const uint64_t bit = xs[t].get(i) == ws[t].get(i) ? 1 : 0;
+            c += bit;
+            parity_all ^= bit;
+            if (t < parity_lines)
+                parity_leading ^= bit;
+        }
+        acc.total += c;
+        acc.exact_lsb_ones += parity_all;
+        acc.approx_lsb_ones += parity_leading;
+    }
+}
 
 void
 fillMuxSelects(size_t n_inputs, size_t length, Xoshiro256ss &rng,
@@ -163,45 +435,11 @@ fusedProductCountTotal(const std::vector<BitstreamView> &xs,
                        bool approximate)
 {
     const size_t len = checkOperands(xs, &ws);
-    const size_t n = xs.size();
-    const size_t n_words = (len + 63) / 64;
-    const size_t tail = len % 64;
-    const uint64_t tail_mask =
-        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
-    const size_t parity_lines =
-        std::min(ApproxParallelCounter::kLsbParityLines, n);
-
-    uint64_t total = 0;
-    uint64_t exact_lsb_ones = 0;
-    uint64_t approx_lsb_ones = 0;
-    size_t w_begin = 0;
-    if (simd::enabled())
-        w_begin = simd::avx2ProductCountTotal(
-            xs.data(), ws.data(), n, len, parity_lines, &total,
-            &exact_lsb_ones, &approx_lsb_ones);
-    for (size_t w = w_begin; w < n_words; ++w) {
-        const uint64_t word_mask =
-            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
-        uint64_t parity_all = 0;
-        uint64_t parity_leading = 0;
-        for (size_t i = 0; i < n; ++i) {
-            const uint64_t product =
-                ~(xs[i].words[w] ^ ws[i].words[w]) & word_mask;
-            total += static_cast<uint64_t>(std::popcount(product));
-            parity_all ^= product;
-            if (i < parity_lines)
-                parity_leading ^= product;
-        }
-        exact_lsb_ones +=
-            static_cast<uint64_t>(std::popcount(parity_all));
-        approx_lsb_ones +=
-            static_cast<uint64_t>(std::popcount(parity_leading));
-    }
-    if (!approximate)
-        return total;
+    ProductCountAccum acc;
+    fusedProductCountTotalRange(xs, ws, 0, (len + 63) / 64, acc);
     // Replacing each count's LSB changes the sum by (parity_4 - parity_n)
     // per cycle; both corrections reduce to whole-stream popcounts.
-    return total - exact_lsb_ones + approx_lsb_ones;
+    return acc.value(approximate);
 }
 
 Bitstream

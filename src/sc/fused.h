@@ -119,6 +119,92 @@ uint64_t fusedProductCountTotal(const std::vector<BitstreamView> &xs,
                                 const std::vector<BitstreamView> &ws,
                                 bool approximate);
 
+// ------- Filter-blocked, segment-ranged kernels -------------------
+//
+// The *Multi kernels take one shared window of input views plus a
+// filter-interleaved weight block (sc/bitstream.h) and produce results
+// for every filter lane in a single pass: each input word is loaded
+// once and XNOR'd against all lanes while hot. All ranged kernels
+// cover the cycles [begin_word * 64, min(end_word * 64, length)) of
+// the operand streams and write segment-local outputs (index 0 maps
+// to cycle begin_word * 64), which is what the segment-streaming
+// engine feeds layer by layer.
+
+/**
+ * Filter-blocked XNOR-multiply + parallel-counter column counts over a
+ * word range: counts for lane f, cycle begin_word * 64 + i land at
+ * out[f * out_stride + i]. Exactly block.lanes lanes are written;
+ * out_stride must cover the ranged cycle count. Dispatches to
+ * sc/simd.h's filter-lane AVX2 plane loop at runtime.
+ */
+void fusedProductCountsMulti(const std::vector<BitstreamView> &xs,
+                             const WeightBlockView &block,
+                             bool approximate, size_t begin_word,
+                             size_t end_word, uint16_t *out,
+                             size_t out_stride);
+
+/**
+ * Filter-blocked MUX inner product over a word range, all lanes driven
+ * by one shared per-cycle select sequence (selects[i] belongs to cycle
+ * begin_word * 64 + i). Product words for lane f land at
+ * out[f * out_word_stride + w - begin_word]; tail bits past the
+ * stream length are kept zero.
+ */
+void fusedMuxProductMulti(const std::vector<BitstreamView> &xs,
+                          const WeightBlockView &block,
+                          const std::vector<uint16_t> &selects,
+                          size_t begin_word, size_t end_word,
+                          uint64_t *out, size_t out_word_stride);
+
+/**
+ * Running accumulator for a segment-streamed output-layer total: the
+ * three popcount partials of fusedProductCountTotal, summed across
+ * word ranges. value() applies the approximate-LSB correction.
+ */
+struct ProductCountAccum
+{
+    uint64_t total = 0;
+    uint64_t exact_lsb_ones = 0;
+    uint64_t approx_lsb_ones = 0;
+
+    uint64_t value(bool approximate) const
+    {
+        return approximate ? total - exact_lsb_ones + approx_lsb_ones
+                           : total;
+    }
+};
+
+/**
+ * Word-ranged accumulation of the output-layer product-count total
+ * into @p acc; summing the ranges of a partition of [0, wordCount)
+ * yields exactly fusedProductCountTotal's partials.
+ */
+void fusedProductCountTotalRange(const std::vector<BitstreamView> &xs,
+                                 const std::vector<BitstreamView> &ws,
+                                 size_t begin_word, size_t end_word,
+                                 ProductCountAccum &acc);
+
+/** Bit-serial oracle for fusedProductCountsMulti (per-bit view /
+ *  block get()). */
+void referenceProductCountsMulti(const std::vector<BitstreamView> &xs,
+                                 const WeightBlockView &block,
+                                 bool approximate, size_t begin_word,
+                                 size_t end_word, uint16_t *out,
+                                 size_t out_stride);
+
+/** Bit-serial oracle for fusedMuxProductMulti. */
+void referenceMuxProductMulti(const std::vector<BitstreamView> &xs,
+                              const WeightBlockView &block,
+                              const std::vector<uint16_t> &selects,
+                              size_t begin_word, size_t end_word,
+                              uint64_t *out, size_t out_word_stride);
+
+/** Bit-serial oracle for fusedProductCountTotalRange. */
+void referenceProductCountTotalRange(const std::vector<BitstreamView> &xs,
+                                     const std::vector<BitstreamView> &ws,
+                                     size_t begin_word, size_t end_word,
+                                     ProductCountAccum &acc);
+
 /** Bit-serial oracle for fusedMuxProduct (cycle-at-a-time get()). */
 Bitstream referenceMuxProduct(const std::vector<BitstreamView> &xs,
                               const std::vector<BitstreamView> &ws,

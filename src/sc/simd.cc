@@ -105,6 +105,73 @@ spreadBits16(uint16_t bits, __m256i lane_bit, short weight)
     return _mm256_and_si256(m, _mm256_set1_epi16(weight));
 }
 
+// --- branch-free carry-save adder tree --------------------------------
+//
+// The serial plane insertion of avx2ProductCountBlocks costs one
+// carry-propagation walk per line whose vectorized trip count is the
+// MAXIMUM trailing-carry length over all 256 bit columns (measured ~6
+// data-dependent iterations per line on network streams, each with a
+// testz + branch). The filter-blocked kernel instead reduces lines
+// through a balanced compressor tree with a fixed operation schedule:
+// 16 lines fold into 5 bit-planes in 87 bitwise ops (~5.4 per line),
+// and each folded block ripple-adds into the running plane accumulator.
+// No data-dependent branches survive in the hot loop.
+
+/** a + b over @p k bit-planes with carry-in 0; planes a[0..k) are
+ *  replaced by the sum, the carry out of plane k-1 is returned. */
+__attribute__((target("avx2"))) inline __m256i
+addPlanesK(__m256i *a, const __m256i *b, int k)
+{
+    // First full adder has no carry-in: 2 ops instead of 5.
+    __m256i carry = _mm256_and_si256(a[0], b[0]);
+    a[0] = _mm256_xor_si256(a[0], b[0]);
+    for (int j = 1; j < k; ++j) {
+        const __m256i t = _mm256_xor_si256(a[j], b[j]);
+        const __m256i g = _mm256_and_si256(a[j], b[j]);
+        a[j] = _mm256_xor_si256(t, carry);
+        carry = _mm256_or_si256(g, _mm256_and_si256(t, carry));
+    }
+    return carry;
+}
+
+/** Fold 16 product lines into the 5 bit-planes of their column sums. */
+__attribute__((target("avx2"))) inline void
+reduce16(const __m256i p[16], __m256i out[5])
+{
+    __m256i s[8], c[8];
+    for (int i = 0; i < 8; ++i) {
+        s[i] = _mm256_xor_si256(p[2 * i], p[2 * i + 1]);
+        c[i] = _mm256_and_si256(p[2 * i], p[2 * i + 1]);
+    }
+    // Two 2-bit sums -> one 3-bit sum, four times (planes s,c -> a0..a2).
+    __m256i a0[4], a1[4], a2[4];
+    for (int i = 0; i < 4; ++i) {
+        const __m256i g0 = _mm256_and_si256(s[2 * i], s[2 * i + 1]);
+        a0[i] = _mm256_xor_si256(s[2 * i], s[2 * i + 1]);
+        const __m256i t1 = _mm256_xor_si256(c[2 * i], c[2 * i + 1]);
+        a1[i] = _mm256_xor_si256(t1, g0);
+        a2[i] = _mm256_or_si256(_mm256_and_si256(c[2 * i], c[2 * i + 1]),
+                                _mm256_and_si256(t1, g0));
+    }
+    // Two 3-bit sums -> one 4-bit sum, twice.
+    __m256i lo[4], hi[4];
+    for (int i = 0; i < 2; ++i) {
+        __m256i *dst = i == 0 ? lo : hi;
+        dst[0] = a0[2 * i];
+        dst[1] = a1[2 * i];
+        dst[2] = a2[2 * i];
+        const __m256i rhs[3] = {a0[2 * i + 1], a1[2 * i + 1],
+                                a2[2 * i + 1]};
+        dst[3] = addPlanesK(dst, rhs, 3);
+    }
+    // The final pair: 4-bit + 4-bit -> 5 planes.
+    out[0] = lo[0];
+    out[1] = lo[1];
+    out[2] = lo[2];
+    out[3] = lo[3];
+    out[4] = addPlanesK(out, hi, 4);
+}
+
 } // namespace
 
 __attribute__((target("avx2"))) size_t
@@ -191,21 +258,155 @@ avx2ProductCountBlocks(const BitstreamView *xs, const BitstreamView *ws,
 }
 
 __attribute__((target("avx2"))) size_t
-avx2ProductCountTotal(const BitstreamView *xs, const BitstreamView *ws,
-                      size_t n, size_t length, size_t parity_lines,
-                      uint64_t *total, uint64_t *exact_lsb_ones,
-                      uint64_t *approx_lsb_ones)
+avx2ProductCountsMulti(const BitstreamView *xs, const WeightBlockView &block,
+                       size_t parity_lines, size_t begin_word,
+                       size_t end_word, uint16_t *out, size_t out_stride)
 {
     if (!enabled())
         return 0;
-    const size_t n_full_words = (length / 256) * 4;
+    // Full words only: the stream's partial tail word (if the range
+    // reaches it) stays with the scalar path, so no tail masking is
+    // needed here.
+    const size_t full_end =
+        std::min(end_word, block.length / 64);
+    if (full_end <= begin_word)
+        return 0;
+    const size_t n = block.taps;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+    const __m256i lane_bit = _mm256_setr_epi16(
+        1 << 0, 1 << 1, 1 << 2, 1 << 3, 1 << 4, 1 << 5, 1 << 6, 1 << 7,
+        1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14,
+        static_cast<short>(1 << 15));
+
+    for (size_t w = begin_word; w < full_end; ++w) {
+        // One plane set serves the whole filter block: 64-bit lane f of
+        // each plane vector holds filter f's carry-save plane for this
+        // word. Input words broadcast once; the block's weight words
+        // for (w, tap) are one contiguous vector load. Lines fold
+        // through the fixed-schedule compressor tree 16 at a time; the
+        // leftovers take the serial plane insertion.
+        __m256i planes[kMaxCarrySavePlanes];
+        __m256i lsb = _mm256_setzero_si256();
+        int used = 0;
+        const uint64_t *wrow = block.at(w, 0);
+        __m256i prod[16];
+        size_t i = 0;
+        for (; i + 16 <= n; i += 16, wrow += 16 * kFilterLanes) {
+            for (int r = 0; r < 16; ++r) {
+                const __m256i xv = _mm256_set1_epi64x(
+                    static_cast<long long>(xs[i + r].words[w]));
+                const __m256i wv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(
+                        wrow + static_cast<size_t>(r) * kFilterLanes));
+                prod[r] = _mm256_xor_si256(_mm256_xor_si256(xv, wv),
+                                           all_ones);
+            }
+            for (size_t t = i; t < parity_lines; ++t)
+                lsb = _mm256_xor_si256(lsb, prod[t - i]);
+            __m256i folded[5];
+            reduce16(prod, folded);
+            if (used == 0) {
+                for (int j = 0; j < 5; ++j)
+                    planes[j] = folded[j];
+                used = 5;
+            } else {
+                __m256i carry = addPlanesK(planes, folded, 5);
+                int j = 5;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j], carry);
+                    planes[j] = _mm256_xor_si256(planes[j], carry);
+                    carry = t;
+                    ++j;
+                }
+            }
+        }
+        for (; i < n; ++i, wrow += kFilterLanes) {
+            const __m256i xv =
+                _mm256_set1_epi64x(static_cast<long long>(xs[i].words[w]));
+            const __m256i wv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(wrow));
+            __m256i carry = _mm256_xor_si256(_mm256_xor_si256(xv, wv),
+                                             all_ones);
+            if (i < parity_lines)
+                lsb = _mm256_xor_si256(lsb, carry);
+            int j = 0;
+            while (!_mm256_testz_si256(carry, carry)) {
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
+                if (j == used) {
+                    planes[used++] = carry;
+                    break;
+                }
+                const __m256i t = _mm256_and_si256(planes[j], carry);
+                planes[j] = _mm256_xor_si256(planes[j], carry);
+                carry = t;
+                ++j;
+            }
+        }
+
+        alignas(32) uint64_t pw[kMaxCarrySavePlanes][4];
+        for (int j = 0; j < used; ++j)
+            _mm256_store_si256(reinterpret_cast<__m256i *>(pw[j]),
+                               planes[j]);
+        alignas(32) uint64_t lw[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lw), lsb);
+
+        // Per real lane (filter), transpose that lane's plane bits into
+        // 64 per-cycle counts, 16 at a time.
+        const size_t out_base = (w - begin_word) * 64;
+        for (size_t f = 0; f < block.lanes; ++f) {
+            for (int g = 0; g < 4; ++g) {
+                __m256i acc = _mm256_setzero_si256();
+                for (int j = 0; j < used; ++j) {
+                    const auto bits =
+                        static_cast<uint16_t>(pw[j][f] >> (g * 16));
+                    acc = _mm256_or_si256(
+                        acc, spreadBits16(bits, lane_bit,
+                                          static_cast<short>(1 << j)));
+                }
+                if (parity_lines > 0) {
+                    const auto bits =
+                        static_cast<uint16_t>(lw[f] >> (g * 16));
+                    acc = _mm256_or_si256(
+                        _mm256_and_si256(
+                            acc, _mm256_set1_epi16(
+                                     static_cast<short>(~1))),
+                        spreadBits16(bits, lane_bit, 1));
+                }
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(
+                        out + f * out_stride + out_base +
+                        static_cast<size_t>(g) * 16),
+                    acc);
+            }
+        }
+    }
+    return full_end - begin_word;
+}
+
+__attribute__((target("avx2"))) size_t
+avx2ProductCountTotal(const BitstreamView *xs, const BitstreamView *ws,
+                      size_t n, size_t begin_word, size_t end_word,
+                      size_t parity_lines, uint64_t *total,
+                      uint64_t *exact_lsb_ones, uint64_t *approx_lsb_ones)
+{
+    if (!enabled())
+        return 0;
+    const size_t n_full_words =
+        end_word > begin_word ? ((end_word - begin_word) / 4) * 4 : 0;
     const __m256i all_ones = _mm256_set1_epi8(-1);
     const __m256i zero = _mm256_setzero_si256();
 
     __m256i total_acc = zero;
     __m256i exact_acc = zero;
     __m256i approx_acc = zero;
-    for (size_t w = 0; w < n_full_words; w += 4) {
+    for (size_t w = begin_word; w < begin_word + n_full_words; w += 4) {
         __m256i parity_all = zero;
         __m256i parity_leading = zero;
         for (size_t i = 0; i < n; ++i) {
@@ -287,8 +488,16 @@ avx2ProductCountBlocks(const BitstreamView *, const BitstreamView *,
 }
 
 size_t
+avx2ProductCountsMulti(const BitstreamView *, const WeightBlockView &,
+                       size_t, size_t, size_t, uint16_t *, size_t)
+{
+    return 0;
+}
+
+size_t
 avx2ProductCountTotal(const BitstreamView *, const BitstreamView *, size_t,
-                      size_t, size_t, uint64_t *, uint64_t *, uint64_t *)
+                      size_t, size_t, size_t, uint64_t *, uint64_t *,
+                      uint64_t *)
 {
     return 0;
 }

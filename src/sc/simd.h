@@ -64,16 +64,40 @@ size_t avx2ProductCountBlocks(const BitstreamView *xs,
                               uint16_t *out);
 
 /**
- * Popcount reduction over full 4-word blocks: accumulates the total
- * product popcount plus the all-lines and leading-lines parity
- * popcounts for cycles [0, W * 64), W as above.
+ * Filter-blocked carry-save column counts: for every full word of
+ * [@p begin_word, @p end_word) (a word is full when all 64 of its
+ * cycles lie inside block.length), XNOR each input word of @p xs
+ * against the kFilterLanes weight words of @p block with the filters
+ * in the 64-bit vector lanes, so one carry-save plane set serves the
+ * whole filter block and each input word is loaded once per block.
+ * Counts for lane f, cycle begin_word * 64 + i land at
+ * out[f * out_stride + i]; only block.lanes lanes are written. The
+ * approximate-counter LSB is fused in when @p parity_lines > 0.
  *
- * @return the number of words processed; 0 when AVX2 is not enabled.
+ * @return the number of words processed from begin_word (the scalar
+ *         caller continues from there); 0 when AVX2 is not enabled.
+ */
+size_t avx2ProductCountsMulti(const BitstreamView *xs,
+                              const WeightBlockView &block,
+                              size_t parity_lines, size_t begin_word,
+                              size_t end_word, uint16_t *out,
+                              size_t out_stride);
+
+/**
+ * Popcount reduction over full 4-word groups of the word range
+ * [@p begin_word, @p end_word): accumulates the total product popcount
+ * plus the all-lines and leading-lines parity popcounts for the
+ * covered cycles. The range must contain only full words (the caller
+ * keeps the stream's partial tail word for the scalar path).
+ *
+ * @return the number of words processed from begin_word; 0 when AVX2
+ *         is not enabled.
  */
 size_t avx2ProductCountTotal(const BitstreamView *xs,
                              const BitstreamView *ws, size_t n,
-                             size_t length, size_t parity_lines,
-                             uint64_t *total, uint64_t *exact_lsb_ones,
+                             size_t begin_word, size_t end_word,
+                             size_t parity_lines, uint64_t *total,
+                             uint64_t *exact_lsb_ones,
                              uint64_t *approx_lsb_ones);
 
 /**

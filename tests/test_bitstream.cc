@@ -3,10 +3,13 @@
  * Tests for the packed bit-stream container.
  */
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sc/bitstream.h"
 #include "sc/rng.h"
+#include "sc/sng.h"
 
 namespace scdcnn {
 namespace sc {
@@ -173,6 +176,118 @@ TEST(Bitstream, ConstantStreamsAtBipolarExtremes)
     EXPECT_DOUBLE_EQ(ones.bipolar(), 1.0);
     Bitstream zeros(64);
     EXPECT_DOUBLE_EQ(zeros.bipolar(), -1.0);
+}
+
+TEST(BitstreamView, RangeCountsOnNonWordAlignedLength)
+{
+    // A view over a 70-bit stream (partial second word): every range
+    // that touches the word boundary or the ragged tail must count
+    // exactly, and the tail-zero invariant keeps whole-word popcounts
+    // honest.
+    Xoshiro256ss rng(11);
+    Bitstream s(70);
+    for (size_t i = 0; i < 70; ++i)
+        s.set(i, (rng.next() & 1) != 0);
+    BitstreamView v(s);
+    ASSERT_EQ(v.wordCount(), 2u);
+    for (size_t begin : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                         size_t{65}, size_t{70}}) {
+        for (size_t end : {begin, size_t{63}, size_t{64}, size_t{69},
+                           size_t{70}}) {
+            if (end < begin)
+                continue;
+            size_t naive = 0;
+            for (size_t i = begin; i < end; ++i)
+                naive += v.get(i) ? 1 : 0;
+            EXPECT_EQ(countOnes(v, begin, end), naive)
+                << "range [" << begin << ", " << end << ")";
+        }
+    }
+}
+
+TEST(StreamArena, ReuseAcrossLayersRezeroesAndReshapes)
+{
+    // The engine resets one arena per layer per forward pass; a reset
+    // to a different (count, length) must reshape the addressing and
+    // present all-zero streams even when the old contents were dense.
+    StreamArena arena;
+    arena.reset(6, 130);
+    for (size_t i = 0; i < arena.count(); ++i)
+        for (size_t w = 0; w < arena.strideWords(); ++w)
+            arena.wordsAt(i)[w] = ~uint64_t{0};
+    arena.reset(4, 70); // smaller: storage is reused
+    EXPECT_EQ(arena.count(), 4u);
+    EXPECT_EQ(arena.length(), 70u);
+    EXPECT_EQ(arena.strideWords(), 2u);
+    for (size_t i = 0; i < arena.count(); ++i) {
+        BitstreamView v = arena.view(i);
+        EXPECT_EQ(v.length, 70u);
+        EXPECT_EQ(countOnes(v, 0, 70), 0u);
+    }
+    // Write through a slot and confirm the neighbours stay untouched
+    // (stride addressing after reuse).
+    arena.wordsAt(2)[0] = 0x5;
+    EXPECT_EQ(countOnes(arena.view(2), 0, 70), 2u);
+    EXPECT_EQ(countOnes(arena.view(1), 0, 70), 0u);
+    EXPECT_EQ(countOnes(arena.view(3), 0, 70), 0u);
+    arena.reset(8, 256); // larger: fresh zeroed storage
+    for (size_t i = 0; i < arena.count(); ++i)
+        EXPECT_EQ(countOnes(arena.view(i), 0, 256), 0u);
+}
+
+TEST(InterleavedWeightArena, RoundTripsThePlainLayout)
+{
+    // Interleaving is a pure relayout: every (filter, tap, cycle) bit
+    // of the blocked copy must equal the packed source stream,
+    // including a ragged filter count (padding lanes) and a
+    // non-word-aligned length.
+    const size_t filters = 6, taps = 5, len = 130;
+    SngBank bank(7);
+    std::vector<Bitstream> src;
+    InterleavedWeightArena arena;
+    arena.reset(filters, taps, len);
+    for (size_t f = 0; f < filters; ++f)
+        for (size_t t = 0; t < taps; ++t) {
+            src.push_back(bank.bipolar(0.1 * static_cast<double>(f) -
+                                           0.2 * static_cast<double>(t),
+                                       len));
+            arena.assign(f, t, src.back());
+        }
+    EXPECT_EQ(arena.groups(), 2u);
+    EXPECT_EQ(arena.lanesInGroup(0), kFilterLanes);
+    EXPECT_EQ(arena.lanesInGroup(1), filters - kFilterLanes);
+    for (size_t f = 0; f < filters; ++f) {
+        const WeightBlockView block = arena.block(f / kFilterLanes);
+        const size_t lane = f % kFilterLanes;
+        for (size_t t = 0; t < taps; ++t)
+            for (size_t i = 0; i < len; ++i)
+                ASSERT_EQ(block.get(lane, t, i),
+                          src[f * taps + t].get(i))
+                    << "filter " << f << " tap " << t << " cycle " << i;
+    }
+    // Padding lanes of the ragged last block stay all-zero.
+    const WeightBlockView last = arena.block(1);
+    for (size_t lane = last.lanes; lane < kFilterLanes; ++lane)
+        for (size_t t = 0; t < taps; ++t)
+            for (size_t w = 0; w < last.wordCount(); ++w)
+                ASSERT_EQ(last.at(w, t)[lane], 0u);
+}
+
+TEST(InterleavedWeightArena, BlockWordsAreLaneContiguous)
+{
+    // The layout contract the AVX2 kernel loads through: the
+    // kFilterLanes words of (word w, tap t) are adjacent, word-major.
+    InterleavedWeightArena arena;
+    arena.reset(4, 3, 128);
+    Bitstream marker(128);
+    marker.set(64, true); // word 1, bit 0
+    arena.assign(2, 1, marker);
+    const WeightBlockView block = arena.block(0);
+    EXPECT_EQ(block.at(1, 1)[2], uint64_t{1});
+    EXPECT_EQ(block.at(1, 1) - block.at(1, 0),
+              static_cast<ptrdiff_t>(kFilterLanes));
+    EXPECT_EQ(block.at(1, 0) - block.at(0, block.taps - 1),
+              static_cast<ptrdiff_t>(kFilterLanes));
 }
 
 } // namespace

@@ -127,6 +127,60 @@ INSTANTIATE_TEST_SUITE_P(
         // Lengths across word boundaries.
         ::testing::Values(1, 63, 64, 65, 300, 1024)));
 
+TEST(ResumableTransforms, WordAlignedChunksMatchWholeStream)
+{
+    // The segment-streaming engine transforms a stream in word-aligned
+    // chunks with the FSM state carried in between; the concatenated
+    // outputs must be bit-exact with one whole-stream transform for
+    // every chunking, including a final partial word.
+    sc::SplitMix64 vals(31);
+    const size_t len = 300; // 4 full words + a 44-bit tail
+    const size_t n_words = (len + 63) / 64;
+
+    sc::Bitstream in(len);
+    for (size_t i = 0; i < len; ++i)
+        in.set(i, (vals.next() & 1) != 0);
+    std::vector<uint16_t> counts(len);
+    std::vector<int> steps(len);
+    for (size_t i = 0; i < len; ++i) {
+        counts[i] = static_cast<uint16_t>(vals.nextBelow(26));
+        steps[i] = static_cast<int>(vals.nextBelow(51)) - 25;
+    }
+
+    const sc::StanhBatchTable stanh(8);
+    const sc::BtanhBatchTable btanh(12, 25);
+    sc::Bitstream whole_stanh;
+    stanh.transform(in, whole_stanh);
+    sc::Bitstream whole_btanh, whole_signed;
+    btanh.transform(counts, whole_btanh);
+    btanh.transformSigned(steps, whole_signed);
+
+    for (size_t seg_words : {size_t{1}, size_t{2}, size_t{3}}) {
+        std::vector<uint64_t> out_stanh(n_words, ~uint64_t{0});
+        std::vector<uint64_t> out_btanh(n_words, ~uint64_t{0});
+        std::vector<uint64_t> out_signed(n_words, ~uint64_t{0});
+        uint16_t s_state = stanh.initialState();
+        uint16_t b_state = btanh.initialState();
+        uint16_t g_state = btanh.initialState();
+        for (size_t w0 = 0; w0 < n_words; w0 += seg_words) {
+            const size_t w1 = std::min(w0 + seg_words, n_words);
+            const size_t n_cycles = std::min(w1 * 64, len) - w0 * 64;
+            stanh.transformWords(in.words().data() + w0, n_cycles,
+                                 out_stanh.data() + w0, &s_state);
+            btanh.transformWords(counts.data() + w0 * 64, n_cycles,
+                                 out_btanh.data() + w0, &b_state);
+            btanh.transformSignedWords(steps.data() + w0 * 64, n_cycles,
+                                       out_signed.data() + w0, &g_state);
+        }
+        EXPECT_EQ(out_stanh, whole_stanh.words())
+            << "seg_words " << seg_words;
+        EXPECT_EQ(out_btanh, whole_btanh.words())
+            << "seg_words " << seg_words;
+        EXPECT_EQ(out_signed, whole_signed.words())
+            << "seg_words " << seg_words;
+    }
+}
+
 TEST(FsmTableCache, SharesTablesByParameters)
 {
     sc::FsmTableCache cache;

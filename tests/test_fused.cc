@@ -6,6 +6,7 @@
  * engine mode and any thread count.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -97,6 +98,198 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1, 3, 4, 5, 26, 151),
         // Lengths around the 64-bit word boundary and realistic L.
         ::testing::Values(1, 63, 64, 65, 300, 1024)));
+
+/** A filter block plus the matching plain per-filter views. */
+struct BlockSet
+{
+    OperandSet ops;         //!< xs shared window; ws reused as filters
+    sc::InterleavedWeightArena arena;
+    std::vector<std::vector<sc::Bitstream>> filter_ws;
+
+    BlockSet(size_t taps, size_t len, size_t filters, uint64_t seed)
+        : ops(taps, len, seed)
+    {
+        sc::SngBank bank(seed ^ 0xF117E5);
+        sc::SplitMix64 vals(seed ^ 0xB10C);
+        arena.reset(filters, taps, len);
+        filter_ws.resize(filters);
+        for (size_t f = 0; f < filters; ++f) {
+            for (size_t t = 0; t < taps; ++t) {
+                filter_ws[f].push_back(
+                    bank.bipolar(vals.nextInRange(-1, 1), len));
+                arena.assign(f, t, filter_ws[f].back());
+            }
+        }
+    }
+};
+
+/** (taps, len, filters): fan-ins across the compressor-tree chunk
+ *  size, lengths across word/segment boundaries, ragged lane counts. */
+class MultiVsReference
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(MultiVsReference, ProductCountsMultiBitExact)
+{
+    auto [taps, len, filters] = GetParam();
+    BlockSet set(taps, len, filters, 4000 + taps * 131 + len + filters);
+    const size_t n_words = (len + 63) / 64;
+    const auto xs = sc::toViews(set.ops.xs);
+    for (size_t g = 0; g < set.arena.groups(); ++g) {
+        const sc::WeightBlockView block = set.arena.block(g);
+        std::vector<uint16_t> fused(block.lanes * len, 0xAAAA);
+        std::vector<uint16_t> ref(block.lanes * len, 0x5555);
+        sc::fusedProductCountsMulti(xs, block, /*approximate=*/true, 0,
+                                    n_words, fused.data(), len);
+        sc::referenceProductCountsMulti(xs, block, /*approximate=*/true,
+                                        0, n_words, ref.data(), len);
+        EXPECT_EQ(fused, ref) << "group " << g;
+        // Layout round-trip: each lane equals the per-filter kernel on
+        // the plain (non-interleaved) streams.
+        for (size_t f = 0; f < block.lanes; ++f) {
+            std::vector<uint16_t> plain;
+            sc::fusedProductCounts(sc::toViews(set.ops.xs),
+                                   sc::toViews(
+                                       set.filter_ws[g * sc::kFilterLanes +
+                                                     f]),
+                                   /*approximate=*/true, plain);
+            const std::vector<uint16_t> lane(
+                fused.begin() + static_cast<ptrdiff_t>(f * len),
+                fused.begin() + static_cast<ptrdiff_t>((f + 1) * len));
+            EXPECT_EQ(lane, plain) << "group " << g << " lane " << f;
+        }
+    }
+}
+
+TEST_P(MultiVsReference, RangedSegmentsConcatenateToWholeStream)
+{
+    auto [taps, len, filters] = GetParam();
+    BlockSet set(taps, len, filters, 5000 + taps * 131 + len + filters);
+    const size_t n_words = (len + 63) / 64;
+    const auto xs = sc::toViews(set.ops.xs);
+    const sc::WeightBlockView block = set.arena.block(0);
+
+    std::vector<uint16_t> whole(block.lanes * len);
+    sc::fusedProductCountsMulti(xs, block, /*approximate=*/true, 0,
+                                n_words, whole.data(), len);
+    // Word-range partitions, including one that does not divide the
+    // word count, must reproduce the whole-stream counts exactly.
+    for (size_t seg_words : {size_t{1}, size_t{2}, size_t{3}}) {
+        std::vector<uint16_t> stitched(block.lanes * len);
+        for (size_t w0 = 0; w0 < n_words; w0 += seg_words) {
+            const size_t w1 = std::min(w0 + seg_words, n_words);
+            const size_t n_cycles = std::min(w1 * 64, len) - w0 * 64;
+            std::vector<uint16_t> part(block.lanes * n_cycles);
+            sc::fusedProductCountsMulti(xs, block, /*approximate=*/true,
+                                        w0, w1, part.data(), n_cycles);
+            for (size_t f = 0; f < block.lanes; ++f)
+                std::copy(part.begin() +
+                              static_cast<ptrdiff_t>(f * n_cycles),
+                          part.begin() +
+                              static_cast<ptrdiff_t>((f + 1) * n_cycles),
+                          stitched.begin() +
+                              static_cast<ptrdiff_t>(f * len + w0 * 64));
+        }
+        EXPECT_EQ(stitched, whole) << "seg_words " << seg_words;
+    }
+}
+
+TEST_P(MultiVsReference, MuxProductMultiBitExact)
+{
+    auto [taps, len, filters] = GetParam();
+    BlockSet set(taps, len, filters, 6000 + taps * 131 + len + filters);
+    const size_t n_words = (len + 63) / 64;
+    const auto xs = sc::toViews(set.ops.xs);
+    const sc::WeightBlockView block = set.arena.block(0);
+    sc::Xoshiro256ss rng(41 + taps);
+    std::vector<uint16_t> selects;
+    sc::fillMuxSelects(taps, len, rng, selects);
+
+    std::vector<uint64_t> fused(block.lanes * n_words, 0xDEAD);
+    std::vector<uint64_t> ref(block.lanes * n_words, 0xBEEF);
+    sc::fusedMuxProductMulti(xs, block, selects, 0, n_words, fused.data(),
+                             n_words);
+    sc::referenceMuxProductMulti(xs, block, selects, 0, n_words,
+                                 ref.data(), n_words);
+    EXPECT_EQ(fused, ref);
+    // Shared selects across lanes: lane f equals the single-filter MUX
+    // product against filter f's plain streams.
+    for (size_t f = 0; f < block.lanes; ++f) {
+        sc::Bitstream single;
+        sc::fusedMuxProduct(sc::toViews(set.ops.xs),
+                            sc::toViews(set.filter_ws[f]), selects,
+                            single);
+        for (size_t w = 0; w < n_words; ++w)
+            EXPECT_EQ(fused[f * n_words + w], single.words()[w])
+                << "lane " << f << " word " << w;
+    }
+}
+
+TEST_P(MultiVsReference, ProductCountTotalRangePartitionsExactly)
+{
+    auto [taps, len, filters] = GetParam();
+    OperandSet ops(taps, len, 7000 + taps * 131 + len + filters);
+    const size_t n_words = (len + 63) / 64;
+    sc::ProductCountAccum whole;
+    sc::fusedProductCountTotalRange(sc::toViews(ops.xs),
+                                    sc::toViews(ops.ws), 0, n_words,
+                                    whole);
+    sc::ProductCountAccum ref;
+    sc::referenceProductCountTotalRange(sc::toViews(ops.xs),
+                                        sc::toViews(ops.ws), 0, n_words,
+                                        ref);
+    EXPECT_EQ(whole.total, ref.total);
+    EXPECT_EQ(whole.exact_lsb_ones, ref.exact_lsb_ones);
+    EXPECT_EQ(whole.approx_lsb_ones, ref.approx_lsb_ones);
+    for (bool approximate : {false, true})
+        EXPECT_EQ(whole.value(approximate),
+                  sc::fusedProductCountTotal(ops.xp, ops.wp, approximate));
+    // A 3-word partition (not dividing most word counts) sums to the
+    // whole-stream partials.
+    sc::ProductCountAccum parts;
+    for (size_t w0 = 0; w0 < n_words; w0 += 3)
+        sc::fusedProductCountTotalRange(sc::toViews(ops.xs),
+                                        sc::toViews(ops.ws), w0,
+                                        std::min(w0 + 3, n_words), parts);
+    EXPECT_EQ(parts.total, whole.total);
+    EXPECT_EQ(parts.exact_lsb_ones, whole.exact_lsb_ones);
+    EXPECT_EQ(parts.approx_lsb_ones, whole.approx_lsb_ones);
+}
+
+TEST(MultiKernels, EmptyRangeAtTheRaggedTailIsANoOp)
+{
+    // begin == end == wordCount on a non-word-aligned length: the
+    // clamped cycle count must be zero, not an underflow that sweeps
+    // the output buffer.
+    BlockSet set(3, 300, 2, 99);
+    const size_t n_words = 5;
+    const auto xs = sc::toViews(set.ops.xs);
+    const sc::WeightBlockView block = set.arena.block(0);
+    std::vector<uint16_t> out(8, 0x1234);
+    sc::fusedProductCountsMulti(xs, block, true, n_words, n_words,
+                                out.data(), 4);
+    sc::referenceProductCountsMulti(xs, block, true, n_words, n_words,
+                                    out.data(), 4);
+    std::vector<uint64_t> words(4, 0x77);
+    sc::fusedMuxProductMulti(xs, block, {}, n_words, n_words,
+                             words.data(), 2);
+    for (uint16_t v : out)
+        EXPECT_EQ(v, 0x1234);
+    for (uint64_t w : words)
+        EXPECT_EQ(w, 0x77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiVsReference,
+    ::testing::Combine(
+        // Fan-ins below/at/above the 16-line compressor chunk and the
+        // parity cutoff, plus large blocked-layer shapes.
+        ::testing::Values(1, 3, 15, 16, 17, 40, 151),
+        // Lengths around word and 4-word-segment boundaries.
+        ::testing::Values(63, 64, 200, 256, 300),
+        // Full blocks, ragged last block, single lane.
+        ::testing::Values(1, 4, 6)));
 
 TEST(FusedMuxBlock, MatchesMaterializedProductsBitExact)
 {

@@ -301,6 +301,135 @@ TEST(MaxPoolFused, HardwareMaxPoolingRunsTheFusedKernel)
                                              true));
 }
 
+/** Word-range partitions (in words) used by the range-kernel tests:
+ *  one that divides a 5-word stream, one that does not, whole-stream. */
+const size_t kRangePartitions[] = {1, 2, 3, 100};
+
+TEST(MaxPoolRange, CarriedStateMatchesWholeStreamKernel)
+{
+    // Streaming the Figure 8 selector range by range with a carried
+    // MaxPoolCarryState must be bit-exact with the whole-stream fused
+    // kernel — including pooling segments straddling range boundaries
+    // (segment_len 24 never aligns with 64-cycle words).
+    const size_t len = 300;
+    const size_t n_words = (len + 63) / 64;
+    auto ins = bipolarStreams({0.3, 0.25, -0.2, 0.35}, len, 91);
+    const auto views = sc::toViews(ins);
+    for (size_t segment_len : {size_t{16}, size_t{24}, size_t{7}}) {
+        for (bool accumulate : {false, true}) {
+            sc::Bitstream whole;
+            maxPoolStreamsFused(views, segment_len, 0, accumulate, whole);
+            for (size_t seg_words : kRangePartitions) {
+                std::vector<uint64_t> stitched(n_words, 0);
+                MaxPoolCarryState state;
+                state.reset(ins.size(), 0);
+                for (size_t w0 = 0; w0 < n_words; w0 += seg_words) {
+                    const size_t w1 = std::min(w0 + seg_words, n_words);
+                    const size_t n_cycles =
+                        std::min(w1 * 64, len) - w0 * 64;
+                    const uint64_t *ptrs[4];
+                    for (size_t k = 0; k < ins.size(); ++k)
+                        ptrs[k] = ins[k].words().data() + w0;
+                    maxPoolStreamsRange(ptrs, ins.size(), w0 * 64,
+                                        n_cycles, segment_len, accumulate,
+                                        state, stitched.data() + w0);
+                }
+                EXPECT_EQ(stitched, whole.words())
+                    << "segment_len=" << segment_len
+                    << " accumulate=" << accumulate
+                    << " seg_words=" << seg_words;
+            }
+        }
+    }
+}
+
+TEST(BinaryMaxPoolRange, CarriedStateMatchesWholeSequenceKernel)
+{
+    const size_t len = 300;
+    const size_t n_words = (len + 63) / 64;
+    sc::SplitMix64 vals(17);
+    std::vector<std::vector<uint16_t>> counts(4,
+                                              std::vector<uint16_t>(len));
+    for (auto &seq : counts)
+        for (auto &c : seq)
+            c = static_cast<uint16_t>(vals.nextBelow(27));
+    for (size_t segment_len : {size_t{16}, size_t{24}, size_t{7}}) {
+        for (bool accumulate : {false, true}) {
+            std::vector<uint16_t> whole;
+            binaryMaxPoolFused(counts, segment_len, 0, accumulate, whole);
+            for (size_t seg_words : kRangePartitions) {
+                std::vector<uint16_t> stitched(len, 0xFFFF);
+                MaxPoolCarryState state;
+                state.reset(counts.size(), 0);
+                for (size_t w0 = 0; w0 < n_words; w0 += seg_words) {
+                    const size_t w1 = std::min(w0 + seg_words, n_words);
+                    const size_t n_cycles =
+                        std::min(w1 * 64, len) - w0 * 64;
+                    const uint16_t *ptrs[4];
+                    for (size_t k = 0; k < counts.size(); ++k)
+                        ptrs[k] = counts[k].data() + w0 * 64;
+                    binaryMaxPoolRange(ptrs, counts.size(), w0 * 64,
+                                       n_cycles, segment_len, accumulate,
+                                       state, stitched.data() + w0 * 64);
+                }
+                EXPECT_EQ(stitched, whole)
+                    << "segment_len=" << segment_len
+                    << " accumulate=" << accumulate
+                    << " seg_words=" << seg_words;
+            }
+        }
+    }
+}
+
+TEST(AveragePoolingRange, CarriedGeneratorMatchesMuxAdd)
+{
+    const size_t len = 300;
+    const size_t n_words = (len + 63) / 64;
+    auto ins = bipolarStreams({0.5, -0.5, 0.1, 0.0}, len, 33);
+    sc::Xoshiro256ss whole_rng(1234);
+    const sc::Bitstream whole = averagePooling(ins, whole_rng);
+    for (size_t seg_words : kRangePartitions) {
+        std::vector<uint64_t> stitched(n_words, ~uint64_t{0});
+        sc::Xoshiro256ss rng(1234);
+        for (size_t w0 = 0; w0 < n_words; w0 += seg_words) {
+            const size_t w1 = std::min(w0 + seg_words, n_words);
+            const size_t n_cycles = std::min(w1 * 64, len) - w0 * 64;
+            const uint64_t *ptrs[4];
+            for (size_t k = 0; k < ins.size(); ++k)
+                ptrs[k] = ins[k].words().data() + w0;
+            averagePoolingRange(ptrs, ins.size(), n_cycles, rng,
+                                stitched.data() + w0);
+        }
+        EXPECT_EQ(stitched, whole.words()) << "seg_words " << seg_words;
+        // The generator must land in the same state as muxAdd's.
+        sc::Xoshiro256ss check(1234);
+        EXPECT_EQ(averagePooling(ins, check), whole);
+        EXPECT_EQ(rng.next(), check.next());
+    }
+}
+
+TEST(SignedAveragePoolingRange, PointerVariantMatchesVectorVariant)
+{
+    const size_t len = 130;
+    sc::SplitMix64 vals(5);
+    std::vector<std::vector<uint16_t>> counts(4,
+                                              std::vector<uint16_t>(len));
+    for (auto &seq : counts)
+        for (auto &c : seq)
+            c = static_cast<uint16_t>(vals.nextBelow(17));
+    const std::vector<int> whole = binaryAveragePoolingSigned(counts, 16);
+    std::vector<int> ranged(len);
+    const uint16_t *ptrs[4];
+    for (size_t k = 0; k < counts.size(); ++k)
+        ptrs[k] = counts[k].data() + 64;
+    binaryAveragePoolingSignedRange(ptrs, 4, 16, len - 64,
+                                    ranged.data() + 64);
+    for (size_t k = 0; k < counts.size(); ++k)
+        ptrs[k] = counts[k].data();
+    binaryAveragePoolingSignedRange(ptrs, 4, 16, 64, ranged.data());
+    EXPECT_EQ(ranged, whole);
+}
+
 } // namespace
 } // namespace blocks
 } // namespace scdcnn

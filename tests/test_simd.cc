@@ -8,6 +8,7 @@
  * degenerate to self-comparison.
  */
 
+#include <algorithm>
 #include <tuple>
 #include <vector>
 
@@ -100,11 +101,54 @@ TEST_P(SimdVsScalar, ProductCountTotalMatches)
     }
 }
 
+TEST_P(SimdVsScalar, ProductCountsMultiMatch)
+{
+    // The AVX2 filter-lane compressor tree against the scalar
+    // plane-insertion path of the same kernel, over ragged lane counts
+    // and word sub-ranges (the scalar path also covers the stream's
+    // partial tail word when SIMD is on).
+    auto [n, len] = GetParam();
+    OperandSet ops(n, len, 8000 + n * 131 + len);
+    for (size_t filters : {size_t{1}, size_t{4}, size_t{6}}) {
+        sc::InterleavedWeightArena arena;
+        arena.reset(filters, n, len);
+        sc::SngBank bank(42 + filters);
+        sc::SplitMix64 vals(7 * filters);
+        for (size_t f = 0; f < filters; ++f)
+            for (size_t t = 0; t < n; ++t)
+                arena.assign(f, t,
+                             bank.bipolar(vals.nextInRange(-1, 1), len));
+        const size_t n_words = (len + 63) / 64;
+        for (size_t g = 0; g < arena.groups(); ++g) {
+            const sc::WeightBlockView block = arena.block(g);
+            for (size_t w0 : {size_t{0}, std::min(n_words, size_t{3})}) {
+                for (bool approximate : {false, true}) {
+                    std::vector<uint16_t> with_simd(block.lanes * len);
+                    std::vector<uint16_t> without(block.lanes * len);
+                    sc::simd::setEnabled(true);
+                    sc::fusedProductCountsMulti(ops.xv, block,
+                                                approximate, w0, n_words,
+                                                with_simd.data(), len);
+                    sc::simd::setEnabled(false);
+                    sc::fusedProductCountsMulti(ops.xv, block,
+                                                approximate, w0, n_words,
+                                                without.data(), len);
+                    EXPECT_EQ(with_simd, without)
+                        << "n=" << n << " len=" << len
+                        << " filters=" << filters << " w0=" << w0
+                        << " approx=" << approximate;
+                }
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, SimdVsScalar,
     ::testing::Combine(
-        // Fan-ins around the parity cutoff and across plane counts.
-        ::testing::Values(1, 3, 4, 5, 26, 151, 257),
+        // Fan-ins around the parity cutoff, the 16-line compressor
+        // chunk, and across plane counts.
+        ::testing::Values(1, 3, 4, 5, 16, 17, 26, 151, 257),
         // Lengths around the 256-bit SIMD block and 64-bit word
         // boundaries: pure-scalar, pure-SIMD, and mixed tails.
         ::testing::Values(1, 63, 64, 255, 256, 257, 300, 511, 512,

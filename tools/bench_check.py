@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Guard the benchmark trajectory: compare a freshly generated
+BENCH_throughput.json against the committed one and fail on a
+single-image fused-latency regression beyond the allowed ratio.
+
+The committed JSON is the perf record of the last merged PR; the bench
+box carries roughly +/-10% run-to-run noise, so the default gate only
+trips on a >25% slowdown. Machines differ — when the fresh run comes
+from different hardware than the committed record (the JSON carries
+compiler/SIMD/concurrency fields), the comparison is still a smoke
+check: a kernel-level regression shows up on every host.
+
+Usage:
+  tools/bench_check.py --fresh build/BENCH_throughput.json \
+      [--committed BENCH_throughput.json] [--max-regress 0.25]
+
+Exit status: 0 when within bounds (or no committed baseline exists),
+1 on regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fused_ms(doc, path):
+    try:
+        return float(doc["single_image"]["fused_ms"])
+    except (KeyError, TypeError, ValueError):
+        sys.stderr.write(f"bench_check: no single_image.fused_ms in {path}\n")
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="JSON written by the bench run under test")
+    ap.add_argument("--committed", default="BENCH_throughput.json",
+                    help="baseline JSON committed to the repository")
+    ap.add_argument("--max-regress", type=float,
+                    default=float(os.environ.get("SCDCNN_BENCH_CHECK_MAX",
+                                                 "0.25")),
+                    help="allowed fractional slowdown (default 0.25)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.fresh):
+        sys.stderr.write(f"bench_check: fresh JSON {args.fresh} missing\n")
+        sys.exit(2)
+    if not os.path.exists(args.committed):
+        print(f"bench_check: no committed baseline at {args.committed}; "
+              "nothing to compare")
+        return
+
+    fresh = fused_ms(load(args.fresh), args.fresh)
+    committed = fused_ms(load(args.committed), args.committed)
+    if committed <= 0:
+        sys.stderr.write("bench_check: committed fused_ms is not positive\n")
+        sys.exit(2)
+
+    ratio = fresh / committed
+    limit = 1.0 + args.max_regress
+    verdict = "OK" if ratio <= limit else "REGRESSION"
+    print(f"bench_check: fused single-image {committed:.1f} ms -> "
+          f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
+    if ratio > limit:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
