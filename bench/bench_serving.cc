@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Serving-layer load benchmark: open-loop (Poisson arrivals) and
+ * closed-loop load against the InferenceServer, comparing per-request
+ * serving (max_batch=1, full-precision High class, no deadlines — the
+ * baseline a caller-assembled forwardBatch world gives you) with the
+ * dynamic micro-batching scheduler plus deadline-aware progressive
+ * precision. Both sides see the same offered load; throughput,
+ * p50/p95/p99 latency, batch-size distribution, early-exit rate and
+ * effective bits go to BENCH_serving.json (override with
+ * SCDCNN_SERVE_JSON) for tools/bench_check.py to gate.
+ *
+ * The network is the decisive-logit LeNet-5 variant (output layer
+ * programmed to +1/-1/0 rows — the confident regime a trained network
+ * produces) so Progressive early exit behaves as it does on trained
+ * weights; see bench_throughput.cc for the rationale.
+ *
+ * Knobs: SCDCNN_SERVE_LEN (bit-stream length, default 256),
+ * SCDCNN_SERVE_IMAGES (requests per scenario, default 48),
+ * SCDCNN_SERVE_MAX_BATCH (default 8),
+ * SCDCNN_SERVE_CLIENTS (closed-loop clients, default 4).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/sc_network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "serve/server.h"
+
+using namespace scdcnn;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+double
+msSince(SteadyClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               SteadyClock::now() - t0)
+        .count();
+}
+
+/** LeNet-5 with the output layer programmed to decisive +1/-1/0
+ *  weight rows (see file comment). */
+nn::Network
+decisiveLenet5()
+{
+    nn::Network net = nn::buildLeNet5(nn::PoolingMode::Max, 1);
+    nn::programDecisiveLogits(net);
+    return net;
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    size_t max_batch = 1;
+    size_t n_images = 0;
+    double offered_ips = 0;  //!< 0 for closed-loop
+    double achieved_ips = 0;
+    double wall_ms = 0;
+    serve::MetricsSnapshot metrics;
+};
+
+/** Poisson-arrival open-loop run: submit n images at @p offered_ips,
+ *  then wait for every answer. */
+ScenarioResult
+runOpenLoop(const core::ScNetwork &net, const char *name,
+            serve::ServerConfig scfg, serve::RequestOptions ropts,
+            size_t n, double offered_ips)
+{
+    serve::InferenceServer server(net, scfg);
+    std::mt19937_64 rng(0xA221'7E57);
+    std::exponential_distribution<double> gap(offered_ips);
+
+    std::vector<std::future<serve::InferenceResult>> futs;
+    futs.reserve(n);
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    double arrival_s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        arrival_s += gap(rng);
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<SteadyClock::duration>(
+                     std::chrono::duration<double>(arrival_s)));
+        futs.push_back(
+            server.submit(nn::DigitDataset::render(i % 10, 100 + i),
+                          ropts));
+    }
+    for (auto &f : futs)
+        f.get();
+    const double wall = msSince(t0);
+    server.drain();
+
+    ScenarioResult r;
+    r.name = name;
+    r.max_batch = scfg.limits.max_batch;
+    r.n_images = n;
+    r.offered_ips = offered_ips;
+    r.achieved_ips = static_cast<double>(n) / (wall / 1000.0);
+    r.wall_ms = wall;
+    r.metrics = server.metricsSnapshot();
+    return r;
+}
+
+/** Closed-loop run: @p clients submit-wait-repeat until n answers. */
+ScenarioResult
+runClosedLoop(const core::ScNetwork &net, const char *name,
+              serve::ServerConfig scfg, serve::RequestOptions ropts,
+              size_t n, size_t clients)
+{
+    serve::InferenceServer server(net, scfg);
+    std::atomic<size_t> next{0};
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                server
+                    .submit(nn::DigitDataset::render(i % 10, 100 + i),
+                            ropts)
+                    .get();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double wall = msSince(t0);
+
+    ScenarioResult r;
+    r.name = name;
+    r.max_batch = scfg.limits.max_batch;
+    r.n_images = n;
+    r.achieved_ips = static_cast<double>(n) / (wall / 1000.0);
+    r.wall_ms = wall;
+    r.metrics = server.metricsSnapshot();
+    return r;
+}
+
+void
+printScenario(const ScenarioResult &r)
+{
+    const auto &m = r.metrics;
+    std::printf("  %-22s %7.1f ips", r.name.c_str(), r.achieved_ips);
+    if (r.offered_ips > 0)
+        std::printf(" (offered %6.1f)", r.offered_ips);
+    else
+        std::printf("                 ");
+    std::printf("  p50 %7.1f  p95 %7.1f  p99 %7.1f ms",
+                m.total_latency.p50_ms, m.total_latency.p95_ms,
+                m.total_latency.p99_ms);
+    std::printf("  batch %4.1f  bits %6.1f  exits %4.0f%%\n",
+                m.avg_batch_size, m.avg_effective_bits,
+                100.0 * m.early_exit_rate);
+}
+
+void
+writeScenarioJson(std::FILE *f, const ScenarioResult &r, bool last)
+{
+    const auto &m = r.metrics;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"max_batch\": %zu,\n", r.max_batch);
+    std::fprintf(f, "      \"images\": %zu,\n", r.n_images);
+    if (r.offered_ips > 0)
+        std::fprintf(f, "      \"offered_ips\": %.2f,\n", r.offered_ips);
+    std::fprintf(f, "      \"achieved_ips\": %.2f,\n", r.achieved_ips);
+    std::fprintf(f, "      \"wall_ms\": %.1f,\n", r.wall_ms);
+    std::fprintf(f, "      \"p50_ms\": %.2f,\n", m.total_latency.p50_ms);
+    std::fprintf(f, "      \"p95_ms\": %.2f,\n", m.total_latency.p95_ms);
+    std::fprintf(f, "      \"p99_ms\": %.2f,\n", m.total_latency.p99_ms);
+    std::fprintf(f, "      \"metrics\": %s\n", m.toJson().c_str());
+    std::fprintf(f, "    }%s\n", last ? "" : ",");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("serving",
+                  "Async inference serving: dynamic micro-batching + "
+                  "deadline-aware progressive precision vs per-request "
+                  "serving");
+
+    const size_t len = bench::envSize("SCDCNN_SERVE_LEN", 256);
+    const size_t n = std::max<size_t>(
+        4, bench::envSize("SCDCNN_SERVE_IMAGES", 48));
+    const size_t max_batch =
+        std::max<size_t>(2, bench::envSize("SCDCNN_SERVE_MAX_BATCH", 8));
+    const size_t clients =
+        std::max<size_t>(1, bench::envSize("SCDCNN_SERVE_CLIENTS", 4));
+
+    nn::Network net = decisiveLenet5();
+    core::ScNetworkConfig cfg;
+    cfg.bitstream_len = len;
+    // One-word segments give Progressive a checkpoint every 64
+    // cycles; at short serving lengths the default 4-word granularity
+    // would cover the whole stream and never early-exit.
+    cfg.stream_segment_words = 1;
+    core::ScNetwork sc(net, cfg);
+    const nn::Tensor calib_img = nn::DigitDataset::render(3, 7);
+
+    // Calibrate: full-precision single-image latency sets the offered
+    // loads, so "1.5x the per-request capacity" means the same thing
+    // on every box.
+    sc.predict(calib_img, 1); // warm-up
+    auto t0 = SteadyClock::now();
+    for (int r = 0; r < 3; ++r)
+        sc.predict(calib_img, 2 + r);
+    const double fused_ms = msSince(t0) / 3.0;
+    const double capacity_ips = 1000.0 / fused_ms;
+    std::printf("calibration: fused predict %.1f ms  (~%.1f ips "
+                "per-request capacity)\n\n",
+                fused_ms, capacity_ips);
+
+    // Per-request baseline: every request its own batch, full
+    // precision, no deadline — serving without the new subsystem's
+    // policies.
+    serve::ServerConfig per_request;
+    per_request.limits.max_batch = 1;
+    per_request.limits.max_queue_delay = std::chrono::microseconds(100);
+    serve::RequestOptions high;
+    high.accuracy = serve::AccuracyClass::High;
+
+    // Micro-batching + QoS: dynamic batches under (max_batch,
+    // max_queue_delay), Balanced progressive precision, a deadline
+    // generous at light load but binding under overload — queue
+    // pressure degrades precision instead of blowing up latency.
+    serve::ServerConfig micro;
+    micro.limits.max_batch = max_batch;
+    micro.limits.max_queue_delay =
+        std::chrono::microseconds(static_cast<long>(fused_ms * 250.0));
+    const size_t min_bits = std::max<size_t>(64, len / 4);
+    micro.qos[static_cast<size_t>(serve::AccuracyClass::Balanced)] = {
+        core::EngineMode::Progressive, 4.0, min_bits};
+    micro.qos[static_cast<size_t>(serve::AccuracyClass::Fast)] = {
+        core::EngineMode::Progressive, 2.0, std::max<size_t>(64, len / 8)};
+    serve::RequestOptions balanced;
+    balanced.accuracy = serve::AccuracyClass::Balanced;
+    balanced.deadline = std::chrono::microseconds(
+        static_cast<long>(fused_ms * 6000.0)); // ~6 service times
+
+    const double offered = 1.5 * capacity_ips;
+    const double light = 0.6 * capacity_ips;
+
+    std::printf("open loop (Poisson arrivals, %zu images):\n", n);
+    std::vector<ScenarioResult> open;
+    open.push_back(runOpenLoop(sc, "per_request@1.5x", per_request,
+                               high, n, offered));
+    printScenario(open.back());
+    open.push_back(
+        runOpenLoop(sc, "microbatch@1.5x", micro, balanced, n, offered));
+    printScenario(open.back());
+    open.push_back(runOpenLoop(sc, "per_request@0.6x", per_request,
+                               high, n, light));
+    printScenario(open.back());
+    open.push_back(
+        runOpenLoop(sc, "microbatch@0.6x", micro, balanced, n, light));
+    printScenario(open.back());
+
+    std::printf("\nclosed loop (%zu clients, %zu images):\n", clients,
+                n);
+    std::vector<ScenarioResult> closed;
+    closed.push_back(runClosedLoop(sc, "per_request", per_request, high,
+                                   n, clients));
+    printScenario(closed.back());
+    closed.push_back(
+        runClosedLoop(sc, "microbatch", micro, balanced, n, clients));
+    printScenario(closed.back());
+
+    const double gate_per_request = open[0].achieved_ips;
+    const double gate_micro = open[1].achieved_ips;
+    std::printf("\nsame offered load (%.1f ips): per-request %.1f ips "
+                "-> micro-batching %.1f ips (%.2fx)\n",
+                offered, gate_per_request, gate_micro,
+                gate_micro / gate_per_request);
+
+    const char *json_env = std::getenv("SCDCNN_SERVE_JSON");
+    const std::string json_path =
+        json_env != nullptr && *json_env != '\0' ? json_env
+                                                 : "BENCH_serving.json";
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serving\",\n");
+    std::fprintf(f, "  \"network\": \"lenet5-decisive\",\n");
+    std::fprintf(f, "  \"bitstream_len\": %zu,\n", len);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"compiler\": \"%s\",\n", __VERSION__);
+    std::fprintf(f, "  \"calib_fused_ms\": %.3f,\n", fused_ms);
+    std::fprintf(f, "  \"open_loop\": [\n");
+    for (size_t i = 0; i < open.size(); ++i)
+        writeScenarioJson(f, open[i], i + 1 == open.size());
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"closed_loop\": [\n");
+    for (size_t i = 0; i < closed.size(); ++i)
+        writeScenarioJson(f, closed[i], i + 1 == closed.size());
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"gate\": {\n");
+    std::fprintf(f, "    \"offered_ips\": %.2f,\n", offered);
+    std::fprintf(f, "    \"per_request_ips\": %.2f,\n",
+                 gate_per_request);
+    std::fprintf(f, "    \"microbatch_ips\": %.2f,\n", gate_micro);
+    std::fprintf(f, "    \"microbatch_p99_ms\": %.2f\n",
+                 open[1].metrics.total_latency.p99_ms);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -162,17 +162,7 @@ main()
     // trade-off is regression-tested on trained networks in
     // tests/test_segment_stream.cc and shown by lenet5_inference).
     nn::Network decisive = net;
-    {
-        auto &fc2 = dynamic_cast<nn::FullyConnected &>(decisive.layer(8));
-        std::vector<float> &w = *fc2.weights();
-        std::vector<float> &b = *fc2.biases();
-        std::fill(w.begin(), w.end(), 0.0f);
-        std::fill(b.begin(), b.end(), 0.0f);
-        for (size_t i = 0; i < fc2.nIn(); ++i) {
-            w[3 * fc2.nIn() + i] = 1.0f;
-            w[5 * fc2.nIn() + i] = -1.0f;
-        }
-    }
+    nn::programDecisiveLogits(decisive);
     core::ScNetwork prog_net(decisive, cfg);
     prog_net.setEngineMode(core::EngineMode::Progressive);
     prog_net.predict(img, 1); // warm-up

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Serving-layer walkthrough: stand up an InferenceServer over a
+ * LeNet-5 SC engine, submit a burst of digit images at mixed
+ * quality-of-service — full-precision, balanced progressive, and
+ * deadline-bounded requests — and read back what each request
+ * actually got (prediction, effective bits, the class it was served
+ * at, queue/total latency), then print the server's metrics snapshot.
+ *
+ * The point to take away: submit() never blocks on compute (it
+ * returns a future), the scheduler coalesces compatible requests into
+ * micro-batches, and a tight deadline buys fewer effective bits
+ * instead of a miss — stochastic computing's progressive precision
+ * surfaced as a serving policy.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "core/sc_network.h"
+#include "nn/dataset.h"
+#include "nn/network.h"
+#include "serve/server.h"
+
+using namespace scdcnn;
+using namespace std::chrono_literals;
+
+int
+main()
+{
+    // --- 1. An engine, as in lenet5_inference ----------------------
+    // (Untrained weights keep the demo self-contained; a trained
+    // network drops in unchanged.)
+    nn::Network net = nn::buildLeNet5(nn::PoolingMode::Max, 1);
+    core::ScNetworkConfig cfg; // APC-APC-APC, max pooling
+    cfg.bitstream_len = 256;
+    cfg.stream_segment_words = 1; // 64-cycle Progressive checkpoints
+    core::ScNetwork sc(net, cfg);
+
+    // --- 2. A server in front of it --------------------------------
+    serve::ServerConfig scfg;
+    scfg.limits.max_batch = 4;         // micro-batch bound
+    scfg.limits.max_queue_delay = 2ms; // latency bound at light load
+    serve::InferenceServer server(sc, scfg);
+
+    // --- 3. Warm-up ------------------------------------------------
+    // One request per class primes the scheduler's service-time
+    // estimates; deadline urgency compares remaining budget against
+    // them, so a cold server cannot know a deadline is tight yet.
+    for (auto cls : {serve::AccuracyClass::High,
+                     serve::AccuracyClass::Balanced,
+                     serve::AccuracyClass::Fast}) {
+        serve::RequestOptions w;
+        w.accuracy = cls;
+        server.submit(nn::DigitDataset::render(0, 1), w).get();
+    }
+
+    // --- 4. Mixed-QoS submissions ----------------------------------
+    struct Shot
+    {
+        const char *label;
+        serve::RequestOptions opts;
+    };
+    std::vector<Shot> shots;
+    {
+        serve::RequestOptions high;
+        high.accuracy = serve::AccuracyClass::High;
+        shots.push_back({"high (full precision)", high});
+
+        serve::RequestOptions balanced; // the default class
+        shots.push_back({"balanced (progressive)", balanced});
+
+        serve::RequestOptions hurry;
+        hurry.accuracy = serve::AccuracyClass::Balanced;
+        hurry.deadline = 5ms; // tight: expect degradation, not a miss
+        shots.push_back({"balanced + 5ms deadline", hurry});
+
+        serve::RequestOptions fast;
+        fast.accuracy = serve::AccuracyClass::Fast;
+        shots.push_back({"fast (aggressive exit)", fast});
+    }
+
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(shots.size() * 2);
+    for (size_t i = 0; i < shots.size() * 2; ++i) {
+        const Shot &s = shots[i % shots.size()];
+        futures.push_back(server.submit(
+            nn::DigitDataset::render(i % 10, 40 + i), s.opts));
+    }
+
+    std::printf("%-26s %5s %6s/%zu %-9s %6s %8s %8s\n", "request",
+                "pred", "bits", cfg.bitstream_len, "served", "batch",
+                "queue", "total");
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const serve::InferenceResult r = futures[i].get();
+        std::printf("%-26s %5zu %6zu   %-9s %6zu %6.1fms %6.1fms%s\n",
+                    shots[i % shots.size()].label, r.predicted,
+                    r.effective_bits,
+                    serve::accuracyClassName(r.served), r.batch_size,
+                    r.queue_ms, r.total_ms,
+                    r.degraded ? "  (degraded)" : "");
+    }
+
+    // --- 5. Drain and inspect the metrics --------------------------
+    server.drain();
+    std::printf("\nmetrics snapshot:\n%s\n",
+                server.metricsSnapshot().toJson().c_str());
+    return 0;
+}

@@ -1,12 +1,18 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace scdcnn {
 
 namespace {
 
 thread_local bool tls_in_worker = false;
+
+/** Pools whose jobs the current thread is executing right now, one
+ *  entry per nesting level. drain() counts its own entries so a job
+ *  draining its own pool does not wait on itself. */
+thread_local std::vector<const ThreadPool *> tls_job_stack;
 
 /** Marks the current thread as executing on a pool's behalf, so
  *  nested parallel helpers run inline instead of fanning out — the
@@ -46,12 +52,19 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> job)
 {
+    bool wake_drainers;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         jobs_.push(std::move(job));
         ++in_flight_;
+        wake_drainers = drainers_ > 0;
     }
     cv_job_.notify_one();
+    // A drain()er parked on cv_done_ must wake to help execute the
+    // new job (on a 1-thread pool it may be the only runner left);
+    // with no drainer active, skip the extra wakeup on this hot path.
+    if (wake_drainers)
+        cv_done_.notify_all();
 }
 
 void
@@ -59,6 +72,75 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lk(mutex_);
     cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::runJob(std::function<void()> job)
+{
+    // Executing a job inline (from drain()) stands in for a worker of
+    // this pool, so nested parallel helpers stay inside the pool's
+    // width — same rule as parallelForChunks' inline path. The
+    // bookkeeping is RAII so a throwing job cannot leave in_flight_
+    // stuck or a stale pool on the job stack.
+    InlineWorkerScope scope;
+    struct JobScope
+    {
+        ThreadPool *pool;
+        explicit JobScope(ThreadPool *p) : pool(p)
+        {
+            tls_job_stack.push_back(p);
+        }
+        ~JobScope()
+        {
+            tls_job_stack.pop_back();
+            {
+                std::lock_guard<std::mutex> lk(pool->mutex_);
+                --pool->in_flight_;
+            }
+            pool->cv_done_.notify_all();
+        }
+    } finish(this);
+    job();
+}
+
+void
+ThreadPool::drain()
+{
+    // Count the calling thread's own enclosing jobs of this pool:
+    // they cannot finish while drain() blocks inside them, so the
+    // idle condition excludes them. The exclusion is pool-wide
+    // (drainer_held_), not per-caller: two jobs draining concurrently
+    // each hold one un-finishable job, and each must discount the
+    // other's as well or they deadlock waiting on one another.
+    const size_t own = static_cast<size_t>(
+        std::count(tls_job_stack.begin(), tls_job_stack.end(), this));
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++drainers_; // makes submit() wake cv_done_ for us
+        drainer_held_ += own;
+    }
+    if (own > 0)
+        cv_done_.notify_all(); // other drainers' predicates may now hold
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            if (jobs_.empty()) {
+                if (in_flight_ <= drainer_held_) {
+                    --drainers_;
+                    drainer_held_ -= own;
+                    return;
+                }
+                cv_done_.wait(lk, [this] {
+                    return !jobs_.empty() || in_flight_ <= drainer_held_;
+                });
+                continue;
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        runJob(std::move(job));
+    }
 }
 
 void
@@ -78,13 +160,7 @@ ThreadPool::workerLoop()
             job = std::move(jobs_.front());
             jobs_.pop();
         }
-        job();
-        {
-            std::lock_guard<std::mutex> lk(mutex_);
-            --in_flight_;
-            if (in_flight_ == 0)
-                cv_done_.notify_all();
-        }
+        runJob(std::move(job));
     }
 }
 
@@ -121,14 +197,37 @@ parallelForChunks(ThreadPool &pool, size_t begin, size_t end,
 
     const size_t n_chunks = std::min(n_workers, n);
     const size_t chunk = (n + n_chunks - 1) / n_chunks;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    ranges.reserve(n_chunks);
     for (size_t c = 0; c < n_chunks; ++c) {
         const size_t lo = begin + c * chunk;
         const size_t hi = std::min(end, lo + chunk);
         if (lo >= hi)
             break;
-        pool.submit([lo, hi, &chunk_body] { chunk_body(lo, hi); });
+        ranges.emplace_back(lo, hi);
     }
-    pool.wait();
+
+    // Per-call completion latch rather than pool.wait(): the global
+    // in-flight count couples independent callers — under the serving
+    // layer, another batch worker that keeps submitting to a shared
+    // pool would starve a pool-wide wait indefinitely even though this
+    // call's own chunks finished long ago.
+    std::mutex m;
+    std::condition_variable cv;
+    size_t remaining = ranges.size();
+    for (const auto &[lo, hi] : ranges) {
+        pool.submit([lo, hi, &chunk_body, &m, &cv, &remaining] {
+            chunk_body(lo, hi);
+            // Notify under the lock: once remaining hits 0 the waiter
+            // may return and destroy cv, so the notify must complete
+            // before the waiter can observe the final state.
+            std::lock_guard<std::mutex> lk(m);
+            if (--remaining == 0)
+                cv.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&remaining] { return remaining == 0; });
 }
 
 void

@@ -40,6 +40,19 @@ class ThreadPool
     /** Block until every submitted job has finished. */
     void wait();
 
+    /**
+     * Wait for the pool to go idle without destroying it: queued jobs
+     * are helped along inline on the calling thread, then the call
+     * blocks until every in-flight job has finished. Unlike wait(),
+     * drain() is nesting-safe — a job running on a pool worker may
+     * drain its own pool (its own enclosing job is excluded from the
+     * idle condition, and queued work is executed inline instead of
+     * waited on, so a 1-thread pool cannot deadlock on itself). The
+     * serving layer uses this at shutdown to let in-flight compute
+     * finish while keeping the pool alive for the next server.
+     */
+    void drain();
+
     /** Number of worker threads. */
     size_t size() const { return workers_.size(); }
 
@@ -56,6 +69,7 @@ class ThreadPool
 
   private:
     void workerLoop();
+    void runJob(std::function<void()> job);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> jobs_;
@@ -63,6 +77,11 @@ class ThreadPool
     std::condition_variable cv_job_;
     std::condition_variable cv_done_;
     size_t in_flight_ = 0;
+    size_t drainers_ = 0; //!< active drain() calls (guarded by mutex_)
+    /** In-flight jobs whose threads are blocked inside drain() — they
+     *  cannot finish until their drain returns, so every drainer's
+     *  idle condition discounts them (guarded by mutex_). */
+    size_t drainer_held_ = 0;
     bool stopping_ = false;
 };
 

@@ -29,6 +29,11 @@ enum class AdderKind
 /** "MUX" / "APC". */
 std::string adderKindName(AdderKind kind);
 
+/** Calibrated Progressive-mode defaults, shared by ScNetworkConfig
+ *  and core::PredictOptions so the two cannot drift apart. */
+constexpr double kDefaultProgressiveMargin = 4.0;
+constexpr size_t kDefaultProgressiveMinBits = 256;
+
 /** Full SC-DCNN configuration. */
 struct ScNetworkConfig
 {
@@ -65,10 +70,10 @@ struct ScNetworkConfig
      * (see DESIGN.md; smaller margins exit earlier but start flipping
      * borderline images).
      */
-    double progressive_margin = 4.0;
+    double progressive_margin = kDefaultProgressiveMargin;
 
     /** Progressive mode never exits before this many stream cycles. */
-    size_t progressive_min_bits = 256;
+    size_t progressive_min_bits = kDefaultProgressiveMinBits;
 
     /** The FEB kind a layer uses (combines adder + pooling mode). */
     blocks::FebKind febKind(size_t layer) const;

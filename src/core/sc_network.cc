@@ -347,7 +347,8 @@ void
 ScNetwork::runConvLayerSegment(const StreamGrid &in,
                                const ConvWeightStreams &weights,
                                size_t layer_idx, const SegRange &seg,
-                               ConvRun &run, PhaseBreakdown *profile) const
+                               ConvRun &run, EngineMode mode,
+                               PhaseBreakdown *profile) const
 {
     const size_t k = weights.k;
     const size_t out_w = run.out.w;
@@ -358,7 +359,7 @@ ScNetwork::runConvLayerSegment(const StreamGrid &in,
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
     const bool use_max = blocks::febUsesMaxPool(kind);
-    const bool fused = engine_ != EngineMode::Reference;
+    const bool fused = mode != EngineMode::Reference;
 
     const size_t positions = run.out.h * run.out.w;
     const size_t n_groups = weights.blocked.groups();
@@ -604,7 +605,8 @@ void
 ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
                              const FcWeightStreams &weights,
                              size_t layer_idx, const SegRange &seg,
-                             FcRun &run, PhaseBreakdown *profile) const
+                             FcRun &run, EngineMode mode,
+                             PhaseBreakdown *profile) const
 {
     SCDCNN_ASSERT(in.size() == weights.n_in,
                   "fc layer expects %zu inputs, got %zu", weights.n_in,
@@ -614,7 +616,7 @@ ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
     const blocks::FebKind kind = cfg_.febKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
-    const bool fused = engine_ != EngineMode::Reference;
+    const bool fused = mode != EngineMode::Reference;
 
     const size_t n_groups = weights.blocked.groups();
     const size_t seg_words = seg.w1 - seg.w0;
@@ -705,6 +707,7 @@ void
 ScNetwork::runOutputSegment(const std::vector<sc::BitstreamView> &in,
                             const FcWeightStreams &weights,
                             const SegRange &seg, OutputRun &run,
+                            EngineMode mode,
                             PhaseBreakdown *profile) const
 {
     const Clock::time_point t0 = Clock::now();
@@ -722,7 +725,7 @@ ScNetwork::runOutputSegment(const std::vector<sc::BitstreamView> &in,
     for (size_t o = 0; o < weights.n_out; ++o) {
         for (size_t i = 0; i < n_inputs; ++i)
             ws[i] = weights.at(o, i);
-        if (engine_ != EngineMode::Reference)
+        if (mode != EngineMode::Reference)
             sc::fusedProductCountTotalRange(xs, ws, seg.w0, seg.w1,
                                             run.acc[o]);
         else
@@ -741,6 +744,15 @@ size_t
 ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
                    PhaseBreakdown *profile, ForwardInfo *info) const
 {
+    return predictWith(image, seed, defaultOptions(), profile, info);
+}
+
+size_t
+ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
+                       const PredictOptions &opts,
+                       PhaseBreakdown *profile, ForwardInfo *info) const
+{
+    const EngineMode mode = opts.mode;
     const size_t len = cfg_.bitstream_len;
     const size_t n_words = (len + 63) / 64;
     // The Reference oracle always runs whole streams; the fused engine
@@ -751,10 +763,10 @@ ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
     // back to the default granularity there instead of silently
     // degrading to plain Fused.
     size_t seg_words = cfg_.stream_segment_words;
-    if (engine_ == EngineMode::Reference)
+    if (mode == EngineMode::Reference)
         seg_words = n_words;
     else if (seg_words == 0)
-        seg_words = engine_ == EngineMode::Progressive
+        seg_words = mode == EngineMode::Progressive
                         ? kProgressiveFallbackSegmentWords
                         : n_words;
     seg_words = std::min(seg_words, n_words);
@@ -785,16 +797,16 @@ ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
         seg.c0 = w0 * 64;
         seg.n_cycles = std::min(seg.w1 * 64, len) - seg.c0;
 
-        runConvLayerSegment(x, conv1_, 0, seg, c1, profile);
-        runConvLayerSegment(c1.out, conv2_, 1, seg, c2, profile);
-        runFcLayerSegment(flat, fc1_, 2, seg, f1, profile);
-        runOutputSegment(f1_views, fc2_, seg, out, profile);
+        runConvLayerSegment(x, conv1_, 0, seg, c1, mode, profile);
+        runConvLayerSegment(c1.out, conv2_, 1, seg, c2, mode, profile);
+        runFcLayerSegment(flat, fc1_, 2, seg, f1, mode, profile);
+        runOutputSegment(f1_views, fc2_, seg, out, mode, profile);
 
         // Progressive precision: once the class decision is stable by
         // a configurable margin, the remaining segments cannot
         // plausibly flip it — stop and report the bits consumed.
-        if (engine_ == EngineMode::Progressive && seg.w1 < n_words &&
-            out.consumed >= cfg_.progressive_min_bits) {
+        if (mode == EngineMode::Progressive && seg.w1 < n_words &&
+            out.consumed >= opts.progressive_min_bits) {
             uint64_t best = 0, second = 0;
             for (const auto &acc : out.acc) {
                 const uint64_t v = acc.value(/*approximate=*/true);
@@ -809,7 +821,7 @@ ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
                 2.0 *
                 (static_cast<double>(best) - static_cast<double>(second)) /
                 static_cast<double>(out.consumed);
-            early_exit = margin >= cfg_.progressive_margin;
+            early_exit = margin >= opts.progressive_margin;
         }
     }
 
@@ -836,9 +848,21 @@ std::vector<size_t>
 ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
                         uint64_t seed, ThreadPool *pool) const
 {
+    return forwardBatch(images, seed, defaultOptions(), pool, nullptr);
+}
+
+std::vector<size_t>
+ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
+                        uint64_t seed, const PredictOptions &opts,
+                        ThreadPool *pool,
+                        std::vector<ForwardInfo> *infos) const
+{
     std::vector<size_t> preds(images.size());
+    if (infos != nullptr)
+        infos->assign(images.size(), ForwardInfo{});
     const auto body = [&](size_t i) {
-        preds[i] = predict(images[i], seed + i * 7919);
+        preds[i] = predictWith(images[i], seed + i * 7919, opts, nullptr,
+                               infos != nullptr ? &(*infos)[i] : nullptr);
     };
     if (pool != nullptr)
         parallelFor(*pool, 0, images.size(), body);

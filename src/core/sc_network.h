@@ -82,6 +82,24 @@ struct ForwardInfo
 };
 
 /**
+ * Per-call engine selection: predictWith() evaluates with these
+ * instead of the instance-wide engineMode()/config knobs, so callers
+ * that share one ScNetwork across threads (the serving layer) can mix
+ * precision policies per request without mutating shared state —
+ * setEngineMode() is not thread-safe against concurrent predict()
+ * calls, PredictOptions is.
+ */
+struct PredictOptions
+{
+    EngineMode mode = EngineMode::Fused;
+    /** Progressive early-exit margin (ignored unless mode is
+     *  Progressive); see ScNetworkConfig::progressive_margin. */
+    double progressive_margin = kDefaultProgressiveMargin;
+    /** Progressive floor on consumed stream cycles. */
+    size_t progressive_min_bits = kDefaultProgressiveMinBits;
+};
+
+/**
  * Wall-clock nanoseconds spent in each phase of a forward pass,
  * accumulated across all worker threads (so with more than one thread
  * the phases sum to CPU time, not wall time; on one thread they are
@@ -123,6 +141,16 @@ class ScNetwork
                    ForwardInfo *info = nullptr) const;
 
     /**
+     * predict() with per-call engine/precision selection. Reads no
+     * instance-wide mode state, so concurrent callers may use
+     * different options against one shared network.
+     */
+    size_t predictWith(const nn::Tensor &image, uint64_t seed,
+                       const PredictOptions &opts,
+                       PhaseBreakdown *profile = nullptr,
+                       ForwardInfo *info = nullptr) const;
+
+    /**
      * Batched forward pass: predictions for every image, fanned out
      * across @p pool (the process-global pool when null). Image i runs
      * at seed + i * 7919; every per-site generator is derived from
@@ -133,6 +161,20 @@ class ScNetwork
     std::vector<size_t> forwardBatch(const std::vector<nn::Tensor> &images,
                                      uint64_t seed,
                                      ThreadPool *pool = nullptr) const;
+
+    /**
+     * forwardBatch with per-image outcome details: when @p infos is
+     * non-null it is resized to images.size() and entry i receives the
+     * scores / effective_bits / early_exit of image i — what batch
+     * callers (the serving layer) need beyond the bare class index.
+     * The seed schedule and predictions are identical to the overload
+     * above; @p opts selects the engine per the predictWith() rules.
+     */
+    std::vector<size_t> forwardBatch(const std::vector<nn::Tensor> &images,
+                                     uint64_t seed,
+                                     const PredictOptions &opts,
+                                     ThreadPool *pool,
+                                     std::vector<ForwardInfo> *infos) const;
 
     /**
      * Classification error rate over (up to @p max_images of) the
@@ -173,6 +215,18 @@ class ScNetwork
     }
 
   private:
+    /** The per-call options the instance-wide knobs (engineMode(),
+     *  config()) translate to — what predict()/legacy forwardBatch
+     *  pass to predictWith. */
+    PredictOptions defaultOptions() const
+    {
+        PredictOptions opts;
+        opts.mode = engine_;
+        opts.progressive_margin = cfg_.progressive_margin;
+        opts.progressive_min_bits = cfg_.progressive_min_bits;
+        return opts;
+    }
+
     /** A (c, h, w) grid of bit-streams packed into one arena. */
     struct StreamGrid
     {
@@ -266,16 +320,19 @@ class ScNetwork
     void runConvLayerSegment(const StreamGrid &in,
                              const ConvWeightStreams &weights,
                              size_t layer_idx, const SegRange &seg,
-                             ConvRun &run, PhaseBreakdown *profile) const;
+                             ConvRun &run, EngineMode mode,
+                             PhaseBreakdown *profile) const;
 
     void runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
                            const FcWeightStreams &weights,
                            size_t layer_idx, const SegRange &seg,
-                           FcRun &run, PhaseBreakdown *profile) const;
+                           FcRun &run, EngineMode mode,
+                           PhaseBreakdown *profile) const;
 
     void runOutputSegment(const std::vector<sc::BitstreamView> &in,
                           const FcWeightStreams &weights,
                           const SegRange &seg, OutputRun &run,
+                          EngineMode mode,
                           PhaseBreakdown *profile) const;
 
     ScNetworkConfig cfg_;

@@ -1,5 +1,6 @@
 #include "nn/network.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -225,6 +226,22 @@ buildMiniLeNet(PoolingMode pooling, uint64_t seed, double act_scale)
     fc2->initWeights(seed * 104729 + 4);
     net.add(std::move(fc2));
     return net;
+}
+
+void
+programDecisiveLogits(Network &net, size_t hot_class, size_t cold_class)
+{
+    // The output layer is the last one in both LeNet builders.
+    auto &fc = dynamic_cast<FullyConnected &>(
+        net.layer(net.layerCount() - 1));
+    std::vector<float> &w = *fc.weights();
+    std::vector<float> &b = *fc.biases();
+    std::fill(w.begin(), w.end(), 0.0f);
+    std::fill(b.begin(), b.end(), 0.0f);
+    for (size_t i = 0; i < fc.nIn(); ++i) {
+        w[hot_class * fc.nIn() + i] = 1.0f;
+        w[cold_class * fc.nIn() + i] = -1.0f;
+    }
 }
 
 } // namespace nn

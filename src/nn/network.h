@@ -92,6 +92,19 @@ Network buildLeNet5(PoolingMode pooling, uint64_t seed = 1,
 Network buildMiniLeNet(PoolingMode pooling, uint64_t seed = 1,
                        double act_scale = kDefaultActivationScale);
 
+/**
+ * Program the output layer of a buildLeNet5()/buildMiniLeNet()
+ * network to decisive logits: all weights and biases zeroed except a
+ * +1 row for @p hot_class and a -1 row for @p cold_class. Untrained
+ * random logits are near-tied, so a sound progressive-precision
+ * margin test (rightly) never fires on them; this puts the network in
+ * the confident-logit regime a trained one produces — the workload
+ * bench_throughput, bench_serving, and the serving tests measure
+ * early exit on.
+ */
+void programDecisiveLogits(Network &net, size_t hot_class = 3,
+                           size_t cold_class = 5);
+
 } // namespace nn
 } // namespace scdcnn
 

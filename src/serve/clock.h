@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pluggable time source for the serving layer.
+ *
+ * The batch scheduler's close conditions are all time-driven (queue
+ * delay expiry, deadline tightness), so scheduling logic reads time
+ * through a ClockSource instead of calling std::chrono directly: the
+ * server injects the steady clock, tests inject a ManualClock and
+ * step it — every close decision becomes deterministically testable
+ * without sleeps.
+ */
+
+#ifndef SCDCNN_SERVE_CLOCK_H
+#define SCDCNN_SERVE_CLOCK_H
+
+#include <chrono>
+#include <mutex>
+
+namespace scdcnn {
+namespace serve {
+
+/** Time source abstraction; TimePoint is steady-clock based so real
+ *  and manual time share one arithmetic. */
+class ClockSource
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+    using Duration = std::chrono::steady_clock::duration;
+
+    virtual ~ClockSource() = default;
+    virtual TimePoint now() const = 0;
+
+    /** Whether now() tracks the real steady clock — i.e. whether its
+     *  time points are valid targets for condition-variable
+     *  wait_until. False for manual test clocks. */
+    virtual bool isSteady() const { return false; }
+};
+
+/** The real monotonic clock (production). */
+class SteadyClock final : public ClockSource
+{
+  public:
+    TimePoint now() const override
+    {
+        return std::chrono::steady_clock::now();
+    }
+
+    bool isSteady() const override { return true; }
+};
+
+/** Settable clock for deterministic scheduler tests: time moves only
+ *  when the test advances it. */
+class ManualClock final : public ClockSource
+{
+  public:
+    explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+    TimePoint now() const override
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return now_;
+    }
+
+    void advance(Duration by)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        now_ += by;
+    }
+
+    void set(TimePoint t)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        now_ = t;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    TimePoint now_;
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_CLOCK_H

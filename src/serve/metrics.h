@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Lock-cheap serving metrics: latency histograms (p50/p95/p99),
+ * queue-depth and batch-size distributions, QoS counters — every
+ * record is a handful of relaxed atomic increments, so the serving
+ * hot path never takes a lock for accounting. snapshot() folds the
+ * counters into plain values and toJson() renders the snapshot the
+ * way the bench and the demo publish it.
+ */
+
+#ifndef SCDCNN_SERVE_METRICS_H
+#define SCDCNN_SERVE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace scdcnn {
+namespace serve {
+
+/**
+ * Fixed-footprint latency histogram: four linear sub-buckets per
+ * power-of-two octave of microseconds (relative bucket error <= 1/8),
+ * atomically incremented, no allocation after construction. Quantiles
+ * interpolate linearly inside the landing bucket.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double ms);
+
+    struct Stats
+    {
+        uint64_t count = 0;
+        double mean_ms = 0.0;
+        double max_ms = 0.0;
+        double p50_ms = 0.0;
+        double p95_ms = 0.0;
+        double p99_ms = 0.0;
+    };
+
+    Stats stats() const;
+
+  private:
+    static constexpr size_t kBuckets = 128;
+
+    static size_t bucketFor(uint64_t us);
+    static double bucketLowUs(size_t bucket);
+    static double bucketHighUs(size_t bucket);
+
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_us_{0};
+    std::atomic<uint64_t> max_us_{0};
+};
+
+/** Point-in-time fold of all serving counters. */
+struct MetricsSnapshot
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t batches = 0;
+    uint64_t early_exits = 0;
+    uint64_t degraded = 0;
+    uint64_t deadline_missed = 0;
+    uint64_t deadline_total = 0; //!< completed requests that had one
+    double avg_effective_bits = 0.0;
+    double avg_batch_size = 0.0;
+    double early_exit_rate = 0.0; //!< of completed
+    LatencyHistogram::Stats total_latency;
+    LatencyHistogram::Stats queue_latency;
+    /** batch-size distribution; index i = batches of size i, the last
+     *  slot aggregates everything >= its index. */
+    std::array<uint64_t, 65> batch_size_counts{};
+    /** close-reason counts indexed like CloseReason. */
+    std::array<uint64_t, 4> close_reasons{};
+    /** queue depth observed at batch close; same clamped indexing. */
+    std::array<uint64_t, 65> queue_depth_counts{};
+
+    /** Render as a JSON object string. */
+    std::string toJson() const;
+};
+
+class ServerMetrics
+{
+  public:
+    void recordSubmit() { submitted_.fetch_add(1); }
+    void recordReject() { rejected_.fetch_add(1); }
+
+    /** One closed micro-batch: its size, the queue depth left behind,
+     *  and why it closed. */
+    void recordBatch(size_t batch_size, size_t depth_after,
+                     CloseReason reason);
+
+    /** One finished request (also feeds the latency histograms). */
+    void recordResult(const InferenceResult &result, bool had_deadline);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    static constexpr size_t kSizeSlots = 65;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> early_exits_{0};
+    std::atomic<uint64_t> degraded_{0};
+    std::atomic<uint64_t> deadline_missed_{0};
+    std::atomic<uint64_t> deadline_total_{0};
+    std::atomic<uint64_t> effective_bits_sum_{0};
+    std::atomic<uint64_t> batch_image_sum_{0};
+    std::array<std::atomic<uint64_t>, kSizeSlots> batch_sizes_{};
+    std::array<std::atomic<uint64_t>, kSizeSlots> queue_depths_{};
+    std::array<std::atomic<uint64_t>, 4> close_reasons_{};
+    LatencyHistogram total_latency_;
+    LatencyHistogram queue_latency_;
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_METRICS_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Request/response vocabulary of the serving layer: per-request
+ * quality-of-service options and the per-request result record.
+ *
+ * The accuracy class is stochastic computing's progressive-precision
+ * knob surfaced per request (Li et al., budget-driven SC-DCNN
+ * optimization): High spends the full bit-stream, Balanced and Fast
+ * map onto EngineMode::Progressive with successively looser early-exit
+ * margins, and a deadline lets the scheduler degrade a request toward
+ * Fast when its remaining time budget no longer covers the precision
+ * it asked for. The result reports what was actually spent
+ * (effective_bits, served class) so callers see the trade they got.
+ */
+
+#ifndef SCDCNN_SERVE_REQUEST_H
+#define SCDCNN_SERVE_REQUEST_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sc_network.h"
+
+namespace scdcnn {
+namespace serve {
+
+/** Requested precision tier, ordered from most to least bits. */
+enum class AccuracyClass : uint8_t
+{
+    High = 0,     //!< full-length streams (EngineMode::Fused)
+    Balanced = 1, //!< Progressive at the calibrated default margin
+    Fast = 2,     //!< Progressive at an aggressive margin
+};
+
+/** Number of accuracy classes (array sizing). */
+constexpr size_t kAccuracyClasses = 3;
+
+/** "high" / "balanced" / "fast". */
+const char *accuracyClassName(AccuracyClass cls);
+
+/** Per-request serving options. */
+struct RequestOptions
+{
+    AccuracyClass accuracy = AccuracyClass::Balanced;
+
+    /**
+     * Completion deadline relative to submit time; zero means none.
+     * A deadline never rejects a request — it makes the scheduler
+     * expedite it and spend fewer effective bits when the remaining
+     * budget is tight (deadline-aware progressive precision).
+     */
+    std::chrono::microseconds deadline{0};
+
+    /** Engine seed for this request; unset derives one from the
+     *  request id, set makes the prediction reproducible against a
+     *  direct ScNetwork::predict(image, seed) call. */
+    std::optional<uint64_t> seed;
+};
+
+/** What one served request resolves to. */
+struct InferenceResult
+{
+    size_t predicted = 0;        //!< argmax class index
+    std::vector<double> scores;  //!< output-layer bipolar scores
+    size_t effective_bits = 0;   //!< stream cycles actually consumed
+    bool early_exit = false;     //!< Progressive margin test fired
+    uint64_t seed = 0;           //!< engine seed the request ran at
+
+    AccuracyClass requested = AccuracyClass::Balanced;
+    AccuracyClass served = AccuracyClass::Balanced;
+    bool degraded = false;       //!< served cheaper than requested
+    bool deadline_met = true;    //!< false iff a deadline was missed
+
+    size_t batch_size = 0;       //!< size of the micro-batch it rode in
+    double queue_ms = 0.0;       //!< submit -> batch close
+    double total_ms = 0.0;       //!< submit -> result ready
+};
+
+/** How one accuracy class maps onto the engine. */
+struct QosPolicy
+{
+    core::EngineMode mode = core::EngineMode::Progressive;
+    double progressive_margin = 4.0;
+    size_t progressive_min_bits = 256;
+
+    core::PredictOptions predictOptions() const
+    {
+        core::PredictOptions o;
+        o.mode = mode;
+        o.progressive_margin = progressive_margin;
+        o.progressive_min_bits = progressive_min_bits;
+        return o;
+    }
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_REQUEST_H

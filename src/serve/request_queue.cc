@@ -1,0 +1,113 @@
+#include "serve/request_queue.h"
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace serve {
+
+RequestQueue::RequestQueue(SchedulerLimits limits,
+                           const ClockSource *clock)
+    : clock_(clock), scheduler_(limits)
+{
+    SCDCNN_ASSERT(clock != nullptr, "RequestQueue needs a clock");
+}
+
+bool
+RequestQueue::push(PendingRequest &&req)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (closed_)
+            return false;
+        scheduler_.push(req.id, req.opts.accuracy, req.submitted,
+                        req.deadline);
+        payload_.emplace(req.id, std::move(req));
+    }
+    cv_.notify_all();
+    return true;
+}
+
+std::optional<ClosedBatch>
+RequestQueue::popBatch()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        const ClockSource::TimePoint now = clock_->now();
+        if (auto plan = scheduler_.poll(now, flush_ || closed_)) {
+            ClosedBatch batch;
+            batch.cls = plan->cls;
+            batch.reason = plan->reason;
+            batch.closed_at = now;
+            batch.items.reserve(plan->ids.size());
+            for (uint64_t id : plan->ids) {
+                auto it = payload_.find(id);
+                SCDCNN_ASSERT(it != payload_.end(),
+                              "scheduled id %llu has no payload",
+                              static_cast<unsigned long long>(id));
+                batch.items.push_back(std::move(it->second));
+                payload_.erase(it);
+            }
+            batch.depth_after = scheduler_.depth();
+            return batch;
+        }
+        if (closed_ && scheduler_.depth() == 0)
+            return std::nullopt;
+
+        // Sleep exactly until the scheduler could next close a batch;
+        // pushes, close() and kick() wake us earlier. A ManualClock's
+        // time points do not track the real clock, so fall back to a
+        // short poll there (tests drive the clock and kick()).
+        const auto next = scheduler_.nextEventTime();
+        if (!next.has_value()) {
+            cv_.wait(lk);
+        } else if (clock_->isSteady()) {
+            cv_.wait_until(lk, *next);
+        } else {
+            cv_.wait_for(lk, std::chrono::milliseconds(1));
+        }
+    }
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+RequestQueue::setFlush(bool on)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        flush_ = on;
+    }
+    cv_.notify_all();
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return scheduler_.depth();
+}
+
+void
+RequestQueue::setServiceEstimate(AccuracyClass cls,
+                                 ClockSource::Duration per_image)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    scheduler_.setServiceEstimate(cls, per_image);
+}
+
+void
+RequestQueue::kick()
+{
+    cv_.notify_all();
+}
+
+} // namespace serve
+} // namespace scdcnn

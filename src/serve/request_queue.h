@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Thread-safe intake queue of the serving layer.
+ *
+ * Producers push fully-formed pending requests (image + promise +
+ * QoS metadata); consumer threads block in popBatch() until the
+ * BatchScheduler closes a micro-batch, waking exactly at the next
+ * scheduler event (queue-delay expiry or deadline urgency) via a
+ * timed wait. The queue owns the request payloads; the scheduler only
+ * ever sees ids and times, keeping the decision logic pure.
+ */
+
+#ifndef SCDCNN_SERVE_REQUEST_QUEUE_H
+#define SCDCNN_SERVE_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "serve/clock.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace scdcnn {
+namespace serve {
+
+/** One submitted, not-yet-served request with its payload. */
+struct PendingRequest
+{
+    uint64_t id = 0;
+    nn::Tensor image;
+    RequestOptions opts;
+    uint64_t seed = 0; //!< resolved (explicit or id-derived)
+    std::promise<InferenceResult> promise;
+    ClockSource::TimePoint submitted;
+    std::optional<ClockSource::TimePoint> deadline; //!< absolute
+};
+
+/** One micro-batch handed to a batch worker, payloads included. */
+struct ClosedBatch
+{
+    std::vector<PendingRequest> items; //!< service order
+    AccuracyClass cls = AccuracyClass::Balanced;
+    CloseReason reason = CloseReason::Full;
+    size_t depth_after = 0; //!< queue depth left behind
+    ClockSource::TimePoint closed_at;
+};
+
+class RequestQueue
+{
+  public:
+    /** @p clock must outlive the queue. */
+    RequestQueue(SchedulerLimits limits, const ClockSource *clock);
+
+    /** Enqueue; false once close()d (the caller fails the promise). */
+    bool push(PendingRequest &&req);
+
+    /**
+     * Block until a micro-batch closes and return it; nullopt once the
+     * queue is closed and empty — the worker-loop exit signal. Safe to
+     * call from several consumer threads.
+     */
+    std::optional<ClosedBatch> popBatch();
+
+    /** Stop intake; queued requests still drain as batches. */
+    void close();
+
+    /** Drain mode on/off: when on, partial batches close immediately
+     *  instead of waiting out max_queue_delay. */
+    void setFlush(bool on);
+
+    /** Queued (not yet batched) requests. */
+    size_t depth() const;
+
+    /** Feed a measured per-image service time into the scheduler's
+     *  deadline-urgency estimate. */
+    void setServiceEstimate(AccuracyClass cls,
+                            ClockSource::Duration per_image);
+
+    /** Wake blocked consumers (tests advancing a ManualClock). */
+    void kick();
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    const ClockSource *clock_;
+    BatchScheduler scheduler_;
+    std::unordered_map<uint64_t, PendingRequest> payload_;
+    bool closed_ = false;
+    bool flush_ = false;
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Dynamic micro-batching scheduler of the serving layer.
+ *
+ * Pure decision logic, no threads and no real clock: callers push
+ * request metadata (id, accuracy class, enqueue time, optional
+ * deadline) and poll with an explicit "now". A batch closes when one
+ * of four conditions holds, checked in priority order:
+ *
+ *   Expedited    — a deadlined request's remaining budget no longer
+ *                  covers its precision class (plus one queue-delay of
+ *                  slack); it and every other urgent request are
+ *                  closed immediately at the cheapest degraded class
+ *                  among them.
+ *   Full         — some class queue reached max_batch.
+ *   DelayExpired — the oldest queued request has waited
+ *                  max_queue_delay; its class flushes (up to
+ *                  max_batch) so light load still bounds latency.
+ *   Drain        — flush mode (server drain/shutdown) closes partial
+ *                  batches, oldest class first.
+ *
+ * Requests are FIFO within a class; across classes the oldest head
+ * wins, so no class starves. Batches never mix accuracy classes
+ * (one micro-batch runs the engine with one PredictOptions), which is
+ * the compatibility grouping the server relies on. All time enters
+ * through parameters, so every decision is deterministically testable
+ * with a ManualClock.
+ */
+
+#ifndef SCDCNN_SERVE_SCHEDULER_H
+#define SCDCNN_SERVE_SCHEDULER_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/clock.h"
+#include "serve/request.h"
+
+namespace scdcnn {
+namespace serve {
+
+/** The two micro-batching bounds. */
+struct SchedulerLimits
+{
+    size_t max_batch = 8;
+    std::chrono::microseconds max_queue_delay{2000};
+};
+
+/** Why a batch closed. */
+enum class CloseReason : uint8_t
+{
+    Full,
+    DelayExpired,
+    Expedited,
+    Drain,
+};
+
+/** "full" / "delay" / "expedited" / "drain". */
+const char *closeReasonName(CloseReason reason);
+
+/** One closed micro-batch: request ids in service order plus the
+ *  accuracy class the whole batch is served at. */
+struct BatchPlan
+{
+    std::vector<uint64_t> ids;
+    AccuracyClass cls = AccuracyClass::Balanced;
+    CloseReason reason = CloseReason::Full;
+};
+
+class BatchScheduler
+{
+  public:
+    using TimePoint = ClockSource::TimePoint;
+    using Duration = ClockSource::Duration;
+
+    explicit BatchScheduler(SchedulerLimits limits);
+
+    /** Enqueue request metadata. @p deadline is absolute (nullopt =
+     *  none); requests must be pushed in submit order per caller for
+     *  the FIFO guarantee to mean anything. */
+    void push(uint64_t id, AccuracyClass cls, TimePoint enqueued,
+              std::optional<TimePoint> deadline);
+
+    /** Close and return the next batch due at @p now, or nullopt when
+     *  no close condition holds yet. @p flush closes partial batches
+     *  (drain/shutdown). Call repeatedly until nullopt: several
+     *  batches can be due at once. */
+    std::optional<BatchPlan> poll(TimePoint now, bool flush);
+
+    /**
+     * The earliest future instant at which poll() could close a batch
+     * without new pushes: the soonest queue-delay expiry or deadline
+     * urgency trigger. nullopt when nothing is queued. Drives the
+     * request queue's timed wait.
+     */
+    std::optional<TimePoint> nextEventTime() const;
+
+    /** Queued requests across all classes. */
+    size_t depth() const;
+
+    /**
+     * Per-image service-time estimate for a class, used by the
+     * deadline urgency test. The server feeds an EWMA of measured
+     * batch times back in; tests set it explicitly. Zero (the initial
+     * state) is a conservative "free" estimate: only requests within
+     * one max_queue_delay of their deadline count as urgent.
+     */
+    void setServiceEstimate(AccuracyClass cls, Duration per_image);
+    Duration serviceEstimate(AccuracyClass cls) const;
+
+    const SchedulerLimits &limits() const { return limits_; }
+
+  private:
+    struct Item
+    {
+        uint64_t id = 0;
+        TimePoint enqueued;
+        std::optional<TimePoint> deadline;
+        AccuracyClass requested = AccuracyClass::Balanced;
+    };
+
+    /** The instant this item becomes urgent (max() when undeadlined). */
+    TimePoint urgentAt(const Item &item) const;
+
+    /** Most accurate class whose estimated service still fits the
+     *  item's remaining budget at @p now (Fast when none does). */
+    AccuracyClass degradedClass(const Item &item, TimePoint now) const;
+
+    std::optional<BatchPlan> closeExpedited(TimePoint now);
+
+    SchedulerLimits limits_;
+    std::array<std::deque<Item>, kAccuracyClasses> queues_;
+    std::array<Duration, kAccuracyClasses> estimate_{};
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_SCHEDULER_H

@@ -1,0 +1,185 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace scdcnn {
+namespace serve {
+
+namespace {
+
+double
+toMs(ClockSource::Duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(const core::ScNetwork &net,
+                                 ServerConfig cfg,
+                                 const ClockSource *clock)
+    : net_(net), cfg_(cfg),
+      clock_(clock != nullptr ? clock : &fallback_clock_),
+      queue_(cfg_.limits, clock_)
+{
+    const size_t n_workers = cfg_.batch_workers == 0
+                                 ? 1
+                                 : cfg_.batch_workers;
+    workers_.reserve(n_workers);
+    for (size_t i = 0; i < n_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+ThreadPool &
+InferenceServer::computePool() const
+{
+    return cfg_.compute_pool != nullptr ? *cfg_.compute_pool
+                                        : ThreadPool::global();
+}
+
+std::future<InferenceResult>
+InferenceServer::submit(nn::Tensor image, RequestOptions opts)
+{
+    PendingRequest req;
+    req.id = next_id_.fetch_add(1);
+    req.image = std::move(image);
+    req.opts = opts;
+    req.seed = opts.seed.has_value()
+                   ? *opts.seed
+                   : cfg_.base_seed + req.id * 7919;
+    req.submitted = clock_->now();
+    if (opts.deadline.count() > 0)
+        req.deadline = req.submitted + opts.deadline;
+    std::future<InferenceResult> fut = req.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lk(state_mutex_);
+        ++outstanding_;
+    }
+    metrics_.recordSubmit();
+    if (!queue_.push(std::move(req))) {
+        // Intake is closed; fail the future instead of hanging it.
+        {
+            std::lock_guard<std::mutex> lk(state_mutex_);
+            --outstanding_;
+        }
+        idle_cv_.notify_all();
+        metrics_.recordReject();
+        req.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("InferenceServer is shut down")));
+    }
+    return fut;
+}
+
+void
+InferenceServer::workerLoop()
+{
+    while (auto batch = queue_.popBatch())
+        runBatch(std::move(*batch));
+}
+
+void
+InferenceServer::runBatch(ClosedBatch &&batch)
+{
+    const size_t n = batch.items.size();
+    metrics_.recordBatch(n, batch.depth_after, batch.reason);
+    const QosPolicy &policy = cfg_.qos[static_cast<size_t>(batch.cls)];
+    const core::PredictOptions popts = policy.predictOptions();
+
+    std::vector<size_t> preds(n);
+    std::vector<core::ForwardInfo> infos(n);
+    const ClockSource::TimePoint t0 = clock_->now();
+    parallelFor(computePool(), 0, n, [&](size_t i) {
+        preds[i] = net_.predictWith(batch.items[i].image,
+                                    batch.items[i].seed, popts, nullptr,
+                                    &infos[i]);
+    });
+    const ClockSource::TimePoint t1 = clock_->now();
+
+    // Feed the measured per-image service time back into the
+    // scheduler's deadline-urgency estimate (EWMA smooths batch-size
+    // and cache effects).
+    {
+        const double per_image_ms =
+            toMs(t1 - t0) / static_cast<double>(n);
+        std::lock_guard<std::mutex> lk(estimate_mutex_);
+        double &e = estimate_ms_[static_cast<size_t>(batch.cls)];
+        e = e == 0.0 ? per_image_ms : 0.7 * e + 0.3 * per_image_ms;
+        queue_.setServiceEstimate(
+            batch.cls,
+            std::chrono::duration_cast<ClockSource::Duration>(
+                std::chrono::duration<double, std::milli>(e)));
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        PendingRequest &item = batch.items[i];
+        InferenceResult r;
+        r.predicted = preds[i];
+        r.scores = std::move(infos[i].scores);
+        r.effective_bits = infos[i].effective_bits;
+        r.early_exit = infos[i].early_exit;
+        r.seed = item.seed;
+        r.requested = item.opts.accuracy;
+        r.served = batch.cls;
+        r.degraded = batch.cls > item.opts.accuracy;
+        r.deadline_met =
+            !item.deadline.has_value() || t1 <= *item.deadline;
+        r.batch_size = n;
+        r.queue_ms = toMs(batch.closed_at - item.submitted);
+        r.total_ms = toMs(t1 - item.submitted);
+        metrics_.recordResult(r, item.deadline.has_value());
+        item.promise.set_value(std::move(r));
+    }
+    {
+        std::lock_guard<std::mutex> lk(state_mutex_);
+        outstanding_ -= n;
+    }
+    idle_cv_.notify_all();
+}
+
+void
+InferenceServer::drain()
+{
+    queue_.setFlush(true);
+    {
+        std::unique_lock<std::mutex> lk(state_mutex_);
+        idle_cv_.wait(lk, [this] { return outstanding_ == 0; });
+    }
+    queue_.setFlush(false);
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(state_mutex_);
+        if (shut_down_)
+            return;
+        shut_down_ = true;
+    }
+    queue_.close(); // stop intake; workers flush the backlog...
+    for (auto &w : workers_)
+        w.join(); // ...and exit on the closed-and-empty signal
+    // A dedicated compute pool is quiesced without being destroyed,
+    // so it can be handed to the next server. (The process-global
+    // pool is shared with unrelated work and is left alone; our jobs
+    // on it finished before the workers joined.)
+    if (cfg_.compute_pool != nullptr)
+        cfg_.compute_pool->drain();
+}
+
+size_t
+InferenceServer::outstanding() const
+{
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    return outstanding_;
+}
+
+} // namespace serve
+} // namespace scdcnn

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Asynchronous inference server over ScNetwork.
+ *
+ * submit() hands back a std::future immediately; batch-worker threads
+ * pull dynamically-coalesced micro-batches from the RequestQueue (see
+ * scheduler.h for the close conditions) and run them through the
+ * engine via predictWith(), one PredictOptions per batch mapped from
+ * the batch's accuracy class by the server's QoS table. Measured
+ * per-image service times feed back into the scheduler's
+ * deadline-urgency estimates, closing the loop that lets a tight
+ * deadline buy fewer effective bits instead of a miss. drain() waits
+ * out the backlog without stopping intake; shutdown() (also run by
+ * the destructor) stops intake, serves what was accepted, joins the
+ * workers, and drains any dedicated compute pool.
+ */
+
+#ifndef SCDCNN_SERVE_SERVER_H
+#define SCDCNN_SERVE_SERVER_H
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sc_network.h"
+#include "serve/clock.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/scheduler.h"
+
+namespace scdcnn {
+
+class ThreadPool;
+
+namespace serve {
+
+struct ServerConfig
+{
+    /** Micro-batching bounds (max_batch, max_queue_delay). */
+    SchedulerLimits limits;
+
+    /** Batch-runner threads pulling from the queue. One is right for
+     *  a box the engine already saturates; more overlap queueing with
+     *  compute on larger machines. */
+    size_t batch_workers = 1;
+
+    /** Pool for intra-batch fan-out; null uses the process-global
+     *  pool. A dedicated pool is drained at shutdown. */
+    ThreadPool *compute_pool = nullptr;
+
+    /** Base of the id-derived per-request seed schedule (requests
+     *  with an explicit RequestOptions::seed bypass it). */
+    uint64_t base_seed = 0x5EED;
+
+    /** Accuracy class -> engine policy, indexed by AccuracyClass.
+     *  High runs full-length Fused; Balanced/Fast run Progressive at
+     *  successively looser margins. */
+    std::array<QosPolicy, kAccuracyClasses> qos = {
+        QosPolicy{core::EngineMode::Fused, 0.0, 0},
+        QosPolicy{core::EngineMode::Progressive, 4.0, 256},
+        QosPolicy{core::EngineMode::Progressive, 2.0, 64},
+    };
+};
+
+class InferenceServer
+{
+  public:
+    /**
+     * @param net   shared, already-constructed engine; predictWith()
+     *              is thread-safe, so one network serves all workers
+     * @param cfg   batching bounds / QoS table
+     * @param clock injected time source; null uses the steady clock.
+     *              Must outlive the server.
+     */
+    explicit InferenceServer(const core::ScNetwork &net,
+                             ServerConfig cfg = {},
+                             const ClockSource *clock = nullptr);
+
+    /** Runs shutdown(). */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Enqueue one image for classification. Never blocks on compute.
+     * After shutdown() the returned future holds a std::runtime_error
+     * instead of a result.
+     */
+    std::future<InferenceResult> submit(nn::Tensor image,
+                                        RequestOptions opts = {});
+
+    /**
+     * Flush partial batches and block until every accepted request
+     * has been answered. Intake stays open — a server can be drained
+     * between load phases and keep serving.
+     */
+    void drain();
+
+    /** Stop intake, serve the backlog, join workers. Idempotent. */
+    void shutdown();
+
+    /** Point-in-time metrics fold (thread-safe). */
+    MetricsSnapshot metricsSnapshot() const { return metrics_.snapshot(); }
+
+    /** Requests accepted but not yet answered. */
+    size_t outstanding() const;
+
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    void workerLoop();
+    void runBatch(ClosedBatch &&batch);
+    ThreadPool &computePool() const;
+
+    const core::ScNetwork &net_;
+    ServerConfig cfg_;
+    SteadyClock fallback_clock_;
+    const ClockSource *clock_;
+    RequestQueue queue_;
+    ServerMetrics metrics_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<uint64_t> next_id_{0};
+
+    mutable std::mutex state_mutex_;
+    std::condition_variable idle_cv_;
+    size_t outstanding_ = 0;
+    bool shut_down_ = false;
+
+    std::mutex estimate_mutex_;
+    std::array<double, kAccuracyClasses> estimate_ms_{};
+};
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_SERVER_H

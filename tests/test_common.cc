@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -42,6 +43,68 @@ TEST(ThreadPool, WaitWithNoJobsReturnsImmediately)
     ThreadPool pool(2);
     pool.wait();
     SUCCEED();
+}
+
+TEST(ThreadPool, DrainWaitsForAllSubmittedJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(counter.load(), 50);
+    // The pool survives a drain and keeps accepting work.
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(counter.load(), 51);
+}
+
+TEST(ThreadPool, DrainOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    SUCCEED();
+}
+
+TEST(ThreadPool, DrainFromInsideAWorkerJobIsNestingSafe)
+{
+    // A job on a 1-thread pool submits sub-jobs and drains its own
+    // pool: drain() must execute the queued sub-jobs inline (no other
+    // worker exists) and must not wait on the enclosing job itself.
+    ThreadPool pool(1);
+    std::atomic<int> sub_done{0};
+    std::atomic<bool> outer_done{false};
+    pool.submit([&] {
+        for (int i = 0; i < 3; ++i)
+            pool.submit([&sub_done] { sub_done.fetch_add(1); });
+        pool.drain();
+        EXPECT_EQ(sub_done.load(), 3);
+        outer_done.store(true);
+    });
+    pool.wait();
+    EXPECT_TRUE(outer_done.load());
+    EXPECT_EQ(sub_done.load(), 3);
+}
+
+TEST(ThreadPool, ConcurrentDrainsFromTwoWorkerJobsDoNotDeadlock)
+{
+    // Both workers enter drain() while each other's enclosing job is
+    // still in flight; the idle condition must discount every
+    // drainer-held job, not just the caller's own.
+    ThreadPool pool(2);
+    std::atomic<int> started{0};
+    std::atomic<int> done{0};
+    for (int j = 0; j < 2; ++j) {
+        pool.submit([&] {
+            started.fetch_add(1);
+            while (started.load() < 2)
+                std::this_thread::yield();
+            pool.drain();
+            done.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 2);
 }
 
 TEST(ParallelFor, CoversExactRange)

@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Guard the benchmark trajectory: compare a freshly generated
-BENCH_throughput.json against the committed one and fail on a
-single-image fused-latency regression beyond the allowed ratio.
+"""Guard the benchmark trajectory.
 
-The committed JSON is the perf record of the last merged PR; the bench
-box carries roughly +/-10% run-to-run noise, so the default gate only
-trips on a >25% slowdown. Machines differ — when the fresh run comes
-from different hardware than the committed record (the JSON carries
-compiler/SIMD/concurrency fields), the comparison is still a smoke
-check: a kernel-level regression shows up on every host.
+Throughput: compare a freshly generated BENCH_throughput.json against
+the committed one and fail on a single-image fused-latency regression
+beyond the allowed ratio.
+
+Serving: check BENCH_serving.json's gate block — the dynamic
+micro-batching server must sustain strictly higher images/sec than the
+per-request (batch=1) baseline at the same offered load — and compare
+throughput/p99 against the committed record.
+
+The committed JSONs are the perf record of the last merged PR; the
+bench box carries roughly +/-10% run-to-run noise, so the default gate
+only trips on a >25% slowdown. Machines differ — when the fresh run
+comes from different hardware than the committed record (the JSON
+carries compiler/SIMD/concurrency fields), the comparison is still a
+smoke check: a kernel-level regression shows up on every host.
 
 Usage:
   tools/bench_check.py --fresh build/BENCH_throughput.json \
-      [--committed BENCH_throughput.json] [--max-regress 0.25]
+      [--committed BENCH_throughput.json] \
+      [--serving-fresh build/BENCH_serving.json] \
+      [--serving-committed BENCH_serving.json] [--max-regress 0.25]
+
+At least one of --fresh / --serving-fresh is required.
 
 Exit status: 0 when within bounds (or no committed baseline exists),
 1 on regression, 2 on malformed input.
@@ -29,46 +40,127 @@ def load(path):
         return json.load(f)
 
 
-def fused_ms(doc, path):
+def field(doc, path_keys, path):
+    node = doc
     try:
-        return float(doc["single_image"]["fused_ms"])
+        for key in path_keys:
+            node = node[key]
+        return float(node)
     except (KeyError, TypeError, ValueError):
-        sys.stderr.write(f"bench_check: no single_image.fused_ms in {path}\n")
+        dotted = ".".join(path_keys)
+        sys.stderr.write(f"bench_check: no {dotted} in {path}\n")
         sys.exit(2)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--fresh", required=True,
-                    help="JSON written by the bench run under test")
-    ap.add_argument("--committed", default="BENCH_throughput.json",
-                    help="baseline JSON committed to the repository")
-    ap.add_argument("--max-regress", type=float,
-                    default=float(os.environ.get("SCDCNN_BENCH_CHECK_MAX",
-                                                 "0.25")),
-                    help="allowed fractional slowdown (default 0.25)")
-    args = ap.parse_args()
-
+def check_throughput(args):
+    """Fused single-image latency vs the committed record."""
     if not os.path.exists(args.fresh):
         sys.stderr.write(f"bench_check: fresh JSON {args.fresh} missing\n")
         sys.exit(2)
     if not os.path.exists(args.committed):
         print(f"bench_check: no committed baseline at {args.committed}; "
               "nothing to compare")
-        return
+        return True
 
-    fresh = fused_ms(load(args.fresh), args.fresh)
-    committed = fused_ms(load(args.committed), args.committed)
+    fresh = field(load(args.fresh), ("single_image", "fused_ms"),
+                  args.fresh)
+    committed = field(load(args.committed), ("single_image", "fused_ms"),
+                      args.committed)
     if committed <= 0:
         sys.stderr.write("bench_check: committed fused_ms is not positive\n")
         sys.exit(2)
 
     ratio = fresh / committed
     limit = 1.0 + args.max_regress
-    verdict = "OK" if ratio <= limit else "REGRESSION"
+    ok = ratio <= limit
+    verdict = "OK" if ok else "REGRESSION"
     print(f"bench_check: fused single-image {committed:.1f} ms -> "
           f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
-    if ratio > limit:
+    return ok
+
+
+def check_serving(args):
+    """Micro-batching must beat per-request serving at the same offered
+    load, and must not regress against the committed record."""
+    if not os.path.exists(args.serving_fresh):
+        sys.stderr.write(
+            f"bench_check: fresh JSON {args.serving_fresh} missing\n")
+        sys.exit(2)
+    doc = load(args.serving_fresh)
+    per_request = field(doc, ("gate", "per_request_ips"),
+                        args.serving_fresh)
+    micro = field(doc, ("gate", "microbatch_ips"), args.serving_fresh)
+    p99 = field(doc, ("gate", "microbatch_p99_ms"), args.serving_fresh)
+
+    ok = micro > per_request
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"bench_check: serving at same offered load: per-request "
+          f"{per_request:.1f} ips vs micro-batching {micro:.1f} ips "
+          f"({micro / per_request if per_request > 0 else 0:.2f}x, "
+          f"must be >1): {verdict}")
+
+    if not os.path.exists(args.serving_committed):
+        print(f"bench_check: no committed serving baseline at "
+              f"{args.serving_committed}; skipping trend check")
+        return ok
+
+    prev = load(args.serving_committed)
+    prev_micro = field(prev, ("gate", "microbatch_ips"),
+                       args.serving_committed)
+    prev_p99 = field(prev, ("gate", "microbatch_p99_ms"),
+                     args.serving_committed)
+
+    if prev_micro > 0:
+        ratio = micro / prev_micro
+        # Multiplicative floor: 1-max_regress would saturate at zero
+        # for the generous cross-host bound (--max-regress 1.0) and
+        # make the gate vacuous; 1/(1+max_regress) mirrors the latency
+        # limit and stays meaningful (0.8x at 0.25, 0.5x at 1.0).
+        floor = 1.0 / (1.0 + args.max_regress)
+        tp_ok = ratio >= floor
+        print(f"bench_check: serving throughput {prev_micro:.1f} -> "
+              f"{micro:.1f} ips ({ratio:.2f}x, floor {floor:.2f}x): "
+              f"{'OK' if tp_ok else 'REGRESSION'}")
+        ok = ok and tp_ok
+    if prev_p99 > 0:
+        ratio = p99 / prev_p99
+        limit = 1.0 + args.max_regress
+        p99_ok = ratio <= limit
+        print(f"bench_check: serving p99 {prev_p99:.1f} -> {p99:.1f} ms "
+              f"({ratio:.2f}x, limit {limit:.2f}x): "
+              f"{'OK' if p99_ok else 'REGRESSION'}")
+        ok = ok and p99_ok
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh",
+                    help="throughput JSON written by the bench run under "
+                         "test")
+    ap.add_argument("--committed", default="BENCH_throughput.json",
+                    help="throughput baseline committed to the repository")
+    ap.add_argument("--serving-fresh",
+                    help="serving JSON written by bench_serving")
+    ap.add_argument("--serving-committed", default="BENCH_serving.json",
+                    help="serving baseline committed to the repository")
+    ap.add_argument("--max-regress", type=float,
+                    default=float(os.environ.get("SCDCNN_BENCH_CHECK_MAX",
+                                                 "0.25")),
+                    help="allowed fractional slowdown (default 0.25)")
+    args = ap.parse_args()
+
+    if args.fresh is None and args.serving_fresh is None:
+        sys.stderr.write(
+            "bench_check: need --fresh and/or --serving-fresh\n")
+        sys.exit(2)
+
+    ok = True
+    if args.fresh is not None:
+        ok = check_throughput(args) and ok
+    if args.serving_fresh is not None:
+        ok = check_serving(args) and ok
+    if not ok:
         sys.exit(1)
 
 
