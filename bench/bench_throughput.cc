@@ -28,6 +28,7 @@
 #include "core/sc_network.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/topology.h"
 #include "sc/simd.h"
 
 using namespace scdcnn;
@@ -242,6 +243,42 @@ main()
                     t == 1 ? " " : "s", ms, ips);
     }
 
+    // --- scenario topologies ---------------------------------------
+    // The engine is topology-general; keep a per-topology datapoint
+    // for the two standing scenario networks so their trajectory is
+    // tracked alongside LeNet5 (bench_check tolerates entries with no
+    // committed history yet).
+    struct TopoPoint
+    {
+        const char *name;
+        double fused_ms;
+    };
+    std::vector<TopoPoint> topo_points;
+    {
+        struct Scenario
+        {
+            const char *name;
+            nn::Network net;
+        };
+        Scenario scenarios[] = {
+            {"lenet-l", nn::buildLeNetL(nn::PoolingMode::Max, 1)},
+            {"mlp", nn::buildMlp(1)},
+        };
+        std::printf("\nscenario topologies (fused single image):\n");
+        for (Scenario &s : scenarios) {
+            core::ScNetwork topo_net(s.net, cfg);
+            topo_net.predict(img, 1); // warm-up
+            t0 = std::chrono::steady_clock::now();
+            for (size_t r = 0; r < fused_reps; ++r)
+                topo_net.predict(img, 2 + r);
+            const double ms =
+                msSince(t0) / static_cast<double>(fused_reps);
+            topo_points.push_back({s.name, ms});
+            std::printf("  %-10s %10.1f ms %10.2f images/sec\n", s.name,
+                        ms, 1000.0 / ms);
+        }
+    }
+
     // --- machine-readable trajectory -------------------------------
     const char *json_env = std::getenv("SCDCNN_BENCH_JSON");
     const std::string json_path =
@@ -320,6 +357,16 @@ main()
                      i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"topologies\": {\n");
+    for (size_t i = 0; i < topo_points.size(); ++i) {
+        const TopoPoint &p = topo_points[i];
+        std::fprintf(f,
+                     "    \"%s\": {\"fused_ms\": %.3f, "
+                     "\"images_per_sec\": %.2f}%s\n",
+                     p.name, p.fused_ms, 1000.0 / p.fused_ms,
+                     i + 1 < topo_points.size() ? "," : "");
+    }
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);

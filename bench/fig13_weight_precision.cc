@@ -39,12 +39,12 @@ main()
             TextTable::num(static_cast<long long>(w))};
         for (size_t group = 0; group < 3; ++group) {
             nn::Network q = net;
-            nn::quantizeLeNet5SingleLayer(q, group, w);
+            nn::quantizeNetworkGroup(q, group, w);
             row.push_back(TextTable::num(
                 100.0 * nn::Trainer::errorRate(q, test), 2));
         }
         nn::Network q = net;
-        nn::quantizeLeNet5(q, {w, w, w});
+        nn::quantizeNetwork(q, {w, w, w});
         row.push_back(TextTable::num(
             100.0 * nn::Trainer::errorRate(q, test), 2));
         t.row(row);
@@ -53,7 +53,7 @@ main()
 
     // Section 5.3's layer-wise 7-7-6 point.
     nn::Network q776 = net;
-    nn::quantizeLeNet5(q776, {7, 7, 6});
+    nn::quantizeNetwork(q776, {7, 7, 6});
     std::printf("\nLayer-wise 7-7-6 storage: error %.2f%% "
                 "(baseline %.2f%%); the paper reports 1.65%% vs 1.53%% "
                 "with ~12x SRAM savings (see the sram cost model).\n",

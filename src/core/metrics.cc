@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "nn/topology.h"
 #include "sc/rng.h"
 
 namespace scdcnn {
@@ -82,12 +83,17 @@ errorRateWithLayerNoise(const nn::Network &net, const nn::Dataset &ds,
     SCDCNN_ASSERT(layer_group < 3, "layer group %zu out of range",
                   layer_group);
     SCDCNN_ASSERT(ds.size() > 0, "empty dataset");
-    // buildLeNet5 layer indices after which each paper layer group's
-    // output emerges: Layer0 -> tanh at 2, Layer1 -> tanh at 5,
-    // Layer2 -> tanh at 7.
-    const size_t inject_after = layer_group == 0 ? 2
-                                : layer_group == 1 ? 5
-                                                   : 7;
+    // The layer index after which the group's output emerges is
+    // derived from the topology walk: the activation closing the last
+    // hidden stage of that paper group (for buildLeNet5 this is the
+    // tanh at 2 / 5 / 7).
+    size_t inject_after = nn::StageOutline::kNone;
+    for (const nn::StageOutline &s : nn::outlineNetworkStages(net))
+        if (!s.is_output && s.paper_group == layer_group)
+            inject_after = s.act_index;
+    SCDCNN_ASSERT(inject_after != nn::StageOutline::kNone,
+                  "network has no hidden stage in paper layer group %zu",
+                  layer_group);
 
     const size_t n_workers =
         std::max<size_t>(1, ThreadPool::global().size());

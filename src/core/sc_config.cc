@@ -13,20 +13,31 @@ adderKindName(AdderKind kind)
     return kind == AdderKind::Mux ? "MUX" : "APC";
 }
 
-blocks::FebKind
-ScNetworkConfig::febKind(size_t layer) const
+AdderKind
+ScNetworkConfig::adderFor(size_t paper_group) const
 {
-    SCDCNN_ASSERT(layer < 3, "layer %zu out of range", layer);
-    const bool mux = layer_adders[layer] == AdderKind::Mux;
-    const bool max_pool = pooling == nn::PoolingMode::Max && layer < 2;
-    // Layer2 is fully connected: no pooling stage, so the Avg variants
-    // (whose pooling degenerates to a pass-through) are used.
+    SCDCNN_ASSERT(paper_group < 3, "paper group %zu out of range",
+                  paper_group);
+    return layer_adders[paper_group];
+}
+
+blocks::FebKind
+ScNetworkConfig::febKindFor(size_t paper_group, bool pooled) const
+{
+    const bool mux = adderFor(paper_group) == AdderKind::Mux;
+    const bool max_pool = pooling == nn::PoolingMode::Max && pooled;
     if (mux) {
         return max_pool ? blocks::FebKind::MuxMaxStanh
                         : blocks::FebKind::MuxAvgStanh;
     }
     return max_pool ? blocks::FebKind::ApcMaxBtanh
                     : blocks::FebKind::ApcAvgBtanh;
+}
+
+blocks::FebKind
+ScNetworkConfig::febKind(size_t layer) const
+{
+    return febKindFor(layer, layer < 2);
 }
 
 std::string

@@ -38,13 +38,27 @@ constexpr size_t kDefaultProgressiveMinBits = 256;
 struct ScNetworkConfig
 {
     nn::PoolingMode pooling = nn::PoolingMode::Max;
+
+    /**
+     * Per-paper-group adder kinds, indexed by the derived Layer0/1/2
+     * grouping (nn/topology.h): [0] the first conv block, [1] every
+     * deeper conv block, [2] all fully-connected layers. For LeNet5
+     * this is exactly the Table 6 conv1/conv2/FC split.
+     */
     std::array<AdderKind, 3> layer_adders = {AdderKind::Apc,
                                              AdderKind::Apc,
                                              AdderKind::Apc};
     size_t bitstream_len = 1024;
-    std::array<unsigned, 3> weight_bits = {7, 7, 6}; //!< Section 5.3
+
+    /** Per-paper-group weight precisions (Section 5.3), grouped like
+     *  layer_adders. */
+    std::array<unsigned, 3> weight_bits = {7, 7, 6};
     size_t segment_len = 16;
     blocks::KPolicy k_policy = blocks::KPolicy::Paper;
+
+    /** Input image geometry the engine is built for (the plan is
+     *  derived and validated against it at construction). */
+    size_t input_c = 1, input_h = 28, input_w = 28;
 
     /**
      * Segment-streaming granularity of the fused engine, in 64-bit
@@ -75,7 +89,20 @@ struct ScNetworkConfig
     /** Progressive mode never exits before this many stream cycles. */
     size_t progressive_min_bits = kDefaultProgressiveMinBits;
 
-    /** The FEB kind a layer uses (combines adder + pooling mode). */
+    /** The adder kind of a derived paper group (0, 1 or 2). */
+    AdderKind adderFor(size_t paper_group) const;
+
+    /**
+     * The FEB kind a stage of the given paper group uses: the group's
+     * adder combined with the pooling mode — pooled (conv) stages
+     * follow the configured pooling, fc stages have no pooling stage
+     * and use the Avg variants (whose pooling degenerates to a
+     * pass-through).
+     */
+    blocks::FebKind febKindFor(size_t paper_group, bool pooled) const;
+
+    /** LeNet5 shorthand: febKindFor() with the fixed Table 6 shape
+     *  (layers 0/1 pooled conv blocks, layer 2 the FC group). */
     blocks::FebKind febKind(size_t layer) const;
 
     /** Human-readable summary ("max L=1024 MUX-MUX-APC"). */

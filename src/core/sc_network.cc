@@ -144,64 +144,44 @@ gainMatchedSizing(blocks::FebKind kind, size_t n_inputs,
     return s;
 }
 
-/** The float network's activation gain after each paper layer group. */
-double
-floatActivationScale(const nn::Network &net, size_t tanh_layer_index)
-{
-    const auto *t = dynamic_cast<const nn::TanhLayer *>(
-        &net.layer(tanh_layer_index));
-    SCDCNN_ASSERT(t != nullptr, "expected a tanh layer at index %zu",
-                  tanh_layer_index);
-    return t->scale();
-}
-
 } // namespace
 
 ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
                      uint64_t weight_seed)
-    : cfg_(cfg)
+    : cfg_(cfg),
+      plan_(nn::deriveNetworkPlan(trained, cfg.input_c, cfg.input_h,
+                                  cfg.input_w))
 {
-    SCDCNN_ASSERT(trained.layerCount() == 9,
-                  "ScNetwork expects a buildLeNet5() network");
     // Store the weights the way the hardware would: quantized per the
-    // Section 5.2/5.3 storage scheme.
+    // Section 5.2/5.3 storage scheme (grouping derived from the plan).
     nn::Network net = trained;
-    nn::quantizeLeNet5(net, cfg_.weight_bits);
+    nn::quantizeNetwork(net, cfg_.weight_bits);
 
     const size_t len = cfg_.bitstream_len;
     bias_line_ = sc::constantStream(true, len);
     sc::SngBank bank(weight_seed);
 
-    const auto &c1 = dynamic_cast<const nn::ConvLayer &>(net.layer(0));
-    const auto &c2 = dynamic_cast<const nn::ConvLayer &>(net.layer(3));
-    const auto &f1 =
-        dynamic_cast<const nn::FullyConnected &>(net.layer(6));
-    const auto &f2 =
-        dynamic_cast<const nn::FullyConnected &>(net.layer(8));
-
-    // Size each layer's activation unit to the gain the float network
-    // was trained with; any shortfall (mixing-time clamp) becomes a
-    // weight pre-scaling at the next layer.
-    const size_t tanh_idx[3] = {2, 5, 7};
-    const size_t n_per_layer[3] = {
-        c1.cIn() * c1.kernel() * c1.kernel() + 1,
-        c2.cIn() * c2.kernel() * c2.kernel() + 1, f1.nIn() + 1};
-    const size_t pool_per_layer[3] = {4, 4, 1};
-    for (size_t l = 0; l < 3; ++l) {
-        const double g_float = floatActivationScale(net, tanh_idx[l]);
+    // Size each hidden stage's activation unit to the gain the float
+    // network was trained with; any shortfall (mixing-time clamp)
+    // becomes a weight pre-scaling at the next layer. Layers sharing
+    // (K, threshold) / (K, n_inputs) share one batched table through
+    // the cache.
+    const size_t n_stages = plan_.stages.size();
+    layer_gain_.assign(n_stages, 1.0);
+    layer_k_.assign(n_stages, 2);
+    stanh_tables_.assign(n_stages, nullptr);
+    btanh_tables_.assign(n_stages, nullptr);
+    for (size_t l = 0; l < n_stages; ++l) {
+        const nn::PlanStage &st = plan_.stages[l];
+        const size_t n_inputs = st.fan_in + 1;
         ActSizing sizing =
-            gainMatchedSizing(cfg_.febKind(l), n_per_layer[l],
-                              pool_per_layer[l], len, g_float);
+            gainMatchedSizing(stageFebKind(l), n_inputs,
+                              st.pooled ? 4 : 1, len, st.g_float);
         layer_k_[l] = sizing.k;
-        layer_gain_[l] = std::min(1.0, sizing.gain / g_float);
-    }
-
-    // Build the batched activation tables once; layers sharing
-    // (K, threshold) / (K, n_inputs) share one table through the cache.
-    for (size_t l = 0; l < 3; ++l) {
-        if (blocks::febUsesApc(cfg_.febKind(l)))
+        layer_gain_[l] = std::min(1.0, sizing.gain / st.g_float);
+        if (blocks::febUsesApc(stageFebKind(l)))
             btanh_tables_[l] = &fsm_tables_.btanh(
-                layer_k_[l], static_cast<unsigned>(n_per_layer[l]));
+                layer_k_[l], static_cast<unsigned>(n_inputs));
         else
             stanh_tables_[l] = &fsm_tables_.stanh(layer_k_[l]);
     }
@@ -257,25 +237,46 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
                 out.blocked.assign(o, i, out.at(o, i));
     };
 
-    encode_conv(c1, 1.0, conv1_);
-    encode_conv(c2, layer_gain_[0], conv2_);
-    encode_fc(f1, layer_gain_[1], fc1_);
-    encode_fc(f2, layer_gain_[2], fc2_);
+    // Encode the hidden stages in plan order (convs precede fcs by
+    // the grammar), each consuming the previous stage's realized
+    // gain, then the binary output layer.
+    double in_gain = 1.0;
+    for (size_t l = 0; l < n_stages; ++l) {
+        const nn::PlanStage &st = plan_.stages[l];
+        if (st.kind == nn::StageOutline::Kind::Conv) {
+            convs_.emplace_back();
+            encode_conv(dynamic_cast<const nn::ConvLayer &>(
+                            net.layer(st.layer_index)),
+                        in_gain, convs_.back());
+        } else {
+            fcs_.emplace_back();
+            encode_fc(dynamic_cast<const nn::FullyConnected &>(
+                          net.layer(st.layer_index)),
+                      in_gain, fcs_.back());
+        }
+        in_gain = layer_gain_[l];
+    }
+    encode_fc(dynamic_cast<const nn::FullyConnected &>(
+                  net.layer(plan_.output.layer_index)),
+              in_gain, out_);
 }
 
 ScNetwork::StreamGrid
 ScNetwork::encodeImage(const nn::Tensor &image, uint64_t seed,
                        PhaseBreakdown *profile) const
 {
-    SCDCNN_ASSERT(image.channels() == 1 && image.height() == 28 &&
-                      image.width() == 28,
-                  "expected a 1x28x28 image");
+    SCDCNN_ASSERT(image.channels() == plan_.in_c &&
+                      image.height() == plan_.in_h &&
+                      image.width() == plan_.in_w,
+                  "expected a %zux%zux%zu image, got %zux%zux%zu",
+                  plan_.in_c, plan_.in_h, plan_.in_w, image.channels(),
+                  image.height(), image.width());
     const Clock::time_point t0 = Clock::now();
     StreamGrid grid;
-    grid.c = 1;
-    grid.h = 28;
-    grid.w = 28;
-    grid.arena.reset(784, cfg_.bitstream_len);
+    grid.c = plan_.in_c;
+    grid.h = plan_.in_h;
+    grid.w = plan_.in_w;
+    grid.arena.reset(image.size(), cfg_.bitstream_len);
     sc::SngBank bank(seed);
     for (size_t i = 0; i < image.size(); ++i) {
         // Pixel values in [0,1] already lie inside the bipolar range;
@@ -307,7 +308,7 @@ ScNetwork::initConvRun(ConvRun &run, const StreamGrid &in,
     run.out.arena.reset(run.out.c * run.out.h * run.out.w,
                         cfg_.bitstream_len);
 
-    const blocks::FebKind kind = cfg_.febKind(layer_idx);
+    const blocks::FebKind kind = stageFebKind(layer_idx);
     const bool use_apc = blocks::febUsesApc(kind);
     const bool use_max = blocks::febUsesMaxPool(kind);
     const size_t n_pixels = run.out.c * run.out.h * run.out.w;
@@ -355,7 +356,7 @@ ScNetwork::runConvLayerSegment(const StreamGrid &in,
     const size_t n_inputs = weights.n_per_filter;
     const size_t len = cfg_.bitstream_len;
 
-    const blocks::FebKind kind = cfg_.febKind(layer_idx);
+    const blocks::FebKind kind = stageFebKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
     const bool use_max = blocks::febUsesMaxPool(kind);
@@ -585,7 +586,7 @@ ScNetwork::initFcRun(FcRun &run, const FcWeightStreams &weights,
                      size_t layer_idx, uint64_t seed) const
 {
     run.out.reset(weights.n_out, cfg_.bitstream_len);
-    const bool use_apc = blocks::febUsesApc(cfg_.febKind(layer_idx));
+    const bool use_apc = blocks::febUsesApc(stageFebKind(layer_idx));
     run.fsm.assign(weights.n_out,
                    use_apc ? btanh_tables_[layer_idx]->initialState()
                            : stanh_tables_[layer_idx]->initialState());
@@ -613,7 +614,7 @@ ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
                   in.size());
     const size_t n_inputs = weights.n_in + 1;
     const size_t len = cfg_.bitstream_len;
-    const blocks::FebKind kind = cfg_.febKind(layer_idx);
+    const blocks::FebKind kind = stageFebKind(layer_idx);
     const unsigned state_count = layer_k_[layer_idx];
     const bool use_apc = blocks::febUsesApc(kind);
     const bool fused = mode != EngineMode::Reference;
@@ -771,23 +772,48 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
                         : n_words;
     seg_words = std::min(seg_words, n_words);
 
+    // Per-stage carried state, seeded positionally per stage index
+    // (0x1111, 0x2222, ... — stage l gets seed ^ 0x1111*(l+1)).
+    const size_t n_convs = convs_.size();
+    const size_t n_fcs = fcs_.size();
     StreamGrid x = encodeImage(image, seed, profile);
-    ConvRun c1, c2;
-    FcRun f1;
+    std::vector<ConvRun> cruns(n_convs);
+    std::vector<FcRun> fruns(n_fcs);
     OutputRun out;
-    initConvRun(c1, x, conv1_, 0, seed ^ 0x1111);
-    initConvRun(c2, c1.out, conv2_, 1, seed ^ 0x2222);
-    initFcRun(f1, fc1_, 2, seed ^ 0x3333);
-    out.acc.assign(fc2_.n_out, {});
+    for (size_t l = 0; l < n_convs; ++l)
+        initConvRun(cruns[l], l == 0 ? x : cruns[l - 1].out, convs_[l],
+                    l, seed ^ (0x1111ULL * (l + 1)));
+    for (size_t j = 0; j < n_fcs; ++j)
+        initFcRun(fruns[j], fcs_[j], n_convs + j,
+                  seed ^ (0x1111ULL * (n_convs + j + 1)));
+    out.acc.assign(out_.n_out, {});
 
-    std::vector<sc::BitstreamView> flat;
-    flat.reserve(c2.out.arena.count());
-    for (size_t i = 0; i < c2.out.arena.count(); ++i)
-        flat.push_back(c2.out.arena.view(i));
-    std::vector<sc::BitstreamView> f1_views;
-    f1_views.reserve(f1.out.count());
-    for (size_t i = 0; i < f1.out.count(); ++i)
-        f1_views.push_back(f1.out.view(i));
+    // Input views of each fc stage and of the output layer: the
+    // flattened last conv grid (or the image itself for conv-free
+    // nets) feeds the first fc; each later stage reads its
+    // predecessor's output arena.
+    const auto grid_views = [](const StreamGrid &g) {
+        std::vector<sc::BitstreamView> v;
+        v.reserve(g.arena.count());
+        for (size_t i = 0; i < g.arena.count(); ++i)
+            v.push_back(g.arena.view(i));
+        return v;
+    };
+    const auto arena_views = [](const sc::StreamArena &a) {
+        std::vector<sc::BitstreamView> v;
+        v.reserve(a.count());
+        for (size_t i = 0; i < a.count(); ++i)
+            v.push_back(a.view(i));
+        return v;
+    };
+    std::vector<std::vector<sc::BitstreamView>> fc_in(n_fcs);
+    for (size_t j = 0; j < n_fcs; ++j)
+        fc_in[j] = j == 0 ? grid_views(n_convs > 0 ? cruns.back().out
+                                                   : x)
+                          : arena_views(fruns[j - 1].out);
+    const std::vector<sc::BitstreamView> out_in =
+        n_fcs > 0 ? arena_views(fruns.back().out)
+                  : grid_views(n_convs > 0 ? cruns.back().out : x);
 
     bool early_exit = false;
     for (size_t w0 = 0; w0 < n_words && !early_exit; w0 += seg_words) {
@@ -797,10 +823,14 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
         seg.c0 = w0 * 64;
         seg.n_cycles = std::min(seg.w1 * 64, len) - seg.c0;
 
-        runConvLayerSegment(x, conv1_, 0, seg, c1, mode, profile);
-        runConvLayerSegment(c1.out, conv2_, 1, seg, c2, mode, profile);
-        runFcLayerSegment(flat, fc1_, 2, seg, f1, mode, profile);
-        runOutputSegment(f1_views, fc2_, seg, out, mode, profile);
+        for (size_t l = 0; l < n_convs; ++l)
+            runConvLayerSegment(l == 0 ? x : cruns[l - 1].out,
+                                convs_[l], l, seg, cruns[l], mode,
+                                profile);
+        for (size_t j = 0; j < n_fcs; ++j)
+            runFcLayerSegment(fc_in[j], fcs_[j], n_convs + j, seg,
+                              fruns[j], mode, profile);
+        runOutputSegment(out_in, out_, seg, out, mode, profile);
 
         // Progressive precision: once the class decision is stable by
         // a configurable margin, the remaining segments cannot
@@ -826,9 +856,9 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
     }
 
     const auto consumed = static_cast<double>(out.consumed);
-    const auto fan_in = static_cast<double>(fc2_.n_in + 1);
-    std::vector<double> scores(fc2_.n_out);
-    for (size_t o = 0; o < fc2_.n_out; ++o)
+    const auto fan_in = static_cast<double>(out_.n_in + 1);
+    std::vector<double> scores(out_.n_out);
+    for (size_t o = 0; o < out_.n_out; ++o)
         scores[o] =
             (2.0 * static_cast<double>(
                        out.acc[o].value(/*approximate=*/true)) -

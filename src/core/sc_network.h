@@ -2,12 +2,16 @@
  * @file
  * The bit-level SC-DCNN inference engine.
  *
- * Runs the paper's LeNet5 entirely in the stochastic-computing domain:
- * pixels and (quantized) trained weights enter through SNGs as bipolar
+ * Runs any sequential conv/pool/fc network (the paper's LeNet5
+ * included) entirely in the stochastic-computing domain: pixels and
+ * (quantized) trained weights enter through SNGs as bipolar
  * bit-streams; every layer is evaluated by feature extraction blocks
  * (XNOR multipliers + MUX/APC adders + pooling + Stanh/Btanh) exactly
- * as the configured hardware would; the final 500->10 layer runs in
- * the binary domain (APC counts accumulated per class, argmax).
+ * as the configured hardware would; the final fc layer runs in the
+ * binary domain (APC counts accumulated per class, argmax). The
+ * feature-extraction-block structure is derived from the layer list
+ * by nn/topology.h's plan derivation, not pattern-matched against a
+ * fixed shape.
  *
  * Weight streams are generated once per network instance and shared by
  * all feature extraction blocks of a filter, mirroring the
@@ -30,6 +34,7 @@
 #include "core/sc_config.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/topology.h"
 #include "sc/bitstream.h"
 #include "sc/fsm_batch.h"
 #include "sc/fused.h"
@@ -116,14 +121,21 @@ struct PhaseBreakdown
 };
 
 /**
- * SC-domain LeNet5 built from a trained float network.
+ * SC-domain network built from a trained float network.
+ *
+ * Accepts any sequential conv/pool/fc topology the plan grammar of
+ * nn/topology.h supports (buildLeNet5() is one instance): the
+ * feature-extraction-block structure — geometry, fan-ins, FSM gains,
+ * arena sizes, paper-group knobs — is derived from the layer list at
+ * construction, with per-layer diagnostics for unsupported shapes.
  */
 class ScNetwork
 {
   public:
     /**
-     * @param trained     a buildLeNet5() network with trained weights
-     * @param cfg         per-layer FEB configuration
+     * @param trained     a trained sequential conv/pool/fc network
+     *                    (validated against cfg.input_c/h/w geometry)
+     * @param cfg         per-group FEB configuration + input geometry
      * @param weight_seed seed for the weight-stream SNGs
      */
     ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
@@ -197,22 +209,28 @@ class ScNetwork
     const ScNetworkConfig &config() const { return cfg_; }
 
     /**
-     * Output attenuation of layer 0/1/2 relative to the float
-     * network's activation: the ratio g_sc / g_float between the gain
-     * the SC activation unit realizes and the gain the float baseline
-     * was trained with. 1.0 when the unit could match the trained
-     * gain; below 1.0 when the FSM mixing-time clamp forced a smaller
-     * state count. The next layer's weight streams are programmed at
-     * w / layerGain (saturating in the SNG — the paper's pre-scaling)
-     * to compensate.
+     * Output attenuation of hidden stage @p layer relative to the
+     * float network's activation: the ratio g_sc / g_float between
+     * the gain the SC activation unit realizes and the gain the float
+     * baseline was trained with. 1.0 when the unit could match the
+     * trained gain; below 1.0 when the FSM mixing-time clamp forced a
+     * smaller state count. The next layer's weight streams are
+     * programmed at w / layerGain (saturating in the SNG — the
+     * paper's pre-scaling) to compensate.
      */
-    double layerGain(size_t layer) const { return layer_gain_[layer]; }
+    double layerGain(size_t layer) const { return layer_gain_.at(layer); }
 
-    /** The activation state count layer 0/1/2 operates with. */
+    /** The activation state count hidden stage @p layer operates with. */
     unsigned layerStateCount(size_t layer) const
     {
-        return layer_k_[layer];
+        return layer_k_.at(layer);
     }
+
+    /** Hidden feature-extraction stages (3 for LeNet5). */
+    size_t stageCount() const { return plan_.stages.size(); }
+
+    /** The derived construction plan this instance was built from. */
+    const nn::NetworkPlan &plan() const { return plan_; }
 
   private:
     /** The per-call options the instance-wide knobs (engineMode(),
@@ -335,20 +353,35 @@ class ScNetwork
                           EngineMode mode,
                           PhaseBreakdown *profile) const;
 
+    /** The FEB kind hidden stage @p layer runs with (derived from its
+     *  paper group and whether the stage pools). */
+    blocks::FebKind stageFebKind(size_t layer) const
+    {
+        const nn::PlanStage &st = plan_.stages[layer];
+        return cfg_.febKindFor(st.paper_group, st.pooled);
+    }
+
     ScNetworkConfig cfg_;
+    nn::NetworkPlan plan_;
     EngineMode engine_ = EngineMode::Fused;
     sc::Bitstream bias_line_; //!< the constant +1 stream
-    ConvWeightStreams conv1_, conv2_;
-    FcWeightStreams fc1_, fc2_;
-    std::array<double, 3> layer_gain_ = {1.0, 1.0, 1.0};
-    std::array<unsigned, 3> layer_k_ = {2, 2, 2};
+
+    /** Weight streams of the hidden stages, in plan order: conv
+     *  stages first (convs_[l] is stage l), then the hidden fc stages
+     *  (fcs_[l - convs_.size()]), then the binary output layer. */
+    std::vector<ConvWeightStreams> convs_;
+    std::vector<FcWeightStreams> fcs_;
+    FcWeightStreams out_;
+
+    std::vector<double> layer_gain_;
+    std::vector<unsigned> layer_k_;
 
     /** Batched activation tables, built once at construction and
      *  shared by all pixels of a layer (null where the layer's FEB
      *  kind uses the other activation family). */
     sc::FsmTableCache fsm_tables_;
-    std::array<const sc::StanhBatchTable *, 3> stanh_tables_ = {};
-    std::array<const sc::BtanhBatchTable *, 3> btanh_tables_ = {};
+    std::vector<const sc::StanhBatchTable *> stanh_tables_;
+    std::vector<const sc::BtanhBatchTable *> btanh_tables_;
 };
 
 } // namespace core

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "nn/topology.h"
 
 namespace scdcnn {
 namespace nn {
@@ -179,53 +180,24 @@ Network::loadWeights(const std::string &path)
 Network
 buildLeNet5(PoolingMode pooling, uint64_t seed, double act_scale)
 {
-    const auto mode = pooling == PoolingMode::Max ? PoolLayer::Mode::Max
-                                                  : PoolLayer::Mode::Avg;
-    Network net;
-    auto conv1 = std::make_unique<ConvLayer>(1, 20, 5);
-    conv1->initWeights(seed * 7919 + 1, 1.0 / act_scale);
-    net.add(std::move(conv1));
-    net.add(std::make_unique<PoolLayer>(mode));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto conv2 = std::make_unique<ConvLayer>(20, 50, 5);
-    conv2->initWeights(seed * 7919 + 2, 1.0 / act_scale);
-    net.add(std::move(conv2));
-    net.add(std::make_unique<PoolLayer>(mode));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto fc1 = std::make_unique<FullyConnected>(800, 500);
-    fc1->initWeights(seed * 7919 + 3, 1.0 / act_scale);
-    net.add(std::move(fc1));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto fc2 = std::make_unique<FullyConnected>(500, 10);
-    fc2->initWeights(seed * 7919 + 4);
-    net.add(std::move(fc2));
-    return net;
+    TopologySpec spec;
+    spec.convs = {{20, 5}, {50, 5}};
+    spec.fc_hidden = {500};
+    spec.act_scale = act_scale;
+    spec.seed = seed;
+    return buildTopology(spec, pooling);
 }
 
 Network
 buildMiniLeNet(PoolingMode pooling, uint64_t seed, double act_scale)
 {
-    const auto mode = pooling == PoolingMode::Max ? PoolLayer::Mode::Max
-                                                  : PoolLayer::Mode::Avg;
-    Network net;
-    auto conv1 = std::make_unique<ConvLayer>(1, 8, 5);
-    conv1->initWeights(seed * 104729 + 1, 1.0 / act_scale);
-    net.add(std::move(conv1));
-    net.add(std::make_unique<PoolLayer>(mode));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto conv2 = std::make_unique<ConvLayer>(8, 16, 5);
-    conv2->initWeights(seed * 104729 + 2, 1.0 / act_scale);
-    net.add(std::move(conv2));
-    net.add(std::make_unique<PoolLayer>(mode));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto fc1 = std::make_unique<FullyConnected>(16 * 4 * 4, 64);
-    fc1->initWeights(seed * 104729 + 3, 1.0 / act_scale);
-    net.add(std::move(fc1));
-    net.add(std::make_unique<TanhLayer>(act_scale));
-    auto fc2 = std::make_unique<FullyConnected>(64, 10);
-    fc2->initWeights(seed * 104729 + 4);
-    net.add(std::move(fc2));
-    return net;
+    TopologySpec spec;
+    spec.convs = {{8, 5}, {16, 5}};
+    spec.fc_hidden = {64};
+    spec.act_scale = act_scale;
+    spec.seed = seed;
+    spec.seed_stride = 104729;
+    return buildTopology(spec, pooling);
 }
 
 void

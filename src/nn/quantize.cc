@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/topology.h"
 
 namespace scdcnn {
 namespace nn {
@@ -38,46 +39,23 @@ quantizeLayer(Layer &layer, unsigned bits)
             v = static_cast<float>(quantizeWeight(v, bits));
 }
 
-namespace {
-
-/**
- * The paper's Layer0/1/2 grouping onto buildLeNet5() layer indices:
- * Layer0 = conv1 (index 0), Layer1 = conv2 (index 3), Layer2 = the
- * fully connected layers (indices 6 and 8).
- */
-const size_t kLayer0Index = 0;
-const size_t kLayer1Index = 3;
-const size_t kLayer2Indices[] = {6, 8};
-
-} // namespace
-
 void
-quantizeLeNet5(Network &net, const std::array<unsigned, 3> &bits)
+quantizeNetwork(Network &net, const std::array<unsigned, 3> &bits)
 {
-    SCDCNN_ASSERT(net.layerCount() == 9, "expected a buildLeNet5() net");
-    quantizeLayer(net.layer(kLayer0Index), bits[0]);
-    quantizeLayer(net.layer(kLayer1Index), bits[1]);
-    for (size_t idx : kLayer2Indices)
-        quantizeLayer(net.layer(idx), bits[2]);
+    // Grouping is derived from the topology walk, not from fixed
+    // layer indices: the outline names every parameterized layer and
+    // its paper group (output fc included, group 2).
+    for (const StageOutline &s : outlineNetworkStages(net))
+        quantizeLayer(net.layer(s.layer_index), bits[s.paper_group]);
 }
 
 void
-quantizeLeNet5SingleLayer(Network &net, size_t which, unsigned bits)
+quantizeNetworkGroup(Network &net, size_t which, unsigned bits)
 {
-    SCDCNN_ASSERT(net.layerCount() == 9, "expected a buildLeNet5() net");
     SCDCNN_ASSERT(which < 3, "layer group %zu out of range", which);
-    switch (which) {
-      case 0:
-        quantizeLayer(net.layer(kLayer0Index), bits);
-        break;
-      case 1:
-        quantizeLayer(net.layer(kLayer1Index), bits);
-        break;
-      default:
-        for (size_t idx : kLayer2Indices)
-            quantizeLayer(net.layer(idx), bits);
-        break;
-    }
+    for (const StageOutline &s : outlineNetworkStages(net))
+        if (s.paper_group == which)
+            quantizeLayer(net.layer(s.layer_index), bits);
 }
 
 } // namespace nn

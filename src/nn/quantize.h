@@ -33,17 +33,21 @@ double quantizeWeight(double x, unsigned bits);
 void quantizeLayer(Layer &layer, unsigned bits);
 
 /**
- * Layer-wise quantization of a LeNet5 network built by buildLeNet5():
- * bits[0] -> conv1, bits[1] -> conv2, bits[2] -> both FC layers
- * (matching the paper's Layer0/1/2 grouping).
+ * Layer-wise quantization of any sequential conv/pool/fc network. The
+ * paper's Layer0/1/2 grouping is derived from the topology (see
+ * nn/topology.h): bits[0] -> the first conv block, bits[1] -> every
+ * deeper conv block, bits[2] -> all fully-connected layers. For
+ * buildLeNet5() this reproduces the conv1 / conv2 / FC split exactly.
  */
-void quantizeLeNet5(Network &net, const std::array<unsigned, 3> &bits);
+void quantizeNetwork(Network &net, const std::array<unsigned, 3> &bits);
 
 /**
- * Quantize only the paper's Layer @p which of a LeNet5 (0, 1 or 2),
+ * Quantize only the layers of paper group @p which (0, 1 or 2),
  * leaving the rest at full precision — the Figure 13 per-layer sweep.
+ * A group absent from the topology (e.g. group 1 of a single-conv
+ * net, or groups 0/1 of an MLP) quantizes nothing.
  */
-void quantizeLeNet5SingleLayer(Network &net, size_t which, unsigned bits);
+void quantizeNetworkGroup(Network &net, size_t which, unsigned bits);
 
 } // namespace nn
 } // namespace scdcnn

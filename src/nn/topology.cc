@@ -1,0 +1,250 @@
+#include "nn/topology.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace nn {
+
+Network
+buildTopology(const TopologySpec &spec, PoolingMode pooling)
+{
+    SCDCNN_ASSERT(spec.in_c > 0 && spec.in_h > 0 && spec.in_w > 0,
+                  "topology spec: empty input geometry");
+    SCDCNN_ASSERT(spec.n_classes > 0, "topology spec: zero classes");
+    const auto mode = pooling == PoolingMode::Max ? PoolLayer::Mode::Max
+                                                  : PoolLayer::Mode::Avg;
+    const double gain = 1.0 / spec.act_scale;
+
+    // The geometry checks below are spec-level twins of the
+    // deriveNetworkPlan() rules, worded for the spec author (the plan
+    // walk re-validates the assembled net against its input geometry
+    // at ScNetwork construction).
+    Network net;
+    size_t c = spec.in_c, h = spec.in_h, w = spec.in_w;
+    uint64_t layer_no = 1;
+    for (const TopologySpec::ConvStage &cs : spec.convs) {
+        SCDCNN_ASSERT(cs.c_out > 0 && cs.k > 0,
+                      "topology spec: degenerate conv stage %zu@%zux%zu",
+                      cs.c_out, cs.k, cs.k);
+        SCDCNN_ASSERT(h >= cs.k && w >= cs.k,
+                      "topology spec: %zux%zu kernel does not fit the "
+                      "%zux%zu input",
+                      cs.k, cs.k, h, w);
+        const size_t ch = h - cs.k + 1, cw = w - cs.k + 1;
+        SCDCNN_ASSERT(ch % 2 == 0 && cw % 2 == 0,
+                      "topology spec: conv output %zux%zu is not 2x2 "
+                      "poolable (use an odd kernel on an even input)",
+                      ch, cw);
+        auto conv = std::make_unique<ConvLayer>(c, cs.c_out, cs.k);
+        conv->initWeights(spec.seed * spec.seed_stride + layer_no++,
+                          gain);
+        net.add(std::move(conv));
+        net.add(std::make_unique<PoolLayer>(mode));
+        net.add(std::make_unique<TanhLayer>(spec.act_scale));
+        c = cs.c_out;
+        h = ch / 2;
+        w = cw / 2;
+    }
+    size_t n_in = c * h * w;
+    for (size_t width : spec.fc_hidden) {
+        SCDCNN_ASSERT(width > 0, "topology spec: zero-width fc stage");
+        auto fc = std::make_unique<FullyConnected>(n_in, width);
+        fc->initWeights(spec.seed * spec.seed_stride + layer_no++, gain);
+        net.add(std::move(fc));
+        net.add(std::make_unique<TanhLayer>(spec.act_scale));
+        n_in = width;
+    }
+    auto out = std::make_unique<FullyConnected>(n_in, spec.n_classes);
+    out->initWeights(spec.seed * spec.seed_stride + layer_no++);
+    net.add(std::move(out));
+    return net;
+}
+
+Network
+buildLeNetL(PoolingMode pooling, uint64_t seed, double act_scale)
+{
+    TopologySpec spec;
+    spec.convs = {{20, 5}, {50, 5}, {64, 3}};
+    spec.fc_hidden = {128};
+    spec.act_scale = act_scale;
+    spec.seed = seed;
+    return buildTopology(spec, pooling);
+}
+
+Network
+buildMlp(uint64_t seed, double act_scale)
+{
+    TopologySpec spec;
+    spec.fc_hidden = {500};
+    spec.act_scale = act_scale;
+    spec.seed = seed;
+    // The pooling mode is irrelevant to a conv-free net.
+    return buildTopology(spec, PoolingMode::Max);
+}
+
+std::vector<StageOutline>
+outlineNetworkStages(const Network &net)
+{
+    SCDCNN_ASSERT(net.layerCount() > 0,
+                  "cannot derive a plan for an empty network");
+    std::vector<StageOutline> stages;
+    const size_t n = net.layerCount();
+    size_t conv_blocks = 0;
+    bool seen_fc = false;
+    size_t i = 0;
+    while (i < n) {
+        const Layer &l = net.layer(i);
+        if (dynamic_cast<const ConvLayer *>(&l) != nullptr) {
+            SCDCNN_ASSERT(!seen_fc,
+                          "layer %zu (conv): a conv layer cannot follow "
+                          "a fully-connected layer (fc flattens the "
+                          "feature map)",
+                          i);
+            StageOutline s;
+            s.kind = StageOutline::Kind::Conv;
+            s.layer_index = i;
+            SCDCNN_ASSERT(
+                i + 1 < n &&
+                    dynamic_cast<const PoolLayer *>(&net.layer(i + 1)) !=
+                        nullptr,
+                "layer %zu (conv): the SC feature extraction block "
+                "needs a 2x2 pool layer right after every conv",
+                i);
+            s.pool_index = i + 1;
+            SCDCNN_ASSERT(
+                i + 2 < n &&
+                    dynamic_cast<const TanhLayer *>(&net.layer(i + 2)) !=
+                        nullptr,
+                "layer %zu (conv): the conv block must end with a tanh "
+                "activation after its pool layer",
+                i);
+            s.act_index = i + 2;
+            s.paper_group = conv_blocks == 0 ? 0 : 1;
+            ++conv_blocks;
+            stages.push_back(s);
+            i += 3;
+        } else if (dynamic_cast<const FullyConnected *>(&l) != nullptr) {
+            seen_fc = true;
+            StageOutline s;
+            s.kind = StageOutline::Kind::Fc;
+            s.layer_index = i;
+            s.paper_group = 2;
+            if (i + 1 == n) {
+                s.is_output = true;
+                ++i;
+            } else {
+                SCDCNN_ASSERT(
+                    dynamic_cast<const TanhLayer *>(&net.layer(i + 1)) !=
+                        nullptr,
+                    "layer %zu (fc): a hidden fully-connected layer "
+                    "must be followed by a tanh activation",
+                    i);
+                s.act_index = i + 1;
+                i += 2;
+            }
+            stages.push_back(s);
+        } else if (dynamic_cast<const PoolLayer *>(&l) != nullptr) {
+            SCDCNN_ASSERT(false,
+                          "layer %zu (pool): pooling is only supported "
+                          "inside a conv block (conv -> pool -> tanh)",
+                          i);
+        } else if (dynamic_cast<const TanhLayer *>(&l) != nullptr) {
+            SCDCNN_ASSERT(false,
+                          "layer %zu (tanh): an activation must close a "
+                          "conv block or follow a hidden fc layer",
+                          i);
+        } else {
+            SCDCNN_ASSERT(false,
+                          "layer %zu (%s): layer type not supported by "
+                          "the SC engine (conv/pool/fc/tanh only)",
+                          i, l.name().c_str());
+        }
+    }
+    SCDCNN_ASSERT(stages.back().is_output,
+                  "the network must end in a fully-connected output "
+                  "layer (the binary-domain stage), got a %s block at "
+                  "layer %zu",
+                  stages.back().kind == StageOutline::Kind::Conv ? "conv"
+                                                                 : "fc",
+                  stages.back().layer_index);
+    return stages;
+}
+
+NetworkPlan
+deriveNetworkPlan(const Network &net, size_t in_c, size_t in_h,
+                  size_t in_w)
+{
+    SCDCNN_ASSERT(in_c > 0 && in_h > 0 && in_w > 0,
+                  "cannot derive a plan for an empty input geometry");
+    NetworkPlan plan;
+    plan.in_c = in_c;
+    plan.in_h = in_h;
+    plan.in_w = in_w;
+
+    size_t c = in_c, h = in_h, w = in_w;
+    for (const StageOutline &o : outlineNetworkStages(net)) {
+        PlanStage st;
+        st.kind = o.kind;
+        st.layer_index = o.layer_index;
+        st.act_index = o.act_index;
+        st.paper_group = o.paper_group;
+        st.pooled = o.kind == StageOutline::Kind::Conv;
+        st.in_c = c;
+        st.in_h = h;
+        st.in_w = w;
+        if (o.kind == StageOutline::Kind::Conv) {
+            const auto &conv = dynamic_cast<const ConvLayer &>(
+                net.layer(o.layer_index));
+            SCDCNN_ASSERT(conv.cIn() == c,
+                          "layer %zu (conv): expects %zu input "
+                          "channels, the incoming feature map has %zu",
+                          o.layer_index, conv.cIn(), c);
+            const size_t k = conv.kernel();
+            SCDCNN_ASSERT(h >= k && w >= k,
+                          "layer %zu (conv): %zux%zu kernel does not "
+                          "fit the %zux%zu feature map",
+                          o.layer_index, k, k, h, w);
+            const size_t ch = h - k + 1, cw = w - k + 1;
+            SCDCNN_ASSERT(ch % 2 == 0 && cw % 2 == 0,
+                          "layer %zu (conv): conv output %zux%zu is "
+                          "not 2x2 poolable",
+                          o.layer_index, ch, cw);
+            st.fan_in = conv.cIn() * k * k;
+            st.out_c = conv.cOut();
+            st.out_h = ch / 2;
+            st.out_w = cw / 2;
+        } else {
+            const auto &fc = dynamic_cast<const FullyConnected &>(
+                net.layer(o.layer_index));
+            const size_t flat = c * h * w;
+            SCDCNN_ASSERT(fc.nIn() == flat,
+                          "layer %zu (fc): expects %zu inputs, the "
+                          "incoming feature map flattens to %zu",
+                          o.layer_index, fc.nIn(), flat);
+            st.fan_in = fc.nIn();
+            st.out_c = fc.nOut();
+            st.out_h = 1;
+            st.out_w = 1;
+        }
+        if (!o.is_output) {
+            const auto *t = dynamic_cast<const TanhLayer *>(
+                &net.layer(o.act_index));
+            SCDCNN_ASSERT(t != nullptr,
+                          "layer %zu: expected a tanh layer",
+                          o.act_index);
+            st.g_float = t->scale();
+            plan.stages.push_back(st);
+        } else {
+            plan.output = st;
+        }
+        c = st.out_c;
+        h = st.out_h;
+        w = st.out_w;
+    }
+    return plan;
+}
+
+} // namespace nn
+} // namespace scdcnn

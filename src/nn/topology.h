@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Topology-general network construction and plan derivation.
+ *
+ * The SC engine accepts any *sequential* network assembled from the
+ * feature-extraction-block grammar of the paper:
+ *
+ *   net      := conv-block* fc-block* output-fc
+ *   conv-block := ConvLayer PoolLayer TanhLayer   (one FEB per pixel)
+ *   fc-block   := FullyConnected TanhLayer        (one FEB per neuron)
+ *   output-fc  := FullyConnected                  (binary-domain layer)
+ *
+ * buildTopology() assembles such a network from a TopologySpec (the
+ * LeNet5 of Section 6.3 is one instance; so are deeper conv stacks and
+ * conv-free MLPs). outlineNetworkStages() walks an existing layer list
+ * and recovers the block structure — with a per-layer diagnostic for
+ * every sequence the grammar rejects — and deriveNetworkPlan() layers
+ * the input geometry on top (feature-map sizes, fan-ins, flatten
+ * widths), which is everything ScNetwork needs to build itself.
+ *
+ * The paper's Layer0/1/2 grouping (weight precisions, adder kinds,
+ * Figure 16 noise groups) is derived from the same walk: the first
+ * conv block is group 0, every deeper conv block is group 1, and all
+ * fully-connected layers are group 2.
+ */
+
+#ifndef SCDCNN_NN_TOPOLOGY_H
+#define SCDCNN_NN_TOPOLOGY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace scdcnn {
+namespace nn {
+
+/**
+ * Declarative description of a sequential conv/pool/fc topology.
+ * Every conv stage expands to conv -> 2x2 pool -> tanh, every hidden
+ * fc stage to fc -> tanh; the net ends in a plain fc output layer.
+ */
+struct TopologySpec
+{
+    /** One conv stage: @p c_out filters of @p k x @p k taps. The conv
+     *  output must be even-sized (odd kernels on even inputs) so the
+     *  2x2 pooling stage is well-defined. */
+    struct ConvStage
+    {
+        size_t c_out;
+        size_t k;
+    };
+
+    size_t in_c = 1, in_h = 28, in_w = 28; //!< input image geometry
+    std::vector<ConvStage> convs;          //!< conv blocks, in order
+    std::vector<size_t> fc_hidden;         //!< hidden fc widths, in order
+    size_t n_classes = 10;                 //!< output-fc width
+
+    /** Activation gain of every hidden tanh (see network.h). */
+    double act_scale = kDefaultActivationScale;
+
+    /** Per-layer init seeds are seed * seed_stride + layer_number;
+     *  buildLeNet5()/buildMiniLeNet() are exact instances (strides
+     *  7919 / 104729). */
+    uint64_t seed = 1;
+    uint64_t seed_stride = 7919;
+};
+
+/** Assemble the network a spec describes (panics with a geometry
+ *  diagnostic when a conv chain cannot produce the declared shapes). */
+Network buildTopology(const TopologySpec &spec,
+                      PoolingMode pooling = PoolingMode::Max);
+
+/**
+ * A deeper 3-conv "LeNet-L" scenario network:
+ * 28x28 -> 20@5x5 -> 50@5x5 -> 64@3x3 (each pool 2x2 + tanh)
+ * -> fc 128 -> fc 10.
+ */
+Network buildLeNetL(PoolingMode pooling, uint64_t seed = 1,
+                    double act_scale = kDefaultActivationScale);
+
+/** A conv-free MLP scenario network: 784 -> fc 500 -> fc 10. */
+Network buildMlp(uint64_t seed = 1,
+                 double act_scale = kDefaultActivationScale);
+
+/**
+ * One recovered block of a sequential network (structure only, no
+ * geometry): a conv FEB block, a hidden fc FEB block, or the binary
+ * output layer.
+ */
+struct StageOutline
+{
+    enum class Kind
+    {
+        Conv,
+        Fc,
+    };
+
+    static constexpr size_t kNone = static_cast<size_t>(-1);
+
+    Kind kind = Kind::Fc;
+    size_t layer_index = 0;     //!< the conv/fc layer's network index
+    size_t pool_index = kNone;  //!< the pool layer (conv blocks only)
+    size_t act_index = kNone;   //!< the tanh layer (kNone for output)
+    bool is_output = false;     //!< the final binary-domain fc
+
+    /** Paper Layer0/1/2 group: first conv block 0, deeper conv blocks
+     *  1, every fully-connected layer (hidden and output) 2. */
+    size_t paper_group = 2;
+};
+
+/**
+ * Recover the block structure of a sequential network, validating it
+ * against the supported grammar. Every violation panics with a
+ * per-layer diagnostic (unsupported layer type, conv without its
+ * pool/tanh, activation in the wrong place, conv after fc, missing
+ * output layer) instead of a blunt shape assert.
+ */
+std::vector<StageOutline> outlineNetworkStages(const Network &net);
+
+/** One stage of a derived plan: the outline plus geometry. */
+struct PlanStage
+{
+    StageOutline::Kind kind = StageOutline::Kind::Fc;
+    size_t layer_index = 0;
+    size_t act_index = StageOutline::kNone;
+    size_t paper_group = 2;
+    bool pooled = false;  //!< conv blocks pool 2x2; fc blocks do not
+
+    size_t fan_in = 0;    //!< weights per filter/neuron, bias excluded
+    size_t in_c = 0, in_h = 0, in_w = 0;
+    size_t out_c = 0, out_h = 0, out_w = 0; //!< post-pooling for conv
+
+    /** The trained activation gain g_float of the block's tanh
+     *  (0 for the output stage, which has no activation). */
+    double g_float = 0.0;
+
+    /** Flattened output width (the next stage's fan-in). */
+    size_t flatOut() const { return out_c * out_h * out_w; }
+};
+
+/**
+ * The full construction plan of a network at a given input geometry:
+ * the hidden feature-extraction stages in execution order followed by
+ * the binary output stage. Geometry violations (channel mismatches,
+ * kernels that do not fit, odd conv outputs, fc fan-in mismatches)
+ * panic with the offending layer named.
+ */
+struct NetworkPlan
+{
+    size_t in_c = 0, in_h = 0, in_w = 0;
+    std::vector<PlanStage> stages; //!< hidden FEB stages, in order
+    PlanStage output;              //!< the final binary-domain fc
+
+    /** Hidden conv stages (they always precede the fc stages). */
+    size_t convCount() const
+    {
+        size_t n = 0;
+        for (const PlanStage &s : stages)
+            n += s.kind == StageOutline::Kind::Conv ? 1 : 0;
+        return n;
+    }
+};
+
+/** Derive the plan of @p net for @p in_c x @p in_h x @p in_w inputs. */
+NetworkPlan deriveNetworkPlan(const Network &net, size_t in_c,
+                              size_t in_h, size_t in_w);
+
+} // namespace nn
+} // namespace scdcnn
+
+#endif // SCDCNN_NN_TOPOLOGY_H

@@ -81,9 +81,18 @@ struct InferenceResult
 /** How one accuracy class maps onto the engine. */
 struct QosPolicy
 {
+    /** Sentinels for "derive from the served network's calibrated
+     *  Progressive config at server construction": Balanced inherits
+     *  the network's margin/floor, Fast runs at half the margin and a
+     *  quarter of the floor. Different networks (short streams, other
+     *  topologies) then get QoS tables matched to their calibration
+     *  instead of one hardcoded set. */
+    static constexpr double kDeriveMargin = -1.0;
+    static constexpr size_t kDeriveMinBits = static_cast<size_t>(-1);
+
     core::EngineMode mode = core::EngineMode::Progressive;
-    double progressive_margin = 4.0;
-    size_t progressive_min_bits = 256;
+    double progressive_margin = kDeriveMargin;
+    size_t progressive_min_bits = kDeriveMinBits;
 
     core::PredictOptions predictOptions() const
     {

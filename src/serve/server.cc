@@ -26,6 +26,22 @@ InferenceServer::InferenceServer(const core::ScNetwork &net,
       clock_(clock != nullptr ? clock : &fallback_clock_),
       queue_(cfg_.limits, clock_)
 {
+    // Resolve the QoS derive sentinels from the served network's
+    // calibrated Progressive knobs: Balanced inherits them, Fast runs
+    // at half the margin and a quarter of the floor.
+    const core::ScNetworkConfig &ncfg = net_.config();
+    for (size_t c = 0; c < kAccuracyClasses; ++c) {
+        QosPolicy &q = cfg_.qos[c];
+        const bool fast =
+            static_cast<AccuracyClass>(c) == AccuracyClass::Fast;
+        if (q.progressive_margin < 0.0)
+            q.progressive_margin = fast ? ncfg.progressive_margin / 2
+                                        : ncfg.progressive_margin;
+        if (q.progressive_min_bits == QosPolicy::kDeriveMinBits)
+            q.progressive_min_bits = fast
+                                         ? ncfg.progressive_min_bits / 4
+                                         : ncfg.progressive_min_bits;
+    }
     const size_t n_workers = cfg_.batch_workers == 0
                                  ? 1
                                  : cfg_.batch_workers;

@@ -59,11 +59,15 @@ struct ServerConfig
 
     /** Accuracy class -> engine policy, indexed by AccuracyClass.
      *  High runs full-length Fused; Balanced/Fast run Progressive at
-     *  successively looser margins. */
+     *  successively looser margins. Margins/floors default to the
+     *  QosPolicy derive sentinels: the server resolves them from the
+     *  served network's calibrated Progressive config at construction
+     *  (read the resolved table back via config().qos). Explicit
+     *  values are kept as-is. */
     std::array<QosPolicy, kAccuracyClasses> qos = {
         QosPolicy{core::EngineMode::Fused, 0.0, 0},
-        QosPolicy{core::EngineMode::Progressive, 4.0, 256},
-        QosPolicy{core::EngineMode::Progressive, 2.0, 64},
+        QosPolicy{core::EngineMode::Progressive},
+        QosPolicy{core::EngineMode::Progressive},
     };
 };
 

@@ -5,11 +5,20 @@
  * loudly rather than corrupt results silently.
  */
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "blocks/feature_block.h"
 #include "blocks/inner_product.h"
 #include "blocks/pooling.h"
+#include "core/sc_network.h"
+#include "nn/layers.h"
+#include "nn/network.h"
+#include "nn/topology.h"
 #include "sc/bitstream.h"
 #include "sc/counter.h"
 #include "sc/ops.h"
@@ -112,6 +121,261 @@ TEST(ErrorPaths, FeatureBlockRejectsDegenerateConfigs)
     blocks::FebConfig cfg;
     cfg.n_inputs = 1;
     EXPECT_DEATH(blocks::FeatureBlock feb(cfg), "receptive field");
+}
+
+// --------------------------------- weight serialization round trips
+
+namespace {
+
+/** A small custom (non-LeNet) topology: 1 conv block + 1 hidden fc. */
+nn::Network
+customNet(uint64_t seed = 5)
+{
+    nn::TopologySpec spec;
+    spec.in_h = spec.in_w = 12;
+    spec.convs = {{3, 3}};
+    spec.fc_hidden = {11};
+    spec.n_classes = 6;
+    spec.seed = seed;
+    return nn::buildTopology(spec);
+}
+
+std::string
+tempWeightsPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "scdcnn_weights_" + tag +
+           ".bin";
+}
+
+} // namespace
+
+TEST(WeightSerialization, RoundTripsOnACustomTopology)
+{
+    const std::string path = tempWeightsPath("roundtrip");
+    nn::Network a = customNet(5);
+    ASSERT_TRUE(a.saveWeights(path));
+
+    // A structurally-equal net with different weights must come back
+    // holding exactly the saved parameters.
+    nn::Network b = customNet(99);
+    ASSERT_TRUE(b.loadWeights(path));
+    for (size_t i = 0; i < a.layerCount(); ++i) {
+        auto *wa = a.layer(i).weights();
+        auto *wb = b.layer(i).weights();
+        ASSERT_EQ(wa == nullptr, wb == nullptr);
+        if (wa != nullptr) {
+            EXPECT_EQ(*wa, *wb) << "layer " << i;
+        }
+        auto *ba = a.layer(i).biases();
+        auto *bb = b.layer(i).biases();
+        if (ba != nullptr) {
+            EXPECT_EQ(*ba, *bb) << "layer " << i;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WeightSerialization, MissingFileLoadsFalse)
+{
+    nn::Network net = customNet();
+    EXPECT_FALSE(net.loadWeights(
+        tempWeightsPath("does_not_exist_anywhere")));
+}
+
+TEST(WeightSerialization, CorruptMagicLoadsFalse)
+{
+    const std::string path = tempWeightsPath("badmagic");
+    nn::Network net = customNet();
+    ASSERT_TRUE(net.saveWeights(path));
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        const uint32_t junk = 0xDEADBEEF;
+        ASSERT_EQ(std::fwrite(&junk, sizeof(junk), 1, f), 1u);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(net.loadWeights(path));
+    std::remove(path.c_str());
+}
+
+TEST(WeightSerialization, TruncatedFileLoadsFalse)
+{
+    const std::string path = tempWeightsPath("truncated");
+    nn::Network net = customNet();
+    ASSERT_TRUE(net.saveWeights(path));
+
+    // Re-write only the first half of the file.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 16);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<char> head(static_cast<size_t>(size) / 2);
+    ASSERT_EQ(std::fread(head.data(), 1, head.size(), f), head.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(head.data(), 1, head.size(), f), head.size());
+    std::fclose(f);
+
+    EXPECT_FALSE(net.loadWeights(path));
+    std::remove(path.c_str());
+}
+
+TEST(WeightSerialization, ShapeMismatchLoadsFalse)
+{
+    // Weights saved from one topology must be refused by a different
+    // one (the per-vector length headers disagree) — cleanly, with a
+    // false return instead of silent corruption or a crash.
+    const std::string path = tempWeightsPath("mismatch");
+    nn::Network a = customNet();
+    ASSERT_TRUE(a.saveWeights(path));
+
+    nn::TopologySpec other;
+    other.in_h = other.in_w = 12;
+    other.convs = {{4, 3}}; // different channel count
+    other.fc_hidden = {11};
+    other.n_classes = 6;
+    nn::Network b = nn::buildTopology(other);
+    EXPECT_FALSE(b.loadWeights(path));
+    std::remove(path.c_str());
+}
+
+// ------------------------------------ topology plan rejection paths
+
+TEST(TopologyValidation, EmptyNetworkRejected)
+{
+    nn::Network net;
+    EXPECT_DEATH(nn::outlineNetworkStages(net), "empty network");
+}
+
+TEST(TopologyValidation, ConvWithoutPoolRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 3));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(50, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 0 .conv.*pool layer right after");
+}
+
+TEST(TopologyValidation, ConvBlockWithoutTanhRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 3));
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::FullyConnected>(50, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 0 .conv.*end with a tanh");
+}
+
+TEST(TopologyValidation, StrayPoolRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::FullyConnected>(196, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 0 .pool.*inside a conv block");
+}
+
+TEST(TopologyValidation, StrayActivationRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(784, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 0 .tanh.*must close a conv block");
+}
+
+TEST(TopologyValidation, ConvAfterFcRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::FullyConnected>(784, 144));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 3));
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(50, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 2 .conv.*cannot follow a fully-connected");
+}
+
+TEST(TopologyValidation, HiddenFcWithoutTanhRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::FullyConnected>(784, 32));
+    net.add(std::make_unique<nn::FullyConnected>(32, 4));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "layer 0 .fc.*followed by a tanh");
+}
+
+TEST(TopologyValidation, MissingOutputFcRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 3));
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    EXPECT_DEATH(nn::outlineNetworkStages(net),
+                 "must end in a fully-connected output layer");
+}
+
+TEST(TopologyValidation, ChannelMismatchRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(3, 2, 3)); // input is 1ch
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(50, 4));
+    EXPECT_DEATH(nn::deriveNetworkPlan(net, 1, 12, 12),
+                 "layer 0 .conv.*expects 3 input channels");
+}
+
+TEST(TopologyValidation, KernelLargerThanInputRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 5));
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(8, 4));
+    EXPECT_DEATH(nn::deriveNetworkPlan(net, 1, 4, 4),
+                 "layer 0 .conv.*does not fit");
+}
+
+TEST(TopologyValidation, UnpoolableConvOutputRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::ConvLayer>(1, 2, 4)); // even kernel
+    net.add(std::make_unique<nn::PoolLayer>(nn::PoolLayer::Mode::Max));
+    net.add(std::make_unique<nn::TanhLayer>(0.35));
+    net.add(std::make_unique<nn::FullyConnected>(32, 4));
+    EXPECT_DEATH(nn::deriveNetworkPlan(net, 1, 12, 12),
+                 "layer 0 .conv.*not 2x2 poolable");
+}
+
+TEST(TopologyValidation, FcFanInMismatchRejected)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::FullyConnected>(100, 4)); // 144 flat
+    EXPECT_DEATH(nn::deriveNetworkPlan(net, 1, 12, 12),
+                 "layer 0 .fc.*expects 100 inputs.*flattens to 144");
+}
+
+TEST(TopologyValidation, EngineRejectsWrongImageGeometry)
+{
+    // Construction validates the network against the configured input
+    // geometry; predict validates each image against the plan.
+    nn::TopologySpec spec;
+    spec.in_h = spec.in_w = 12;
+    spec.fc_hidden = {8};
+    spec.n_classes = 4;
+    nn::Network net = nn::buildTopology(spec);
+    core::ScNetworkConfig cfg;
+    cfg.bitstream_len = 64;
+    cfg.input_h = cfg.input_w = 12;
+    core::ScNetwork sc(net, cfg);
+    const nn::Tensor wrong(1, 28, 28);
+    EXPECT_DEATH(sc.predict(wrong, 1), "expected a 1x12x12 image");
 }
 
 } // namespace

@@ -110,13 +110,13 @@ TEST(QuantizeLeNet5, SevenBitsBarelyMovesAccuracy)
     double base_err = Trainer::errorRate(net, test);
 
     Network q7 = net;
-    quantizeLeNet5(q7, {7, 7, 7});
+    quantizeNetwork(q7, {7, 7, 7});
     double q7_err = Trainer::errorRate(q7, test);
     EXPECT_NEAR(q7_err, base_err, 0.05);
 
     // 2-bit weights wreck it.
     Network q2 = net;
-    quantizeLeNet5(q2, {2, 2, 2});
+    quantizeNetwork(q2, {2, 2, 2});
     double q2_err = Trainer::errorRate(q2, test);
     EXPECT_GT(q2_err, base_err + 0.05);
 }
@@ -125,7 +125,7 @@ TEST(QuantizeLeNet5SingleLayer, OnlyTargetsOneGroup)
 {
     Network net = buildLeNet5(PoolingMode::Max, 8);
     Network original = net;
-    quantizeLeNet5SingleLayer(net, 1, 2);
+    quantizeNetworkGroup(net, 1, 2);
     // conv1 untouched, conv2 changed.
     EXPECT_EQ(*net.layer(0).weights(), *original.layer(0).weights());
     EXPECT_NE(*net.layer(3).weights(), *original.layer(3).weights());

@@ -20,6 +20,7 @@
 #include "core/sc_network.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/topology.h"
 #include "serve/clock.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
@@ -337,6 +338,84 @@ TEST(InferenceServer, AnswersMatchDirectPredict)
     EXPECT_EQ(snap.submitted, 6u);
 }
 
+TEST(InferenceServer, ServesNonLeNetTopologies)
+{
+    // The serving layer is topology-general: a conv-free MLP
+    // (784-500-10) and the deeper 3-conv LeNet-L both serve
+    // end-to-end — submit() -> micro-batched predictWith -> futures —
+    // with predictions bit-equal to direct predict() calls.
+    struct Scenario
+    {
+        const char *name;
+        nn::Network net;
+    };
+    Scenario scenarios[] = {
+        {"mlp", nn::buildMlp(1)},
+        {"lenet-l", nn::buildLeNetL(nn::PoolingMode::Max, 1)},
+    };
+    for (Scenario &sc : scenarios) {
+        core::ScNetworkConfig cfg;
+        cfg.bitstream_len = 128;
+        cfg.stream_segment_words = 1;
+        core::ScNetwork engine(sc.net, cfg);
+        serve::ServerConfig scfg;
+        scfg.limits = limits(4, 200us);
+        serve::InferenceServer server(engine, scfg);
+
+        std::vector<nn::Tensor> images;
+        std::vector<std::future<serve::InferenceResult>> futures;
+        for (size_t i = 0; i < 4; ++i) {
+            images.push_back(nn::DigitDataset::render(i % 10, 40 + i));
+            serve::RequestOptions opts;
+            opts.accuracy = AccuracyClass::High;
+            opts.seed = 3000 + i;
+            futures.push_back(server.submit(images.back(), opts));
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+            serve::InferenceResult r = futures[i].get();
+            EXPECT_EQ(r.predicted, engine.predict(images[i], 3000 + i))
+                << sc.name << " image " << i;
+            EXPECT_EQ(r.scores.size(), 10u) << sc.name;
+            EXPECT_EQ(r.effective_bits, cfg.bitstream_len) << sc.name;
+        }
+        const auto snap = server.metricsSnapshot();
+        EXPECT_EQ(snap.completed, 4u) << sc.name;
+    }
+}
+
+TEST(InferenceServer, QosTableIsDerivedFromTheServedNetwork)
+{
+    // A network calibrated with its own Progressive knobs propagates
+    // them into the server's resolved QoS table: Balanced inherits
+    // margin/floor, Fast halves the margin and quarters the floor;
+    // explicit entries are untouched.
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
+    core::ScNetworkConfig cfg;
+    cfg.bitstream_len = 256;
+    cfg.progressive_margin = 3.0;
+    cfg.progressive_min_bits = 128;
+    core::ScNetwork engine(net, cfg);
+
+    serve::InferenceServer server(engine, {});
+    const auto &qos = server.config().qos;
+    const auto &balanced =
+        qos[static_cast<size_t>(AccuracyClass::Balanced)];
+    EXPECT_DOUBLE_EQ(balanced.progressive_margin, 3.0);
+    EXPECT_EQ(balanced.progressive_min_bits, 128u);
+    const auto &fast = qos[static_cast<size_t>(AccuracyClass::Fast)];
+    EXPECT_DOUBLE_EQ(fast.progressive_margin, 1.5);
+    EXPECT_EQ(fast.progressive_min_bits, 32u);
+
+    serve::ServerConfig explicit_cfg;
+    explicit_cfg.qos[static_cast<size_t>(AccuracyClass::Fast)] = {
+        core::EngineMode::Progressive, 9.0, 16};
+    serve::InferenceServer server2(engine, explicit_cfg);
+    const auto &fast2 = server2.config()
+                            .qos[static_cast<size_t>(AccuracyClass::Fast)];
+    EXPECT_DOUBLE_EQ(fast2.progressive_margin, 9.0);
+    EXPECT_EQ(fast2.progressive_min_bits, 16u);
+}
+
 TEST(InferenceServer, MultiProducerStressEveryRequestAnsweredOnce)
 {
     ServingFixture fx;
@@ -413,8 +492,10 @@ TEST(InferenceServer, ProgressiveClassReportsEffectiveBits)
     EXPECT_GT(r.effective_bits, 0u);
     // The served result must equal a direct predictWith at the same
     // policy and seed — bit-exact, batching must not change outcomes.
+    // The server resolves the QoS derive sentinels at construction,
+    // so the policy to mirror is the resolved one in config().
     const serve::QosPolicy &fast =
-        scfg.qos[static_cast<size_t>(AccuracyClass::Fast)];
+        server.config().qos[static_cast<size_t>(AccuracyClass::Fast)];
     core::ForwardInfo direct;
     const size_t pred =
         sc.predictWith(img, 99, fast.predictOptions(), nullptr, &direct);

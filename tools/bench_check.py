@@ -52,6 +52,47 @@ def field(doc, path_keys, path):
         sys.exit(2)
 
 
+def check_topologies(fresh_doc, committed_doc, args):
+    """Per-topology fused-latency trend: gate entries that have a
+    committed history, tolerate (and announce) brand-new topologies so
+    a PR can introduce a scenario network without a baseline."""
+    fresh_topos = fresh_doc.get("topologies", {})
+    committed_topos = committed_doc.get("topologies", {})
+    if not isinstance(fresh_topos, dict):
+        sys.stderr.write("bench_check: malformed topologies block\n")
+        sys.exit(2)
+
+    ok = True
+    limit = 1.0 + args.max_regress
+    for name in sorted(committed_topos):
+        if name not in fresh_topos:
+            print(f"bench_check: topology {name} has committed history "
+                  "but is missing from the fresh run: REGRESSION")
+            ok = False
+    for name in sorted(fresh_topos):
+        try:
+            fresh_ms = float(fresh_topos[name]["fused_ms"])
+        except (KeyError, TypeError, ValueError):
+            sys.stderr.write(
+                f"bench_check: topology {name} has no fused_ms\n")
+            sys.exit(2)
+        prev = committed_topos.get(name)
+        if not isinstance(prev, dict) or "fused_ms" not in prev:
+            print(f"bench_check: topology {name}: {fresh_ms:.1f} ms "
+                  "(new entry, no committed history — skipping gate)")
+            continue
+        prev_ms = float(prev["fused_ms"])
+        if prev_ms <= 0:
+            continue
+        ratio = fresh_ms / prev_ms
+        entry_ok = ratio <= limit
+        print(f"bench_check: topology {name}: {prev_ms:.1f} ms -> "
+              f"{fresh_ms:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): "
+              f"{'OK' if entry_ok else 'REGRESSION'}")
+        ok = ok and entry_ok
+    return ok
+
+
 def check_throughput(args):
     """Fused single-image latency vs the committed record."""
     if not os.path.exists(args.fresh):
@@ -62,9 +103,10 @@ def check_throughput(args):
               "nothing to compare")
         return True
 
-    fresh = field(load(args.fresh), ("single_image", "fused_ms"),
-                  args.fresh)
-    committed = field(load(args.committed), ("single_image", "fused_ms"),
+    fresh_doc = load(args.fresh)
+    committed_doc = load(args.committed)
+    fresh = field(fresh_doc, ("single_image", "fused_ms"), args.fresh)
+    committed = field(committed_doc, ("single_image", "fused_ms"),
                       args.committed)
     if committed <= 0:
         sys.stderr.write("bench_check: committed fused_ms is not positive\n")
@@ -76,7 +118,7 @@ def check_throughput(args):
     verdict = "OK" if ok else "REGRESSION"
     print(f"bench_check: fused single-image {committed:.1f} ms -> "
           f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
-    return ok
+    return check_topologies(fresh_doc, committed_doc, args) and ok
 
 
 def check_serving(args):
