@@ -243,6 +243,20 @@ main()
                     t == 1 ? " " : "s", ms, ips);
     }
 
+    // Batch-vs-single throughput ratio of the weight-stationary batch
+    // path (both sides on one thread, so the ratio isolates the
+    // kernel-level win — weight words streamed once per micro-batch —
+    // from thread scaling). The reuse factor is the number of images
+    // each weight-block load serves: the whole batch under the
+    // whole-stream default, vs 1 on the per-image loop.
+    const double single_ips = 1000.0 / fused_ms;
+    const double batch_ratio =
+        points.empty() ? 0.0 : points[0].images_per_sec / single_ips;
+    std::printf("  %-28s %10.2fx (batch ips / single ips, 1 thread)\n",
+                "batch speedup", batch_ratio);
+    std::printf("  %-28s %10zu images per weight-block load\n",
+                "weight-block reuse", batch_images);
+
     // --- scenario topologies ---------------------------------------
     // The engine is topology-general; keep a per-topology datapoint
     // for the two standing scenario networks so their trajectory is
@@ -252,6 +266,9 @@ main()
     {
         const char *name;
         double fused_ms;
+        double batch_ms;
+        double batch_ips;
+        double batch_ratio; //!< batch ips / single-image ips, 1 thread
     };
     std::vector<TopoPoint> topo_points;
     {
@@ -264,7 +281,10 @@ main()
             {"lenet-l", nn::buildLeNetL(nn::PoolingMode::Max, 1)},
             {"mlp", nn::buildMlp(1)},
         };
-        std::printf("\nscenario topologies (fused single image):\n");
+        std::printf("\nscenario topologies (fused single image + "
+                    "%zu-image batch, 1 thread):\n",
+                    batch_images);
+        ThreadPool pool1(1);
         for (Scenario &s : scenarios) {
             core::ScNetwork topo_net(s.net, cfg);
             topo_net.predict(img, 1); // warm-up
@@ -273,9 +293,16 @@ main()
                 topo_net.predict(img, 2 + r);
             const double ms =
                 msSince(t0) / static_cast<double>(fused_reps);
-            topo_points.push_back({s.name, ms});
-            std::printf("  %-10s %10.1f ms %10.2f images/sec\n", s.name,
-                        ms, 1000.0 / ms);
+            t0 = std::chrono::steady_clock::now();
+            topo_net.forwardBatch(images, 42, &pool1);
+            const double bms = msSince(t0);
+            const double bips =
+                static_cast<double>(batch_images) / (bms / 1000.0);
+            const double ratio = bips / (1000.0 / ms);
+            topo_points.push_back({s.name, ms, bms, bips, ratio});
+            std::printf("  %-10s %10.1f ms single, %10.1f ms batch "
+                        "(%6.2f images/sec, %4.2fx)\n",
+                        s.name, ms, bms, bips, ratio);
         }
     }
 
@@ -347,6 +374,9 @@ main()
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"batch\": {\n");
     std::fprintf(f, "    \"images\": %zu,\n", batch_images);
+    std::fprintf(f, "    \"weight_block_reuse\": %zu,\n", batch_images);
+    std::fprintf(f, "    \"batch_ips_per_single_ips\": %.3f,\n",
+                 batch_ratio);
     std::fprintf(f, "    \"runs\": [\n");
     for (size_t i = 0; i < points.size(); ++i) {
         const ThreadPoint &p = points[i];
@@ -363,8 +393,12 @@ main()
         const TopoPoint &p = topo_points[i];
         std::fprintf(f,
                      "    \"%s\": {\"fused_ms\": %.3f, "
-                     "\"images_per_sec\": %.2f}%s\n",
-                     p.name, p.fused_ms, 1000.0 / p.fused_ms,
+                     "\"images_per_sec\": %.2f, "
+                     "\"batch_ms_total\": %.3f, "
+                     "\"batch_images_per_sec\": %.2f, "
+                     "\"batch_ips_per_single_ips\": %.3f}%s\n",
+                     p.name, p.fused_ms, 1000.0 / p.fused_ms, p.batch_ms,
+                     p.batch_ips, p.batch_ratio,
                      i + 1 < topo_points.size() ? "," : "");
     }
     std::fprintf(f, "  }\n");

@@ -95,8 +95,31 @@ main()
     core::ForwardInfo info;
     const size_t pred = engine.predict(img, 42, nullptr, &info);
     std::printf("custom 1-conv topology (%zu hidden stages): "
-                "class %zu, top score %+.3f over %zu bits\n",
+                "class %zu, top score %+.3f over %zu bits\n\n",
                 engine.stageCount(), pred, info.scores[pred],
                 info.effective_bits);
+
+    // --- 8. Micro-batches: the weight-stationary batch path ----------
+    // forwardBatch runs several images through one fused pass that
+    // loads each weight block once per segment word and folds it
+    // against every image before advancing — same bits as per-image
+    // predict() at the same seeds, cheaper per image. The ForwardInfo
+    // vector carries each image's scores and consumed bits (under
+    // Progressive precision, images can exit the batch mid-stream at
+    // different bit counts).
+    std::vector<nn::Tensor> digits;
+    for (size_t d = 0; d < 4; ++d)
+        digits.push_back(nn::DigitDataset::render(d, 0));
+    std::vector<core::ForwardInfo> infos;
+    const std::vector<size_t> preds = engine.forwardBatch(
+        digits, /*seed=*/42, core::PredictOptions{}, /*pool=*/nullptr,
+        &infos);
+    std::printf("batch of %zu through the batch kernels:\n",
+                digits.size());
+    for (size_t i = 0; i < digits.size(); ++i)
+        std::printf("  digit %zu -> class %zu  (top score %+.3f, "
+                    "%zu bits)\n",
+                    i, preds[i], infos[i].scores[preds[i]],
+                    infos[i].effective_bits);
     return 0;
 }

@@ -1,7 +1,9 @@
 #include "blocks/pooling.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <utility>
 
 #include "common/logging.h"
 #include "sc/ops.h"
@@ -382,6 +384,282 @@ binaryMaxPoolRange(const uint16_t *const *counts, size_t n_inputs,
         [&](size_t k, size_t lo, size_t hi) {
             return sc::simd::avx2SumU16(counts[k] + lo, hi - lo);
         });
+}
+
+namespace {
+
+/** Inline uint16 sum for the short pooling chunks (segment_len is 16
+ *  in the paper's Figure 8): the extern SIMD summer's call overhead
+ *  exceeds the work below ~64 elements. */
+inline uint64_t
+chunkSumU16(const uint16_t *p, size_t n)
+{
+    if (n > 64)
+        return sc::simd::avx2SumU16(p, n);
+    uint32_t s = 0;
+    for (size_t i = 0; i < n; ++i)
+        s += p[i];
+    return s;
+}
+
+} // namespace
+
+void
+binaryMaxPoolRangeBatch(const uint16_t *const *counts, size_t n_images,
+                        size_t n_inputs, size_t abs_begin, size_t n_cycles,
+                        size_t segment_len, bool accumulate,
+                        MaxPoolCarryState *const *states,
+                        uint16_t *const *outs)
+{
+    SCDCNN_ASSERT(n_inputs > 0, "max pooling with no inputs");
+    SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
+    // The walk of rangedSelectorWalk with the chunk boundaries hoisted
+    // out of the image loop (they depend only on the range) and the
+    // segment sums inlined: chunk outer, image inner.
+    size_t pos = abs_begin;
+    const size_t end = abs_begin + n_cycles;
+    while (pos < end) {
+        const size_t seg_end = (pos / segment_len + 1) * segment_len;
+        const size_t chunk_end = std::min(end, seg_end);
+        const size_t lo = pos - abs_begin;
+        const size_t hi = chunk_end - abs_begin;
+        const bool decide = chunk_end == seg_end;
+        for (size_t j = 0; j < n_images; ++j) {
+            MaxPoolCarryState &state = *states[j];
+            SCDCNN_ASSERT(state.counters.size() == n_inputs,
+                          "pool state holds %zu counters for %zu inputs",
+                          state.counters.size(), n_inputs);
+            const uint16_t *const *in = counts + j * n_inputs;
+            std::copy(in[state.selected] + lo, in[state.selected] + hi,
+                      outs[j] + lo);
+            for (size_t k = 0; k < n_inputs; ++k)
+                state.counters[k] += chunkSumU16(in[k] + lo, hi - lo);
+            if (decide) {
+                size_t best = 0;
+                uint64_t best_count = 0;
+                for (size_t k = 0; k < n_inputs; ++k) {
+                    if (state.counters[k] > best_count) {
+                        best_count = state.counters[k];
+                        best = k;
+                    }
+                    if (!accumulate)
+                        state.counters[k] = 0;
+                }
+                state.selected = best;
+            }
+        }
+        pos = chunk_end;
+    }
+}
+
+void
+binaryMaxPoolPlanesBatch(const uint64_t *const *planes, size_t n_images,
+                         size_t n_inputs, size_t plane_cap, bool parity,
+                         size_t abs_begin, size_t n_cycles,
+                         size_t segment_len, bool accumulate,
+                         MaxPoolCarryState *const *states,
+                         uint16_t *const *outs)
+{
+    SCDCNN_ASSERT(n_inputs > 0, "max pooling with no inputs");
+    SCDCNN_ASSERT(segment_len > 0, "segment length must be positive");
+    SCDCNN_ASSERT(abs_begin % 64 == 0,
+                  "plane pooling needs a word-aligned range start, got %zu",
+                  abs_begin);
+    const size_t pstride = plane_cap + 1;
+    const size_t end = abs_begin + n_cycles;
+
+    if (segment_len % 16 == 0 && plane_cap <= 12) {
+        // Group-granular fast path (covers the paper's c = 16): with
+        // abs_begin word-aligned, every chunk boundary except a final
+        // mid-stream-less tail lands on a 16-cycle group, so segment
+        // evidence reduces to precomputed per-word group sums (one
+        // vectorized byte-popcount pass per plane quad) and forwarding
+        // spreads exactly the groups it emits. A partial tail group
+        // (the stream's last word) is exact because the producer
+        // zero-masks cycles past the stream length; its spread writes
+        // the full 16-entry group, which stays inside the caller's
+        // word-granular output buffer.
+        const size_t range_words = (n_cycles + 63) / 64;
+        sc::simd::PlaneSumWeights wts;
+        sc::simd::planeSumWeightsInit(wts, plane_cap, parity);
+        thread_local std::vector<uint32_t> gsums;
+        thread_local std::vector<const uint64_t *> selp;
+        thread_local std::vector<uint16_t *> outp;
+        thread_local std::vector<uint64_t> cnt;
+        thread_local std::vector<uint32_t> sel;
+        gsums.resize(n_images * n_inputs * range_words * 4);
+        selp.resize(n_images);
+        outp.resize(n_images);
+        cnt.resize(n_images * n_inputs);
+        sel.resize(n_images);
+        // One dispatch builds the whole (image, input, group) sum
+        // table: planes' (j, k) buffer order matches the Multi
+        // contract, and entry g of a buffer is contiguous
+        // (base + (g/4)*4 + g%4 == base + g).
+        sc::simd::avx2PlaneWordSumsMulti(planes, n_images * n_inputs,
+                                         pstride, range_words, wts,
+                                         gsums.data());
+        // The walk runs on flat local copies of the carried selector
+        // state — the per-(image, chunk) loads of the carried-state
+        // objects are a measurable share of the walk at c = 16.
+        for (size_t j = 0; j < n_images; ++j) {
+            const MaxPoolCarryState &state = *states[j];
+            SCDCNN_ASSERT(state.counters.size() == n_inputs,
+                          "pool state holds %zu counters for %zu inputs",
+                          state.counters.size(), n_inputs);
+            sel[j] = static_cast<uint32_t>(state.selected);
+            std::copy(state.counters.begin(), state.counters.end(),
+                      cnt.begin() + j * n_inputs);
+        }
+        size_t pos = abs_begin;
+        while (pos < end) {
+            const size_t seg_end = (pos / segment_len + 1) * segment_len;
+            const size_t chunk_end = std::min(end, seg_end);
+            const size_t g0 = (pos - abs_begin) / 16;
+            const size_t g1 = (chunk_end - abs_begin + 15) / 16;
+            const bool decide = chunk_end == seg_end;
+            // Selections are stable within a chunk (decisions happen
+            // only at its end), so forward the whole micro-batch per
+            // group in one dispatch.
+            for (size_t g = g0; g < g1; ++g) {
+                const size_t woff = (g / 4) * pstride;
+                for (size_t j = 0; j < n_images; ++j) {
+                    selp[j] = planes[j * n_inputs + sel[j]] + woff;
+                    outp[j] = outs[j] + g * 16;
+                }
+                sc::simd::avx2SpreadPlanesGroupMulti(
+                    selp.data(), n_images, plane_cap, parity, g % 4,
+                    outp.data());
+            }
+            for (size_t j = 0; j < n_images; ++j) {
+                uint64_t *cj = cnt.data() + j * n_inputs;
+                const uint32_t *js =
+                    gsums.data() + j * n_inputs * range_words * 4;
+                for (size_t k = 0; k < n_inputs; ++k) {
+                    const uint32_t *ks = js + k * range_words * 4;
+                    uint64_t sum = 0;
+                    for (size_t g = g0; g < g1; ++g)
+                        sum += ks[g];
+                    cj[k] += sum;
+                }
+                if (decide) {
+                    size_t best = 0;
+                    uint64_t best_count = 0;
+                    for (size_t k = 0; k < n_inputs; ++k) {
+                        if (cj[k] > best_count) {
+                            best_count = cj[k];
+                            best = k;
+                        }
+                    }
+                    if (!accumulate)
+                        std::fill(cj, cj + n_inputs, uint64_t{0});
+                    sel[j] = static_cast<uint32_t>(best);
+                }
+            }
+            pos = chunk_end;
+        }
+        for (size_t j = 0; j < n_images; ++j) {
+            MaxPoolCarryState &state = *states[j];
+            state.selected = sel[j];
+            std::copy(cnt.begin() + j * n_inputs,
+                      cnt.begin() + (j + 1) * n_inputs,
+                      state.counters.begin());
+        }
+        return;
+    }
+
+    // General path for segment lengths off the 16-cycle grid: masked
+    // plane popcounts per chunk, whole-word transposes memoized per
+    // image so consecutive chunks of one word with a stable selection
+    // pay one transpose.
+    thread_local std::vector<uint16_t> scratch;
+    thread_local std::vector<std::pair<size_t, size_t>> keys;
+    scratch.resize(n_images * 64);
+    keys.assign(n_images, {SIZE_MAX, SIZE_MAX});
+
+    size_t pos = abs_begin;
+    while (pos < end) {
+        const size_t seg_end = (pos / segment_len + 1) * segment_len;
+        const size_t chunk_end = std::min(end, seg_end);
+        const size_t lo = pos - abs_begin;
+        const size_t hi = chunk_end - abs_begin;
+        const bool decide = chunk_end == seg_end;
+        for (size_t j = 0; j < n_images; ++j) {
+            MaxPoolCarryState &state = *states[j];
+            SCDCNN_ASSERT(state.counters.size() == n_inputs,
+                          "pool state holds %zu counters for %zu inputs",
+                          state.counters.size(), n_inputs);
+            const uint64_t *const *in = planes + j * n_inputs;
+            // Forward the selected input's cycles [lo, hi).
+            const uint64_t *sel = in[state.selected];
+            size_t l = lo;
+            while (l < hi) {
+                const size_t q = l / 64;
+                const size_t qend = std::min(hi, (q + 1) * 64);
+                if (l == q * 64 && qend == (q + 1) * 64) {
+                    sc::simd::avx2SpreadPlanesWord(sel + q * pstride,
+                                                   plane_cap, parity,
+                                                   outs[j] + q * 64);
+                } else {
+                    uint16_t *buf = scratch.data() + j * 64;
+                    if (keys[j].first != state.selected ||
+                        keys[j].second != q) {
+                        sc::simd::avx2SpreadPlanesWord(sel + q * pstride,
+                                                       plane_cap, parity,
+                                                       buf);
+                        keys[j] = {state.selected, q};
+                    }
+                    std::copy(buf + (l - q * 64), buf + (qend - q * 64),
+                              outs[j] + l);
+                }
+                l = qend;
+            }
+            // Segment evidence from plane popcounts: with canonical
+            // digit planes, sum(count & ~1) over a bit range is
+            // sum_{p>=1} 2^p popcount(plane_p), and the substituted
+            // LSBs add popcount(parity word).
+            for (size_t k = 0; k < n_inputs; ++k) {
+                const uint64_t *pk = in[k];
+                uint64_t sum = 0;
+                size_t l2 = lo;
+                while (l2 < hi) {
+                    const size_t q = l2 / 64;
+                    const size_t qend = std::min(hi, (q + 1) * 64);
+                    const size_t b0 = l2 - q * 64;
+                    const size_t nb = qend - l2;
+                    const uint64_t mask =
+                        (nb == 64 ? ~uint64_t{0}
+                                  : ((uint64_t{1} << nb) - 1))
+                        << b0;
+                    const uint64_t *wq = pk + q * pstride;
+                    size_t p = parity ? 1 : 0;
+                    for (; p < plane_cap; ++p)
+                        sum += static_cast<uint64_t>(
+                                   std::popcount(wq[p] & mask))
+                               << p;
+                    if (parity)
+                        sum += static_cast<uint64_t>(
+                            std::popcount(wq[plane_cap] & mask));
+                    l2 = qend;
+                }
+                state.counters[k] += sum;
+            }
+            if (decide) {
+                size_t best = 0;
+                uint64_t best_count = 0;
+                for (size_t k = 0; k < n_inputs; ++k) {
+                    if (state.counters[k] > best_count) {
+                        best_count = state.counters[k];
+                        best = k;
+                    }
+                    if (!accumulate)
+                        state.counters[k] = 0;
+                }
+                state.selected = best;
+            }
+        }
+        pos = chunk_end;
+    }
 }
 
 std::vector<uint16_t>

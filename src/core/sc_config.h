@@ -74,6 +74,19 @@ struct ScNetworkConfig
     size_t stream_segment_words = 4;
 
     /**
+     * Segment granularity of forwardBatch's weight-stationary path, in
+     * 64-bit words. 0 (the default) runs full-precision micro-batches
+     * whole-stream — each weight block is streamed exactly once per
+     * micro-batch, which measures faster than the single-image segment
+     * grid because the batch path's cache reuse comes from keeping
+     * weights resident across images, not from short stream slices.
+     * Progressive micro-batches ignore this knob: mid-stream early
+     * exit and active-set compaction need the checkpoint grid of
+     * stream_segment_words. Results are bit-exact for every value.
+     */
+    size_t batch_stream_segment_words = 0;
+
+    /**
      * EngineMode::Progressive early-exit threshold: stop consuming
      * stream segments once the output layer's bipolar-score gap
      * between the best and second-best class exceeds this margin.

@@ -741,6 +741,666 @@ ScNetwork::runOutputSegment(const std::vector<sc::BitstreamView> &in,
                 .count());
 }
 
+ScNetwork::BatchStreamGrid
+ScNetwork::encodeImagesBatch(const std::vector<nn::Tensor> &images,
+                             const std::vector<uint64_t> &seeds,
+                             ThreadPool *pool) const
+{
+    BatchStreamGrid grid;
+    grid.c = plan_.in_c;
+    grid.h = plan_.in_h;
+    grid.w = plan_.in_w;
+    grid.arena.reset(grid.c * grid.h * grid.w, images.size(),
+                     cfg_.bitstream_len);
+    const auto body = [&](size_t b) {
+        const nn::Tensor &image = images[b];
+        SCDCNN_ASSERT(image.channels() == plan_.in_c &&
+                          image.height() == plan_.in_h &&
+                          image.width() == plan_.in_w,
+                      "expected a %zux%zux%zu image, got %zux%zux%zu",
+                      plan_.in_c, plan_.in_h, plan_.in_w,
+                      image.channels(), image.height(), image.width());
+        sc::SngBank bank(seeds[b]);
+        for (size_t i = 0; i < image.size(); ++i)
+            grid.arena.assign(i, b,
+                              bank.bipolar(image[i], cfg_.bitstream_len));
+    };
+    if (pool != nullptr)
+        parallelFor(*pool, 0, images.size(), body);
+    else
+        parallelFor(0, images.size(), body);
+    return grid;
+}
+
+void
+ScNetwork::initConvBatchRun(ConvBatchRun &run, const BatchStreamGrid &in,
+                            const ConvWeightStreams &weights,
+                            size_t layer_idx,
+                            const std::vector<uint64_t> &seeds) const
+{
+    const size_t B = seeds.size();
+    const size_t k = weights.k;
+    const size_t conv_h = in.h - k + 1;
+    const size_t conv_w = in.w - k + 1;
+    SCDCNN_ASSERT(conv_h % 2 == 0 && conv_w % 2 == 0,
+                  "conv output not poolable");
+    run.out.c = weights.c_out;
+    run.out.h = conv_h / 2;
+    run.out.w = conv_w / 2;
+    run.out.arena.reset(run.out.c * run.out.h * run.out.w, B,
+                        cfg_.bitstream_len);
+
+    const blocks::FebKind kind = stageFebKind(layer_idx);
+    const bool use_apc = blocks::febUsesApc(kind);
+    const bool use_max = blocks::febUsesMaxPool(kind);
+    const size_t n_pixels = run.out.c * run.out.h * run.out.w;
+
+    // Every per-site quantity of the per-image run, replicated per
+    // image at index site * B + b, seeded exactly as image b's own
+    // initConvRun would seed it — the source of the batched/per-image
+    // bit-exactness.
+    run.fsm.assign(n_pixels * B,
+                   use_apc ? btanh_tables_[layer_idx]->initialState()
+                           : stanh_tables_[layer_idx]->initialState());
+    run.pool.clear();
+    if (use_max) {
+        run.pool.resize(n_pixels * B);
+        for (auto &st : run.pool)
+            st.reset(4, 0);
+    }
+    run.sel_rng.clear();
+    run.pool_rng.clear();
+    if (!use_apc) {
+        const size_t positions = run.out.h * run.out.w;
+        const size_t n_sites = weights.blocked.groups() * positions * 4;
+        run.sel_rng.reserve(n_sites * B);
+        for (size_t s = 0; s < n_sites; ++s)
+            for (size_t b = 0; b < B; ++b)
+                run.sel_rng.emplace_back(
+                    siteSeed(seeds[b] ^ kSelectSalt, layer_idx, s));
+        if (!use_max) {
+            run.pool_rng.reserve(n_pixels * B);
+            for (size_t p = 0; p < n_pixels; ++p)
+                for (size_t b = 0; b < B; ++b)
+                    run.pool_rng.emplace_back(
+                        siteSeed(seeds[b] ^ kPoolSalt, layer_idx, p));
+        }
+    }
+}
+
+void
+ScNetwork::initFcBatchRun(FcBatchRun &run, const FcWeightStreams &weights,
+                          size_t layer_idx,
+                          const std::vector<uint64_t> &seeds) const
+{
+    const size_t B = seeds.size();
+    run.out.reset(weights.n_out, B, cfg_.bitstream_len);
+    const bool use_apc = blocks::febUsesApc(stageFebKind(layer_idx));
+    run.fsm.assign(weights.n_out * B,
+                   use_apc ? btanh_tables_[layer_idx]->initialState()
+                           : stanh_tables_[layer_idx]->initialState());
+    run.sel_rng.clear();
+    if (!use_apc) {
+        const size_t n_groups = weights.blocked.groups();
+        run.sel_rng.reserve(n_groups * B);
+        for (size_t g = 0; g < n_groups; ++g)
+            for (size_t b = 0; b < B; ++b)
+                run.sel_rng.emplace_back(
+                    siteSeed(seeds[b] ^ kSelectSalt, layer_idx, g));
+    }
+}
+
+void
+ScNetwork::runConvLayerSegmentBatch(const BatchStreamGrid &in,
+                                    const ConvWeightStreams &weights,
+                                    size_t layer_idx, const SegRange &seg,
+                                    const std::vector<uint32_t> &active,
+                                    ConvBatchRun &run,
+                                    ThreadPool *pool) const
+{
+    const size_t k = weights.k;
+    const size_t out_w = run.out.w;
+    const size_t n_inputs = weights.n_per_filter;
+    const size_t B = run.out.arena.images();
+    const size_t n_active = active.size();
+
+    const blocks::FebKind kind = stageFebKind(layer_idx);
+    const bool use_apc = blocks::febUsesApc(kind);
+    const bool use_max = blocks::febUsesMaxPool(kind);
+    const size_t positions = run.out.h * run.out.w;
+    const size_t n_groups = weights.blocked.groups();
+    const size_t seg_words = seg.w1 - seg.w0;
+    const size_t seg_stride = seg_words * 64;
+    const size_t in_stride = in.arena.strideWords();
+
+    // Work items as in the per-image runner — one (filter block,
+    // output position) pair — but each item now covers the whole
+    // active micro-batch: the block's weight words are loaded once per
+    // segment word and folded against every active image's input
+    // window before advancing (the weight-stationary inversion).
+    // Max-pooled APC layers carry the inner products as count planes:
+    // the Figure 8 selector needs per-cycle counts only for the input
+    // it forwards, so the kernel skips the plane-to-count transpose
+    // for the losing windows (binaryMaxPoolPlanesBatch recovers the
+    // winner's counts on demand).
+    const size_t plane_cap = sc::planeCapForTaps(n_inputs);
+    const size_t plane_lane_stride = seg_words * (plane_cap + 1);
+    const size_t plane_image_stride = sc::kFilterLanes * plane_lane_stride;
+
+    const auto body = [&](size_t lo, size_t hi) {
+        sc::BatchFusedWorkspace wsp;
+        wsp.xs0.resize(n_inputs);
+        wsp.x_strides.assign(n_inputs, in_stride);
+        wsp.x_strides[n_inputs - 1] = 0; // shared bias line
+        std::vector<uint64_t> planes_buf;
+        std::vector<const uint64_t *> plane_ptrs;
+        if (use_apc && use_max) {
+            // +4 tail words: the pooling quad loads read whole 4-plane
+            // groups past the last word's parity slot.
+            planes_buf.resize(4 * n_active * plane_image_stride + 4);
+            plane_ptrs.resize(4 * n_active);
+        } else if (use_apc)
+            wsp.counts.resize(4 * n_active * sc::kFilterLanes *
+                              seg_stride);
+        else
+            wsp.products.resize(4 * n_active * sc::kFilterLanes *
+                                seg_words);
+        if (use_apc && use_max)
+            wsp.pooled.resize(n_active * seg_stride);
+        if (use_apc && !use_max)
+            wsp.steps.resize(n_active * seg_stride);
+        if (!use_apc)
+            wsp.pooled_words.resize(n_active * seg_words);
+        wsp.count_ptrs.resize(n_active);
+        wsp.word_ptrs.resize(n_active);
+        wsp.step_ptrs.resize(n_active);
+        wsp.out_ptrs.resize(n_active);
+        wsp.state_ptrs.resize(n_active);
+        std::vector<blocks::MaxPoolCarryState *> pool_state_ptrs;
+        std::vector<uint16_t *> pool_out_ptrs;
+        if (use_apc && use_max) {
+            pool_state_ptrs.resize(n_active);
+            pool_out_ptrs.resize(n_active);
+        }
+        for (size_t item = lo; item < hi; ++item) {
+            const size_t g = item / positions;
+            const size_t q = item % positions;
+            const size_t oy = q / out_w;
+            const size_t ox = q % out_w;
+            const sc::WeightBlockView block = weights.blocked.block(g);
+
+            for (size_t dy = 0; dy < 2; ++dy) {
+                for (size_t dx = 0; dx < 2; ++dx) {
+                    const size_t cy = 2 * oy + dy;
+                    const size_t cx = 2 * ox + dx;
+                    size_t idx = 0;
+                    for (size_t ci = 0; ci < weights.c_in; ++ci)
+                        for (size_t ky = 0; ky < k; ++ky)
+                            for (size_t kx = 0; kx < k; ++kx)
+                                wsp.xs0[idx++] =
+                                    in.at(ci, cy + ky, cx + kx, 0);
+                    wsp.xs0[idx] = bias_line_;
+
+                    const size_t window = dy * 2 + dx;
+                    if (use_apc) {
+                        if (use_max) {
+                            uint64_t *dst =
+                                planes_buf.data() +
+                                window * n_active * plane_image_stride;
+                            sc::fusedProductPlanesMultiBatch(
+                                wsp.xs0, wsp.x_strides, active.data(),
+                                n_active, block, /*approximate=*/true,
+                                seg.w0, seg.w1, dst, plane_cap,
+                                plane_lane_stride, plane_image_stride);
+                        } else {
+                            uint16_t *dst =
+                                wsp.counts.data() +
+                                window * n_active * sc::kFilterLanes *
+                                    seg_stride;
+                            sc::fusedProductCountsMultiBatch(
+                                wsp.xs0, wsp.x_strides, active.data(),
+                                n_active, block, /*approximate=*/true,
+                                seg.w0, seg.w1, dst, seg_stride,
+                                sc::kFilterLanes * seg_stride);
+                        }
+                    } else {
+                        // MUX layers keep the per-image kernel (the
+                        // selects are per-image RNG sequences anyway);
+                        // the image loop still re-reads the block's
+                        // weight slice from cache.
+                        for (size_t j = 0; j < n_active; ++j) {
+                            const size_t img = active[j];
+                            sc::Xoshiro256ss &sel =
+                                run.sel_rng[(item * 4 + window) * B +
+                                            img];
+                            sc::fillMuxSelects(n_inputs, seg.n_cycles,
+                                               sel, wsp.selects);
+                            sc::shiftViewsForImage(wsp.xs0,
+                                                   wsp.x_strides, img,
+                                                   wsp.xs_img);
+                            uint64_t *dst =
+                                wsp.products.data() +
+                                (window * n_active + j) *
+                                    sc::kFilterLanes * seg_words;
+                            sc::fusedMuxProductMulti(
+                                wsp.xs_img, block, wsp.selects, seg.w0,
+                                seg.w1, dst, seg_words);
+                        }
+                    }
+                }
+            }
+
+            // Pool each lane's pixel per image, then activate all
+            // active images of the lane in one interleaved FSM pass
+            // (independent serial chains overlap in the pipeline).
+            for (size_t f = 0; f < block.lanes; ++f) {
+                const size_t p =
+                    (g * sc::kFilterLanes + f) * positions + q;
+                for (size_t j = 0; j < n_active; ++j) {
+                    const size_t img = active[j];
+                    wsp.out_ptrs[j] =
+                        run.out.arena.wordsAt(p, img) + seg.w0;
+                    wsp.state_ptrs[j] = &run.fsm[p * B + img];
+                }
+                if (use_apc) {
+                    if (use_max) {
+                        // One batched pool call per lane: the chunk
+                        // walk of the Figure 8 selector depends only
+                        // on the segment range, so it is shared across
+                        // the micro-batch, and the plane form means
+                        // only each image's selected window is ever
+                        // transposed back to per-cycle counts.
+                        for (size_t j = 0; j < n_active; ++j) {
+                            const size_t img = active[j];
+                            for (size_t w = 0; w < 4; ++w)
+                                plane_ptrs[j * 4 + w] =
+                                    planes_buf.data() +
+                                    (w * n_active + j) *
+                                        plane_image_stride +
+                                    f * plane_lane_stride;
+                            pool_state_ptrs[j] =
+                                &run.pool[p * B + img];
+                            pool_out_ptrs[j] =
+                                wsp.pooled.data() + j * seg_stride;
+                            wsp.count_ptrs[j] = pool_out_ptrs[j];
+                        }
+                        blocks::binaryMaxPoolPlanesBatch(
+                            plane_ptrs.data(), n_active, 4, plane_cap,
+                            /*parity=*/true, seg.c0, seg.n_cycles,
+                            cfg_.segment_len, /*accumulate=*/true,
+                            pool_state_ptrs.data(),
+                            pool_out_ptrs.data());
+                    } else {
+                        for (size_t j = 0; j < n_active; ++j) {
+                            const uint16_t *cnt[4];
+                            for (size_t w = 0; w < 4; ++w)
+                                cnt[w] = wsp.counts.data() +
+                                         ((w * n_active + j) *
+                                              sc::kFilterLanes +
+                                          f) *
+                                             seg_stride;
+                            blocks::binaryAveragePoolingSignedRange(
+                                cnt, 4, n_inputs, seg.n_cycles,
+                                wsp.steps.data() + j * seg_stride);
+                            wsp.step_ptrs[j] =
+                                wsp.steps.data() + j * seg_stride;
+                        }
+                    }
+                    if (use_max)
+                        btanh_tables_[layer_idx]->transformWordsBatch(
+                            wsp.count_ptrs.data(), seg.n_cycles,
+                            wsp.out_ptrs.data(), wsp.state_ptrs.data(),
+                            n_active);
+                    else
+                        btanh_tables_[layer_idx]
+                            ->transformSignedWordsBatch(
+                                wsp.step_ptrs.data(), seg.n_cycles,
+                                wsp.out_ptrs.data(),
+                                wsp.state_ptrs.data(), n_active);
+                } else {
+                    for (size_t j = 0; j < n_active; ++j) {
+                        const size_t img = active[j];
+                        const uint64_t *prod[4];
+                        for (size_t w = 0; w < 4; ++w)
+                            prod[w] = wsp.products.data() +
+                                      ((w * n_active + j) *
+                                           sc::kFilterLanes +
+                                       f) *
+                                          seg_words;
+                        if (use_max)
+                            blocks::maxPoolStreamsRange(
+                                prod, 4, seg.c0, seg.n_cycles,
+                                cfg_.segment_len, /*accumulate=*/true,
+                                run.pool[p * B + img],
+                                wsp.pooled_words.data() +
+                                    j * seg_words);
+                        else
+                            blocks::averagePoolingRange(
+                                prod, 4, seg.n_cycles,
+                                run.pool_rng[p * B + img],
+                                wsp.pooled_words.data() +
+                                    j * seg_words);
+                        wsp.word_ptrs[j] =
+                            wsp.pooled_words.data() + j * seg_words;
+                    }
+                    stanh_tables_[layer_idx]->transformWordsBatch(
+                        wsp.word_ptrs.data(), seg.n_cycles,
+                        wsp.out_ptrs.data(), wsp.state_ptrs.data(),
+                        n_active);
+                }
+            }
+        }
+    };
+    if (pool != nullptr)
+        parallelForChunks(*pool, 0, n_groups * positions, body);
+    else
+        parallelForChunks(0, n_groups * positions, body);
+}
+
+void
+ScNetwork::runFcLayerSegmentBatch(const std::vector<sc::BitstreamView> &in0,
+                                  const std::vector<size_t> &in_strides,
+                                  const FcWeightStreams &weights,
+                                  size_t layer_idx, const SegRange &seg,
+                                  const std::vector<uint32_t> &active,
+                                  FcBatchRun &run, ThreadPool *pool) const
+{
+    SCDCNN_ASSERT(in0.size() == weights.n_in,
+                  "fc layer expects %zu inputs, got %zu", weights.n_in,
+                  in0.size());
+    const size_t n_inputs = weights.n_in + 1;
+    const size_t B = run.out.images();
+    const size_t n_active = active.size();
+    const bool use_apc = blocks::febUsesApc(stageFebKind(layer_idx));
+
+    const size_t n_groups = weights.blocked.groups();
+    const size_t seg_words = seg.w1 - seg.w0;
+    const size_t seg_stride = seg_words * 64;
+
+    const auto body = [&](size_t lo, size_t hi) {
+        sc::BatchFusedWorkspace wsp;
+        wsp.xs0.resize(n_inputs);
+        wsp.x_strides.resize(n_inputs);
+        for (size_t i = 0; i < weights.n_in; ++i) {
+            wsp.xs0[i] = in0[i];
+            wsp.x_strides[i] = in_strides[i];
+        }
+        wsp.xs0[weights.n_in] = bias_line_;
+        wsp.x_strides[weights.n_in] = 0;
+        if (use_apc)
+            wsp.counts.resize(n_active * sc::kFilterLanes * seg_stride);
+        else
+            wsp.products.resize(n_active * sc::kFilterLanes * seg_words);
+        wsp.count_ptrs.resize(n_active);
+        wsp.word_ptrs.resize(n_active);
+        wsp.out_ptrs.resize(n_active);
+        wsp.state_ptrs.resize(n_active);
+        for (size_t g = lo; g < hi; ++g) {
+            const sc::WeightBlockView block = weights.blocked.block(g);
+            if (use_apc) {
+                sc::fusedProductCountsMultiBatch(
+                    wsp.xs0, wsp.x_strides, active.data(), n_active,
+                    block, /*approximate=*/true, seg.w0, seg.w1,
+                    wsp.counts.data(), seg_stride,
+                    sc::kFilterLanes * seg_stride);
+            } else {
+                for (size_t j = 0; j < n_active; ++j) {
+                    const size_t img = active[j];
+                    sc::Xoshiro256ss &sel = run.sel_rng[g * B + img];
+                    sc::fillMuxSelects(n_inputs, seg.n_cycles, sel,
+                                       wsp.selects);
+                    sc::shiftViewsForImage(wsp.xs0, wsp.x_strides, img,
+                                           wsp.xs_img);
+                    sc::fusedMuxProductMulti(
+                        wsp.xs_img, block, wsp.selects, seg.w0, seg.w1,
+                        wsp.products.data() +
+                            j * sc::kFilterLanes * seg_words,
+                        seg_words);
+                }
+            }
+
+            for (size_t f = 0; f < block.lanes; ++f) {
+                const size_t o = g * sc::kFilterLanes + f;
+                for (size_t j = 0; j < n_active; ++j) {
+                    const size_t img = active[j];
+                    wsp.out_ptrs[j] = run.out.wordsAt(o, img) + seg.w0;
+                    wsp.state_ptrs[j] = &run.fsm[o * B + img];
+                }
+                if (use_apc) {
+                    for (size_t j = 0; j < n_active; ++j)
+                        wsp.count_ptrs[j] =
+                            wsp.counts.data() +
+                            (j * sc::kFilterLanes + f) * seg_stride;
+                    btanh_tables_[layer_idx]->transformWordsBatch(
+                        wsp.count_ptrs.data(), seg.n_cycles,
+                        wsp.out_ptrs.data(), wsp.state_ptrs.data(),
+                        n_active);
+                } else {
+                    for (size_t j = 0; j < n_active; ++j)
+                        wsp.word_ptrs[j] =
+                            wsp.products.data() +
+                            (j * sc::kFilterLanes + f) * seg_words;
+                    stanh_tables_[layer_idx]->transformWordsBatch(
+                        wsp.word_ptrs.data(), seg.n_cycles,
+                        wsp.out_ptrs.data(), wsp.state_ptrs.data(),
+                        n_active);
+                }
+            }
+        }
+    };
+    if (pool != nullptr)
+        parallelForChunks(*pool, 0, n_groups, body);
+    else
+        parallelForChunks(0, n_groups, body);
+}
+
+void
+ScNetwork::runOutputSegmentBatch(const std::vector<sc::BitstreamView> &in0,
+                                 const std::vector<size_t> &in_strides,
+                                 const FcWeightStreams &weights,
+                                 const SegRange &seg,
+                                 const std::vector<uint32_t> &active,
+                                 OutputBatchRun &run) const
+{
+    const size_t n_inputs = weights.n_in + 1;
+    const size_t B = run.consumed.size();
+    std::vector<sc::BitstreamView> xs0(n_inputs);
+    std::vector<size_t> strides(n_inputs);
+    std::vector<sc::BitstreamView> xs_img;
+    std::vector<sc::BitstreamView> ws(n_inputs);
+    for (size_t i = 0; i < weights.n_in; ++i) {
+        xs0[i] = in0[i];
+        strides[i] = in_strides[i];
+    }
+    xs0[weights.n_in] = bias_line_;
+    strides[weights.n_in] = 0;
+
+    // Class o's weight streams are gathered once and re-read from
+    // cache across the image loop (the layer is binary and tiny, so no
+    // batch kernel is needed for it).
+    for (size_t o = 0; o < weights.n_out; ++o) {
+        for (size_t i = 0; i < n_inputs; ++i)
+            ws[i] = weights.at(o, i);
+        for (const uint32_t img : active) {
+            sc::shiftViewsForImage(xs0, strides, img, xs_img);
+            sc::fusedProductCountTotalRange(xs_img, ws, seg.w0, seg.w1,
+                                            run.acc[o * B + img]);
+        }
+    }
+    for (const uint32_t img : active)
+        run.consumed[img] += seg.n_cycles;
+}
+
+std::vector<size_t>
+ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
+                             const std::vector<uint64_t> &seeds,
+                             const PredictOptions &opts, ThreadPool *pool,
+                             std::vector<ForwardInfo> *infos) const
+{
+    const EngineMode mode = opts.mode;
+    const size_t B = images.size();
+    const size_t len = cfg_.bitstream_len;
+    const size_t n_words = (len + 63) / 64;
+    // Segment-size resolution: Progressive batches follow the
+    // per-image checkpoint grid (mid-stream exits and compaction live
+    // on segment boundaries); full-precision batches use the batch
+    // knob, whole-stream by default so each weight block streams once
+    // per micro-batch. (The Reference oracle never reaches this path.)
+    size_t seg_words;
+    if (mode == EngineMode::Progressive) {
+        seg_words = cfg_.stream_segment_words;
+        if (seg_words == 0)
+            seg_words = kProgressiveFallbackSegmentWords;
+    } else {
+        seg_words = cfg_.batch_stream_segment_words;
+        if (seg_words == 0)
+            seg_words = n_words;
+    }
+    seg_words = std::min(seg_words, n_words);
+
+    const size_t n_convs = convs_.size();
+    const size_t n_fcs = fcs_.size();
+    BatchStreamGrid x = encodeImagesBatch(images, seeds, pool);
+    std::vector<ConvBatchRun> cruns(n_convs);
+    std::vector<FcBatchRun> fruns(n_fcs);
+    OutputBatchRun out;
+    std::vector<uint64_t> stage_seeds(B);
+    for (size_t l = 0; l < n_convs; ++l) {
+        for (size_t b = 0; b < B; ++b)
+            stage_seeds[b] = seeds[b] ^ (0x1111ULL * (l + 1));
+        initConvBatchRun(cruns[l], l == 0 ? x : cruns[l - 1].out,
+                         convs_[l], l, stage_seeds);
+    }
+    for (size_t j = 0; j < n_fcs; ++j) {
+        for (size_t b = 0; b < B; ++b)
+            stage_seeds[b] = seeds[b] ^ (0x1111ULL * (n_convs + j + 1));
+        initFcBatchRun(fruns[j], fcs_[j], n_convs + j, stage_seeds);
+    }
+    out.acc.assign(out_.n_out * B, {});
+    out.consumed.assign(B, 0);
+
+    // FC / output inputs: image-0 views plus the per-site image word
+    // stride of the producing arena (the batch-kernel operand form).
+    const auto batch_grid_views = [](const BatchStreamGrid &g) {
+        std::vector<sc::BitstreamView> v;
+        v.reserve(g.arena.count());
+        for (size_t i = 0; i < g.arena.count(); ++i)
+            v.push_back(g.arena.view(i, 0));
+        return v;
+    };
+    const auto batch_arena_views = [](const sc::BatchStreamArena &a) {
+        std::vector<sc::BitstreamView> v;
+        v.reserve(a.count());
+        for (size_t i = 0; i < a.count(); ++i)
+            v.push_back(a.view(i, 0));
+        return v;
+    };
+    std::vector<std::vector<sc::BitstreamView>> fc_in(n_fcs);
+    std::vector<std::vector<size_t>> fc_strides(n_fcs);
+    for (size_t j = 0; j < n_fcs; ++j) {
+        const sc::BatchStreamArena &src =
+            j == 0 ? (n_convs > 0 ? cruns.back().out.arena : x.arena)
+                   : fruns[j - 1].out;
+        fc_in[j] = j == 0 && n_convs > 0
+                       ? batch_grid_views(cruns.back().out)
+                       : batch_arena_views(src);
+        fc_strides[j].assign(fc_in[j].size(), src.strideWords());
+    }
+    const sc::BatchStreamArena &out_src =
+        n_fcs > 0 ? fruns.back().out
+                  : (n_convs > 0 ? cruns.back().out.arena : x.arena);
+    const std::vector<sc::BitstreamView> out_in =
+        batch_arena_views(out_src);
+    const std::vector<size_t> out_strides(out_in.size(),
+                                          out_src.strideWords());
+
+    std::vector<uint32_t> active(B);
+    for (size_t b = 0; b < B; ++b)
+        active[b] = static_cast<uint32_t>(b);
+    std::vector<uint8_t> exited(B, 0);
+
+    for (size_t w0 = 0; w0 < n_words && !active.empty();
+         w0 += seg_words) {
+        SegRange seg;
+        seg.w0 = w0;
+        seg.w1 = std::min(w0 + seg_words, n_words);
+        seg.c0 = w0 * 64;
+        seg.n_cycles = std::min(seg.w1 * 64, len) - seg.c0;
+
+        for (size_t l = 0; l < n_convs; ++l)
+            runConvLayerSegmentBatch(l == 0 ? x : cruns[l - 1].out,
+                                     convs_[l], l, seg, active,
+                                     cruns[l], pool);
+        for (size_t j = 0; j < n_fcs; ++j)
+            runFcLayerSegmentBatch(fc_in[j], fc_strides[j], fcs_[j],
+                                   n_convs + j, seg, active, fruns[j],
+                                   pool);
+        runOutputSegmentBatch(out_in, out_strides, out_, seg, active,
+                              out);
+
+        // Per-image Progressive early exit: an image whose class
+        // decision is stable by the margin is removed from the active
+        // set mid-stream (its carried state freezes in place, the
+        // remaining images are undisturbed) — the batch-compaction
+        // rule. Same conditions and margin formula as predictWith.
+        if (mode == EngineMode::Progressive && seg.w1 < n_words) {
+            size_t kept = 0;
+            for (size_t j = 0; j < active.size(); ++j) {
+                const uint32_t img = active[j];
+                bool exit_now = false;
+                if (out.consumed[img] >= opts.progressive_min_bits) {
+                    uint64_t best = 0, second = 0;
+                    for (size_t o = 0; o < out_.n_out; ++o) {
+                        const uint64_t v =
+                            out.acc[o * B + img].value(
+                                /*approximate=*/true);
+                        if (v > best) {
+                            second = best;
+                            best = v;
+                        } else if (v > second) {
+                            second = v;
+                        }
+                    }
+                    const double margin =
+                        2.0 *
+                        (static_cast<double>(best) -
+                         static_cast<double>(second)) /
+                        static_cast<double>(out.consumed[img]);
+                    exit_now = margin >= opts.progressive_margin;
+                }
+                if (exit_now)
+                    exited[img] = 1;
+                else
+                    active[kept++] = img;
+            }
+            active.resize(kept);
+        }
+    }
+
+    std::vector<size_t> preds(B);
+    const auto fan_in = static_cast<double>(out_.n_in + 1);
+    for (size_t b = 0; b < B; ++b) {
+        const auto consumed = static_cast<double>(out.consumed[b]);
+        std::vector<double> scores(out_.n_out);
+        for (size_t o = 0; o < out_.n_out; ++o)
+            scores[o] = (2.0 * static_cast<double>(out.acc[o * B + b]
+                                                       .value(
+                                                           /*approximate=*/
+                                                           true)) -
+                         fan_in * consumed) /
+                        consumed;
+        preds[b] = static_cast<size_t>(
+            std::max_element(scores.begin(), scores.end()) -
+            scores.begin());
+        if (infos != nullptr) {
+            (*infos)[b].scores = std::move(scores);
+            (*infos)[b].effective_bits = out.consumed[b];
+            (*infos)[b].early_exit = exited[b] != 0;
+        }
+    }
+    return preds;
+}
+
 size_t
 ScNetwork::predict(const nn::Tensor &image, uint64_t seed,
                    PhaseBreakdown *profile, ForwardInfo *info) const
@@ -887,11 +1547,29 @@ ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
                         ThreadPool *pool,
                         std::vector<ForwardInfo> *infos) const
 {
+    std::vector<uint64_t> seeds(images.size());
+    for (size_t i = 0; i < images.size(); ++i)
+        seeds[i] = seed + i * 7919;
+    return forwardBatch(images, seeds, opts, pool, infos);
+}
+
+std::vector<size_t>
+ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
+                        const std::vector<uint64_t> &seeds,
+                        const PredictOptions &opts, ThreadPool *pool,
+                        std::vector<ForwardInfo> *infos) const
+{
+    SCDCNN_ASSERT(seeds.size() == images.size(),
+                  "forwardBatch: one seed per image");
     std::vector<size_t> preds(images.size());
     if (infos != nullptr)
         infos->assign(images.size(), ForwardInfo{});
+    if (images.empty())
+        return preds;
+    if (batchKernelEligible(opts, images.size()))
+        return forwardBatchFused(images, seeds, opts, pool, infos);
     const auto body = [&](size_t i) {
-        preds[i] = predictWith(images[i], seed + i * 7919, opts, nullptr,
+        preds[i] = predictWith(images[i], seeds[i], opts, nullptr,
                                infos != nullptr ? &(*infos)[i] : nullptr);
     };
     if (pool != nullptr)

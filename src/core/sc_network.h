@@ -76,6 +76,24 @@ enum class EngineMode
 };
 
 /**
+ * Which execution strategy forwardBatch uses for a micro-batch.
+ *
+ * Batched is the weight-stationary batch-axis path: each filter
+ * block's weight words are loaded once per segment and XNORed against
+ * the corresponding input-window words of every image in the batch
+ * before advancing, so weights stay cache-resident while activations
+ * stream. Loop is the original per-image predictWith fan-out — the
+ * differential oracle the batched path is tested against. Both paths
+ * consume identical per-image RNG sequences and are bit-exact with
+ * each other and with per-image predict() calls at the same seeds.
+ */
+enum class BatchPath
+{
+    Batched,
+    Loop,
+};
+
+/**
  * Per-forward-pass outcome details (scores and, in Progressive mode,
  * the effective stream length actually consumed).
  */
@@ -102,6 +120,8 @@ struct PredictOptions
     double progressive_margin = kDefaultProgressiveMargin;
     /** Progressive floor on consumed stream cycles. */
     size_t progressive_min_bits = kDefaultProgressiveMinBits;
+    /** forwardBatch execution strategy; ignored by predict(). */
+    BatchPath batch_path = BatchPath::Batched;
 };
 
 /**
@@ -187,6 +207,34 @@ class ScNetwork
                                      const PredictOptions &opts,
                                      ThreadPool *pool,
                                      std::vector<ForwardInfo> *infos) const;
+
+    /**
+     * forwardBatch with an explicit per-image seed (seeds.size() must
+     * equal images.size()) instead of the seed + i * 7919 schedule —
+     * the serving layer's micro-batches carry caller-chosen seeds, so
+     * they cannot be expressed as a base-seed schedule. Image i is
+     * bit-exact with predictWith(images[i], seeds[i], opts) on every
+     * path.
+     */
+    std::vector<size_t> forwardBatch(const std::vector<nn::Tensor> &images,
+                                     const std::vector<uint64_t> &seeds,
+                                     const PredictOptions &opts,
+                                     ThreadPool *pool,
+                                     std::vector<ForwardInfo> *infos) const;
+
+    /**
+     * Whether forwardBatch would take the weight-stationary batch
+     * kernels for a micro-batch of @p n_images under @p opts: more
+     * than one image, opts.batch_path == BatchPath::Batched, and a
+     * non-Reference mode (the bit-serial oracle always runs the
+     * per-image loop). What the serving layer records per batch.
+     */
+    static bool batchKernelEligible(const PredictOptions &opts,
+                                    size_t n_images)
+    {
+        return n_images > 1 && opts.batch_path == BatchPath::Batched &&
+               opts.mode != EngineMode::Reference;
+    }
 
     /**
      * Classification error rate over (up to @p max_images of) the
@@ -325,8 +373,99 @@ class ScNetwork
         size_t consumed = 0;                    //!< cycles accumulated
     };
 
+    /** Batch-axis counterpart of StreamGrid: one (c, h, w) grid of
+     *  streams per image, packed site-major / image-minor so the batch
+     *  kernels address image b of a site as the image-0 view plus
+     *  b * strideWords() words. */
+    struct BatchStreamGrid
+    {
+        size_t c = 0, h = 0, w = 0;
+        sc::BatchStreamArena arena;
+
+        sc::BitstreamView at(size_t ci, size_t y, size_t x,
+                             size_t b) const
+        {
+            return arena.view((ci * h + y) * w + x, b);
+        }
+    };
+
+    /** Per-forward carried state of a conv layer on the batch path:
+     *  every per-site quantity of ConvRun replicated per image,
+     *  indexed site * B + image so an image's state freezes in place
+     *  when Progressive removes it from the active set. */
+    struct ConvBatchRun
+    {
+        BatchStreamGrid out;
+        std::vector<uint16_t> fsm;                   //!< [pixel][image]
+        std::vector<blocks::MaxPoolCarryState> pool; //!< [pixel][image]
+        std::vector<sc::Xoshiro256ss> sel_rng;       //!< [site][image]
+        std::vector<sc::Xoshiro256ss> pool_rng;      //!< [pixel][image]
+    };
+
+    /** Per-forward carried state of an FC layer on the batch path. */
+    struct FcBatchRun
+    {
+        sc::BatchStreamArena out;
+        std::vector<uint16_t> fsm;             //!< [neuron][image]
+        std::vector<sc::Xoshiro256ss> sel_rng; //!< [group][image]
+    };
+
+    /** Per-forward carried state of the output layer on the batch
+     *  path: accumulators per (class, image) plus per-image consumed
+     *  cycles (frozen at exit time under Progressive). */
+    struct OutputBatchRun
+    {
+        std::vector<sc::ProductCountAccum> acc; //!< [class][image]
+        std::vector<size_t> consumed;           //!< [image]
+    };
+
     StreamGrid encodeImage(const nn::Tensor &image, uint64_t seed,
                            PhaseBreakdown *profile) const;
+
+    BatchStreamGrid encodeImagesBatch(const std::vector<nn::Tensor> &images,
+                                      const std::vector<uint64_t> &seeds,
+                                      ThreadPool *pool) const;
+
+    void initConvBatchRun(ConvBatchRun &run, const BatchStreamGrid &in,
+                          const ConvWeightStreams &weights,
+                          size_t layer_idx,
+                          const std::vector<uint64_t> &seeds) const;
+
+    void initFcBatchRun(FcBatchRun &run, const FcWeightStreams &weights,
+                        size_t layer_idx,
+                        const std::vector<uint64_t> &seeds) const;
+
+    void runConvLayerSegmentBatch(const BatchStreamGrid &in,
+                                  const ConvWeightStreams &weights,
+                                  size_t layer_idx, const SegRange &seg,
+                                  const std::vector<uint32_t> &active,
+                                  ConvBatchRun &run,
+                                  ThreadPool *pool) const;
+
+    void runFcLayerSegmentBatch(const std::vector<sc::BitstreamView> &in0,
+                                const std::vector<size_t> &in_strides,
+                                const FcWeightStreams &weights,
+                                size_t layer_idx, const SegRange &seg,
+                                const std::vector<uint32_t> &active,
+                                FcBatchRun &run, ThreadPool *pool) const;
+
+    void runOutputSegmentBatch(const std::vector<sc::BitstreamView> &in0,
+                               const std::vector<size_t> &in_strides,
+                               const FcWeightStreams &weights,
+                               const SegRange &seg,
+                               const std::vector<uint32_t> &active,
+                               OutputBatchRun &run) const;
+
+    /** The weight-stationary batch driver behind forwardBatch: one
+     *  shared segment loop advancing every active image through every
+     *  layer, with per-image Progressive early exit compacting the
+     *  active set mid-stream. Bit-exact with per-image predictWith at
+     *  seeds[i]. */
+    std::vector<size_t>
+    forwardBatchFused(const std::vector<nn::Tensor> &images,
+                      const std::vector<uint64_t> &seeds,
+                      const PredictOptions &opts, ThreadPool *pool,
+                      std::vector<ForwardInfo> *infos) const;
 
     void initConvRun(ConvRun &run, const StreamGrid &in,
                      const ConvWeightStreams &weights, size_t layer_idx,

@@ -267,6 +267,29 @@ StreamArena::maskTail(size_t i)
 }
 
 void
+BatchStreamArena::reset(size_t count, size_t images, size_t length)
+{
+    count_ = count;
+    images_ = images;
+    length_ = length;
+    stride_ = wordsFor(length);
+    words_.assign(count_ * images_ * stride_, 0);
+}
+
+void
+BatchStreamArena::assign(size_t i, size_t b, const Bitstream &s)
+{
+    SCDCNN_ASSERT(i < count_, "arena site %zu out of range %zu", i,
+                  count_);
+    SCDCNN_ASSERT(b < images_, "arena image %zu out of range %zu", b,
+                  images_);
+    SCDCNN_ASSERT(s.length() == length_,
+                  "arena stream length mismatch: %zu vs %zu", s.length(),
+                  length_);
+    std::copy(s.words().begin(), s.words().end(), wordsAt(i, b));
+}
+
+void
 InterleavedWeightArena::reset(size_t filters, size_t taps, size_t length)
 {
     filters_ = filters;

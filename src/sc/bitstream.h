@@ -206,6 +206,69 @@ class StreamArena
     std::vector<uint64_t> words_;
 };
 
+/**
+ * Batch-major stream arena: @c count sites of @c images equal-length
+ * packed streams, laid out site-major / image-minor.
+ *
+ * Slot (site i, image b) occupies words
+ * [(i * images + b) * strideWords(), ...), so for a fixed site the
+ * streams of consecutive images are exactly strideWords() words apart.
+ * The batch-axis kernels exploit that: they take the image-0 views of
+ * an operand window plus one per-tap word stride and reach image b's
+ * words by pointer offset — no per-image view gather — while a weight
+ * block is loaded once and reused across the whole micro-batch.
+ * Per-slot layout and the tail-zero invariant match Bitstream.
+ */
+class BatchStreamArena
+{
+  public:
+    BatchStreamArena() = default;
+
+    /** Reshape to @p count sites x @p images all-zero streams of
+     *  @p length bits each, reusing storage when large enough. */
+    void reset(size_t count, size_t images, size_t length);
+
+    /** Number of sites held. */
+    size_t count() const { return count_; }
+
+    /** Number of images per site. */
+    size_t images() const { return images_; }
+
+    /** Length in bits of every stream. */
+    size_t length() const { return length_; }
+
+    /** Words per stream slot — also the word distance between the
+     *  same site's streams of images b and b + 1 (the batch kernels'
+     *  per-tap image stride). */
+    size_t strideWords() const { return stride_; }
+
+    /** Mutable word pointer of (site @p i, image @p b); the caller
+     *  must keep the tail bits past length() zero. */
+    uint64_t *wordsAt(size_t i, size_t b)
+    {
+        return words_.data() + (i * images_ + b) * stride_;
+    }
+
+    /** Read-only word pointer of (site @p i, image @p b). */
+    const uint64_t *wordsAt(size_t i, size_t b) const
+    {
+        return words_.data() + (i * images_ + b) * stride_;
+    }
+
+    /** Kernel operand view of (site @p i, image @p b). */
+    BitstreamView view(size_t i, size_t b) const
+    {
+        return BitstreamView(wordsAt(i, b), length_);
+    }
+
+    /** Copy a Bitstream (of matching length) into (site, image). */
+    void assign(size_t i, size_t b, const Bitstream &s);
+
+  private:
+    size_t count_ = 0, images_ = 0, length_ = 0, stride_ = 0;
+    std::vector<uint64_t> words_;
+};
+
 /** Filters per interleave block: one 64-bit lane per filter in a
  *  256-bit AVX2 vector, so a filter block's weight words load with one
  *  unaligned vector load. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sc/simd.h"
 
 namespace scdcnn {
 namespace sc {
@@ -72,6 +73,59 @@ StanhBatchTable::transformWords(const uint64_t *in, size_t length,
     if (tail != 0 && n_words != 0)
         out[n_words - 1] &= (uint64_t{1} << tail) - 1;
     *state_io = static_cast<uint16_t>(state);
+}
+
+namespace {
+
+/** Streams interleaved per tile in the batch transforms: big enough to
+ *  cover the serial table-walk latency with independent chains, small
+ *  enough that the tile's local state and word buffers stay in
+ *  registers / L1. */
+constexpr size_t kFsmBatchTile = 16;
+
+} // namespace
+
+void
+StanhBatchTable::transformWordsBatch(const uint64_t *const *ins,
+                                     size_t length, uint64_t *const *outs,
+                                     uint16_t *const *states,
+                                     size_t n_streams) const
+{
+    const size_t n_words = (length + 63) / 64;
+    const size_t tail = length % 64;
+    for (size_t s0 = 0; s0 < n_streams; s0 += kFsmBatchTile) {
+        const size_t tile = std::min(kFsmBatchTile, n_streams - s0);
+        unsigned st[kFsmBatchTile];
+        for (size_t s = 0; s < tile; ++s)
+            st[s] = *states[s0 + s];
+        for (size_t w = 0; w < n_words; ++w) {
+            uint64_t in_w[kFsmBatchTile];
+            uint64_t out_w[kFsmBatchTile] = {};
+            for (size_t s = 0; s < tile; ++s)
+                in_w[s] = ins[s0 + s][w];
+            // Byte outer, stream inner: the tile's serial chains are
+            // independent, so the table lookups overlap.
+            for (int b = 0; b < 8; ++b) {
+                for (size_t s = 0; s < tile; ++s) {
+                    const size_t idx =
+                        (static_cast<size_t>(st[s]) << 8) |
+                        ((in_w[s] >> (8 * b)) & 0xFF);
+                    const Entry &e = table_[idx];
+                    out_w[s] |= static_cast<uint64_t>(e.out) << (8 * b);
+                    st[s] = e.next;
+                }
+            }
+            for (size_t s = 0; s < tile; ++s)
+                outs[s0 + s][w] = out_w[s];
+        }
+        if (tail != 0 && n_words != 0) {
+            const uint64_t mask = (uint64_t{1} << tail) - 1;
+            for (size_t s = 0; s < tile; ++s)
+                outs[s0 + s][n_words - 1] &= mask;
+        }
+        for (size_t s = 0; s < tile; ++s)
+            *states[s0 + s] = static_cast<uint16_t>(st[s]);
+    }
 }
 
 void
@@ -178,6 +232,83 @@ BtanhBatchTable::transformSignedWords(const int *steps, size_t length,
         out[w] = out_w;
     }
     *state_io = static_cast<uint16_t>(state);
+}
+
+void
+BtanhBatchTable::transformWordsBatch(const uint16_t *const *counts,
+                                     size_t length, uint64_t *const *outs,
+                                     uint16_t *const *states,
+                                     size_t n_streams) const
+{
+    const size_t n_words = (length + 63) / 64;
+    // Lane-parallel whole words first: the saturating counter is pure
+    // add/clamp/compare arithmetic, so all streams step together as
+    // int16 lanes. The walk below finishes whatever the vector path
+    // left — everything when it is unavailable, else just the partial
+    // tail word — from the carried states.
+    const size_t w0 = simd::avx2BtanhWordsBatch(counts, length, outs,
+                                                states, n_streams, k_,
+                                                n_inputs_);
+    if (w0 >= n_words)
+        return;
+    const int n = static_cast<int>(n_inputs_);
+    for (size_t s0 = 0; s0 < n_streams; s0 += kFsmBatchTile) {
+        const size_t tile = std::min(kFsmBatchTile, n_streams - s0);
+        unsigned st[kFsmBatchTile];
+        for (size_t s = 0; s < tile; ++s)
+            st[s] = *states[s0 + s];
+        for (size_t w = w0; w < n_words; ++w) {
+            const size_t base = w * 64;
+            const size_t limit = std::min<size_t>(64, length - base);
+            uint64_t out_w[kFsmBatchTile] = {};
+            for (size_t b = 0; b < limit; ++b) {
+                for (size_t s = 0; s < tile; ++s) {
+                    const int delta =
+                        2 * static_cast<int>(counts[s0 + s][base + b]) -
+                        n;
+                    bool bit;
+                    st[s] = stepState(st[s], delta, bit);
+                    out_w[s] |= static_cast<uint64_t>(bit) << b;
+                }
+            }
+            for (size_t s = 0; s < tile; ++s)
+                outs[s0 + s][w] = out_w[s];
+        }
+        for (size_t s = 0; s < tile; ++s)
+            *states[s0 + s] = static_cast<uint16_t>(st[s]);
+    }
+}
+
+void
+BtanhBatchTable::transformSignedWordsBatch(const int *const *steps,
+                                           size_t length,
+                                           uint64_t *const *outs,
+                                           uint16_t *const *states,
+                                           size_t n_streams) const
+{
+    const size_t n_words = (length + 63) / 64;
+    for (size_t s0 = 0; s0 < n_streams; s0 += kFsmBatchTile) {
+        const size_t tile = std::min(kFsmBatchTile, n_streams - s0);
+        unsigned st[kFsmBatchTile];
+        for (size_t s = 0; s < tile; ++s)
+            st[s] = *states[s0 + s];
+        for (size_t w = 0; w < n_words; ++w) {
+            const size_t base = w * 64;
+            const size_t limit = std::min<size_t>(64, length - base);
+            uint64_t out_w[kFsmBatchTile] = {};
+            for (size_t b = 0; b < limit; ++b) {
+                for (size_t s = 0; s < tile; ++s) {
+                    bool bit;
+                    st[s] = stepState(st[s], steps[s0 + s][base + b], bit);
+                    out_w[s] |= static_cast<uint64_t>(bit) << b;
+                }
+            }
+            for (size_t s = 0; s < tile; ++s)
+                outs[s0 + s][w] = out_w[s];
+        }
+        for (size_t s = 0; s < tile; ++s)
+            *states[s0 + s] = static_cast<uint16_t>(st[s]);
+    }
 }
 
 void

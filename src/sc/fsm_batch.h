@@ -75,6 +75,17 @@ class StanhBatchTable
     void transformWords(const uint64_t *in, size_t length, uint64_t *out,
                         uint16_t *state) const;
 
+    /** Interleaved multi-stream variant for the batch engine: advances
+     *  @p n_streams independent transforms in lockstep (stream s reads
+     *  ins[s], writes outs[s], carries states[s]), tiling streams so
+     *  their serial table-walk chains overlap in the pipeline instead
+     *  of running back to back. Bit-exact per stream with
+     *  transformWords(ins[s], length, outs[s], states[s]). */
+    void transformWordsBatch(const uint64_t *const *ins, size_t length,
+                             uint64_t *const *outs,
+                             uint16_t *const *states,
+                             size_t n_streams) const;
+
     /** The midpoint start state of a fresh transform. */
     uint16_t initialState() const
     {
@@ -142,6 +153,19 @@ class BtanhBatchTable
                         uint64_t *out, uint16_t *state) const;
     void transformSignedWords(const int *steps, size_t length,
                               uint64_t *out, uint16_t *state) const;
+
+    /** Interleaved multi-stream variants for the batch engine (see the
+     *  Stanh counterpart): bit-exact per stream with the single-stream
+     *  resumable transforms over (counts[s] / steps[s], outs[s],
+     *  states[s]). */
+    void transformWordsBatch(const uint16_t *const *counts, size_t length,
+                             uint64_t *const *outs,
+                             uint16_t *const *states,
+                             size_t n_streams) const;
+    void transformSignedWordsBatch(const int *const *steps, size_t length,
+                                   uint64_t *const *outs,
+                                   uint16_t *const *states,
+                                   size_t n_streams) const;
 
     /** The midpoint start state of a fresh transform. */
     uint16_t initialState() const

@@ -282,6 +282,327 @@ fusedProductCountTotalRange(const std::vector<BitstreamView> &xs,
 }
 
 void
+fusedProductCountsMultiBatch(const std::vector<BitstreamView> &xs0,
+                             const std::vector<size_t> &x_strides,
+                             const uint32_t *images, size_t n_images,
+                             const WeightBlockView &block, bool approximate,
+                             size_t begin_word, size_t end_word,
+                             uint16_t *out, size_t lane_stride,
+                             size_t image_stride)
+{
+    checkMultiOperands(xs0, block, begin_word, end_word);
+    SCDCNN_ASSERT(x_strides.size() == xs0.size(),
+                  "stride count %zu != operand count %zu",
+                  x_strides.size(), xs0.size());
+
+    // Loop-order choice by weight working set. When the block's weight
+    // slice fits in L1, "stationary" is a cache property, not a loop
+    // order: iterating images in the outer loop keeps the slice
+    // resident across the whole micro-batch anyway, and each image's
+    // input-window words stay L1-hot through its word loop (the
+    // word-outer order instead touches every image's window per word —
+    // taps * images words of footprint, which thrashes L1 for small
+    // conv blocks). Large slices (FC arenas, wide conv blocks) stream
+    // from memory, so there the word-outer order below is what turns
+    // one weight read into n_images uses. Both orders produce
+    // bit-identical counts.
+    const size_t slice_bytes = block.taps * kFilterLanes *
+                               (end_word - begin_word) * sizeof(uint64_t);
+    if (slice_bytes <= kImageOuterSliceBytes) {
+        std::vector<BitstreamView> xs_img(xs0.size());
+        for (size_t j = 0; j < n_images; ++j) {
+            shiftViewsForImage(xs0, x_strides, images[j], xs_img);
+            fusedProductCountsMulti(xs_img, block, approximate,
+                                    begin_word, end_word,
+                                    out + j * image_stride, lane_stride);
+        }
+        return;
+    }
+
+    const size_t len = block.length;
+    const size_t n = xs0.size();
+    const size_t n_words = block.wordCount();
+    const size_t tail = len % 64;
+    const uint64_t tail_mask =
+        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    const size_t parity_lines =
+        approximate
+            ? std::min(ApproxParallelCounter::kLsbParityLines, n)
+            : 0;
+
+    size_t w = begin_word;
+    if (simd::enabled() && n >= 2)
+        w += simd::avx2ProductCountsMultiBatch(
+            xs0.data(), x_strides.data(), images, n_images, block,
+            parity_lines, begin_word, end_word, out, lane_stride,
+            image_stride);
+
+    // Weight-stationary loop order: word outer, image inner, taps
+    // innermost — the (word, tap) weight row is re-read from L1 for
+    // every image instead of re-streamed from memory per image.
+    for (; w < end_word; ++w) {
+        const uint64_t word_mask =
+            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
+        const uint64_t *wrow0 = block.at(w, 0);
+        const size_t base = (w - begin_word) * 64;
+        const size_t limit = std::min<size_t>(64, len - w * 64);
+        for (size_t j = 0; j < n_images; ++j) {
+            const size_t img = images[j];
+            uint64_t planes[kFilterLanes][kMaxCarrySavePlanes] = {};
+            uint64_t lsbs[kFilterLanes] = {};
+            int used[kFilterLanes] = {};
+            const uint64_t *wrow = wrow0;
+            for (size_t i = 0; i < n; ++i, wrow += kFilterLanes) {
+                const uint64_t xw =
+                    xs0[i].words[img * x_strides[i] + w];
+                for (size_t f = 0; f < block.lanes; ++f) {
+                    uint64_t carry = ~(xw ^ wrow[f]) & word_mask;
+                    if (i < parity_lines)
+                        lsbs[f] ^= carry;
+                    int p = 0;
+                    while (carry != 0) {
+                        SCDCNN_ASSERT(p < kMaxCarrySavePlanes,
+                                      "too many input streams");
+                        uint64_t t = planes[f][p] & carry;
+                        planes[f][p] ^= carry;
+                        carry = t;
+                        ++p;
+                    }
+                    if (p > used[f])
+                        used[f] = p;
+                }
+            }
+            for (size_t f = 0; f < block.lanes; ++f) {
+                uint16_t *dst =
+                    out + j * image_stride + f * lane_stride + base;
+                for (size_t b = 0; b < limit; ++b) {
+                    uint16_t c = 0;
+                    for (int p = 0; p < used[f]; ++p)
+                        c |= static_cast<uint16_t>(
+                                 (planes[f][p] >> b) & 1)
+                             << p;
+                    if (approximate)
+                        c = static_cast<uint16_t>(
+                            (c & ~uint16_t{1}) |
+                            static_cast<uint16_t>((lsbs[f] >> b) & 1));
+                    dst[b] = c;
+                }
+            }
+        }
+    }
+}
+
+size_t
+planeCapForTaps(size_t taps)
+{
+    return static_cast<size_t>(std::bit_width(taps));
+}
+
+void
+fusedProductPlanesMulti(const std::vector<BitstreamView> &xs,
+                        const WeightBlockView &block, bool approximate,
+                        size_t begin_word, size_t end_word, uint64_t *out,
+                        size_t plane_cap, size_t lane_stride)
+{
+    checkMultiOperands(xs, block, begin_word, end_word);
+    SCDCNN_ASSERT(plane_cap >= planeCapForTaps(block.taps),
+                  "plane cap %zu below width %zu for %zu taps", plane_cap,
+                  planeCapForTaps(block.taps), block.taps);
+    const size_t len = block.length;
+    const size_t n = xs.size();
+    const size_t n_words = block.wordCount();
+    const size_t tail = len % 64;
+    const uint64_t tail_mask =
+        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    const size_t parity_lines =
+        approximate
+            ? std::min(ApproxParallelCounter::kLsbParityLines, n)
+            : 0;
+
+    size_t w = begin_word;
+    if (simd::enabled() && n >= 2)
+        w += simd::avx2ProductPlanesMulti(xs.data(), block, parity_lines,
+                                          begin_word, end_word, plane_cap,
+                                          out, lane_stride);
+
+    for (; w < end_word; ++w) {
+        const uint64_t word_mask =
+            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
+        uint64_t planes[kFilterLanes][kMaxCarrySavePlanes] = {};
+        uint64_t lsbs[kFilterLanes] = {};
+        int used[kFilterLanes] = {};
+        const uint64_t *wrow = block.at(w, 0);
+        for (size_t i = 0; i < n; ++i, wrow += kFilterLanes) {
+            const uint64_t xw = xs[i].words[w];
+            for (size_t f = 0; f < block.lanes; ++f) {
+                uint64_t carry = ~(xw ^ wrow[f]) & word_mask;
+                if (i < parity_lines)
+                    lsbs[f] ^= carry;
+                int j = 0;
+                while (carry != 0) {
+                    SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    uint64_t t = planes[f][j] & carry;
+                    planes[f][j] ^= carry;
+                    carry = t;
+                    ++j;
+                }
+                if (j > used[f])
+                    used[f] = j;
+            }
+        }
+        // The ripple insertion leaves fully propagated (canonical)
+        // digit planes, so used never exceeds the cap.
+        const size_t word_base = (w - begin_word) * (plane_cap + 1);
+        for (size_t f = 0; f < block.lanes; ++f) {
+            SCDCNN_ASSERT(static_cast<size_t>(used[f]) <= plane_cap,
+                          "fold used %d planes, cap %zu", used[f],
+                          plane_cap);
+            uint64_t *dst = out + f * lane_stride + word_base;
+            size_t p = 0;
+            for (; p < static_cast<size_t>(used[f]); ++p)
+                dst[p] = planes[f][p];
+            for (; p < plane_cap; ++p)
+                dst[p] = 0;
+            dst[plane_cap] = lsbs[f];
+        }
+    }
+}
+
+void
+fusedProductPlanesMultiBatch(const std::vector<BitstreamView> &xs0,
+                             const std::vector<size_t> &x_strides,
+                             const uint32_t *images, size_t n_images,
+                             const WeightBlockView &block, bool approximate,
+                             size_t begin_word, size_t end_word,
+                             uint64_t *out, size_t plane_cap,
+                             size_t lane_stride, size_t image_stride)
+{
+    checkMultiOperands(xs0, block, begin_word, end_word);
+    SCDCNN_ASSERT(x_strides.size() == xs0.size(),
+                  "stride count %zu != operand count %zu",
+                  x_strides.size(), xs0.size());
+    SCDCNN_ASSERT(plane_cap >= planeCapForTaps(block.taps),
+                  "plane cap %zu below width %zu for %zu taps", plane_cap,
+                  planeCapForTaps(block.taps), block.taps);
+
+    // Same loop-order rule as fusedProductCountsMultiBatch.
+    const size_t slice_bytes = block.taps * kFilterLanes *
+                               (end_word - begin_word) * sizeof(uint64_t);
+    if (slice_bytes <= kImageOuterSliceBytes) {
+        std::vector<BitstreamView> xs_img(xs0.size());
+        for (size_t j = 0; j < n_images; ++j) {
+            shiftViewsForImage(xs0, x_strides, images[j], xs_img);
+            fusedProductPlanesMulti(xs_img, block, approximate,
+                                    begin_word, end_word,
+                                    out + j * image_stride, plane_cap,
+                                    lane_stride);
+        }
+        return;
+    }
+
+    const size_t len = block.length;
+    const size_t n = xs0.size();
+    const size_t n_words = block.wordCount();
+    const size_t tail = len % 64;
+    const uint64_t tail_mask =
+        tail == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    const size_t parity_lines =
+        approximate
+            ? std::min(ApproxParallelCounter::kLsbParityLines, n)
+            : 0;
+
+    size_t w = begin_word;
+    if (simd::enabled() && n >= 2)
+        w += simd::avx2ProductPlanesMultiBatch(
+            xs0.data(), x_strides.data(), images, n_images, block,
+            parity_lines, begin_word, end_word, plane_cap, out,
+            lane_stride, image_stride);
+
+    for (; w < end_word; ++w) {
+        const uint64_t word_mask =
+            (w + 1 == n_words) ? tail_mask : ~uint64_t{0};
+        const uint64_t *wrow0 = block.at(w, 0);
+        const size_t word_base = (w - begin_word) * (plane_cap + 1);
+        for (size_t j = 0; j < n_images; ++j) {
+            const size_t img = images[j];
+            uint64_t planes[kFilterLanes][kMaxCarrySavePlanes] = {};
+            uint64_t lsbs[kFilterLanes] = {};
+            int used[kFilterLanes] = {};
+            const uint64_t *wrow = wrow0;
+            for (size_t i = 0; i < n; ++i, wrow += kFilterLanes) {
+                const uint64_t xw =
+                    xs0[i].words[img * x_strides[i] + w];
+                for (size_t f = 0; f < block.lanes; ++f) {
+                    uint64_t carry = ~(xw ^ wrow[f]) & word_mask;
+                    if (i < parity_lines)
+                        lsbs[f] ^= carry;
+                    int p = 0;
+                    while (carry != 0) {
+                        SCDCNN_ASSERT(p < kMaxCarrySavePlanes,
+                                      "too many input streams");
+                        uint64_t t = planes[f][p] & carry;
+                        planes[f][p] ^= carry;
+                        carry = t;
+                        ++p;
+                    }
+                    if (p > used[f])
+                        used[f] = p;
+                }
+            }
+            for (size_t f = 0; f < block.lanes; ++f) {
+                SCDCNN_ASSERT(static_cast<size_t>(used[f]) <= plane_cap,
+                              "fold used %d planes, cap %zu", used[f],
+                              plane_cap);
+                uint64_t *dst =
+                    out + j * image_stride + f * lane_stride + word_base;
+                size_t p = 0;
+                for (; p < static_cast<size_t>(used[f]); ++p)
+                    dst[p] = planes[f][p];
+                for (; p < plane_cap; ++p)
+                    dst[p] = 0;
+                dst[plane_cap] = lsbs[f];
+            }
+        }
+    }
+}
+
+void
+referenceProductCountsMultiBatch(const std::vector<BitstreamView> &xs0,
+                                 const std::vector<size_t> &x_strides,
+                                 const uint32_t *images, size_t n_images,
+                                 const WeightBlockView &block,
+                                 bool approximate, size_t begin_word,
+                                 size_t end_word, uint16_t *out,
+                                 size_t lane_stride, size_t image_stride)
+{
+    SCDCNN_ASSERT(x_strides.size() == xs0.size(),
+                  "stride count %zu != operand count %zu",
+                  x_strides.size(), xs0.size());
+    std::vector<BitstreamView> xs_img(xs0.size());
+    for (size_t j = 0; j < n_images; ++j) {
+        shiftViewsForImage(xs0, x_strides, images[j], xs_img);
+        referenceProductCountsMulti(xs_img, block, approximate,
+                                    begin_word, end_word,
+                                    out + j * image_stride, lane_stride);
+    }
+}
+
+void
+shiftViewsForImage(const std::vector<BitstreamView> &xs0,
+                   const std::vector<size_t> &x_strides, size_t image,
+                   std::vector<BitstreamView> &out)
+{
+    SCDCNN_ASSERT(x_strides.size() == xs0.size(),
+                  "stride count %zu != operand count %zu",
+                  x_strides.size(), xs0.size());
+    out.resize(xs0.size());
+    for (size_t i = 0; i < xs0.size(); ++i)
+        out[i] = BitstreamView(xs0[i].words + image * x_strides[i],
+                               xs0[i].length);
+}
+
+void
 referenceProductCountsMulti(const std::vector<BitstreamView> &xs,
                             const WeightBlockView &block, bool approximate,
                             size_t begin_word, size_t end_word,

@@ -205,6 +205,126 @@ void referenceProductCountTotalRange(const std::vector<BitstreamView> &xs,
                                      size_t begin_word, size_t end_word,
                                      ProductCountAccum &acc);
 
+// ------- Batch-axis (weight-stationary) kernel variants -----------
+//
+// The *MultiBatch kernels run one filter block against a whole
+// micro-batch of images in a single pass: each weight word is loaded
+// once and XNOR'd against the corresponding input word of every image
+// before the kernel advances to the next word, so the block's weight
+// slice stays in registers/L1 while the activations stream. Operands
+// are addressed batch-major: the caller passes the image-0 views of
+// the input window plus one per-tap word stride (0 for shared streams
+// like the bias line), and image b's tap t words sit at
+// xs0[t].words + b * x_strides[t] — the BatchStreamArena layout.
+// @p images lists the (still-active) image indices to evaluate, which
+// is how Progressive early exit removes an image mid-stream without
+// disturbing the others.
+
+/** Weight-slice size (bytes) below which the batch kernel runs images
+ *  in the outer loop instead of words: a slice this small stays L1-
+ *  resident across the whole micro-batch regardless of loop order, and
+ *  image-outer keeps each image's input window L1-hot too (word-outer
+ *  touches taps * images input words per word, which thrashes L1 for
+ *  small conv blocks). Larger slices stream word-outer so each weight
+ *  read is amortized over every image. */
+constexpr size_t kImageOuterSliceBytes = 32 * 1024;
+
+/**
+ * Batch-axis fusedProductCountsMulti: for every active position j
+ * (image index images[j]), bit-exact with fusedProductCountsMulti over
+ * the operand views {xs0[t].words + images[j] * x_strides[t],
+ * block.length}. Counts for lane f, active position j, segment-local
+ * cycle i land at out[j * image_stride + f * lane_stride + i].
+ * Dispatches to sc/simd.h's batch plane loop at runtime; weight slices
+ * under kImageOuterSliceBytes take the image-outer order (bit-identical
+ * counts either way).
+ */
+void fusedProductCountsMultiBatch(const std::vector<BitstreamView> &xs0,
+                                  const std::vector<size_t> &x_strides,
+                                  const uint32_t *images, size_t n_images,
+                                  const WeightBlockView &block,
+                                  bool approximate, size_t begin_word,
+                                  size_t end_word, uint16_t *out,
+                                  size_t lane_stride, size_t image_stride);
+
+/** Planes needed to hold a column count over @p taps product lines:
+ *  the canonical binary width of the maximum count. */
+size_t planeCapForTaps(size_t taps);
+
+/**
+ * Plane-emitting fusedProductCountsMulti: the same carry-save fold,
+ * but each word's column counts are stored as their @p plane_cap
+ * canonical bit-planes plus the leading-lines parity word instead of
+ * being transposed into per-cycle uint16 counts. Lane f, range-local
+ * word q's planes land at out[f * lane_stride + q * (plane_cap + 1)];
+ * the parity word at offset plane_cap within the group. plane_cap must
+ * be >= planeCapForTaps(block.taps). The max-pool batch path consumes
+ * this form: segment sums come from plane popcounts and only the
+ * selected input is ever transposed (see
+ * blocks::binaryMaxPoolPlanesBatch).
+ */
+void fusedProductPlanesMulti(const std::vector<BitstreamView> &xs,
+                             const WeightBlockView &block,
+                             bool approximate, size_t begin_word,
+                             size_t end_word, uint64_t *out,
+                             size_t plane_cap, size_t lane_stride);
+
+/** Batch-axis fusedProductPlanesMulti; operand addressing as in
+ *  fusedProductCountsMultiBatch, image j's planes at
+ *  out[j * image_stride]. Takes the same adaptive loop order. */
+void fusedProductPlanesMultiBatch(const std::vector<BitstreamView> &xs0,
+                                  const std::vector<size_t> &x_strides,
+                                  const uint32_t *images, size_t n_images,
+                                  const WeightBlockView &block,
+                                  bool approximate, size_t begin_word,
+                                  size_t end_word, uint64_t *out,
+                                  size_t plane_cap, size_t lane_stride,
+                                  size_t image_stride);
+
+/** Bit-serial oracle for fusedProductCountsMultiBatch (per-image
+ *  referenceProductCountsMulti over the shifted views). */
+void referenceProductCountsMultiBatch(
+    const std::vector<BitstreamView> &xs0,
+    const std::vector<size_t> &x_strides, const uint32_t *images,
+    size_t n_images, const WeightBlockView &block, bool approximate,
+    size_t begin_word, size_t end_word, uint16_t *out, size_t lane_stride,
+    size_t image_stride);
+
+/**
+ * Shift an image-0 operand window to image @p image: view t of @p out
+ * is {xs0[t].words + image * x_strides[t], xs0[t].length}. The MUX and
+ * output-layer batch paths use this to drive the per-image kernels
+ * from one gathered window.
+ */
+void shiftViewsForImage(const std::vector<BitstreamView> &xs0,
+                        const std::vector<size_t> &x_strides, size_t image,
+                        std::vector<BitstreamView> &out);
+
+/**
+ * Reusable per-thread scratch for the batch-axis engine path: one
+ * instance per worker chunk holds the shared image-0 operand window,
+ * the per-tap strides, the batch-major count/product blocks
+ * ([window][image][lane][cycle]), per-image pooling buffers, and the
+ * pointer tables the interleaved FSM transforms consume.
+ */
+struct BatchFusedWorkspace
+{
+    std::vector<BitstreamView> xs0;    //!< image-0 operand views
+    std::vector<size_t> x_strides;     //!< per-tap image word strides
+    std::vector<BitstreamView> xs_img; //!< shifted views (MUX/output)
+    std::vector<uint16_t> selects;     //!< one image's MUX selects
+    std::vector<uint16_t> counts;      //!< [window][image][lane][cycle]
+    std::vector<uint64_t> products;    //!< [window][image][lane][word]
+    std::vector<uint16_t> pooled;      //!< [image][cycle] pooled counts
+    std::vector<int> steps;            //!< [image][cycle] signed steps
+    std::vector<uint64_t> pooled_words; //!< [image][word] pooled streams
+    std::vector<const uint16_t *> count_ptrs; //!< FSM batch inputs
+    std::vector<const uint64_t *> word_ptrs;  //!< FSM batch inputs
+    std::vector<const int *> step_ptrs;       //!< FSM batch inputs
+    std::vector<uint64_t *> out_ptrs;         //!< FSM batch outputs
+    std::vector<uint16_t *> state_ptrs;       //!< FSM batch states
+};
+
 /** Bit-serial oracle for fusedMuxProduct (cycle-at-a-time get()). */
 Bitstream referenceMuxProduct(const std::vector<BitstreamView> &xs,
                               const std::vector<BitstreamView> &ws,

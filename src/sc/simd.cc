@@ -67,6 +67,72 @@ setEnabled(bool on)
     g_enabled.store(on && available() ? 1 : 0, std::memory_order_relaxed);
 }
 
+void
+planeSumWeightsInit(PlaneSumWeights &wts, size_t n_planes, bool parity)
+{
+    SCDCNN_ASSERT(n_planes <= 12, "plane count %zu exceeds the 3-quad "
+                                  "weight table",
+                  n_planes);
+    wts.n_planes = n_planes;
+    wts.parity = parity;
+    wts.base = parity ? 1 : 0;
+    wts.quads =
+        n_planes > wts.base ? (n_planes - wts.base + 3) / 4 : 0;
+    for (size_t q = 0; q < 3; ++q) {
+        wts.shift[q] = static_cast<unsigned>(wts.base + 4 * q);
+        for (size_t b = 0; b < 32; ++b)
+            wts.w[q][b] = 0;
+    }
+    for (size_t p = wts.base; p < n_planes; ++p) {
+        const size_t i = p - wts.base;
+        for (size_t b = 0; b < 8; ++b)
+            wts.w[i / 4][(i % 4) * 8 + b] =
+                static_cast<uint8_t>(1u << (i % 4));
+    }
+}
+
+namespace {
+
+/** Scalar twin of the avx2PlaneWordSums reduction. */
+void
+planeWordSumsScalar(const uint64_t *pw, const PlaneSumWeights &wts,
+                    uint32_t *sums)
+{
+    for (size_t p = wts.parity ? 1 : 0; p < wts.n_planes; ++p) {
+        const uint64_t v = pw[p];
+        for (size_t g = 0; g < 4; ++g)
+            sums[g] += static_cast<uint32_t>(__builtin_popcountll(
+                           (v >> (16 * g)) & 0xFFFF))
+                       << p;
+    }
+    if (wts.parity) {
+        const uint64_t lsb = pw[wts.n_planes];
+        for (size_t g = 0; g < 4; ++g)
+            sums[g] += static_cast<uint32_t>(
+                __builtin_popcountll((lsb >> (16 * g)) & 0xFFFF));
+    }
+}
+
+/** Scalar twin of the avx2SpreadPlanesGroup transpose. */
+void
+spreadPlanesGroupScalar(const uint64_t *pw, size_t n_planes, bool parity,
+                        size_t group, uint16_t *out)
+{
+    for (size_t i = 0; i < 16; ++i) {
+        const size_t b = group * 16 + i;
+        uint16_t c = 0;
+        for (size_t j = 0; j < n_planes; ++j)
+            c |= static_cast<uint16_t>((pw[j] >> b) & 1) << j;
+        if (parity)
+            c = static_cast<uint16_t>(
+                (c & ~uint16_t{1}) |
+                static_cast<uint16_t>((pw[n_planes] >> b) & 1));
+        out[i] = c;
+    }
+}
+
+} // namespace
+
 #if SCDCNN_SIMD_X86
 
 namespace {
@@ -134,15 +200,17 @@ addPlanesK(__m256i *a, const __m256i *b, int k)
     return carry;
 }
 
-/** Fold 16 product lines into the 5 bit-planes of their column sums. */
+/**
+ * Layers 2+ of the 16-line fold: eight (sum, carry) pairs — the first
+ * half-adder layer over consecutive product-line pairs — reduce into
+ * the 5 bit-planes of the 16 lines' column sums. The first layer is
+ * split out so the fold loops can compute it as the products are
+ * generated: two product lines at a time stay in registers, instead of
+ * 16 live ymm values that the compiler must spill around the tree.
+ */
 __attribute__((target("avx2"))) inline void
-reduce16(const __m256i p[16], __m256i out[5])
+reduce16Pairs(const __m256i s[8], const __m256i c[8], __m256i out[5])
 {
-    __m256i s[8], c[8];
-    for (int i = 0; i < 8; ++i) {
-        s[i] = _mm256_xor_si256(p[2 * i], p[2 * i + 1]);
-        c[i] = _mm256_and_si256(p[2 * i], p[2 * i + 1]);
-    }
     // Two 2-bit sums -> one 3-bit sum, four times (planes s,c -> a0..a2).
     __m256i a0[4], a1[4], a2[4];
     for (int i = 0; i < 4; ++i) {
@@ -289,22 +357,38 @@ avx2ProductCountsMulti(const BitstreamView *xs, const WeightBlockView &block,
         __m256i lsb = _mm256_setzero_si256();
         int used = 0;
         const uint64_t *wrow = block.at(w, 0);
-        __m256i prod[16];
+        __m256i s[8], c[8];
         size_t i = 0;
         for (; i + 16 <= n; i += 16, wrow += 16 * kFilterLanes) {
-            for (int r = 0; r < 16; ++r) {
-                const __m256i xv = _mm256_set1_epi64x(
-                    static_cast<long long>(xs[i + r].words[w]));
-                const __m256i wv = _mm256_loadu_si256(
+            // Product pairs feed the tree's first half-adder layer as
+            // they are generated; only two lines are live at a time.
+            for (int r = 0; r < 8; ++r) {
+                const size_t ta = i + 2 * static_cast<size_t>(r);
+                const __m256i xa = _mm256_set1_epi64x(
+                    static_cast<long long>(xs[ta].words[w]));
+                const __m256i wa = _mm256_loadu_si256(
                     reinterpret_cast<const __m256i *>(
-                        wrow + static_cast<size_t>(r) * kFilterLanes));
-                prod[r] = _mm256_xor_si256(_mm256_xor_si256(xv, wv),
-                                           all_ones);
+                        wrow +
+                        2 * static_cast<size_t>(r) * kFilterLanes));
+                const __m256i pa = _mm256_xor_si256(
+                    _mm256_xor_si256(xa, wa), all_ones);
+                const __m256i xb = _mm256_set1_epi64x(
+                    static_cast<long long>(xs[ta + 1].words[w]));
+                const __m256i wb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(
+                        wrow +
+                        (2 * static_cast<size_t>(r) + 1) * kFilterLanes));
+                const __m256i pb = _mm256_xor_si256(
+                    _mm256_xor_si256(xb, wb), all_ones);
+                if (ta < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, pa);
+                if (ta + 1 < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, pb);
+                s[r] = _mm256_xor_si256(pa, pb);
+                c[r] = _mm256_and_si256(pa, pb);
             }
-            for (size_t t = i; t < parity_lines; ++t)
-                lsb = _mm256_xor_si256(lsb, prod[t - i]);
             __m256i folded[5];
-            reduce16(prod, folded);
+            reduce16Pairs(s, c, folded);
             if (used == 0) {
                 for (int j = 0; j < 5; ++j)
                     planes[j] = folded[j];
@@ -325,6 +409,57 @@ avx2ProductCountsMulti(const BitstreamView *xs, const WeightBlockView &block,
                     ++j;
                 }
             }
+        }
+        // Zero-padded final block: once a full block has folded
+        // (used >= 5, so the accumulator holds 5+ planes and taps >= 16
+        // keeps the plane cap at 5+), a tail of 6 or more lines runs
+        // through the same fixed-schedule tree with zero lines in the
+        // missing slots. Zero lines add nothing to any column count,
+        // so the fold is bit-identical to the serial insertion it
+        // replaces — at tree ILP instead of a ripple walk per line.
+        if (n >= 16 && n - i >= 6 && parity_lines <= i) {
+            for (int r = 0; r < 8; ++r) {
+                const size_t ta = i + 2 * static_cast<size_t>(r);
+                __m256i pa = _mm256_setzero_si256();
+                __m256i pb = _mm256_setzero_si256();
+                if (ta < n) {
+                    const __m256i xa = _mm256_set1_epi64x(
+                        static_cast<long long>(xs[ta].words[w]));
+                    const __m256i wa = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (ta - i) * kFilterLanes));
+                    pa = _mm256_xor_si256(_mm256_xor_si256(xa, wa),
+                                          all_ones);
+                }
+                if (ta + 1 < n) {
+                    const __m256i xb = _mm256_set1_epi64x(
+                        static_cast<long long>(xs[ta + 1].words[w]));
+                    const __m256i wb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (ta + 1 - i) * kFilterLanes));
+                    pb = _mm256_xor_si256(_mm256_xor_si256(xb, wb),
+                                          all_ones);
+                }
+                s[r] = _mm256_xor_si256(pa, pb);
+                c[r] = _mm256_and_si256(pa, pb);
+            }
+            __m256i folded[5];
+            reduce16Pairs(s, c, folded);
+            __m256i carry = addPlanesK(planes, folded, 5);
+            int j = 5;
+            while (!_mm256_testz_si256(carry, carry)) {
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
+                if (j == used) {
+                    planes[used++] = carry;
+                    break;
+                }
+                const __m256i t = _mm256_and_si256(planes[j], carry);
+                planes[j] = _mm256_xor_si256(planes[j], carry);
+                carry = t;
+                ++j;
+            }
+            i = n;
         }
         for (; i < n; ++i, wrow += kFilterLanes) {
             const __m256i xv =
@@ -388,6 +523,746 @@ avx2ProductCountsMulti(const BitstreamView *xs, const WeightBlockView &block,
         }
     }
     return full_end - begin_word;
+}
+
+__attribute__((target("avx2"))) size_t
+avx2ProductCountsMultiBatch(const BitstreamView *xs0,
+                            const size_t *x_strides, const uint32_t *images,
+                            size_t n_images, const WeightBlockView &block,
+                            size_t parity_lines, size_t begin_word,
+                            size_t end_word, uint16_t *out,
+                            size_t lane_stride, size_t image_stride)
+{
+    if (!enabled())
+        return 0;
+    // Full words only, as in avx2ProductCountsMulti: the partial tail
+    // word stays with the scalar caller.
+    const size_t full_end = std::min(end_word, block.length / 64);
+    if (full_end <= begin_word)
+        return 0;
+    const size_t n = block.taps;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+    const __m256i lane_bit = _mm256_setr_epi16(
+        1 << 0, 1 << 1, 1 << 2, 1 << 3, 1 << 4, 1 << 5, 1 << 6, 1 << 7,
+        1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14,
+        static_cast<short>(1 << 15));
+
+    // Weight-stationary loop order: word outer, image inner. The
+    // weight row for word w (taps x kFilterLanes contiguous words) is
+    // streamed once and re-read from cache for every image in the
+    // micro-batch instead of re-fetched from memory per image.
+    for (size_t w = begin_word; w < full_end; ++w) {
+        const uint64_t *wrow0 = block.at(w, 0);
+        const size_t out_base = (w - begin_word) * 64;
+        for (size_t j = 0; j < n_images; ++j) {
+            const size_t img = images[j];
+            __m256i planes[kMaxCarrySavePlanes];
+            __m256i lsb = _mm256_setzero_si256();
+            int used = 0;
+            const uint64_t *wrow = wrow0;
+            __m256i s[8], c[8];
+            size_t i = 0;
+            for (; i + 16 <= n; i += 16, wrow += 16 * kFilterLanes) {
+                for (int r = 0; r < 8; ++r) {
+                    const size_t ta = i + 2 * static_cast<size_t>(r);
+                    const __m256i xa =
+                        _mm256_set1_epi64x(static_cast<long long>(
+                            xs0[ta].words[img * x_strides[ta] + w]));
+                    const __m256i wa = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow +
+                            2 * static_cast<size_t>(r) * kFilterLanes));
+                    const __m256i pa = _mm256_xor_si256(
+                        _mm256_xor_si256(xa, wa), all_ones);
+                    const __m256i xb =
+                        _mm256_set1_epi64x(static_cast<long long>(
+                            xs0[ta + 1]
+                                .words[img * x_strides[ta + 1] + w]));
+                    const __m256i wb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (2 * static_cast<size_t>(r) + 1) *
+                                       kFilterLanes));
+                    const __m256i pb = _mm256_xor_si256(
+                        _mm256_xor_si256(xb, wb), all_ones);
+                    if (ta < parity_lines)
+                        lsb = _mm256_xor_si256(lsb, pa);
+                    if (ta + 1 < parity_lines)
+                        lsb = _mm256_xor_si256(lsb, pb);
+                    s[r] = _mm256_xor_si256(pa, pb);
+                    c[r] = _mm256_and_si256(pa, pb);
+                }
+                __m256i folded[5];
+                reduce16Pairs(s, c, folded);
+                if (used == 0) {
+                    for (int j2 = 0; j2 < 5; ++j2)
+                        planes[j2] = folded[j2];
+                    used = 5;
+                } else {
+                    __m256i carry = addPlanesK(planes, folded, 5);
+                    int j2 = 5;
+                    while (!_mm256_testz_si256(carry, carry)) {
+                        SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                      "too many input streams");
+                        if (j2 == used) {
+                            planes[used++] = carry;
+                            break;
+                        }
+                        const __m256i t =
+                            _mm256_and_si256(planes[j2], carry);
+                        planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                        carry = t;
+                        ++j2;
+                    }
+                }
+            }
+            // Zero-padded final block (see avx2ProductCountsMulti).
+            if (n >= 16 && n - i >= 6 && parity_lines <= i) {
+                for (int r = 0; r < 8; ++r) {
+                    const size_t ta = i + 2 * static_cast<size_t>(r);
+                    __m256i pa = _mm256_setzero_si256();
+                    __m256i pb = _mm256_setzero_si256();
+                    if (ta < n) {
+                        const __m256i xa =
+                            _mm256_set1_epi64x(static_cast<long long>(
+                                xs0[ta].words[img * x_strides[ta] + w]));
+                        const __m256i wa = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                wrow + (ta - i) * kFilterLanes));
+                        pa = _mm256_xor_si256(_mm256_xor_si256(xa, wa),
+                                              all_ones);
+                    }
+                    if (ta + 1 < n) {
+                        const __m256i xb =
+                            _mm256_set1_epi64x(static_cast<long long>(
+                                xs0[ta + 1]
+                                    .words[img * x_strides[ta + 1] + w]));
+                        const __m256i wb = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                wrow + (ta + 1 - i) * kFilterLanes));
+                        pb = _mm256_xor_si256(_mm256_xor_si256(xb, wb),
+                                              all_ones);
+                    }
+                    s[r] = _mm256_xor_si256(pa, pb);
+                    c[r] = _mm256_and_si256(pa, pb);
+                }
+                __m256i folded[5];
+                reduce16Pairs(s, c, folded);
+                __m256i carry = addPlanesK(planes, folded, 5);
+                int j2 = 5;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j2 == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j2], carry);
+                    planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                    carry = t;
+                    ++j2;
+                }
+                i = n;
+            }
+            for (; i < n; ++i, wrow += kFilterLanes) {
+                const __m256i xv = _mm256_set1_epi64x(
+                    static_cast<long long>(
+                        xs0[i].words[img * x_strides[i] + w]));
+                const __m256i wv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(wrow));
+                __m256i carry = _mm256_xor_si256(
+                    _mm256_xor_si256(xv, wv), all_ones);
+                if (i < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, carry);
+                int j2 = 0;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j2 == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j2], carry);
+                    planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                    carry = t;
+                    ++j2;
+                }
+            }
+
+            alignas(32) uint64_t pw[kMaxCarrySavePlanes][4];
+            for (int j2 = 0; j2 < used; ++j2)
+                _mm256_store_si256(reinterpret_cast<__m256i *>(pw[j2]),
+                                   planes[j2]);
+            alignas(32) uint64_t lw[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lw), lsb);
+
+            uint16_t *img_out = out + j * image_stride;
+            for (size_t f = 0; f < block.lanes; ++f) {
+                for (int g = 0; g < 4; ++g) {
+                    __m256i acc = _mm256_setzero_si256();
+                    for (int j2 = 0; j2 < used; ++j2) {
+                        const auto bits = static_cast<uint16_t>(
+                            pw[j2][f] >> (g * 16));
+                        acc = _mm256_or_si256(
+                            acc,
+                            spreadBits16(bits, lane_bit,
+                                         static_cast<short>(1 << j2)));
+                    }
+                    if (parity_lines > 0) {
+                        const auto bits =
+                            static_cast<uint16_t>(lw[f] >> (g * 16));
+                        acc = _mm256_or_si256(
+                            _mm256_and_si256(
+                                acc, _mm256_set1_epi16(
+                                         static_cast<short>(~1))),
+                            spreadBits16(bits, lane_bit, 1));
+                    }
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(
+                            img_out + f * lane_stride + out_base +
+                            static_cast<size_t>(g) * 16),
+                        acc);
+                }
+            }
+        }
+    }
+    return full_end - begin_word;
+}
+
+__attribute__((target("avx2"))) size_t
+avx2ProductPlanesMulti(const BitstreamView *xs, const WeightBlockView &block,
+                       size_t parity_lines, size_t begin_word,
+                       size_t end_word, size_t plane_cap, uint64_t *out,
+                       size_t lane_stride)
+{
+    if (!enabled())
+        return 0;
+    const size_t full_end = std::min(end_word, block.length / 64);
+    if (full_end <= begin_word)
+        return 0;
+    const size_t n = block.taps;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+
+    for (size_t w = begin_word; w < full_end; ++w) {
+        // The fold of avx2ProductCountsMulti, verbatim; only the tail
+        // differs — planes are stored, not transposed.
+        __m256i planes[kMaxCarrySavePlanes];
+        __m256i lsb = _mm256_setzero_si256();
+        int used = 0;
+        const uint64_t *wrow = block.at(w, 0);
+        __m256i s[8], c[8];
+        size_t i = 0;
+        for (; i + 16 <= n; i += 16, wrow += 16 * kFilterLanes) {
+            for (int r = 0; r < 8; ++r) {
+                const size_t ta = i + 2 * static_cast<size_t>(r);
+                const __m256i xa = _mm256_set1_epi64x(
+                    static_cast<long long>(xs[ta].words[w]));
+                const __m256i wa = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(
+                        wrow +
+                        2 * static_cast<size_t>(r) * kFilterLanes));
+                const __m256i pa = _mm256_xor_si256(
+                    _mm256_xor_si256(xa, wa), all_ones);
+                const __m256i xb = _mm256_set1_epi64x(
+                    static_cast<long long>(xs[ta + 1].words[w]));
+                const __m256i wb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(
+                        wrow +
+                        (2 * static_cast<size_t>(r) + 1) * kFilterLanes));
+                const __m256i pb = _mm256_xor_si256(
+                    _mm256_xor_si256(xb, wb), all_ones);
+                if (ta < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, pa);
+                if (ta + 1 < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, pb);
+                s[r] = _mm256_xor_si256(pa, pb);
+                c[r] = _mm256_and_si256(pa, pb);
+            }
+            __m256i folded[5];
+            reduce16Pairs(s, c, folded);
+            if (used == 0) {
+                for (int j = 0; j < 5; ++j)
+                    planes[j] = folded[j];
+                used = 5;
+            } else {
+                __m256i carry = addPlanesK(planes, folded, 5);
+                int j = 5;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j], carry);
+                    planes[j] = _mm256_xor_si256(planes[j], carry);
+                    carry = t;
+                    ++j;
+                }
+            }
+        }
+        // Zero-padded final block (see avx2ProductCountsMulti).
+        if (n >= 16 && n - i >= 6 && parity_lines <= i) {
+            for (int r = 0; r < 8; ++r) {
+                const size_t ta = i + 2 * static_cast<size_t>(r);
+                __m256i pa = _mm256_setzero_si256();
+                __m256i pb = _mm256_setzero_si256();
+                if (ta < n) {
+                    const __m256i xa = _mm256_set1_epi64x(
+                        static_cast<long long>(xs[ta].words[w]));
+                    const __m256i wa = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (ta - i) * kFilterLanes));
+                    pa = _mm256_xor_si256(_mm256_xor_si256(xa, wa),
+                                          all_ones);
+                }
+                if (ta + 1 < n) {
+                    const __m256i xb = _mm256_set1_epi64x(
+                        static_cast<long long>(xs[ta + 1].words[w]));
+                    const __m256i wb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (ta + 1 - i) * kFilterLanes));
+                    pb = _mm256_xor_si256(_mm256_xor_si256(xb, wb),
+                                          all_ones);
+                }
+                s[r] = _mm256_xor_si256(pa, pb);
+                c[r] = _mm256_and_si256(pa, pb);
+            }
+            __m256i folded[5];
+            reduce16Pairs(s, c, folded);
+            __m256i carry = addPlanesK(planes, folded, 5);
+            int j = 5;
+            while (!_mm256_testz_si256(carry, carry)) {
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
+                if (j == used) {
+                    planes[used++] = carry;
+                    break;
+                }
+                const __m256i t = _mm256_and_si256(planes[j], carry);
+                planes[j] = _mm256_xor_si256(planes[j], carry);
+                carry = t;
+                ++j;
+            }
+            i = n;
+        }
+        for (; i < n; ++i, wrow += kFilterLanes) {
+            const __m256i xv =
+                _mm256_set1_epi64x(static_cast<long long>(xs[i].words[w]));
+            const __m256i wv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(wrow));
+            __m256i carry = _mm256_xor_si256(_mm256_xor_si256(xv, wv),
+                                             all_ones);
+            if (i < parity_lines)
+                lsb = _mm256_xor_si256(lsb, carry);
+            int j = 0;
+            while (!_mm256_testz_si256(carry, carry)) {
+                SCDCNN_ASSERT(j < kMaxCarrySavePlanes,
+                              "too many input streams");
+                if (j == used) {
+                    planes[used++] = carry;
+                    break;
+                }
+                const __m256i t = _mm256_and_si256(planes[j], carry);
+                planes[j] = _mm256_xor_si256(planes[j], carry);
+                carry = t;
+                ++j;
+            }
+        }
+        SCDCNN_ASSERT(static_cast<size_t>(used) <= plane_cap,
+                      "fold used %d planes, cap %zu", used, plane_cap);
+
+        alignas(32) uint64_t pw[kMaxCarrySavePlanes][4];
+        for (int j = 0; j < used; ++j)
+            _mm256_store_si256(reinterpret_cast<__m256i *>(pw[j]),
+                               planes[j]);
+        alignas(32) uint64_t lw[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lw), lsb);
+
+        const size_t word_base = (w - begin_word) * (plane_cap + 1);
+        for (size_t f = 0; f < block.lanes; ++f) {
+            uint64_t *dst = out + f * lane_stride + word_base;
+            size_t p = 0;
+            for (; p < static_cast<size_t>(used); ++p)
+                dst[p] = pw[p][f];
+            for (; p < plane_cap; ++p)
+                dst[p] = 0;
+            dst[plane_cap] = lw[f];
+        }
+    }
+    return full_end - begin_word;
+}
+
+__attribute__((target("avx2"))) size_t
+avx2ProductPlanesMultiBatch(const BitstreamView *xs0,
+                            const size_t *x_strides, const uint32_t *images,
+                            size_t n_images, const WeightBlockView &block,
+                            size_t parity_lines, size_t begin_word,
+                            size_t end_word, size_t plane_cap,
+                            uint64_t *out, size_t lane_stride,
+                            size_t image_stride)
+{
+    if (!enabled())
+        return 0;
+    const size_t full_end = std::min(end_word, block.length / 64);
+    if (full_end <= begin_word)
+        return 0;
+    const size_t n = block.taps;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+
+    // Weight-stationary order as in avx2ProductCountsMultiBatch; the
+    // transpose tail is replaced by plane stores.
+    for (size_t w = begin_word; w < full_end; ++w) {
+        const uint64_t *wrow0 = block.at(w, 0);
+        const size_t word_base = (w - begin_word) * (plane_cap + 1);
+        for (size_t j = 0; j < n_images; ++j) {
+            const size_t img = images[j];
+            __m256i planes[kMaxCarrySavePlanes];
+            __m256i lsb = _mm256_setzero_si256();
+            int used = 0;
+            const uint64_t *wrow = wrow0;
+            __m256i s[8], c[8];
+            size_t i = 0;
+            for (; i + 16 <= n; i += 16, wrow += 16 * kFilterLanes) {
+                for (int r = 0; r < 8; ++r) {
+                    const size_t ta = i + 2 * static_cast<size_t>(r);
+                    const __m256i xa =
+                        _mm256_set1_epi64x(static_cast<long long>(
+                            xs0[ta].words[img * x_strides[ta] + w]));
+                    const __m256i wa = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow +
+                            2 * static_cast<size_t>(r) * kFilterLanes));
+                    const __m256i pa = _mm256_xor_si256(
+                        _mm256_xor_si256(xa, wa), all_ones);
+                    const __m256i xb =
+                        _mm256_set1_epi64x(static_cast<long long>(
+                            xs0[ta + 1]
+                                .words[img * x_strides[ta + 1] + w]));
+                    const __m256i wb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            wrow + (2 * static_cast<size_t>(r) + 1) *
+                                       kFilterLanes));
+                    const __m256i pb = _mm256_xor_si256(
+                        _mm256_xor_si256(xb, wb), all_ones);
+                    if (ta < parity_lines)
+                        lsb = _mm256_xor_si256(lsb, pa);
+                    if (ta + 1 < parity_lines)
+                        lsb = _mm256_xor_si256(lsb, pb);
+                    s[r] = _mm256_xor_si256(pa, pb);
+                    c[r] = _mm256_and_si256(pa, pb);
+                }
+                __m256i folded[5];
+                reduce16Pairs(s, c, folded);
+                if (used == 0) {
+                    for (int j2 = 0; j2 < 5; ++j2)
+                        planes[j2] = folded[j2];
+                    used = 5;
+                } else {
+                    __m256i carry = addPlanesK(planes, folded, 5);
+                    int j2 = 5;
+                    while (!_mm256_testz_si256(carry, carry)) {
+                        SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                      "too many input streams");
+                        if (j2 == used) {
+                            planes[used++] = carry;
+                            break;
+                        }
+                        const __m256i t =
+                            _mm256_and_si256(planes[j2], carry);
+                        planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                        carry = t;
+                        ++j2;
+                    }
+                }
+            }
+            // Zero-padded final block (see avx2ProductCountsMulti).
+            if (n >= 16 && n - i >= 6 && parity_lines <= i) {
+                for (int r = 0; r < 8; ++r) {
+                    const size_t ta = i + 2 * static_cast<size_t>(r);
+                    __m256i pa = _mm256_setzero_si256();
+                    __m256i pb = _mm256_setzero_si256();
+                    if (ta < n) {
+                        const __m256i xa =
+                            _mm256_set1_epi64x(static_cast<long long>(
+                                xs0[ta].words[img * x_strides[ta] + w]));
+                        const __m256i wa = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                wrow + (ta - i) * kFilterLanes));
+                        pa = _mm256_xor_si256(_mm256_xor_si256(xa, wa),
+                                              all_ones);
+                    }
+                    if (ta + 1 < n) {
+                        const __m256i xb =
+                            _mm256_set1_epi64x(static_cast<long long>(
+                                xs0[ta + 1]
+                                    .words[img * x_strides[ta + 1] + w]));
+                        const __m256i wb = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                wrow + (ta + 1 - i) * kFilterLanes));
+                        pb = _mm256_xor_si256(_mm256_xor_si256(xb, wb),
+                                              all_ones);
+                    }
+                    s[r] = _mm256_xor_si256(pa, pb);
+                    c[r] = _mm256_and_si256(pa, pb);
+                }
+                __m256i folded[5];
+                reduce16Pairs(s, c, folded);
+                __m256i carry = addPlanesK(planes, folded, 5);
+                int j2 = 5;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j2 == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j2], carry);
+                    planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                    carry = t;
+                    ++j2;
+                }
+                i = n;
+            }
+            for (; i < n; ++i, wrow += kFilterLanes) {
+                const __m256i xv = _mm256_set1_epi64x(
+                    static_cast<long long>(
+                        xs0[i].words[img * x_strides[i] + w]));
+                const __m256i wv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(wrow));
+                __m256i carry = _mm256_xor_si256(
+                    _mm256_xor_si256(xv, wv), all_ones);
+                if (i < parity_lines)
+                    lsb = _mm256_xor_si256(lsb, carry);
+                int j2 = 0;
+                while (!_mm256_testz_si256(carry, carry)) {
+                    SCDCNN_ASSERT(j2 < kMaxCarrySavePlanes,
+                                  "too many input streams");
+                    if (j2 == used) {
+                        planes[used++] = carry;
+                        break;
+                    }
+                    const __m256i t = _mm256_and_si256(planes[j2], carry);
+                    planes[j2] = _mm256_xor_si256(planes[j2], carry);
+                    carry = t;
+                    ++j2;
+                }
+            }
+            SCDCNN_ASSERT(static_cast<size_t>(used) <= plane_cap,
+                          "fold used %d planes, cap %zu", used, plane_cap);
+
+            alignas(32) uint64_t pw[kMaxCarrySavePlanes][4];
+            for (int j2 = 0; j2 < used; ++j2)
+                _mm256_store_si256(reinterpret_cast<__m256i *>(pw[j2]),
+                                   planes[j2]);
+            alignas(32) uint64_t lw[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lw), lsb);
+
+            uint64_t *img_out = out + j * image_stride;
+            for (size_t f = 0; f < block.lanes; ++f) {
+                uint64_t *dst = img_out + f * lane_stride + word_base;
+                size_t p = 0;
+                for (; p < static_cast<size_t>(used); ++p)
+                    dst[p] = pw[p][f];
+                for (; p < plane_cap; ++p)
+                    dst[p] = 0;
+                dst[plane_cap] = lw[f];
+            }
+        }
+    }
+    return full_end - begin_word;
+}
+
+__attribute__((target("avx2"))) static void
+avx2SpreadPlanesWordImpl(const uint64_t *pw, size_t n_planes, bool parity,
+                         uint16_t *out)
+{
+    const __m256i lane_bit = _mm256_setr_epi16(
+        1 << 0, 1 << 1, 1 << 2, 1 << 3, 1 << 4, 1 << 5, 1 << 6, 1 << 7,
+        1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14,
+        static_cast<short>(1 << 15));
+    for (int g = 0; g < 4; ++g) {
+        __m256i acc = _mm256_setzero_si256();
+        for (size_t j = 0; j < n_planes; ++j) {
+            const auto bits = static_cast<uint16_t>(pw[j] >> (g * 16));
+            acc = _mm256_or_si256(
+                acc, spreadBits16(bits, lane_bit,
+                                  static_cast<short>(1 << j)));
+        }
+        if (parity) {
+            const auto bits =
+                static_cast<uint16_t>(pw[n_planes] >> (g * 16));
+            acc = _mm256_or_si256(
+                _mm256_and_si256(
+                    acc, _mm256_set1_epi16(static_cast<short>(~1))),
+                spreadBits16(bits, lane_bit, 1));
+        }
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + g * 16), acc);
+    }
+}
+
+void
+avx2SpreadPlanesWord(const uint64_t *pw, size_t n_planes, bool parity,
+                     uint16_t *out)
+{
+    SCDCNN_ASSERT(n_planes < 16, "plane count %zu too large", n_planes);
+    if (enabled()) {
+        avx2SpreadPlanesWordImpl(pw, n_planes, parity, out);
+        return;
+    }
+    for (size_t b = 0; b < 64; ++b) {
+        uint16_t c = 0;
+        for (size_t j = 0; j < n_planes; ++j)
+            c |= static_cast<uint16_t>((pw[j] >> b) & 1) << j;
+        if (parity)
+            c = static_cast<uint16_t>(
+                (c & ~uint16_t{1}) |
+                static_cast<uint16_t>((pw[n_planes] >> b) & 1));
+        out[b] = c;
+    }
+}
+
+__attribute__((target("avx2"))) static void
+avx2SpreadPlanesGroupImpl(const uint64_t *pw, size_t n_planes,
+                          bool parity, size_t group, uint16_t *out)
+{
+    const __m256i lane_bit = _mm256_setr_epi16(
+        1 << 0, 1 << 1, 1 << 2, 1 << 3, 1 << 4, 1 << 5, 1 << 6, 1 << 7,
+        1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14,
+        static_cast<short>(1 << 15));
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t j = 0; j < n_planes; ++j) {
+        const auto bits = static_cast<uint16_t>(pw[j] >> (group * 16));
+        acc = _mm256_or_si256(
+            acc,
+            spreadBits16(bits, lane_bit, static_cast<short>(1 << j)));
+    }
+    if (parity) {
+        const auto bits =
+            static_cast<uint16_t>(pw[n_planes] >> (group * 16));
+        acc = _mm256_or_si256(
+            _mm256_and_si256(acc,
+                             _mm256_set1_epi16(static_cast<short>(~1))),
+            spreadBits16(bits, lane_bit, 1));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), acc);
+}
+
+void
+avx2SpreadPlanesGroup(const uint64_t *pw, size_t n_planes, bool parity,
+                      size_t group, uint16_t *out)
+{
+    SCDCNN_ASSERT(n_planes < 16, "plane count %zu too large", n_planes);
+    if (enabled()) {
+        avx2SpreadPlanesGroupImpl(pw, n_planes, parity, group, out);
+        return;
+    }
+    spreadPlanesGroupScalar(pw, n_planes, parity, group, out);
+}
+
+__attribute__((target("avx2"))) static void
+avx2PlaneWordSumsImpl(const uint64_t *pw, const PlaneSumWeights &wts,
+                      uint32_t *sums)
+{
+    // One quad = planes [base + 4q, base + 4q + 4) in the four 64-bit
+    // ymm lanes. maddubs pairs byte popcounts with the per-byte
+    // relative digit weights 2^i: a 16-bit product lane covers bytes
+    // 2i, 2i+1 — one 16-cycle group of one plane — so summing the four
+    // 64-bit lanes' matching sublanes yields the quad's four group
+    // sums (<= 4 planes * 16 * 8 = 512, no maddubs saturation since
+    // each pair is <= 128).
+    for (size_t q = 0; q < wts.quads; ++q) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pw + wts.base + q * 4));
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(wts.w[q]));
+        const __m256i prod = _mm256_maddubs_epi16(popcountBytes(v), w);
+        __m128i t = _mm_add_epi16(_mm256_castsi256_si128(prod),
+                                  _mm256_extracti128_si256(prod, 1));
+        t = _mm_add_epi16(t, _mm_srli_si128(t, 8));
+        const auto packed = static_cast<uint64_t>(_mm_cvtsi128_si64(t));
+        for (size_t g = 0; g < 4; ++g)
+            sums[g] += static_cast<uint32_t>((packed >> (16 * g)) &
+                                             0xFFFF)
+                       << wts.shift[q];
+    }
+    if (wts.parity) {
+        const uint64_t lsb = pw[wts.n_planes];
+        for (size_t g = 0; g < 4; ++g)
+            sums[g] += static_cast<uint32_t>(
+                __builtin_popcountll((lsb >> (16 * g)) & 0xFFFF));
+    }
+}
+
+void
+avx2PlaneWordSums(const uint64_t *pw, const PlaneSumWeights &wts,
+                  uint32_t *sums)
+{
+    if (enabled()) {
+        avx2PlaneWordSumsImpl(pw, wts, sums);
+        return;
+    }
+    planeWordSumsScalar(pw, wts, sums);
+}
+
+__attribute__((target("avx2"))) static void
+avx2PlaneWordSumsMultiImpl(const uint64_t *const *bufs, size_t n_bufs,
+                           size_t pstride, size_t n_words,
+                           const PlaneSumWeights &wts, uint32_t *sums)
+{
+    for (size_t b = 0; b < n_bufs; ++b) {
+        const uint64_t *pw = bufs[b];
+        uint32_t *dst = sums + b * n_words * 4;
+        for (size_t q = 0; q < n_words; ++q, pw += pstride, dst += 4) {
+            dst[0] = dst[1] = dst[2] = dst[3] = 0;
+            avx2PlaneWordSumsImpl(pw, wts, dst);
+        }
+    }
+}
+
+void
+avx2PlaneWordSumsMulti(const uint64_t *const *bufs, size_t n_bufs,
+                       size_t pstride, size_t n_words,
+                       const PlaneSumWeights &wts, uint32_t *sums)
+{
+    if (enabled()) {
+        avx2PlaneWordSumsMultiImpl(bufs, n_bufs, pstride, n_words, wts,
+                                   sums);
+        return;
+    }
+    for (size_t b = 0; b < n_bufs; ++b) {
+        const uint64_t *pw = bufs[b];
+        uint32_t *dst = sums + b * n_words * 4;
+        for (size_t q = 0; q < n_words; ++q, pw += pstride, dst += 4) {
+            dst[0] = dst[1] = dst[2] = dst[3] = 0;
+            planeWordSumsScalar(pw, wts, dst);
+        }
+    }
+}
+
+__attribute__((target("avx2"))) static void
+avx2SpreadPlanesGroupMultiImpl(const uint64_t *const *pws, size_t n,
+                               size_t n_planes, bool parity, size_t group,
+                               uint16_t *const *outs)
+{
+    for (size_t i = 0; i < n; ++i)
+        avx2SpreadPlanesGroupImpl(pws[i], n_planes, parity, group,
+                                  outs[i]);
+}
+
+void
+avx2SpreadPlanesGroupMulti(const uint64_t *const *pws, size_t n,
+                           size_t n_planes, bool parity, size_t group,
+                           uint16_t *const *outs)
+{
+    SCDCNN_ASSERT(n_planes < 16, "plane count %zu too large", n_planes);
+    if (enabled()) {
+        avx2SpreadPlanesGroupMultiImpl(pws, n, n_planes, parity, group,
+                                       outs);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        spreadPlanesGroupScalar(pws[i], n_planes, parity, group, outs[i]);
 }
 
 __attribute__((target("avx2"))) size_t
@@ -478,6 +1353,126 @@ avx2SumU16(const uint16_t *values, size_t n)
     return avx2SumU16Impl(values, n);
 }
 
+/** In-place 16x16 uint16 transpose: m[r] holds row r (16 consecutive
+ *  cycles of stream r); afterwards m[c] holds column c (all 16 streams
+ *  at cycle c). Three unpack stages + a cross-lane permute. */
+__attribute__((target("avx2"))) static void
+transpose16x16Epi16(__m256i m[16])
+{
+    __m256i a[16], b[16];
+    for (int i = 0; i < 8; ++i) {
+        a[2 * i] = _mm256_unpacklo_epi16(m[2 * i], m[2 * i + 1]);
+        a[2 * i + 1] = _mm256_unpackhi_epi16(m[2 * i], m[2 * i + 1]);
+    }
+    for (int q = 0; q < 4; ++q) {
+        b[4 * q + 0] =
+            _mm256_unpacklo_epi32(a[4 * q + 0], a[4 * q + 2]);
+        b[4 * q + 1] =
+            _mm256_unpackhi_epi32(a[4 * q + 0], a[4 * q + 2]);
+        b[4 * q + 2] =
+            _mm256_unpacklo_epi32(a[4 * q + 1], a[4 * q + 3]);
+        b[4 * q + 3] =
+            _mm256_unpackhi_epi32(a[4 * q + 1], a[4 * q + 3]);
+    }
+    // After this stage, a[8h + c] holds streams 8h..8h+7 at cycle c
+    // (low lane) and cycle c + 8 (high lane).
+    for (int h = 0; h < 2; ++h) {
+        for (int j = 0; j < 4; ++j) {
+            a[8 * h + 2 * j] =
+                _mm256_unpacklo_epi64(b[8 * h + j], b[8 * h + 4 + j]);
+            a[8 * h + 2 * j + 1] =
+                _mm256_unpackhi_epi64(b[8 * h + j], b[8 * h + 4 + j]);
+        }
+    }
+    for (int c = 0; c < 8; ++c) {
+        m[c] = _mm256_permute2x128_si256(a[c], a[8 + c], 0x20);
+        m[c + 8] = _mm256_permute2x128_si256(a[c], a[8 + c], 0x31);
+    }
+}
+
+__attribute__((target("avx2"))) static size_t
+avx2BtanhWordsBatchImpl(const uint16_t *const *counts, size_t n_full,
+                        uint64_t *const *outs, uint16_t *const *states,
+                        size_t n_streams, unsigned k, unsigned n_inputs)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i vmax = _mm256_set1_epi16(static_cast<short>(k - 1));
+    const __m256i vthr =
+        _mm256_set1_epi16(static_cast<short>(k / 2 - 1));
+    const __m256i vn = _mm256_set1_epi16(static_cast<short>(n_inputs));
+    for (size_t s0 = 0; s0 < n_streams; s0 += 16) {
+        const size_t tile = std::min<size_t>(16, n_streams - s0);
+        alignas(32) uint16_t st_buf[16] = {};
+        for (size_t s = 0; s < tile; ++s)
+            st_buf[s] = *states[s0 + s];
+        __m256i st = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(st_buf));
+        for (size_t w = 0; w < n_full; ++w) {
+            // Four 16-cycle tiles per word: transpose the 16x16 count
+            // block so one register holds every stream's count for a
+            // cycle, then all counters step together — add, clamp with
+            // max/min, compare against the upper-half threshold.
+            alignas(32) uint16_t a16[4][16];
+            for (int q = 0; q < 4; ++q) {
+                __m256i m[16];
+                for (size_t s = 0; s < tile; ++s)
+                    m[s] = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            counts[s0 + s] + w * 64 +
+                            static_cast<size_t>(q) * 16));
+                for (size_t s = tile; s < 16; ++s)
+                    m[s] = zero;
+                transpose16x16Epi16(m);
+                __m256i acc = zero;
+                for (int cyc = 0; cyc < 16; ++cyc) {
+                    const __m256i delta = _mm256_sub_epi16(
+                        _mm256_add_epi16(m[cyc], m[cyc]), vn);
+                    st = _mm256_add_epi16(st, delta);
+                    st = _mm256_max_epi16(st, zero);
+                    st = _mm256_min_epi16(st, vmax);
+                    acc = _mm256_or_si256(
+                        acc,
+                        _mm256_and_si256(
+                            _mm256_cmpgt_epi16(st, vthr),
+                            _mm256_set1_epi16(
+                                static_cast<short>(1u << cyc))));
+                }
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(a16[q]), acc);
+            }
+            for (size_t s = 0; s < tile; ++s)
+                outs[s0 + s][w] =
+                    static_cast<uint64_t>(a16[0][s]) |
+                    (static_cast<uint64_t>(a16[1][s]) << 16) |
+                    (static_cast<uint64_t>(a16[2][s]) << 32) |
+                    (static_cast<uint64_t>(a16[3][s]) << 48);
+        }
+        _mm256_store_si256(reinterpret_cast<__m256i *>(st_buf), st);
+        for (size_t s = 0; s < tile; ++s)
+            *states[s0 + s] = st_buf[s];
+    }
+    return n_full;
+}
+
+size_t
+avx2BtanhWordsBatch(const uint16_t *const *counts, size_t length,
+                    uint64_t *const *outs, uint16_t *const *states,
+                    size_t n_streams, unsigned k, unsigned n_inputs)
+{
+    if (!enabled())
+        return 0;
+    // int16 lane bounds: an approximate counter can report up to
+    // 2 * n_inputs, so |state + delta| < k + 4 * n_inputs must stay
+    // inside the signed-16 range.
+    if (k > 8192 || n_inputs > 4096)
+        return 0;
+    const size_t n_full = length / 64;
+    if (n_full == 0 || n_streams == 0)
+        return 0;
+    return avx2BtanhWordsBatchImpl(counts, n_full, outs, states,
+                                   n_streams, k, n_inputs);
+}
+
 #else // !SCDCNN_SIMD_X86
 
 size_t
@@ -495,6 +1490,85 @@ avx2ProductCountsMulti(const BitstreamView *, const WeightBlockView &,
 }
 
 size_t
+avx2ProductCountsMultiBatch(const BitstreamView *, const size_t *,
+                            const uint32_t *, size_t,
+                            const WeightBlockView &, size_t, size_t,
+                            size_t, uint16_t *, size_t, size_t)
+{
+    return 0;
+}
+
+size_t
+avx2ProductPlanesMulti(const BitstreamView *, const WeightBlockView &,
+                       size_t, size_t, size_t, size_t, uint64_t *, size_t)
+{
+    return 0;
+}
+
+size_t
+avx2ProductPlanesMultiBatch(const BitstreamView *, const size_t *,
+                            const uint32_t *, size_t,
+                            const WeightBlockView &, size_t, size_t,
+                            size_t, size_t, uint64_t *, size_t, size_t)
+{
+    return 0;
+}
+
+void
+avx2SpreadPlanesWord(const uint64_t *pw, size_t n_planes, bool parity,
+                     uint16_t *out)
+{
+    for (size_t b = 0; b < 64; ++b) {
+        uint16_t c = 0;
+        for (size_t j = 0; j < n_planes; ++j)
+            c |= static_cast<uint16_t>((pw[j] >> b) & 1) << j;
+        if (parity)
+            c = static_cast<uint16_t>(
+                (c & ~uint16_t{1}) |
+                static_cast<uint16_t>((pw[n_planes] >> b) & 1));
+        out[b] = c;
+    }
+}
+
+void
+avx2SpreadPlanesGroup(const uint64_t *pw, size_t n_planes, bool parity,
+                      size_t group, uint16_t *out)
+{
+    spreadPlanesGroupScalar(pw, n_planes, parity, group, out);
+}
+
+void
+avx2PlaneWordSums(const uint64_t *pw, const PlaneSumWeights &wts,
+                  uint32_t *sums)
+{
+    planeWordSumsScalar(pw, wts, sums);
+}
+
+void
+avx2PlaneWordSumsMulti(const uint64_t *const *bufs, size_t n_bufs,
+                       size_t pstride, size_t n_words,
+                       const PlaneSumWeights &wts, uint32_t *sums)
+{
+    for (size_t b = 0; b < n_bufs; ++b) {
+        const uint64_t *pw = bufs[b];
+        uint32_t *dst = sums + b * n_words * 4;
+        for (size_t q = 0; q < n_words; ++q, pw += pstride, dst += 4) {
+            dst[0] = dst[1] = dst[2] = dst[3] = 0;
+            planeWordSumsScalar(pw, wts, dst);
+        }
+    }
+}
+
+void
+avx2SpreadPlanesGroupMulti(const uint64_t *const *pws, size_t n,
+                           size_t n_planes, bool parity, size_t group,
+                           uint16_t *const *outs)
+{
+    for (size_t i = 0; i < n; ++i)
+        spreadPlanesGroupScalar(pws[i], n_planes, parity, group, outs[i]);
+}
+
+size_t
 avx2ProductCountTotal(const BitstreamView *, const BitstreamView *, size_t,
                       size_t, size_t, size_t, uint64_t *, uint64_t *,
                       uint64_t *)
@@ -509,6 +1583,13 @@ avx2SumU16(const uint16_t *values, size_t n)
     for (size_t i = 0; i < n; ++i)
         sum += values[i];
     return sum;
+}
+
+size_t
+avx2BtanhWordsBatch(const uint16_t *const *, size_t, uint64_t *const *,
+                    uint16_t *const *, size_t, unsigned, unsigned)
+{
+    return 0;
 }
 
 #endif // SCDCNN_SIMD_X86

@@ -84,6 +84,142 @@ size_t avx2ProductCountsMulti(const BitstreamView *xs,
                               size_t out_stride);
 
 /**
+ * Batch-axis (weight-stationary) variant of avx2ProductCountsMulti:
+ * for every full word of [@p begin_word, @p end_word), the block's
+ * weight row (taps x kFilterLanes words) is loaded once and folded
+ * against the corresponding input-window words of every active image
+ * before advancing, so the weight slice stays cache-resident across
+ * the micro-batch. Image j's operand for tap i is the image-0 view
+ * shifted by whole words: xs0[i].words + images[j] * x_strides[i]
+ * (stride 0 shares a line, e.g. the bias stream). Counts for active
+ * position j, lane f, range-local cycle i land at
+ * out[j * image_stride + f * lane_stride + i].
+ *
+ * @return the number of words processed from begin_word (the scalar
+ *         caller continues from there); 0 when AVX2 is not enabled.
+ */
+size_t avx2ProductCountsMultiBatch(const BitstreamView *xs0,
+                                   const size_t *x_strides,
+                                   const uint32_t *images,
+                                   size_t n_images,
+                                   const WeightBlockView &block,
+                                   size_t parity_lines, size_t begin_word,
+                                   size_t end_word, uint16_t *out,
+                                   size_t lane_stride,
+                                   size_t image_stride);
+
+/**
+ * Plane-emitting variant of avx2ProductCountsMulti: identical
+ * carry-save fold, but the per-word result is stored as the canonical
+ * bit-planes of the column counts instead of being transposed into
+ * per-cycle uint16 counts. For lane f, range-local word q, the
+ * @p plane_cap planes land at out[f * lane_stride + q * (plane_cap+1)
+ * + p] (planes above the fold's high plane are zeroed) and the
+ * leading-lines parity word at index plane_cap. Skipping the transpose
+ * matters when only segment sums of most lanes' counts are consumed
+ * (the Figure 8 selector's losing inputs): sums follow from plane
+ * popcounts, and per-cycle counts can be recovered exactly for the one
+ * selected input via avx2SpreadPlanesWord.
+ *
+ * @return the number of words processed from begin_word (the scalar
+ *         caller continues from there); 0 when AVX2 is not enabled.
+ */
+size_t avx2ProductPlanesMulti(const BitstreamView *xs,
+                              const WeightBlockView &block,
+                              size_t parity_lines, size_t begin_word,
+                              size_t end_word, size_t plane_cap,
+                              uint64_t *out, size_t lane_stride);
+
+/** Batch-axis (weight-stationary) twin of avx2ProductPlanesMulti; see
+ *  avx2ProductCountsMultiBatch for the operand/stride contract. Image
+ *  j's planes start at out[j * image_stride]. */
+size_t avx2ProductPlanesMultiBatch(const BitstreamView *xs0,
+                                   const size_t *x_strides,
+                                   const uint32_t *images,
+                                   size_t n_images,
+                                   const WeightBlockView &block,
+                                   size_t parity_lines, size_t begin_word,
+                                   size_t end_word, size_t plane_cap,
+                                   uint64_t *out, size_t lane_stride,
+                                   size_t image_stride);
+
+/**
+ * Transpose one word's canonical count planes back into 64 per-cycle
+ * uint16 counts: pw[0 .. n_planes) are the planes, pw[n_planes] the
+ * parity word; when @p parity is true each count's LSB is replaced by
+ * the parity bit (the approximate-counter substitution). Bit-exact
+ * with the transposes of the counts kernels. Falls back to a scalar
+ * loop when AVX2 is not enabled.
+ */
+void avx2SpreadPlanesWord(const uint64_t *pw, size_t n_planes,
+                          bool parity, uint16_t *out);
+
+/** avx2SpreadPlanesWord for one 16-cycle group of the word (cycles
+ *  [group * 16, group * 16 + 16), group < 4), writing 16 counts — the
+ *  pooling-segment granularity, so the Figure 8 forwarding never
+ *  transposes cycles it does not emit. */
+void avx2SpreadPlanesGroup(const uint64_t *pw, size_t n_planes,
+                           bool parity, size_t group, uint16_t *out);
+
+/**
+ * Precomputed byte weights for avx2PlaneWordSums. Quads start at the
+ * first live plane (base = 1 under parity, else 0, so no quad is spent
+ * on the substituted plane 0): quad q's 32 weight bytes hold the
+ * relative digit values 2^i for planes base + 4q + i (zero for slots
+ * past the plane count), and shift[q] = base + 4q rescales the quad's
+ * partial sums. Built once per pooling call via planeSumWeightsInit.
+ */
+struct PlaneSumWeights
+{
+    uint8_t w[3][32];
+    unsigned shift[3];
+    size_t base;
+    size_t quads;
+    size_t n_planes;
+    bool parity;
+};
+
+/** Fill @p wts for @p n_planes count planes (must be <= 12) with the
+ *  parity-word LSB substitution applied when @p parity. */
+void planeSumWeightsInit(PlaneSumWeights &wts, size_t n_planes,
+                         bool parity);
+
+/**
+ * Per-16-cycle-group count sums of one word's planes: accumulates into
+ * sums[g] (g < 4) the sum of the word's per-cycle counts over cycles
+ * [16g, 16g + 16), i.e. popcount-weighted plane digits (with the
+ * parity substitution when wts.parity). One byte-popcount + maddubs
+ * pass per 4-plane quad — the Figure 8 selector's segment evidence
+ * without materializing any per-cycle counts. The quad loads read
+ * whole 4-plane groups, so pw must stay readable for wts.quads * 4
+ * words (pad the plane buffer's tail by two words). Falls back to a
+ * scalar loop when AVX2 is not enabled.
+ */
+void avx2PlaneWordSums(const uint64_t *pw, const PlaneSumWeights &wts,
+                       uint32_t *sums);
+
+/**
+ * avx2PlaneWordSums over @p n_words consecutive plane words of
+ * @p n_bufs plane buffers (word q of buffer b at bufs[b] + q * pstride,
+ * pstride = planes + parity word): writes — does not accumulate — the
+ * four group sums of (b, q) to sums[(b * n_words + q) * 4 + g]. One
+ * runtime dispatch for a whole pooling call's sum table instead of one
+ * per word. The tail-padding requirement of avx2PlaneWordSums applies
+ * to every buffer.
+ */
+void avx2PlaneWordSumsMulti(const uint64_t *const *bufs, size_t n_bufs,
+                            size_t pstride, size_t n_words,
+                            const PlaneSumWeights &wts, uint32_t *sums);
+
+/** avx2SpreadPlanesGroup for the same 16-cycle group of @p n plane
+ *  words (pws[i] points at one word's planes, the group's counts land
+ *  at outs[i][0..16)) — one dispatch per pooling chunk across the
+ *  micro-batch. */
+void avx2SpreadPlanesGroupMulti(const uint64_t *const *pws, size_t n,
+                                size_t n_planes, bool parity,
+                                size_t group, uint16_t *const *outs);
+
+/**
  * Popcount reduction over full 4-word groups of the word range
  * [@p begin_word, @p end_word): accumulates the total product popcount
  * plus the all-lines and leading-lines parity popcounts for the
@@ -107,6 +243,27 @@ size_t avx2ProductCountTotal(const BitstreamView *xs,
  * scalar loop when AVX2 is not enabled.
  */
 uint64_t avx2SumU16(const uint16_t *values, size_t n);
+
+/**
+ * Lane-parallel Btanh batch step: the saturating up/down counter of
+ * stream s advances as an int16 lane, 16 streams per register, so the
+ * whole micro-batch steps per cycle in a handful of vector ops instead
+ * of 16 serial table walks. Stream s consumes counts[s] (one uint16
+ * per cycle), writes output words to outs[s], and carries its counter
+ * in *states[s] — bit-exact with the scalar saturating step
+ * clamp(state + 2c - n_inputs, 0, k - 1), output = state >= k/2.
+ *
+ * Only whole 64-cycle words are processed; the caller finishes the
+ * partial tail word (and masks its pad bits) from the carried states.
+ *
+ * @return the number of whole words processed per stream; 0 when AVX2
+ *         is not enabled or (k, n_inputs) would overflow int16 lanes
+ *         (the caller then takes its scalar path for everything).
+ */
+size_t avx2BtanhWordsBatch(const uint16_t *const *counts, size_t length,
+                           uint64_t *const *outs,
+                           uint16_t *const *states, size_t n_streams,
+                           unsigned k, unsigned n_inputs);
 
 } // namespace simd
 } // namespace sc

@@ -113,6 +113,20 @@ ServerMetrics::recordBatch(size_t batch_size, size_t depth_after,
 }
 
 void
+ServerMetrics::recordBatchExecution(bool batch_kernel,
+                                    uint64_t bits_spread)
+{
+    (batch_kernel ? batch_kernel_batches_ : loop_batches_)
+        .fetch_add(1, std::memory_order_relaxed);
+    bits_spread_sum_.fetch_add(bits_spread, std::memory_order_relaxed);
+    uint64_t seen = bits_spread_max_.load(std::memory_order_relaxed);
+    while (bits_spread > seen &&
+           !bits_spread_max_.compare_exchange_weak(
+               seen, bits_spread, std::memory_order_relaxed)) {
+    }
+}
+
+void
 ServerMetrics::recordResult(const InferenceResult &result,
                             bool had_deadline)
 {
@@ -140,6 +154,17 @@ ServerMetrics::snapshot() const
     s.completed = completed_.load(std::memory_order_relaxed);
     s.rejected = rejected_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
+    s.batch_kernel_batches =
+        batch_kernel_batches_.load(std::memory_order_relaxed);
+    s.loop_batches = loop_batches_.load(std::memory_order_relaxed);
+    s.max_effective_bits_spread =
+        bits_spread_max_.load(std::memory_order_relaxed);
+    const uint64_t executed = s.batch_kernel_batches + s.loop_batches;
+    if (executed > 0)
+        s.avg_effective_bits_spread =
+            static_cast<double>(
+                bits_spread_sum_.load(std::memory_order_relaxed)) /
+            static_cast<double>(executed);
     s.early_exits = early_exits_.load(std::memory_order_relaxed);
     s.degraded = degraded_.load(std::memory_order_relaxed);
     s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
@@ -237,6 +262,14 @@ MetricsSnapshot::toJson() const
     appendf(out,
             "\"avg_effective_bits\": %.1f, \"avg_batch_size\": %.2f, ",
             avg_effective_bits, avg_batch_size);
+    appendf(out,
+            "\"batch_kernel_batches\": %llu, \"loop_batches\": %llu, "
+            "\"avg_effective_bits_spread\": %.1f, "
+            "\"max_effective_bits_spread\": %llu, ",
+            static_cast<unsigned long long>(batch_kernel_batches),
+            static_cast<unsigned long long>(loop_batches),
+            avg_effective_bits_spread,
+            static_cast<unsigned long long>(max_effective_bits_spread));
     appendLatency(out, "latency", total_latency);
     out += ", ";
     appendLatency(out, "queue", queue_latency);

@@ -65,11 +65,21 @@ struct MetricsSnapshot
     uint64_t completed = 0;
     uint64_t rejected = 0;
     uint64_t batches = 0;
+    /** micro-batches executed by the weight-stationary batch kernels
+     *  vs the per-image loop (size-1 and Reference batches). */
+    uint64_t batch_kernel_batches = 0;
+    uint64_t loop_batches = 0;
     uint64_t early_exits = 0;
     uint64_t degraded = 0;
     uint64_t deadline_missed = 0;
     uint64_t deadline_total = 0; //!< completed requests that had one
     double avg_effective_bits = 0.0;
+    /** Mean and worst per-batch spread (max - min) of the consumed
+     *  effective bits across one micro-batch's images: 0 for
+     *  full-precision batches, > 0 when Progressive early exit let
+     *  images leave the stream at different depths. */
+    double avg_effective_bits_spread = 0.0;
+    uint64_t max_effective_bits_spread = 0;
     double avg_batch_size = 0.0;
     double early_exit_rate = 0.0; //!< of completed
     LatencyHistogram::Stats total_latency;
@@ -97,6 +107,12 @@ class ServerMetrics
     void recordBatch(size_t batch_size, size_t depth_after,
                      CloseReason reason);
 
+    /** One executed micro-batch, after the forward pass: whether it
+     *  took the weight-stationary batch kernels or the per-image loop,
+     *  and the spread (max - min) of the images' consumed effective
+     *  bits — the dispersion Progressive early exit introduces. */
+    void recordBatchExecution(bool batch_kernel, uint64_t bits_spread);
+
     /** One finished request (also feeds the latency histograms). */
     void recordResult(const InferenceResult &result, bool had_deadline);
 
@@ -109,6 +125,10 @@ class ServerMetrics
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> batch_kernel_batches_{0};
+    std::atomic<uint64_t> loop_batches_{0};
+    std::atomic<uint64_t> bits_spread_sum_{0};
+    std::atomic<uint64_t> bits_spread_max_{0};
     std::atomic<uint64_t> early_exits_{0};
     std::atomic<uint64_t> degraded_{0};
     std::atomic<uint64_t> deadline_missed_{0};

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -108,15 +109,35 @@ InferenceServer::runBatch(ClosedBatch &&batch)
     const QosPolicy &policy = cfg_.qos[static_cast<size_t>(batch.cls)];
     const core::PredictOptions popts = policy.predictOptions();
 
-    std::vector<size_t> preds(n);
-    std::vector<core::ForwardInfo> infos(n);
+    // One forwardBatch call per closed micro-batch: batches of more
+    // than one image take the weight-stationary batch kernels (each
+    // filter block's weights are streamed once for the whole batch),
+    // singletons and Reference-mode batches fall back to the per-image
+    // loop inside forwardBatch. The per-item seeds are caller-chosen,
+    // hence the explicit-seeds overload.
+    std::vector<nn::Tensor> images;
+    std::vector<uint64_t> seeds;
+    images.reserve(n);
+    seeds.reserve(n);
+    for (const PendingRequest &item : batch.items) {
+        images.push_back(item.image);
+        seeds.push_back(item.seed);
+    }
+    std::vector<core::ForwardInfo> infos;
     const ClockSource::TimePoint t0 = clock_->now();
-    parallelFor(computePool(), 0, n, [&](size_t i) {
-        preds[i] = net_.predictWith(batch.items[i].image,
-                                    batch.items[i].seed, popts, nullptr,
-                                    &infos[i]);
-    });
+    const std::vector<size_t> preds =
+        net_.forwardBatch(images, seeds, popts, &computePool(), &infos);
     const ClockSource::TimePoint t1 = clock_->now();
+
+    uint64_t bits_lo = infos[0].effective_bits;
+    uint64_t bits_hi = bits_lo;
+    for (const core::ForwardInfo &info : infos) {
+        bits_lo = std::min<uint64_t>(bits_lo, info.effective_bits);
+        bits_hi = std::max<uint64_t>(bits_hi, info.effective_bits);
+    }
+    metrics_.recordBatchExecution(
+        core::ScNetwork::batchKernelEligible(popts, n),
+        bits_hi - bits_lo);
 
     // Feed the measured per-image service time back into the
     // scheduler's deadline-urgency estimate (EWMA smooths batch-size

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Batch-axis (weight-stationary) execution, bottom to top: the batch
+ * kernel twins must be bit-exact with the per-image multi-kernels over
+ * shifted views (ragged lanes/taps/word ranges, non-contiguous active
+ * image sets, SIMD on and off); the interleaved FSM batch transforms
+ * must match the single-stream resumable steppers across segment
+ * boundaries; and ScNetwork::forwardBatch on the batched path must be
+ * bit-exact — predictions, scores, effective bits, early-exit flags —
+ * with the per-image loop path for every FEB kind, segment size,
+ * ragged batch shape and mixed Progressive early-exit batch, at any
+ * thread count.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocks/pooling.h"
+#include "common/thread_pool.h"
+#include "core/sc_network.h"
+#include "nn/trainer.h"
+#include "sc/bitstream.h"
+#include "sc/fsm_batch.h"
+#include "sc/fused.h"
+#include "sc/rng.h"
+#include "sc/simd.h"
+#include "sc/sng.h"
+
+namespace scdcnn {
+namespace {
+
+/** Restore the processwide SIMD selection after each test. */
+class BatchKernel : public ::testing::Test
+{
+  protected:
+    void TearDown() override { sc::simd::setEnabled(true); }
+};
+
+/** Batched operands: n_taps arena sites x B images plus a shared
+ *  (stride-0) bias line, in the image-0-view + word-stride form the
+ *  batch kernels consume. */
+struct BatchOperands
+{
+    sc::BatchStreamArena arena;
+    sc::Bitstream bias;
+    std::vector<sc::BitstreamView> xs0;
+    std::vector<size_t> strides;
+
+    BatchOperands(size_t n_taps, size_t images, size_t len,
+                  uint64_t seed)
+    {
+        arena.reset(n_taps, images, len);
+        sc::SngBank bank(seed);
+        sc::SplitMix64 vals(seed ^ 0xABCD);
+        for (size_t i = 0; i < n_taps; ++i)
+            for (size_t b = 0; b < images; ++b)
+                arena.assign(i, b,
+                             bank.bipolar(vals.nextInRange(-1, 1), len));
+        bias = sc::constantStream(true, len);
+        for (size_t i = 0; i < n_taps; ++i) {
+            xs0.push_back(arena.view(i, 0));
+            strides.push_back(arena.strideWords());
+        }
+        xs0.push_back(bias);
+        strides.push_back(0);
+    }
+};
+
+TEST_F(BatchKernel, ProductCountsMatchPerImageAndReference)
+{
+    constexpr size_t kImages = 4;
+    // Tap counts straddling the 16-line compressor tile (plus the
+    // bias line), filter counts producing full and ragged lane blocks,
+    // and a stream length with a partial tail word.
+    for (size_t n_taps : {size_t{4}, size_t{17}, size_t{36}}) {
+        for (size_t filters : {size_t{4}, size_t{6}}) {
+            const size_t len = 200;
+            const size_t n_words = (len + 63) / 64;
+            BatchOperands ops(n_taps, kImages, len,
+                              900 + n_taps * 31 + filters);
+            sc::InterleavedWeightArena weights;
+            weights.reset(filters, n_taps + 1, len);
+            sc::SngBank bank(77 + filters);
+            sc::SplitMix64 vals(13 * n_taps);
+            for (size_t f = 0; f < filters; ++f)
+                for (size_t t = 0; t < n_taps + 1; ++t)
+                    weights.assign(
+                        f, t, bank.bipolar(vals.nextInRange(-1, 1), len));
+
+            // A non-contiguous active set exercises the stride-offset
+            // addressing (images 1 and 3 of 4).
+            const std::vector<uint32_t> active = {1, 3};
+            std::vector<sc::BitstreamView> shifted;
+            for (size_t g = 0; g < weights.groups(); ++g) {
+                const sc::WeightBlockView block = weights.block(g);
+                for (size_t w0 : {size_t{0}, size_t{1}}) {
+                    const size_t lane_stride = (n_words - w0) * 64;
+                    const size_t image_stride =
+                        sc::kFilterLanes * lane_stride;
+                    for (bool approximate : {false, true}) {
+                        for (bool simd_on : {true, false}) {
+                            sc::simd::setEnabled(simd_on);
+                            std::vector<uint16_t> batched(
+                                active.size() * image_stride, 0);
+                            sc::fusedProductCountsMultiBatch(
+                                ops.xs0, ops.strides, active.data(),
+                                active.size(), block, approximate, w0,
+                                n_words, batched.data(), lane_stride,
+                                image_stride);
+
+                            std::vector<uint16_t> reference(
+                                active.size() * image_stride, 0);
+                            sc::referenceProductCountsMultiBatch(
+                                ops.xs0, ops.strides, active.data(),
+                                active.size(), block, approximate, w0,
+                                n_words, reference.data(), lane_stride,
+                                image_stride);
+
+                            std::vector<uint16_t> per_image(
+                                active.size() * image_stride, 0);
+                            for (size_t j = 0; j < active.size(); ++j) {
+                                sc::shiftViewsForImage(
+                                    ops.xs0, ops.strides, active[j],
+                                    shifted);
+                                sc::fusedProductCountsMulti(
+                                    shifted, block, approximate, w0,
+                                    n_words,
+                                    per_image.data() + j * image_stride,
+                                    lane_stride);
+                            }
+                            EXPECT_EQ(batched, per_image)
+                                << "taps=" << n_taps
+                                << " filters=" << filters << " g=" << g
+                                << " w0=" << w0
+                                << " approx=" << approximate
+                                << " simd=" << simd_on;
+                            EXPECT_EQ(batched, reference)
+                                << "taps=" << n_taps
+                                << " filters=" << filters << " g=" << g
+                                << " w0=" << w0
+                                << " approx=" << approximate
+                                << " simd=" << simd_on;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_F(BatchKernel, PlanePoolMatchesCountPoolAcrossShapes)
+{
+    // binaryMaxPoolPlanesBatch over canonical count planes must be
+    // bit-exact — outputs and carried selector state — with
+    // binaryMaxPoolRange over the (parity-substituted) transposed
+    // counts: the 16-cycle-grid fast path and the masked general path,
+    // across plane depths, pool widths, batch sizes, segment lengths
+    // on and off the group grid, both counter readings, SIMD on and
+    // off, carried over a word-aligned range split with a partial
+    // zero-masked tail word.
+    constexpr size_t kLen = 200; // 4 words, 8-cycle tail
+    const size_t n_words = (kLen + 63) / 64;
+    sc::SplitMix64 vals(0xB007);
+    for (size_t plane_cap : {size_t{3}, size_t{5}, size_t{9}}) {
+        for (size_t n_inputs : {size_t{2}, size_t{4}}) {
+            for (size_t n_images : {size_t{1}, size_t{3}}) {
+                for (size_t segment_len :
+                     {size_t{16}, size_t{48}, size_t{10}}) {
+                    for (bool parity : {true, false}) {
+                        for (bool accumulate : {true, false}) {
+                            for (bool simd_on : {true, false}) {
+                                sc::simd::setEnabled(simd_on);
+                                const size_t pstride = plane_cap + 1;
+                                const size_t n_bufs =
+                                    n_images * n_inputs;
+                                // Random canonical planes + parity
+                                // word, and the per-cycle counts a
+                                // consumer with the same parity flag
+                                // would see.
+                                std::vector<std::vector<uint64_t>> bufs(
+                                    n_bufs);
+                                std::vector<std::vector<uint16_t>> eff(
+                                    n_bufs);
+                                for (size_t b = 0; b < n_bufs; ++b) {
+                                    // +4 tail words for the pooling
+                                    // quad-load overread.
+                                    bufs[b].assign(n_words * pstride + 4,
+                                                   0);
+                                    eff[b].assign(n_words * 64, 0);
+                                    for (size_t i = 0; i < kLen; ++i) {
+                                        const auto c =
+                                            static_cast<uint16_t>(
+                                                vals.next() &
+                                                ((1u << plane_cap) -
+                                                 1));
+                                        const uint64_t lsb =
+                                            vals.next() & 1;
+                                        const size_t w = i / 64;
+                                        const uint64_t bit =
+                                            uint64_t{1} << (i % 64);
+                                        for (size_t p = 0;
+                                             p < plane_cap; ++p)
+                                            if ((c >> p) & 1)
+                                                bufs[b][w * pstride +
+                                                        p] |= bit;
+                                        if (lsb != 0)
+                                            bufs[b][w * pstride +
+                                                    plane_cap] |= bit;
+                                        eff[b][i] =
+                                            parity ? static_cast<
+                                                         uint16_t>(
+                                                         (c & ~1u) |
+                                                         lsb)
+                                                   : c;
+                                    }
+                                }
+                                std::vector<blocks::MaxPoolCarryState>
+                                    st_p(n_images), st_c(n_images);
+                                std::vector<
+                                    blocks::MaxPoolCarryState *>
+                                    st_ptrs(n_images);
+                                std::vector<std::vector<uint16_t>>
+                                    out_p(n_images), out_c(n_images);
+                                for (size_t j = 0; j < n_images; ++j) {
+                                    st_p[j].reset(n_inputs);
+                                    st_c[j].reset(n_inputs);
+                                    st_ptrs[j] = &st_p[j];
+                                    out_p[j].assign(n_words * 64, 0);
+                                    out_c[j].assign(n_words * 64, 0);
+                                }
+                                // Two ranges: [0, 128) and [128, 200).
+                                for (size_t r0 : {size_t{0},
+                                                  size_t{128}}) {
+                                    const size_t nc =
+                                        std::min(kLen, r0 + 128) - r0;
+                                    std::vector<const uint64_t *> pp(
+                                        n_bufs);
+                                    std::vector<uint16_t *> op(
+                                        n_images);
+                                    for (size_t b = 0; b < n_bufs; ++b)
+                                        pp[b] = bufs[b].data() +
+                                                (r0 / 64) * pstride;
+                                    for (size_t j = 0; j < n_images;
+                                         ++j)
+                                        op[j] = out_p[j].data() + r0;
+                                    blocks::binaryMaxPoolPlanesBatch(
+                                        pp.data(), n_images, n_inputs,
+                                        plane_cap, parity, r0, nc,
+                                        segment_len, accumulate,
+                                        st_ptrs.data(), op.data());
+                                    for (size_t j = 0; j < n_images;
+                                         ++j) {
+                                        std::vector<const uint16_t *>
+                                            cp(n_inputs);
+                                        for (size_t k = 0;
+                                             k < n_inputs; ++k)
+                                            cp[k] = eff[j * n_inputs +
+                                                        k]
+                                                        .data() +
+                                                    r0;
+                                        blocks::binaryMaxPoolRange(
+                                            cp.data(), n_inputs, r0,
+                                            nc, segment_len,
+                                            accumulate, st_c[j],
+                                            out_c[j].data() + r0);
+                                    }
+                                }
+                                for (size_t j = 0; j < n_images; ++j) {
+                                    EXPECT_EQ(
+                                        std::vector<uint16_t>(
+                                            out_p[j].begin(),
+                                            out_p[j].begin() + kLen),
+                                        std::vector<uint16_t>(
+                                            out_c[j].begin(),
+                                            out_c[j].begin() + kLen))
+                                        << "cap=" << plane_cap
+                                        << " inputs=" << n_inputs
+                                        << " seg=" << segment_len
+                                        << " parity=" << parity
+                                        << " acc=" << accumulate
+                                        << " simd=" << simd_on
+                                        << " image=" << j;
+                                    EXPECT_EQ(st_p[j].selected,
+                                              st_c[j].selected)
+                                        << "image=" << j;
+                                    EXPECT_EQ(st_p[j].counters,
+                                              st_c[j].counters)
+                                        << "image=" << j;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FsmBatchStreams, InterleavedStanhMatchesPerStreamAcrossSegments)
+{
+    // More streams than one interleave tile, carried across an uneven
+    // segment split (128 + 72 cycles of a 200-cycle stream).
+    constexpr size_t kStreams = 21;
+    constexpr size_t kLen = 200;
+    const size_t n_words = (kLen + 63) / 64;
+    const sc::StanhBatchTable table(8);
+
+    std::vector<std::vector<uint64_t>> ins(kStreams);
+    sc::SplitMix64 vals(0x57A7);
+    for (auto &in : ins) {
+        in.resize(n_words);
+        for (auto &w : in)
+            w = vals.next();
+        in.back() &= (uint64_t{1} << (kLen % 64)) - 1;
+    }
+
+    std::vector<std::vector<uint64_t>> whole(kStreams),
+        segmented(kStreams);
+    std::vector<uint16_t> states(kStreams, table.initialState());
+    std::vector<const uint64_t *> in_ptrs(kStreams);
+    std::vector<uint64_t *> out_ptrs(kStreams);
+    std::vector<uint16_t *> state_ptrs(kStreams);
+    for (size_t s = 0; s < kStreams; ++s) {
+        whole[s].resize(n_words);
+        segmented[s].resize(n_words);
+        table.transformWords(ins[s].data(), kLen, whole[s].data());
+    }
+    // Segment 1: cycles [0, 128) = 2 words; segment 2: [128, 200).
+    for (size_t s = 0; s < kStreams; ++s) {
+        in_ptrs[s] = ins[s].data();
+        out_ptrs[s] = segmented[s].data();
+        state_ptrs[s] = &states[s];
+    }
+    table.transformWordsBatch(in_ptrs.data(), 128, out_ptrs.data(),
+                              state_ptrs.data(), kStreams);
+    for (size_t s = 0; s < kStreams; ++s) {
+        in_ptrs[s] = ins[s].data() + 2;
+        out_ptrs[s] = segmented[s].data() + 2;
+    }
+    table.transformWordsBatch(in_ptrs.data(), kLen - 128,
+                              out_ptrs.data(), state_ptrs.data(),
+                              kStreams);
+    for (size_t s = 0; s < kStreams; ++s)
+        EXPECT_EQ(segmented[s], whole[s]) << "stream=" << s;
+}
+
+TEST(FsmBatchStreams, InterleavedBtanhMatchesPerStreamAcrossSegments)
+{
+    constexpr size_t kStreams = 19;
+    constexpr size_t kLen = 200;
+    const size_t n_words = (kLen + 63) / 64;
+    constexpr unsigned kInputs = 26;
+    const sc::BtanhBatchTable table(16, kInputs);
+
+    std::vector<std::vector<uint16_t>> counts(kStreams);
+    std::vector<std::vector<int>> steps(kStreams);
+    sc::SplitMix64 vals(0xB7A9);
+    for (size_t s = 0; s < kStreams; ++s) {
+        counts[s].resize(kLen);
+        steps[s].resize(kLen);
+        for (size_t i = 0; i < kLen; ++i) {
+            counts[s][i] =
+                static_cast<uint16_t>(vals.next() % (kInputs + 1));
+            steps[s][i] = static_cast<int>(vals.next() % 9) - 4;
+        }
+    }
+
+    std::vector<std::vector<uint64_t>> whole(kStreams),
+        segmented(kStreams);
+    std::vector<uint16_t> states(kStreams, table.initialState());
+    std::vector<const uint16_t *> cnt_ptrs(kStreams);
+    std::vector<const int *> step_ptrs(kStreams);
+    std::vector<uint64_t *> out_ptrs(kStreams);
+    std::vector<uint16_t *> state_ptrs(kStreams);
+    for (size_t s = 0; s < kStreams; ++s) {
+        whole[s].resize(n_words);
+        segmented[s].resize(n_words);
+        table.transformWords(counts[s].data(), kLen, whole[s].data());
+        cnt_ptrs[s] = counts[s].data();
+        out_ptrs[s] = segmented[s].data();
+        state_ptrs[s] = &states[s];
+    }
+    table.transformWordsBatch(cnt_ptrs.data(), 128, out_ptrs.data(),
+                              state_ptrs.data(), kStreams);
+    for (size_t s = 0; s < kStreams; ++s) {
+        cnt_ptrs[s] = counts[s].data() + 128;
+        out_ptrs[s] = segmented[s].data() + 2;
+    }
+    table.transformWordsBatch(cnt_ptrs.data(), kLen - 128,
+                              out_ptrs.data(), state_ptrs.data(),
+                              kStreams);
+    for (size_t s = 0; s < kStreams; ++s)
+        EXPECT_EQ(segmented[s], whole[s]) << "stream=" << s;
+
+    // The signed-step variant against its single-stream twin.
+    std::vector<std::vector<uint64_t>> signed_whole(kStreams),
+        signed_batch(kStreams);
+    states.assign(kStreams, table.initialState());
+    for (size_t s = 0; s < kStreams; ++s) {
+        signed_whole[s].resize(n_words);
+        signed_batch[s].resize(n_words);
+        table.transformSignedWords(steps[s].data(), kLen,
+                                   signed_whole[s].data());
+        step_ptrs[s] = steps[s].data();
+        out_ptrs[s] = signed_batch[s].data();
+        state_ptrs[s] = &states[s];
+    }
+    table.transformSignedWordsBatch(step_ptrs.data(), kLen,
+                                    out_ptrs.data(), state_ptrs.data(),
+                                    kStreams);
+    for (size_t s = 0; s < kStreams; ++s)
+        EXPECT_EQ(signed_batch[s], signed_whole[s]) << "stream=" << s;
+}
+
+/** Batched vs loop forwardBatch on one network/options pair: the
+ *  predictions and every per-image ForwardInfo field must agree. */
+void
+expectBatchedMatchesLoop(const core::ScNetwork &sc,
+                         const std::vector<nn::Tensor> &images,
+                         uint64_t seed, core::PredictOptions opts,
+                         const char *what)
+{
+    opts.batch_path = core::BatchPath::Batched;
+    std::vector<core::ForwardInfo> bi;
+    const auto bp = sc.forwardBatch(images, seed, opts, nullptr, &bi);
+
+    opts.batch_path = core::BatchPath::Loop;
+    std::vector<core::ForwardInfo> li;
+    const auto lp = sc.forwardBatch(images, seed, opts, nullptr, &li);
+
+    EXPECT_EQ(bp, lp) << what;
+    ASSERT_EQ(bi.size(), li.size()) << what;
+    for (size_t i = 0; i < bi.size(); ++i) {
+        EXPECT_EQ(bi[i].scores, li[i].scores) << what << " image=" << i;
+        EXPECT_EQ(bi[i].effective_bits, li[i].effective_bits)
+            << what << " image=" << i;
+        EXPECT_EQ(bi[i].early_exit, li[i].early_exit)
+            << what << " image=" << i;
+    }
+}
+
+TEST(BatchEngine, BatchedMatchesLoopForEveryFebKindAndSegmentSize)
+{
+    const struct
+    {
+        nn::PoolingMode pooling;
+        core::AdderKind adder;
+    } cases[] = {
+        {nn::PoolingMode::Average, core::AdderKind::Mux},
+        {nn::PoolingMode::Max, core::AdderKind::Mux},
+        {nn::PoolingMode::Average, core::AdderKind::Apc},
+        {nn::PoolingMode::Max, core::AdderKind::Apc},
+    };
+    std::vector<nn::Tensor> images;
+    for (size_t i = 0; i < 5; ++i)
+        images.push_back(nn::DigitDataset::render(i * 2 % 10, 40 + i));
+
+    for (const auto &c : cases) {
+        nn::Network net = nn::buildMiniLeNet(c.pooling, 23);
+        core::ScNetworkConfig cfg;
+        cfg.pooling = c.pooling;
+        cfg.layer_adders = {c.adder, core::AdderKind::Apc,
+                            core::AdderKind::Apc};
+        cfg.bitstream_len = 200; // 4 words, 8-bit tail
+        // 1-word, a size that does not divide the stream, and
+        // whole-stream granularity.
+        for (size_t seg_words : {size_t{1}, size_t{3}, size_t{0}}) {
+            cfg.stream_segment_words = seg_words;
+            // Run the batched path at the same grid as the loop oracle
+            // (its default is whole-stream): the segment-carry logic
+            // of the batch kernels is what this loop covers.
+            cfg.batch_stream_segment_words = seg_words;
+            core::ScNetwork sc(net, cfg);
+            core::PredictOptions opts;
+            expectBatchedMatchesLoop(sc, images, 17, opts, "fused");
+        }
+    }
+}
+
+TEST(BatchEngine, RaggedBatchSizesMatchPerImagePredict)
+{
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 23);
+    core::ScNetworkConfig cfg;
+    cfg.pooling = nn::PoolingMode::Max;
+    cfg.bitstream_len = 200;
+    cfg.stream_segment_words = 3;
+    cfg.batch_stream_segment_words = 3;
+    core::ScNetwork sc(net, cfg);
+
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{8}}) {
+        std::vector<nn::Tensor> images;
+        for (size_t i = 0; i < batch; ++i)
+            images.push_back(nn::DigitDataset::render(i % 10, 60 + i));
+        core::PredictOptions opts;
+        expectBatchedMatchesLoop(sc, images, 31, opts, "ragged");
+        // And against per-image predict at the batch seed schedule.
+        const auto preds = sc.forwardBatch(images, 31, opts, nullptr,
+                                           nullptr);
+        for (size_t i = 0; i < batch; ++i)
+            EXPECT_EQ(preds[i], sc.predict(images[i], 31 + i * 7919))
+                << "batch=" << batch << " image=" << i;
+    }
+}
+
+TEST(BatchEngine, ProgressiveMixedEarlyExitBatchStaysBitExact)
+{
+    // A trained network makes rendered digits decisive (they exit at
+    // the margin check) while a uniform gray image stays ambiguous
+    // (near-equal class scores, no exit) — a mixed batch in which some
+    // images leave mid-stream. The batched path must compact the
+    // active set without disturbing the survivors: every per-image
+    // outcome equals the loop path's.
+    nn::Dataset train = nn::DigitDataset::generate(1200, 5);
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::Trainer(net, tc).train(train);
+
+    core::ScNetworkConfig cfg;
+    cfg.pooling = nn::PoolingMode::Max;
+    cfg.bitstream_len = 1024;
+    cfg.stream_segment_words = 2;
+    core::ScNetwork sc(net, cfg);
+
+    std::vector<nn::Tensor> images;
+    for (size_t i = 0; i < 3; ++i)
+        images.push_back(nn::DigitDataset::render(3 * i % 10, 80 + i));
+    nn::Tensor gray = images[0];
+    for (size_t i = 0; i < gray.size(); ++i)
+        gray[i] = 0.5F;
+    images.insert(images.begin() + 1, gray);
+
+    core::PredictOptions opts;
+    opts.mode = core::EngineMode::Progressive;
+    opts.progressive_margin = 2.0;
+    opts.progressive_min_bits = 128;
+    expectBatchedMatchesLoop(sc, images, 7, opts, "progressive");
+
+    std::vector<core::ForwardInfo> infos;
+    sc.forwardBatch(images, 7, opts, nullptr, &infos);
+    size_t exits = 0;
+    for (const auto &info : infos)
+        exits += info.early_exit ? 1 : 0;
+    EXPECT_GT(exits, 0u) << "no image exited early";
+    EXPECT_LT(exits, images.size()) << "every image exited early";
+}
+
+TEST(BatchEngine, BatchedPathIsThreadCountInvariant)
+{
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 23);
+    core::ScNetworkConfig cfg;
+    cfg.pooling = nn::PoolingMode::Max;
+    cfg.bitstream_len = 200;
+    cfg.stream_segment_words = 3;
+    core::ScNetwork sc(net, cfg);
+
+    std::vector<nn::Tensor> images;
+    for (size_t i = 0; i < 6; ++i)
+        images.push_back(nn::DigitDataset::render(i % 10, 90 + i));
+
+    core::PredictOptions opts;
+    ThreadPool one(1), three(3);
+    std::vector<core::ForwardInfo> a, b;
+    const auto pa = sc.forwardBatch(images, 55, opts, &one, &a);
+    const auto pb = sc.forwardBatch(images, 55, opts, &three, &b);
+    EXPECT_EQ(pa, pb);
+    for (size_t i = 0; i < images.size(); ++i)
+        EXPECT_EQ(a[i].scores, b[i].scores) << "image=" << i;
+}
+
+} // namespace
+} // namespace scdcnn

@@ -238,10 +238,17 @@ TEST(ServerMetrics, SnapshotJsonCarriesTheHeadlineFields)
     r.queue_ms = 1.0;
     m.recordResult(r, /*had_deadline=*/false);
 
+    m.recordBatchExecution(/*batch_kernel=*/true, /*bits_spread=*/96);
+    m.recordBatchExecution(/*batch_kernel=*/false, /*bits_spread=*/32);
+
     const auto snap = m.snapshot();
     EXPECT_EQ(snap.submitted, 1u);
     EXPECT_EQ(snap.completed, 1u);
     EXPECT_EQ(snap.batches, 1u);
+    EXPECT_EQ(snap.batch_kernel_batches, 1u);
+    EXPECT_EQ(snap.loop_batches, 1u);
+    EXPECT_DOUBLE_EQ(snap.avg_effective_bits_spread, 64.0);
+    EXPECT_EQ(snap.max_effective_bits_spread, 96u);
     EXPECT_DOUBLE_EQ(snap.early_exit_rate, 1.0);
     EXPECT_DOUBLE_EQ(snap.avg_effective_bits, 128.0);
     const std::string json = snap.toJson();
@@ -249,6 +256,11 @@ TEST(ServerMetrics, SnapshotJsonCarriesTheHeadlineFields)
     EXPECT_NE(json.find("\"latency\""), std::string::npos);
     EXPECT_NE(json.find("\"batch_sizes\""), std::string::npos);
     EXPECT_NE(json.find("\"close_reasons\""), std::string::npos);
+    EXPECT_NE(json.find("\"batch_kernel_batches\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"loop_batches\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"max_effective_bits_spread\": 96"),
+              std::string::npos);
 }
 
 // ------------------------------------------------------ request queue
@@ -336,6 +348,60 @@ TEST(InferenceServer, AnswersMatchDirectPredict)
     const auto snap = server.metricsSnapshot();
     EXPECT_EQ(snap.completed, 6u);
     EXPECT_EQ(snap.submitted, 6u);
+}
+
+TEST(InferenceServer, MicroBatchesTakeTheBatchKernel)
+{
+    // With max_batch = 3 and an effectively-infinite queue delay the
+    // scheduler only closes full batches, so every executed
+    // micro-batch has 3 images and must route through the
+    // weight-stationary batch kernels — the loop counter stays zero,
+    // answers still match direct predict() at the per-item seeds, and
+    // full-precision batches report zero effective-bits spread.
+    ServingFixture fx;
+    serve::ServerConfig scfg;
+    scfg.limits = limits(3, 1h);
+    serve::InferenceServer server(*fx.sc, scfg);
+
+    std::vector<nn::Tensor> images;
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (size_t i = 0; i < 6; ++i) {
+        images.push_back(nn::DigitDataset::render(i % 10, 30 + i));
+        serve::RequestOptions opts;
+        opts.accuracy = AccuracyClass::High;
+        opts.seed = 5000 + i * 13;
+        futures.push_back(server.submit(images.back(), opts));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        serve::InferenceResult r = futures[i].get();
+        EXPECT_EQ(r.batch_size, 3u) << "request=" << i;
+        EXPECT_EQ(r.predicted, fx.sc->predict(images[i], 5000 + i * 13))
+            << "request=" << i;
+    }
+    const auto snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.batch_kernel_batches, 2u);
+    EXPECT_EQ(snap.loop_batches, 0u);
+    EXPECT_DOUBLE_EQ(snap.avg_effective_bits_spread, 0.0);
+    EXPECT_EQ(snap.max_effective_bits_spread, 0u);
+
+    // Singleton batches are the counter's other side: max_batch = 1
+    // makes every micro-batch a single image, which takes the
+    // per-image loop.
+    serve::ServerConfig single_cfg;
+    single_cfg.limits = limits(1, 1h);
+    serve::InferenceServer singles(*fx.sc, single_cfg);
+    std::vector<std::future<serve::InferenceResult>> sf;
+    for (size_t i = 0; i < 2; ++i) {
+        serve::RequestOptions opts;
+        opts.accuracy = AccuracyClass::High;
+        opts.seed = 6000 + i;
+        sf.push_back(singles.submit(images[i], opts));
+    }
+    for (auto &f : sf)
+        f.get();
+    const auto ssnap = singles.metricsSnapshot();
+    EXPECT_EQ(ssnap.batch_kernel_batches, 0u);
+    EXPECT_EQ(ssnap.loop_batches, 2u);
 }
 
 TEST(InferenceServer, ServesNonLeNetTopologies)

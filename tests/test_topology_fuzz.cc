@@ -165,6 +165,47 @@ TEST(TopologyFuzz, ScScoresTrackTheFloatLogits)
     EXPECT_GT(worst, 0.0);
 }
 
+TEST(TopologyFuzz, BatchedPathMatchesLoopOnEveryRandomTopology)
+{
+    // The weight-stationary batch kernels must be bit-exact with the
+    // per-image loop oracle on *every* topology the grammar admits,
+    // not just LeNet shapes — conv-free MLPs, MUX layers, average
+    // pooling and odd stream lengths all route through the same batch
+    // driver. Rotate the batch segment granularity across cases so
+    // whole-stream, single-word and grid-misaligned carries all run.
+    ThreadPool one(1);
+    for (uint64_t c = 0; c < kCases; ++c) {
+        FuzzTopology t = randomTopology(c);
+        nn::Network net = nn::buildTopology(t.spec, t.pooling);
+        core::ScNetworkConfig cfg = t.cfg;
+        const size_t seg_rotation[] = {0, 1, 3};
+        cfg.batch_stream_segment_words = seg_rotation[c % 3];
+        core::ScNetwork sc(net, cfg);
+
+        std::vector<nn::Tensor> images;
+        for (size_t i = 0; i < 3; ++i)
+            images.push_back(
+                randomImage(t.spec.in_h, t.spec.in_w, 800 + c * 10 + i));
+
+        core::PredictOptions batched;
+        batched.batch_path = core::BatchPath::Batched;
+        core::PredictOptions loop;
+        loop.batch_path = core::BatchPath::Loop;
+
+        std::vector<core::ForwardInfo> bi, li;
+        const auto b = sc.forwardBatch(images, 9000 + c, batched, &one, &bi);
+        const auto l = sc.forwardBatch(images, 9000 + c, loop, &one, &li);
+        ASSERT_EQ(b, l) << "case=" << c;
+        ASSERT_EQ(bi.size(), li.size()) << "case=" << c;
+        for (size_t i = 0; i < bi.size(); ++i) {
+            EXPECT_EQ(bi[i].scores, li[i].scores)
+                << "case=" << c << " image=" << i;
+            EXPECT_EQ(bi[i].effective_bits, li[i].effective_bits)
+                << "case=" << c << " image=" << i;
+        }
+    }
+}
+
 TEST(TopologyFuzz, BatchedForwardIsThreadCountInvariantOffLeNet)
 {
     // forwardBatch on a non-LeNet topology: predictions must be

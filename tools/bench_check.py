@@ -3,7 +3,10 @@
 
 Throughput: compare a freshly generated BENCH_throughput.json against
 the committed one and fail on a single-image fused-latency regression
-beyond the allowed ratio.
+beyond the allowed ratio. The weight-stationary batch path carries an
+absolute gate on top of the trend checks: the LeNet-5 micro-batch must
+sustain at least --min-batch-ratio x (default 1.5x) the single-image
+images/sec on one thread.
 
 Serving: check BENCH_serving.json's gate block — the dynamic
 micro-batching server must sustain strictly higher images/sec than the
@@ -93,17 +96,70 @@ def check_topologies(fresh_doc, committed_doc, args):
     return ok
 
 
+def check_batch(fresh_doc, committed_doc, args):
+    """Weight-stationary batch-path gate. Absolute: the LeNet-5
+    micro-batch must sustain at least --min-batch-ratio x the
+    single-image ips on one thread (the kernel-level reuse win, not a
+    thread-scaling artifact). Trend: per-topology batch ratios are
+    compared against committed history when it exists; entries with no
+    history yet (first run after the bench gained the metric) are
+    announced and tolerated."""
+    batch = fresh_doc.get("batch", {})
+    ratio = batch.get("batch_ips_per_single_ips")
+    if ratio is None:
+        print("bench_check: fresh run carries no batch_ips_per_single_ips "
+              "(bench predates the batch kernels); skipping batch gate")
+        return True
+    ratio = float(ratio)
+    ok = ratio >= args.min_batch_ratio
+    print(f"bench_check: lenet5 batch path {ratio:.2f}x single-image "
+          f"ips (floor {args.min_batch_ratio:.2f}x): "
+          f"{'OK' if ok else 'REGRESSION'}")
+
+    fresh_topos = fresh_doc.get("topologies", {})
+    committed_topos = committed_doc.get("topologies", {})
+    if not isinstance(committed_topos, dict):
+        committed_topos = {}
+    floor = 1.0 / (1.0 + args.max_regress)
+    for name in sorted(fresh_topos):
+        entry = fresh_topos[name]
+        fresh_r = (entry.get("batch_ips_per_single_ips")
+                   if isinstance(entry, dict) else None)
+        if fresh_r is None:
+            continue
+        fresh_r = float(fresh_r)
+        prev = committed_topos.get(name)
+        prev_r = (prev.get("batch_ips_per_single_ips")
+                  if isinstance(prev, dict) else None)
+        if prev_r is None:
+            print(f"bench_check: topology {name} batch ratio "
+                  f"{fresh_r:.2f}x (no committed history — skipping "
+                  "gate)")
+            continue
+        prev_r = float(prev_r)
+        if prev_r <= 0:
+            continue
+        rel = fresh_r / prev_r
+        entry_ok = rel >= floor
+        print(f"bench_check: topology {name} batch ratio {prev_r:.2f}x "
+              f"-> {fresh_r:.2f}x ({rel:.2f}x, floor {floor:.2f}x): "
+              f"{'OK' if entry_ok else 'REGRESSION'}")
+        ok = ok and entry_ok
+    return ok
+
+
 def check_throughput(args):
     """Fused single-image latency vs the committed record."""
     if not os.path.exists(args.fresh):
         sys.stderr.write(f"bench_check: fresh JSON {args.fresh} missing\n")
         sys.exit(2)
+    fresh_doc = load(args.fresh)
     if not os.path.exists(args.committed):
         print(f"bench_check: no committed baseline at {args.committed}; "
               "nothing to compare")
-        return True
+        # The batch gate is absolute, so it holds even with no history.
+        return check_batch(fresh_doc, {}, args)
 
-    fresh_doc = load(args.fresh)
     committed_doc = load(args.committed)
     fresh = field(fresh_doc, ("single_image", "fused_ms"), args.fresh)
     committed = field(committed_doc, ("single_image", "fused_ms"),
@@ -118,7 +174,8 @@ def check_throughput(args):
     verdict = "OK" if ok else "REGRESSION"
     print(f"bench_check: fused single-image {committed:.1f} ms -> "
           f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
-    return check_topologies(fresh_doc, committed_doc, args) and ok
+    ok = check_topologies(fresh_doc, committed_doc, args) and ok
+    return check_batch(fresh_doc, committed_doc, args) and ok
 
 
 def check_serving(args):
@@ -190,6 +247,11 @@ def main():
                     default=float(os.environ.get("SCDCNN_BENCH_CHECK_MAX",
                                                  "0.25")),
                     help="allowed fractional slowdown (default 0.25)")
+    ap.add_argument("--min-batch-ratio", type=float,
+                    default=float(os.environ.get(
+                        "SCDCNN_BENCH_BATCH_MIN", "1.5")),
+                    help="required lenet5 batch-vs-single ips ratio "
+                         "(default 1.5)")
     args = ap.parse_args()
 
     if args.fresh is None and args.serving_fresh is None:
