@@ -10,6 +10,13 @@
  * effective bits go to BENCH_serving.json (override with
  * SCDCNN_SERVE_JSON) for tools/bench_check.py to gate.
  *
+ * A third section measures overload robustness: the hardened config
+ * (bounded per-class admission, doomed-request shedding, deadline-
+ * armed cancellation) at 1.0x and 2.5x the calibrated per-request
+ * capacity. Goodput — answers that met their deadline per second —
+ * plus the rejected/shed/expedited counters land in an
+ * "overload_gate" block that bench_check.py enforces.
+ *
  * The network is the decisive-logit LeNet-5 variant (output layer
  * programmed to +1/-1/0 rows — the confident regime a trained network
  * produces) so Progressive early exit behaves as it does on trained
@@ -65,9 +72,31 @@ struct ScenarioResult
     size_t n_images = 0;
     double offered_ips = 0;  //!< 0 for closed-loop
     double achieved_ips = 0;
+    double goodput_ips = 0;  //!< completed-within-deadline per second
     double wall_ms = 0;
+    uint64_t client_ok = 0;     //!< futures that held a result
+    uint64_t client_failed = 0; //!< futures that held a ServeError
     serve::MetricsSnapshot metrics;
 };
+
+/** Resolve a batch of futures, counting results, deadline-met
+ *  results, and typed failures (rejected/shed/cancelled). */
+void
+settle(std::vector<std::future<serve::InferenceResult>> &futs,
+       uint64_t &ok, uint64_t &ok_met, uint64_t &failed)
+{
+    for (auto &f : futs) {
+        try {
+            const serve::InferenceResult r = f.get();
+            ++ok;
+            if (r.deadline_met)
+                ++ok_met;
+        } catch (const serve::ServeError &) {
+            ++failed;
+        }
+    }
+    futs.clear();
+}
 
 /** Poisson-arrival open-loop run: submit n images at @p offered_ips,
  *  then wait for every answer. */
@@ -93,8 +122,8 @@ runOpenLoop(const core::ScNetwork &net, const char *name,
             server.submit(nn::DigitDataset::render(i % 10, 100 + i),
                           ropts));
     }
-    for (auto &f : futs)
-        f.get();
+    uint64_t ok = 0, ok_met = 0, failed = 0;
+    settle(futs, ok, ok_met, failed);
     const double wall = msSince(t0);
     server.drain();
 
@@ -104,7 +133,87 @@ runOpenLoop(const core::ScNetwork &net, const char *name,
     r.n_images = n;
     r.offered_ips = offered_ips;
     r.achieved_ips = static_cast<double>(n) / (wall / 1000.0);
+    r.goodput_ips = static_cast<double>(ok_met) / (wall / 1000.0);
     r.wall_ms = wall;
+    r.client_ok = ok;
+    r.client_failed = failed;
+    r.metrics = server.metricsSnapshot();
+    return r;
+}
+
+/**
+ * Overload scenario on one overload-hardened server, three phases:
+ *
+ *   expedite — a few requests whose deadline equals max_queue_delay
+ *              are urgent on arrival, forcing Expedited closes on a
+ *              cold estimate (exercises the close path every time);
+ *   poisson  — open loop at @p offered_ips; goodput (results that
+ *              met their deadline per second of this phase's wall) is
+ *              the scenario's headline number;
+ *   burst    — @p burst back-to-back tight-deadline submits with no
+ *              pacing: the class queue cap rejects the overflow
+ *              deterministically and the admitted remainder becomes
+ *              doomed behind the backlog and is shed (or cancelled
+ *              in flight once its armed deadline trips).
+ *
+ * The returned metrics snapshot covers all phases; goodput covers
+ * the poisson phase only.
+ */
+ScenarioResult
+runOverload(const core::ScNetwork &net, const char *name,
+            serve::ServerConfig scfg, serve::RequestOptions ropts,
+            size_t n, double offered_ips, size_t burst)
+{
+    serve::InferenceServer server(net, scfg);
+    uint64_t ok = 0, ok_met = 0, failed = 0;
+    std::vector<std::future<serve::InferenceResult>> futs;
+
+    // Phase 1: expedited warm-up (see function comment).
+    serve::RequestOptions urgent = ropts;
+    urgent.deadline = scfg.limits.max_queue_delay;
+    for (size_t i = 0; i < 3; ++i)
+        futs.push_back(
+            server.submit(nn::DigitDataset::render(i, 40 + i), urgent));
+    settle(futs, ok, ok_met, failed);
+
+    // Phase 2: Poisson arrivals at the offered rate.
+    std::mt19937_64 rng(0xA221'7E57);
+    std::exponential_distribution<double> gap(offered_ips);
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    double arrival_s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        arrival_s += gap(rng);
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<SteadyClock::duration>(
+                     std::chrono::duration<double>(arrival_s)));
+        futs.push_back(
+            server.submit(nn::DigitDataset::render(i % 10, 100 + i),
+                          ropts));
+    }
+    uint64_t p_ok = 0, p_ok_met = 0, p_failed = 0;
+    settle(futs, p_ok, p_ok_met, p_failed);
+    const double wall = msSince(t0);
+
+    // Phase 3: queue-full burst.
+    serve::RequestOptions tight = ropts;
+    tight.deadline = std::chrono::milliseconds(2);
+    for (size_t i = 0; i < burst; ++i)
+        futs.push_back(
+            server.submit(nn::DigitDataset::render(i % 10, 200 + i),
+                          tight));
+    settle(futs, ok, ok_met, failed);
+    server.drain();
+
+    ScenarioResult r;
+    r.name = name;
+    r.max_batch = scfg.limits.max_batch;
+    r.n_images = n;
+    r.offered_ips = offered_ips;
+    r.achieved_ips = static_cast<double>(p_ok) / (wall / 1000.0);
+    r.goodput_ips = static_cast<double>(p_ok_met) / (wall / 1000.0);
+    r.wall_ms = wall;
+    r.client_ok = ok + p_ok;
+    r.client_failed = failed + p_failed;
     r.metrics = server.metricsSnapshot();
     return r;
 }
@@ -162,6 +271,17 @@ printScenario(const ScenarioResult &r)
     std::printf("  batch %4.1f  bits %6.1f  exits %4.0f%%\n",
                 m.avg_batch_size, m.avg_effective_bits,
                 100.0 * m.early_exit_rate);
+    if (r.goodput_ips > 0 || r.client_failed > 0)
+        std::printf("  %-22s %7.1f goodput ips  rejected %llu  shed "
+                    "%llu  cancelled %llu  expedited %llu  depth %llu\n",
+                    "", r.goodput_ips,
+                    static_cast<unsigned long long>(m.rejected),
+                    static_cast<unsigned long long>(m.shed),
+                    static_cast<unsigned long long>(m.cancelled),
+                    static_cast<unsigned long long>(
+                        m.close_reasons[static_cast<size_t>(
+                            serve::CloseReason::Expedited)]),
+                    static_cast<unsigned long long>(m.max_queue_depth));
 }
 
 void
@@ -175,6 +295,13 @@ writeScenarioJson(std::FILE *f, const ScenarioResult &r, bool last)
     if (r.offered_ips > 0)
         std::fprintf(f, "      \"offered_ips\": %.2f,\n", r.offered_ips);
     std::fprintf(f, "      \"achieved_ips\": %.2f,\n", r.achieved_ips);
+    if (r.goodput_ips > 0 || r.client_failed > 0) {
+        std::fprintf(f, "      \"goodput_ips\": %.2f,\n", r.goodput_ips);
+        std::fprintf(f, "      \"client_ok\": %llu,\n",
+                     static_cast<unsigned long long>(r.client_ok));
+        std::fprintf(f, "      \"client_failed\": %llu,\n",
+                     static_cast<unsigned long long>(r.client_failed));
+    }
     std::fprintf(f, "      \"wall_ms\": %.1f,\n", r.wall_ms);
     std::fprintf(f, "      \"p50_ms\": %.2f,\n", m.total_latency.p50_ms);
     std::fprintf(f, "      \"p95_ms\": %.2f,\n", m.total_latency.p95_ms);
@@ -230,6 +357,10 @@ main()
     serve::ServerConfig per_request;
     per_request.limits.max_batch = 1;
     per_request.limits.max_queue_delay = std::chrono::microseconds(100);
+    // The legacy throughput scenarios keep every admitted request:
+    // shedding is benchmarked separately below, and turning it off
+    // here keeps these series comparable with earlier runs.
+    per_request.limits.shed_doomed = false;
     serve::RequestOptions high;
     high.accuracy = serve::AccuracyClass::High;
 
@@ -241,6 +372,7 @@ main()
     micro.limits.max_batch = max_batch;
     micro.limits.max_queue_delay =
         std::chrono::microseconds(static_cast<long>(fused_ms * 250.0));
+    micro.limits.shed_doomed = false; // see per_request comment
     const size_t min_bits = std::max<size_t>(64, len / 4);
     micro.qos[static_cast<size_t>(serve::AccuracyClass::Balanced)] = {
         core::EngineMode::Progressive, 4.0, min_bits};
@@ -279,6 +411,41 @@ main()
         runClosedLoop(sc, "microbatch", micro, balanced, n, clients));
     printScenario(closed.back());
 
+    // Overload hardening: the same micro-batching server with the
+    // full robustness config — bounded per-class admission, doomed-
+    // request shedding, and deadline-armed cancellation — measured at
+    // nominal load and at 2.5x capacity. The headline is goodput
+    // (answers that met their deadline per second): admission control
+    // and shedding spend the scarce compute on requests that can
+    // still make it, so goodput should hold up under overload instead
+    // of collapsing with the queue.
+    serve::ServerConfig hardened = micro;
+    hardened.limits.shed_doomed = true;
+    hardened.limits.max_queue_per_class = 2 * max_batch;
+    hardened.cancel_on_deadline = true;
+    serve::RequestOptions deadlined = balanced;
+    deadlined.deadline = std::chrono::microseconds(
+        static_cast<long>(fused_ms * 8000.0)); // ~8 service times
+    const double overload_deadline_ms = fused_ms * 8.0;
+
+    std::printf("\noverload (hardened: admission cap %zu/class, "
+                "shedding + deadline cancellation on):\n",
+                hardened.limits.max_queue_per_class);
+    std::vector<ScenarioResult> over;
+    over.push_back(runOverload(sc, "overload@1.0x", hardened, deadlined,
+                               n, 1.0 * capacity_ips, /*burst=*/0));
+    printScenario(over.back());
+    over.push_back(runOverload(sc, "overload@2.5x", hardened, deadlined,
+                               n, 2.5 * capacity_ips,
+                               /*burst=*/6 * hardened.limits
+                                                 .max_queue_per_class));
+    printScenario(over.back());
+    const double goodput_1x = over[0].goodput_ips;
+    const double goodput_over = over[1].goodput_ips;
+    std::printf("  goodput at 2.5x offered load: %.1f ips (%.0f%% of "
+                "the 1.0x goodput)\n",
+                goodput_over, 100.0 * goodput_over / goodput_1x);
+
     const double gate_per_request = open[0].achieved_ips;
     const double gate_micro = open[1].achieved_ips;
     std::printf("\nsame offered load (%.1f ips): per-request %.1f ips "
@@ -311,6 +478,34 @@ main()
     for (size_t i = 0; i < closed.size(); ++i)
         writeScenarioJson(f, closed[i], i + 1 == closed.size());
     std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"overload\": [\n");
+    for (size_t i = 0; i < over.size(); ++i)
+        writeScenarioJson(f, over[i], i + 1 == over.size());
+    std::fprintf(f, "  ],\n");
+    const auto &om = over[1].metrics;
+    std::fprintf(f, "  \"overload_gate\": {\n");
+    std::fprintf(f, "    \"deadline_ms\": %.2f,\n", overload_deadline_ms);
+    std::fprintf(f, "    \"queue_cap_per_class\": %zu,\n",
+                 hardened.limits.max_queue_per_class);
+    std::fprintf(f, "    \"goodput_1x_ips\": %.2f,\n", goodput_1x);
+    std::fprintf(f, "    \"goodput_2p5x_ips\": %.2f,\n", goodput_over);
+    std::fprintf(f, "    \"goodput_ratio\": %.3f,\n",
+                 goodput_1x > 0 ? goodput_over / goodput_1x : 0.0);
+    std::fprintf(f, "    \"rejected\": %llu,\n",
+                 static_cast<unsigned long long>(om.rejected));
+    std::fprintf(f, "    \"shed\": %llu,\n",
+                 static_cast<unsigned long long>(om.shed));
+    std::fprintf(f, "    \"cancelled\": %llu,\n",
+                 static_cast<unsigned long long>(om.cancelled));
+    std::fprintf(f, "    \"expedited\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     om.close_reasons[static_cast<size_t>(
+                            serve::CloseReason::Expedited)]));
+    std::fprintf(f, "    \"max_queue_depth\": %llu,\n",
+                 static_cast<unsigned long long>(om.max_queue_depth));
+    std::fprintf(f, "    \"overload_p99_ms\": %.2f\n",
+                 om.total_latency.p99_ms);
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"gate\": {\n");
     std::fprintf(f, "    \"offered_ips\": %.2f,\n", offered);
     std::fprintf(f, "    \"per_request_ips\": %.2f,\n",

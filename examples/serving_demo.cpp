@@ -12,6 +12,14 @@
  * micro-batches, and a tight deadline buys fewer effective bits
  * instead of a miss — stochastic computing's progressive precision
  * surfaced as a serving policy.
+ *
+ * The final section floods an overload-hardened server (bounded
+ * per-class admission, doomed-request shedding, explicit cancellation)
+ * past its queue capacity: overflow is rejected at submit() with a
+ * typed ServeError instead of queuing unboundedly, requests whose
+ * deadline became unmeetable are shed before any bits are spent on
+ * them, and a cancelled request resolves immediately — every future
+ * gets an answer either way.
  */
 
 #include <chrono>
@@ -43,6 +51,10 @@ main()
     serve::ServerConfig scfg;
     scfg.limits.max_batch = 4;         // micro-batch bound
     scfg.limits.max_queue_delay = 2ms; // latency bound at light load
+    // Keep every request for the walkthrough, even one whose deadline
+    // has become unmeetable — this section shows degradation trading
+    // bits for latency; shedding (the default) is shown in section 6.
+    scfg.limits.shed_doomed = false;
     serve::InferenceServer server(sc, scfg);
 
     // --- 3. Warm-up ------------------------------------------------
@@ -107,5 +119,60 @@ main()
     server.drain();
     std::printf("\nmetrics snapshot:\n%s\n",
                 server.metricsSnapshot().toJson().c_str());
+
+    // --- 6. Overload: reject, shed, cancel -------------------------
+    // A hardened server: at most 3 queued requests per class (reject
+    // the rest at submit), doomed requests shed before compute (on by
+    // default), in-flight requests cancelled once their deadline
+    // passes. Flooding it with more work than it can possibly serve
+    // in the deadline shows each policy firing; no future ever hangs.
+    serve::ServerConfig hcfg;
+    hcfg.limits.max_batch = 2;
+    hcfg.limits.max_queue_delay = 2ms;
+    hcfg.limits.max_queue_per_class = 3;
+    hcfg.cancel_on_deadline = true;
+    serve::InferenceServer hardened(sc, hcfg);
+
+    serve::RequestOptions rushed;
+    rushed.deadline = 30ms; // a couple of service times, no more
+    std::vector<std::future<serve::InferenceResult>> flood;
+
+    // An explicitly cancellable request, cancelled while it waits out
+    // the batching delay: the token resolves the future with
+    // ServeError(Cancelled) before any bits are spent on it.
+    serve::InferenceServer::Submission sub = hardened.submitCancellable(
+        nn::DigitDataset::render(7, 99), rushed);
+    sub.cancel->cancel();
+    flood.push_back(std::move(sub.result));
+
+    for (size_t i = 0; i < 10; ++i)
+        flood.push_back(hardened.submit(
+            nn::DigitDataset::render(i % 10, 80 + i), rushed));
+
+    std::printf("overload burst (%zu requests, queue cap %zu/class, "
+                "%ldms deadline):\n",
+                flood.size(), hcfg.limits.max_queue_per_class,
+                static_cast<long>(rushed.deadline.count() / 1000));
+    size_t served = 0;
+    size_t failed[serve::kServeErrorCodes] = {};
+    for (auto &f : flood) {
+        try {
+            const serve::InferenceResult r = f.get();
+            ++served;
+        } catch (const serve::ServeError &e) {
+            ++failed[static_cast<size_t>(e.code())];
+        }
+    }
+    std::printf("  served %zu", served);
+    for (size_t c = 0; c < serve::kServeErrorCodes; ++c)
+        if (failed[c] > 0)
+            std::printf("  %s %zu",
+                        serve::serveErrorCodeName(
+                            static_cast<serve::ServeErrorCode>(c)),
+                        failed[c]);
+    std::printf("\n");
+    hardened.drain();
+    std::printf("\nhardened-server metrics snapshot:\n%s\n",
+                hardened.metricsSnapshot().toJson().c_str());
     return 0;
 }

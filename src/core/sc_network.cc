@@ -1235,7 +1235,9 @@ std::vector<size_t>
 ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
                              const std::vector<uint64_t> &seeds,
                              const PredictOptions &opts, ThreadPool *pool,
-                             std::vector<ForwardInfo> *infos) const
+                             std::vector<ForwardInfo> *infos,
+                             const std::vector<const CancelSignal *>
+                                 *cancels) const
 {
     const EngineMode mode = opts.mode;
     const size_t B = images.size();
@@ -1318,6 +1320,9 @@ ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
     for (size_t b = 0; b < B; ++b)
         active[b] = static_cast<uint32_t>(b);
     std::vector<uint8_t> exited(B, 0);
+    std::vector<uint8_t> cancelled(B, 0);
+    const bool poll_cancel =
+        cancels != nullptr && !cancels->empty();
 
     for (size_t w0 = 0; w0 < n_words && !active.empty();
          w0 += seg_words) {
@@ -1343,12 +1348,23 @@ ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
         // set mid-stream (its carried state freezes in place, the
         // remaining images are undisturbed) — the batch-compaction
         // rule. Same conditions and margin formula as predictWith.
-        if (mode == EngineMode::Progressive && seg.w1 < n_words) {
+        // Cooperative cancellation rides the same compaction: a
+        // cancelled image leaves the active set at the boundary with
+        // its partial result frozen, so its batch-mates' streams are
+        // bit-identical to a run without the cancellation.
+        if (seg.w1 < n_words &&
+            (mode == EngineMode::Progressive || poll_cancel)) {
             size_t kept = 0;
             for (size_t j = 0; j < active.size(); ++j) {
                 const uint32_t img = active[j];
+                if (poll_cancel && (*cancels)[img] != nullptr &&
+                    (*cancels)[img]->cancelled()) {
+                    cancelled[img] = 1;
+                    continue;
+                }
                 bool exit_now = false;
-                if (out.consumed[img] >= opts.progressive_min_bits) {
+                if (mode == EngineMode::Progressive &&
+                    out.consumed[img] >= opts.progressive_min_bits) {
                     uint64_t best = 0, second = 0;
                     for (size_t o = 0; o < out_.n_out; ++o) {
                         const uint64_t v =
@@ -1396,6 +1412,7 @@ ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
             (*infos)[b].scores = std::move(scores);
             (*infos)[b].effective_bits = out.consumed[b];
             (*infos)[b].early_exit = exited[b] != 0;
+            (*infos)[b].cancelled = cancelled[b] != 0;
         }
     }
     return preds;
@@ -1476,7 +1493,9 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
                   : grid_views(n_convs > 0 ? cruns.back().out : x);
 
     bool early_exit = false;
-    for (size_t w0 = 0; w0 < n_words && !early_exit; w0 += seg_words) {
+    bool cancelled = false;
+    for (size_t w0 = 0; w0 < n_words && !early_exit && !cancelled;
+         w0 += seg_words) {
         SegRange seg;
         seg.w0 = w0;
         seg.w1 = std::min(w0 + seg_words, n_words);
@@ -1491,6 +1510,17 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
             runFcLayerSegment(fc_in[j], fcs_[j], n_convs + j, seg,
                               fruns[j], mode, profile);
         runOutputSegment(out_in, out_, seg, out, mode, profile);
+
+        // Cooperative cancellation: polled only at segment
+        // boundaries (never mid-kernel), after the segment's work has
+        // been accumulated, so the partial result is well-formed over
+        // the consumed prefix. No effect when the stream runs as one
+        // segment (Reference mode, whole-stream knobs).
+        if (opts.cancel != nullptr && seg.w1 < n_words &&
+            opts.cancel->cancelled()) {
+            cancelled = true;
+            continue;
+        }
 
         // Progressive precision: once the class decision is stable by
         // a configurable margin, the remaining segments cannot
@@ -1530,6 +1560,7 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
         info->scores = std::move(scores);
         info->effective_bits = out.consumed;
         info->early_exit = early_exit;
+        info->cancelled = cancelled;
     }
     return pred;
 }
@@ -1557,19 +1588,28 @@ std::vector<size_t>
 ScNetwork::forwardBatch(const std::vector<nn::Tensor> &images,
                         const std::vector<uint64_t> &seeds,
                         const PredictOptions &opts, ThreadPool *pool,
-                        std::vector<ForwardInfo> *infos) const
+                        std::vector<ForwardInfo> *infos,
+                        const std::vector<const CancelSignal *> *cancels)
+    const
 {
     SCDCNN_ASSERT(seeds.size() == images.size(),
                   "forwardBatch: one seed per image");
+    SCDCNN_ASSERT(cancels == nullptr ||
+                      cancels->size() == images.size(),
+                  "forwardBatch: one cancel signal per image");
     std::vector<size_t> preds(images.size());
     if (infos != nullptr)
         infos->assign(images.size(), ForwardInfo{});
     if (images.empty())
         return preds;
     if (batchKernelEligible(opts, images.size()))
-        return forwardBatchFused(images, seeds, opts, pool, infos);
+        return forwardBatchFused(images, seeds, opts, pool, infos,
+                                 cancels);
     const auto body = [&](size_t i) {
-        preds[i] = predictWith(images[i], seeds[i], opts, nullptr,
+        PredictOptions o = opts;
+        if (cancels != nullptr && (*cancels)[i] != nullptr)
+            o.cancel = (*cancels)[i];
+        preds[i] = predictWith(images[i], seeds[i], o, nullptr,
                                infos != nullptr ? &(*infos)[i] : nullptr);
     };
     if (pool != nullptr)

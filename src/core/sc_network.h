@@ -94,6 +94,25 @@ enum class BatchPath
 };
 
 /**
+ * Cooperative cancellation signal checked at stream-segment
+ * boundaries. Implementations must be thread-safe and cheap: the
+ * engine queries it between segments (never inside a kernel), so a
+ * cancelled forward pass stops burning stream cycles at the next
+ * checkpoint instead of running to completion for a caller that no
+ * longer wants the answer. The partial result up to the boundary is
+ * still well-formed (scores over the consumed prefix, reported via
+ * ForwardInfo with `cancelled` set); cancellation of one image in a
+ * batch never perturbs its batch-mates — the image is removed from
+ * the active set exactly like a Progressive early exit.
+ */
+class CancelSignal
+{
+  public:
+    virtual ~CancelSignal() = default;
+    virtual bool cancelled() const = 0;
+};
+
+/**
  * Per-forward-pass outcome details (scores and, in Progressive mode,
  * the effective stream length actually consumed).
  */
@@ -102,6 +121,7 @@ struct ForwardInfo
     std::vector<double> scores; //!< output-layer bipolar-sum scores
     size_t effective_bits = 0;  //!< stream cycles consumed
     bool early_exit = false;    //!< Progressive margin test fired
+    bool cancelled = false;     //!< stopped by a CancelSignal
 };
 
 /**
@@ -122,6 +142,13 @@ struct PredictOptions
     size_t progressive_min_bits = kDefaultProgressiveMinBits;
     /** forwardBatch execution strategy; ignored by predict(). */
     BatchPath batch_path = BatchPath::Batched;
+    /**
+     * Cooperative cancellation for predict()/predictWith(): polled at
+     * segment boundaries (no effect when the stream runs as one
+     * segment, e.g. Reference mode). Batch calls take a per-image
+     * signal array instead — see forwardBatch. Must outlive the call.
+     */
+    const CancelSignal *cancel = nullptr;
 };
 
 /**
@@ -215,12 +242,21 @@ class ScNetwork
      * they cannot be expressed as a base-seed schedule. Image i is
      * bit-exact with predictWith(images[i], seeds[i], opts) on every
      * path.
+     *
+     * @p cancels, when non-null, carries one CancelSignal per image
+     * (null entries = not cancellable): image i's signal is polled at
+     * segment boundaries, and a cancelled image freezes in place and
+     * leaves the active set exactly like a Progressive early exit —
+     * its batch-mates' streams and results are untouched. Overrides
+     * opts.cancel on the per-image fallback path.
      */
-    std::vector<size_t> forwardBatch(const std::vector<nn::Tensor> &images,
-                                     const std::vector<uint64_t> &seeds,
-                                     const PredictOptions &opts,
-                                     ThreadPool *pool,
-                                     std::vector<ForwardInfo> *infos) const;
+    std::vector<size_t>
+    forwardBatch(const std::vector<nn::Tensor> &images,
+                 const std::vector<uint64_t> &seeds,
+                 const PredictOptions &opts, ThreadPool *pool,
+                 std::vector<ForwardInfo> *infos,
+                 const std::vector<const CancelSignal *> *cancels =
+                     nullptr) const;
 
     /**
      * Whether forwardBatch would take the weight-stationary batch
@@ -465,7 +501,9 @@ class ScNetwork
     forwardBatchFused(const std::vector<nn::Tensor> &images,
                       const std::vector<uint64_t> &seeds,
                       const PredictOptions &opts, ThreadPool *pool,
-                      std::vector<ForwardInfo> *infos) const;
+                      std::vector<ForwardInfo> *infos,
+                      const std::vector<const CancelSignal *> *cancels)
+        const;
 
     void initConvRun(ConvRun &run, const StreamGrid &in,
                      const ConvWeightStreams &weights, size_t layer_idx,

@@ -1,0 +1,89 @@
+#include "serve/fault_injection.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace scdcnn {
+namespace serve {
+
+const char *
+faultPointName(FaultPoint point)
+{
+    switch (point) {
+    case FaultPoint::QueueAdmit:
+        return "queue_admit";
+    case FaultPoint::SchedulerPoll:
+        return "scheduler_poll";
+    case FaultPoint::WorkerPop:
+        return "worker_pop";
+    case FaultPoint::BatchExecute:
+        return "batch_execute";
+    }
+    SCDCNN_ASSERT(false, "unknown fault point");
+    return "?";
+}
+
+FaultInjector::FaultInjector()
+    : stall_([](std::chrono::microseconds d) {
+          std::this_thread::sleep_for(d);
+      })
+{
+}
+
+void
+FaultInjector::arm(FaultPoint point, uint32_t shots,
+                   std::chrono::microseconds stall)
+{
+    Slot &s = slots_[static_cast<size_t>(point)];
+    s.stall_us.store(stall.count(), std::memory_order_relaxed);
+    s.armed.store(shots, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm(FaultPoint point)
+{
+    slots_[static_cast<size_t>(point)].armed.store(
+        0, std::memory_order_release);
+}
+
+bool
+FaultInjector::fire(FaultPoint point)
+{
+    Slot &s = slots_[static_cast<size_t>(point)];
+    uint32_t cur = s.armed.load(std::memory_order_acquire);
+    while (cur > 0 && !s.armed.compare_exchange_weak(
+                          cur, cur - 1, std::memory_order_acq_rel)) {
+    }
+    if (cur == 0)
+        return false;
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    const std::chrono::microseconds stall(
+        s.stall_us.load(std::memory_order_relaxed));
+    if (stall.count() > 0)
+        stall_(stall);
+    return true;
+}
+
+uint64_t
+FaultInjector::firedCount(FaultPoint point) const
+{
+    return slots_[static_cast<size_t>(point)].fired.load(
+        std::memory_order_relaxed);
+}
+
+uint32_t
+FaultInjector::armedCount(FaultPoint point) const
+{
+    return slots_[static_cast<size_t>(point)].armed.load(
+        std::memory_order_relaxed);
+}
+
+void
+FaultInjector::setStallFn(StallFn fn)
+{
+    stall_ = std::move(fn);
+}
+
+} // namespace serve
+} // namespace scdcnn

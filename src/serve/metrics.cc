@@ -108,6 +108,11 @@ ServerMetrics::recordBatch(size_t batch_size, size_t depth_after,
         1, std::memory_order_relaxed);
     queue_depths_[std::min(depth_after, kSizeSlots - 1)].fetch_add(
         1, std::memory_order_relaxed);
+    uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth_after > seen &&
+           !max_queue_depth_.compare_exchange_weak(
+               seen, depth_after, std::memory_order_relaxed)) {
+    }
     close_reasons_[static_cast<size_t>(reason)].fetch_add(
         1, std::memory_order_relaxed);
 }
@@ -131,6 +136,8 @@ ServerMetrics::recordResult(const InferenceResult &result,
                             bool had_deadline)
 {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!had_deadline || result.deadline_met)
+        good_completed_.fetch_add(1, std::memory_order_relaxed);
     effective_bits_sum_.fetch_add(result.effective_bits,
                                   std::memory_order_relaxed);
     if (result.early_exit)
@@ -152,7 +159,16 @@ ServerMetrics::snapshot() const
     MetricsSnapshot s;
     s.submitted = submitted_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
+    s.good_completed = good_completed_.load(std::memory_order_relaxed);
     s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.rejected_queue_full =
+        rejected_queue_full_.load(std::memory_order_relaxed);
+    s.rejected_shutdown =
+        rejected_shutdown_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.max_queue_depth =
+        max_queue_depth_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batch_kernel_batches =
         batch_kernel_batches_.load(std::memory_order_relaxed);
@@ -246,11 +262,22 @@ MetricsSnapshot::toJson() const
     std::string out = "{";
     appendf(out,
             "\"submitted\": %llu, \"completed\": %llu, "
-            "\"rejected\": %llu, \"batches\": %llu, ",
+            "\"good_completed\": %llu, \"rejected\": %llu, "
+            "\"batches\": %llu, ",
             static_cast<unsigned long long>(submitted),
             static_cast<unsigned long long>(completed),
+            static_cast<unsigned long long>(good_completed),
             static_cast<unsigned long long>(rejected),
             static_cast<unsigned long long>(batches));
+    appendf(out,
+            "\"rejected_queue_full\": %llu, "
+            "\"rejected_shutdown\": %llu, \"shed\": %llu, "
+            "\"cancelled\": %llu, \"max_queue_depth\": %llu, ",
+            static_cast<unsigned long long>(rejected_queue_full),
+            static_cast<unsigned long long>(rejected_shutdown),
+            static_cast<unsigned long long>(shed),
+            static_cast<unsigned long long>(cancelled),
+            static_cast<unsigned long long>(max_queue_depth));
     appendf(out,
             "\"early_exits\": %llu, \"early_exit_rate\": %.4f, "
             "\"degraded\": %llu, \"deadline_missed\": %llu, "

@@ -63,7 +63,14 @@ struct MetricsSnapshot
 {
     uint64_t submitted = 0;
     uint64_t completed = 0;
-    uint64_t rejected = 0;
+    /** Completed with their deadline met (undeadlined requests always
+     *  count) — the goodput numerator. */
+    uint64_t good_completed = 0;
+    uint64_t rejected = 0;            //!< admission refusals, total
+    uint64_t rejected_queue_full = 0; //!< class queue at capacity
+    uint64_t rejected_shutdown = 0;   //!< submitted after shutdown
+    uint64_t shed = 0;      //!< dropped from queue (deadline doomed)
+    uint64_t cancelled = 0; //!< stopped in flight (token/deadline)
     uint64_t batches = 0;
     /** micro-batches executed by the weight-stationary batch kernels
      *  vs the per-image loop (size-1 and Reference batches). */
@@ -91,6 +98,9 @@ struct MetricsSnapshot
     std::array<uint64_t, 4> close_reasons{};
     /** queue depth observed at batch close; same clamped indexing. */
     std::array<uint64_t, 65> queue_depth_counts{};
+    /** deepest queue observed at any batch close — with bounded
+     *  admission this stays under classes * max_queue_per_class. */
+    uint64_t max_queue_depth = 0;
 
     /** Render as a JSON object string. */
     std::string toJson() const;
@@ -100,7 +110,22 @@ class ServerMetrics
 {
   public:
     void recordSubmit() { submitted_.fetch_add(1); }
-    void recordReject() { rejected_.fetch_add(1); }
+
+    /** One admission refusal (QueueFull or ShutDown). */
+    void recordReject(ServeErrorCode code)
+    {
+        rejected_.fetch_add(1);
+        if (code == ServeErrorCode::QueueFull)
+            rejected_queue_full_.fetch_add(1);
+        else if (code == ServeErrorCode::ShutDown)
+            rejected_shutdown_.fetch_add(1);
+    }
+
+    /** One queued request dropped by the doomed-deadline sweep. */
+    void recordShed() { shed_.fetch_add(1); }
+
+    /** One request stopped by cooperative cancellation. */
+    void recordCancelled() { cancelled_.fetch_add(1); }
 
     /** One closed micro-batch: its size, the queue depth left behind,
      *  and why it closed. */
@@ -123,7 +148,13 @@ class ServerMetrics
 
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> good_completed_{0};
     std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> rejected_queue_full_{0};
+    std::atomic<uint64_t> rejected_shutdown_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> cancelled_{0};
+    std::atomic<uint64_t> max_queue_depth_{0};
     std::atomic<uint64_t> batches_{0};
     std::atomic<uint64_t> batch_kernel_batches_{0};
     std::atomic<uint64_t> loop_batches_{0};

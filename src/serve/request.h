@@ -16,12 +16,16 @@
 #ifndef SCDCNN_SERVE_REQUEST_H
 #define SCDCNN_SERVE_REQUEST_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/sc_network.h"
+#include "serve/clock.h"
 
 namespace scdcnn {
 namespace serve {
@@ -39,6 +43,86 @@ constexpr size_t kAccuracyClasses = 3;
 
 /** "high" / "balanced" / "fast". */
 const char *accuracyClassName(AccuracyClass cls);
+
+/**
+ * Why a submitted request's future failed without a result. Every
+ * admission/shedding/cancellation path resolves the promise with a
+ * ServeError carrying one of these — the server never leaves a future
+ * dangling and never throws an untyped error at the caller.
+ */
+enum class ServeErrorCode : uint8_t
+{
+    ShutDown = 0,  //!< submitted after shutdown()/drain intake closed
+    QueueFull = 1, //!< admission control: class queue at capacity
+    Shed = 2,      //!< load shedding: deadline unmeetable even at Fast
+    Cancelled = 3, //!< cooperative cancellation stopped the request
+};
+
+/** Number of serve error codes (array sizing). */
+constexpr size_t kServeErrorCodes = 4;
+
+/** "shutdown" / "queue_full" / "shed" / "cancelled". */
+const char *serveErrorCodeName(ServeErrorCode code);
+
+/**
+ * Typed failure surfaced through a request's future. Derives from
+ * std::runtime_error so pre-existing catch sites keep working; new
+ * callers switch on code() instead of parsing what().
+ */
+class ServeError : public std::runtime_error
+{
+  public:
+    ServeError(ServeErrorCode code, const std::string &what)
+        : std::runtime_error(what), code_(code)
+    {
+    }
+
+    ServeErrorCode code() const { return code_; }
+
+  private:
+    ServeErrorCode code_;
+};
+
+/**
+ * Per-request cooperative cancellation token. The engine polls it at
+ * segment boundaries (core::CancelSignal); a caller flips it with
+ * cancel() when the future is abandoned, and armDeadline() makes the
+ * token self-trip once the request's absolute deadline passes — an
+ * in-flight prediction then stops burning bits at the next boundary
+ * without any sweeper thread.
+ *
+ * Thread-safety: cancel()/cancelled() race freely (atomic flag);
+ * armDeadline() must happen-before the token is shared with workers
+ * (the server arms it before enqueueing the request).
+ */
+class CancelToken final : public core::CancelSignal
+{
+  public:
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    /** @p clock must outlive the token. */
+    void armDeadline(const ClockSource *clock,
+                     ClockSource::TimePoint deadline)
+    {
+        clock_ = clock;
+        deadline_ = deadline;
+        armed_ = true;
+    }
+
+    /** Explicitly cancelled, or armed deadline passed. */
+    bool cancelled() const override
+    {
+        if (flag_.load(std::memory_order_relaxed))
+            return true;
+        return armed_ && clock_->now() >= deadline_;
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    const ClockSource *clock_ = nullptr;
+    ClockSource::TimePoint deadline_{};
+    bool armed_ = false;
+};
 
 /** Per-request serving options. */
 struct RequestOptions

@@ -6,33 +6,54 @@ namespace scdcnn {
 namespace serve {
 
 RequestQueue::RequestQueue(SchedulerLimits limits,
-                           const ClockSource *clock)
-    : clock_(clock), scheduler_(limits)
+                           const ClockSource *clock,
+                           FaultInjector *faults)
+    : clock_(clock), faults_(faults), scheduler_(limits)
 {
     SCDCNN_ASSERT(clock != nullptr, "RequestQueue needs a clock");
+    scheduler_.setFaultInjector(faults);
 }
 
-bool
+AdmitResult
 RequestQueue::push(PendingRequest &&req)
 {
     {
         std::lock_guard<std::mutex> lk(mutex_);
         if (closed_)
-            return false;
+            return AdmitResult::Closed;
+        // Fault injection: a QueueAdmit shot rejects as if the class
+        // queue were full — the queue-full burst chaos scenario.
+        if (faults_ != nullptr &&
+            faults_->fire(FaultPoint::QueueAdmit))
+            return AdmitResult::QueueFull;
+        if (scheduler_.classDepth(req.opts.accuracy) >=
+            scheduler_.limits().max_queue_per_class)
+            return AdmitResult::QueueFull;
         scheduler_.push(req.id, req.opts.accuracy, req.submitted,
                         req.deadline);
         payload_.emplace(req.id, std::move(req));
     }
     cv_.notify_all();
-    return true;
+    return AdmitResult::Accepted;
 }
 
-std::optional<ClosedBatch>
+PopOutcome
 RequestQueue::popBatch()
 {
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
         const ClockSource::TimePoint now = clock_->now();
+        PopOutcome out;
+        // Shed doomed requests before closing anything, so an
+        // expedited batch only ever carries salvageable work.
+        for (uint64_t id : scheduler_.sweepDoomed(now)) {
+            auto it = payload_.find(id);
+            SCDCNN_ASSERT(it != payload_.end(),
+                          "shed id %llu has no payload",
+                          static_cast<unsigned long long>(id));
+            out.shed.push_back(std::move(it->second));
+            payload_.erase(it);
+        }
         if (auto plan = scheduler_.poll(now, flush_ || closed_)) {
             ClosedBatch batch;
             batch.cls = plan->cls;
@@ -48,10 +69,15 @@ RequestQueue::popBatch()
                 payload_.erase(it);
             }
             batch.depth_after = scheduler_.depth();
-            return batch;
+            out.batch = std::move(batch);
+            return out;
         }
-        if (closed_ && scheduler_.depth() == 0)
-            return std::nullopt;
+        if (!out.shed.empty())
+            return out;
+        if (closed_ && scheduler_.depth() == 0) {
+            out.closed = true;
+            return out;
+        }
 
         // Sleep exactly until the scheduler could next close a batch;
         // pushes, close() and kick() wake us earlier. A ManualClock's

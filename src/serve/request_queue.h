@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -23,6 +24,7 @@
 
 #include "nn/tensor.h"
 #include "serve/clock.h"
+#include "serve/fault_injection.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 
@@ -39,6 +41,7 @@ struct PendingRequest
     std::promise<InferenceResult> promise;
     ClockSource::TimePoint submitted;
     std::optional<ClockSource::TimePoint> deadline; //!< absolute
+    std::shared_ptr<CancelToken> cancel;            //!< may be null
 };
 
 /** One micro-batch handed to a batch worker, payloads included. */
@@ -51,21 +54,52 @@ struct ClosedBatch
     ClockSource::TimePoint closed_at;
 };
 
+/** Admission decision for one push(). */
+enum class AdmitResult : uint8_t
+{
+    Accepted = 0,
+    Closed = 1,    //!< intake closed (drain/shutdown)
+    QueueFull = 2, //!< class queue at capacity (admission control)
+};
+
+/**
+ * What one popBatch() wait resolved to: a closed micro-batch to run,
+ * doomed requests swept out of the queue (the caller owns failing
+ * their promises), or the closed-and-empty exit signal. batch and
+ * shed can both be populated in one outcome.
+ */
+struct PopOutcome
+{
+    std::optional<ClosedBatch> batch;
+    std::vector<PendingRequest> shed;
+    bool closed = false;
+};
+
 class RequestQueue
 {
   public:
-    /** @p clock must outlive the queue. */
-    RequestQueue(SchedulerLimits limits, const ClockSource *clock);
-
-    /** Enqueue; false once close()d (the caller fails the promise). */
-    bool push(PendingRequest &&req);
+    /** @p clock must outlive the queue; @p faults is the optional
+     *  chaos hook (nullptr in production) and must outlive it too. */
+    RequestQueue(SchedulerLimits limits, const ClockSource *clock,
+                 FaultInjector *faults = nullptr);
 
     /**
-     * Block until a micro-batch closes and return it; nullopt once the
-     * queue is closed and empty — the worker-loop exit signal. Safe to
-     * call from several consumer threads.
+     * Bounded admission: enqueue iff intake is open and the request's
+     * class queue is under max_queue_per_class. On rejection the
+     * payload is NOT consumed — the caller keeps the promise and
+     * fails it with the matching typed ServeError.
      */
-    std::optional<ClosedBatch> popBatch();
+    AdmitResult push(PendingRequest &&req);
+
+    /**
+     * Block until something needs the caller's attention and return
+     * it: a closed micro-batch, doomed requests shed from the queue
+     * (deadline unmeetable even at the Fast estimate — dropped before
+     * compute is wasted), or closed==true once the queue is closed
+     * and empty — the worker-loop exit signal. Safe to call from
+     * several consumer threads.
+     */
+    PopOutcome popBatch();
 
     /** Stop intake; queued requests still drain as batches. */
     void close();
@@ -89,6 +123,7 @@ class RequestQueue
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     const ClockSource *clock_;
+    FaultInjector *faults_;
     BatchScheduler scheduler_;
     std::unordered_map<uint64_t, PendingRequest> payload_;
     bool closed_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "serve/fault_injection.h"
 
 namespace scdcnn {
 namespace serve {
@@ -17,6 +18,22 @@ accuracyClassName(AccuracyClass cls)
         return "balanced";
     case AccuracyClass::Fast:
         return "fast";
+    }
+    return "?";
+}
+
+const char *
+serveErrorCodeName(ServeErrorCode code)
+{
+    switch (code) {
+    case ServeErrorCode::ShutDown:
+        return "shutdown";
+    case ServeErrorCode::QueueFull:
+        return "queue_full";
+    case ServeErrorCode::Shed:
+        return "shed";
+    case ServeErrorCode::Cancelled:
+        return "cancelled";
     }
     return "?";
 }
@@ -61,6 +78,39 @@ BatchScheduler::depth() const
     for (const auto &q : queues_)
         n += q.size();
     return n;
+}
+
+size_t
+BatchScheduler::classDepth(AccuracyClass cls) const
+{
+    return queues_[static_cast<size_t>(cls)].size();
+}
+
+std::vector<uint64_t>
+BatchScheduler::sweepDoomed(TimePoint now)
+{
+    std::vector<uint64_t> shed;
+    if (!limits_.shed_doomed)
+        return shed;
+    const Duration floor =
+        estimate_[static_cast<size_t>(AccuracyClass::Fast)];
+    // Cheapest class first so High-priority work sheds last (only
+    // relevant if a caller bounds how much it sheds per sweep; the
+    // doom test itself is class-independent — the Fast estimate is the
+    // least any request could cost).
+    for (size_t c = kAccuracyClasses; c-- > 0;) {
+        auto &q = queues_[c];
+        for (auto it = q.begin(); it != q.end();) {
+            if (it->deadline.has_value() &&
+                now >= *it->deadline - floor) {
+                shed.push_back(it->id);
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return shed;
 }
 
 void
@@ -166,6 +216,12 @@ BatchScheduler::closeExpedited(TimePoint now)
 std::optional<BatchPlan>
 BatchScheduler::poll(TimePoint now, bool flush)
 {
+    // Fault injection: a SchedulerPoll shot makes this poll see
+    // nothing due — models a scheduler that misses an event and must
+    // recover on the next wakeup.
+    if (faults_ != nullptr && faults_->fire(FaultPoint::SchedulerPoll))
+        return std::nullopt;
+
     // 1. Deadline urgency preempts everything.
     if (auto expedited = closeExpedited(now))
         return expedited;
@@ -229,12 +285,21 @@ BatchScheduler::nextEventTime() const
         if (!next.has_value() || t < *next)
             next = t;
     };
+    const Duration doom_floor =
+        estimate_[static_cast<size_t>(AccuracyClass::Fast)];
     for (const auto &q : queues_) {
         if (!q.empty())
             consider(q.front().enqueued + limits_.max_queue_delay);
-        for (const Item &item : q)
-            if (item.deadline.has_value())
-                consider(urgentAt(item));
+        for (const Item &item : q) {
+            if (!item.deadline.has_value())
+                continue;
+            consider(urgentAt(item));
+            // Shedding is also a timed event: wake when a queued
+            // request becomes doomed so it is dropped promptly, not
+            // at the next unrelated close.
+            if (limits_.shed_doomed)
+                consider(*item.deadline - doom_floor);
+        }
     }
     return next;
 }

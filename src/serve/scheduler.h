@@ -43,11 +43,27 @@
 namespace scdcnn {
 namespace serve {
 
-/** The two micro-batching bounds. */
+/** Micro-batching bounds plus the overload-control knobs. */
 struct SchedulerLimits
 {
     size_t max_batch = 8;
     std::chrono::microseconds max_queue_delay{2000};
+
+    /**
+     * Admission bound: queued-but-unbatched requests allowed per
+     * accuracy class. A push beyond this is rejected fast with a
+     * typed error instead of growing the queue without bound. Large
+     * enough by default that only genuine overload trips it.
+     */
+    size_t max_queue_per_class = 1024;
+
+    /**
+     * Load shedding: drop queued requests whose deadline is already
+     * unmeetable even at the Fast estimate (see sweepDoomed) before
+     * compute is wasted on them. On by default; tests that want to
+     * observe pure deadline degradation turn it off.
+     */
+    bool shed_doomed = true;
 };
 
 /** Why a batch closed. */
@@ -102,6 +118,29 @@ class BatchScheduler
     /** Queued requests across all classes. */
     size_t depth() const;
 
+    /** Queued requests in one class (admission-control bound check). */
+    size_t classDepth(AccuracyClass cls) const;
+
+    /**
+     * Load shedding: remove and return the ids of every queued request
+     * whose deadline can no longer be met even at the Fast-class
+     * service estimate — computing them would only produce late
+     * results. Swept cheapest class first (Fast, Balanced, then High)
+     * so High-class work sheds last. With a cold (zero) estimate only
+     * requests whose deadline has already passed are doomed.
+     */
+    std::vector<uint64_t> sweepDoomed(TimePoint now);
+
+    /**
+     * Fault-injection hook: when set, a SchedulerPoll shot suppresses
+     * one close decision (poll returns nullopt as if nothing were
+     * due). @p faults may be nullptr and must outlive the scheduler.
+     */
+    void setFaultInjector(class FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
     /**
      * Per-image service-time estimate for a class, used by the
      * deadline urgency test. The server feeds an EWMA of measured
@@ -135,6 +174,7 @@ class BatchScheduler
     SchedulerLimits limits_;
     std::array<std::deque<Item>, kAccuracyClasses> queues_;
     std::array<Duration, kAccuracyClasses> estimate_{};
+    class FaultInjector *faults_ = nullptr;
 };
 
 } // namespace serve

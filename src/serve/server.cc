@@ -25,7 +25,7 @@ InferenceServer::InferenceServer(const core::ScNetwork &net,
                                  const ClockSource *clock)
     : net_(net), cfg_(cfg),
       clock_(clock != nullptr ? clock : &fallback_clock_),
-      queue_(cfg_.limits, clock_)
+      queue_(cfg_.limits, clock_, cfg_.faults)
 {
     // Resolve the QoS derive sentinels from the served network's
     // calibrated Progressive knobs: Balanced inherits them, Fast runs
@@ -63,6 +63,22 @@ InferenceServer::computePool() const
 std::future<InferenceResult>
 InferenceServer::submit(nn::Tensor image, RequestOptions opts)
 {
+    return submitImpl(std::move(image), opts, nullptr);
+}
+
+InferenceServer::Submission
+InferenceServer::submitCancellable(nn::Tensor image, RequestOptions opts)
+{
+    Submission s;
+    s.cancel = std::make_shared<CancelToken>();
+    s.result = submitImpl(std::move(image), opts, s.cancel);
+    return s;
+}
+
+std::future<InferenceResult>
+InferenceServer::submitImpl(nn::Tensor image, RequestOptions opts,
+                            std::shared_ptr<CancelToken> token)
+{
     PendingRequest req;
     req.id = next_id_.fetch_add(1);
     req.image = std::move(image);
@@ -71,8 +87,14 @@ InferenceServer::submit(nn::Tensor image, RequestOptions opts)
                    ? *opts.seed
                    : cfg_.base_seed + req.id * 7919;
     req.submitted = clock_->now();
-    if (opts.deadline.count() > 0)
+    if (opts.deadline.count() > 0) {
         req.deadline = req.submitted + opts.deadline;
+        if (cfg_.cancel_on_deadline && token == nullptr)
+            token = std::make_shared<CancelToken>();
+        if (cfg_.cancel_on_deadline)
+            token->armDeadline(clock_, *req.deadline);
+    }
+    req.cancel = std::move(token);
     std::future<InferenceResult> fut = req.promise.get_future();
 
     {
@@ -80,25 +102,62 @@ InferenceServer::submit(nn::Tensor image, RequestOptions opts)
         ++outstanding_;
     }
     metrics_.recordSubmit();
-    if (!queue_.push(std::move(req))) {
-        // Intake is closed; fail the future instead of hanging it.
-        {
-            std::lock_guard<std::mutex> lk(state_mutex_);
-            --outstanding_;
-        }
-        idle_cv_.notify_all();
-        metrics_.recordReject();
-        req.promise.set_exception(std::make_exception_ptr(
-            std::runtime_error("InferenceServer is shut down")));
+    // Admission control: push() consumes the payload only on accept,
+    // so on a refusal the promise is still ours to fail — the caller
+    // gets an immediately-ready future with a typed error, never a
+    // hanging one and never an unbounded queue.
+    const AdmitResult admitted = queue_.push(std::move(req));
+    if (admitted != AdmitResult::Accepted) {
+        const ServeErrorCode code = admitted == AdmitResult::Closed
+                                        ? ServeErrorCode::ShutDown
+                                        : ServeErrorCode::QueueFull;
+        metrics_.recordReject(code);
+        failRequest(req, code,
+                    code == ServeErrorCode::ShutDown
+                        ? "InferenceServer is shut down"
+                        : "request queue at capacity");
     }
     return fut;
 }
 
 void
+InferenceServer::failRequest(PendingRequest &req, ServeErrorCode code,
+                             const char *what)
+{
+    if (code == ServeErrorCode::Shed)
+        metrics_.recordShed();
+    else if (code == ServeErrorCode::Cancelled)
+        metrics_.recordCancelled();
+    req.promise.set_exception(
+        std::make_exception_ptr(ServeError(code, what)));
+    {
+        std::lock_guard<std::mutex> lk(state_mutex_);
+        --outstanding_;
+    }
+    idle_cv_.notify_all();
+}
+
+void
 InferenceServer::workerLoop()
 {
-    while (auto batch = queue_.popBatch())
-        runBatch(std::move(*batch));
+    for (;;) {
+        PopOutcome out = queue_.popBatch();
+        // Doomed requests swept from the queue: their deadline is
+        // unmeetable even at the Fast estimate, so they are failed
+        // here instead of wasting a batch slot.
+        for (PendingRequest &req : out.shed)
+            failRequest(req, ServeErrorCode::Shed,
+                        "deadline unmeetable, request shed");
+        if (out.batch.has_value()) {
+            // Fault injection: a WorkerPop shot stalls this worker
+            // between taking the batch and running it.
+            if (cfg_.faults != nullptr)
+                cfg_.faults->fire(FaultPoint::WorkerPop);
+            runBatch(std::move(*out.batch));
+        }
+        if (out.closed)
+            break;
+    }
 }
 
 void
@@ -109,24 +168,54 @@ InferenceServer::runBatch(ClosedBatch &&batch)
     const QosPolicy &policy = cfg_.qos[static_cast<size_t>(batch.cls)];
     const core::PredictOptions popts = policy.predictOptions();
 
+    // Requests whose token already tripped are failed before any bits
+    // are spent on them; the rest form the run set.
+    std::vector<size_t> run;
+    run.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        PendingRequest &item = batch.items[i];
+        if (item.cancel != nullptr && item.cancel->cancelled())
+            failRequest(item, ServeErrorCode::Cancelled,
+                        "request cancelled before compute");
+        else
+            run.push_back(i);
+    }
+    if (run.empty())
+        return; // everything cancelled; nothing to execute or measure
+
     // One forwardBatch call per closed micro-batch: batches of more
     // than one image take the weight-stationary batch kernels (each
     // filter block's weights are streamed once for the whole batch),
     // singletons and Reference-mode batches fall back to the per-image
     // loop inside forwardBatch. The per-item seeds are caller-chosen,
-    // hence the explicit-seeds overload.
+    // hence the explicit-seeds overload. Per-item cancel signals ride
+    // along so an in-flight request can stop at a segment boundary
+    // without disturbing its batch-mates.
+    const size_t n_run = run.size();
     std::vector<nn::Tensor> images;
     std::vector<uint64_t> seeds;
-    images.reserve(n);
-    seeds.reserve(n);
-    for (const PendingRequest &item : batch.items) {
+    std::vector<const core::CancelSignal *> cancels;
+    images.reserve(n_run);
+    seeds.reserve(n_run);
+    cancels.reserve(n_run);
+    bool any_cancelable = false;
+    for (size_t idx : run) {
+        const PendingRequest &item = batch.items[idx];
         images.push_back(item.image);
         seeds.push_back(item.seed);
+        cancels.push_back(item.cancel.get());
+        any_cancelable = any_cancelable || item.cancel != nullptr;
     }
     std::vector<core::ForwardInfo> infos;
     const ClockSource::TimePoint t0 = clock_->now();
-    const std::vector<size_t> preds =
-        net_.forwardBatch(images, seeds, popts, &computePool(), &infos);
+    // Fault injection: a BatchExecute shot stalls inside the timed
+    // window, so the measured service estimate inflates exactly as a
+    // genuinely slow batch would.
+    if (cfg_.faults != nullptr)
+        cfg_.faults->fire(FaultPoint::BatchExecute);
+    const std::vector<size_t> preds = net_.forwardBatch(
+        images, seeds, popts, &computePool(), &infos,
+        any_cancelable ? &cancels : nullptr);
     const ClockSource::TimePoint t1 = clock_->now();
 
     uint64_t bits_lo = infos[0].effective_bits;
@@ -136,7 +225,7 @@ InferenceServer::runBatch(ClosedBatch &&batch)
         bits_hi = std::max<uint64_t>(bits_hi, info.effective_bits);
     }
     metrics_.recordBatchExecution(
-        core::ScNetwork::batchKernelEligible(popts, n),
+        core::ScNetwork::batchKernelEligible(popts, n_run),
         bits_hi - bits_lo);
 
     // Feed the measured per-image service time back into the
@@ -144,7 +233,7 @@ InferenceServer::runBatch(ClosedBatch &&batch)
     // and cache effects).
     {
         const double per_image_ms =
-            toMs(t1 - t0) / static_cast<double>(n);
+            toMs(t1 - t0) / static_cast<double>(n_run);
         std::lock_guard<std::mutex> lk(estimate_mutex_);
         double &e = estimate_ms_[static_cast<size_t>(batch.cls)];
         e = e == 0.0 ? per_image_ms : 0.7 * e + 0.3 * per_image_ms;
@@ -154,13 +243,21 @@ InferenceServer::runBatch(ClosedBatch &&batch)
                 std::chrono::duration<double, std::milli>(e)));
     }
 
-    for (size_t i = 0; i < n; ++i) {
-        PendingRequest &item = batch.items[i];
+    size_t delivered = 0;
+    for (size_t j = 0; j < n_run; ++j) {
+        PendingRequest &item = batch.items[run[j]];
+        if (infos[j].cancelled) {
+            // Stopped mid-stream at a segment boundary; the partial
+            // result is discarded, the caller gets the typed error.
+            failRequest(item, ServeErrorCode::Cancelled,
+                        "request cancelled in flight");
+            continue;
+        }
         InferenceResult r;
-        r.predicted = preds[i];
-        r.scores = std::move(infos[i].scores);
-        r.effective_bits = infos[i].effective_bits;
-        r.early_exit = infos[i].early_exit;
+        r.predicted = preds[j];
+        r.scores = std::move(infos[j].scores);
+        r.effective_bits = infos[j].effective_bits;
+        r.early_exit = infos[j].early_exit;
         r.seed = item.seed;
         r.requested = item.opts.accuracy;
         r.served = batch.cls;
@@ -172,10 +269,11 @@ InferenceServer::runBatch(ClosedBatch &&batch)
         r.total_ms = toMs(t1 - item.submitted);
         metrics_.recordResult(r, item.deadline.has_value());
         item.promise.set_value(std::move(r));
+        ++delivered;
     }
-    {
+    if (delivered > 0) {
         std::lock_guard<std::mutex> lk(state_mutex_);
-        outstanding_ -= n;
+        outstanding_ -= delivered;
     }
     idle_cv_.notify_all();
 }

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,6 +57,21 @@ struct ServerConfig
     /** Base of the id-derived per-request seed schedule (requests
      *  with an explicit RequestOptions::seed bypass it). */
     uint64_t base_seed = 0x5EED;
+
+    /**
+     * Arm every deadlined request's cancellation token against its
+     * absolute deadline: an in-flight prediction then stops burning
+     * bits at the next segment boundary once the deadline passes,
+     * instead of finishing a result nobody can use. Off by default —
+     * a late-but-complete result is still a result; overloaded
+     * deployments turn it on to reclaim the compute.
+     */
+    bool cancel_on_deadline = false;
+
+    /** Chaos hook (nullptr in production): shot-counted faults fired
+     *  at queue admission, scheduler polls, worker pops and batch
+     *  execution. Must outlive the server. */
+    FaultInjector *faults = nullptr;
 
     /** Accuracy class -> engine policy, indexed by AccuracyClass.
      *  High runs full-length Fused; Balanced/Fast run Progressive at
@@ -92,12 +108,31 @@ class InferenceServer
     InferenceServer &operator=(const InferenceServer &) = delete;
 
     /**
-     * Enqueue one image for classification. Never blocks on compute.
-     * After shutdown() the returned future holds a std::runtime_error
-     * instead of a result.
+     * Enqueue one image for classification. Never blocks on compute
+     * and never blocks on overload either: admission control fails
+     * the returned future immediately with a typed ServeError —
+     * ShutDown after shutdown()/close, QueueFull when the class queue
+     * is at capacity — instead of growing the queue without bound.
      */
     std::future<InferenceResult> submit(nn::Tensor image,
                                         RequestOptions opts = {});
+
+    /** A submitted request plus its cancellation handle. */
+    struct Submission
+    {
+        std::future<InferenceResult> result;
+        std::shared_ptr<CancelToken> cancel;
+    };
+
+    /**
+     * submit() with a cancellation token: cancel->cancel() makes the
+     * request stop cooperatively — failed with ServeError(Cancelled)
+     * before compute if still queued, stopped at the next segment
+     * boundary if already in flight (batch-mates are unaffected;
+     * their streams are bit-identical either way).
+     */
+    Submission submitCancellable(nn::Tensor image,
+                                 RequestOptions opts = {});
 
     /**
      * Flush partial batches and block until every accepted request
@@ -118,8 +153,15 @@ class InferenceServer
     const ServerConfig &config() const { return cfg_; }
 
   private:
+    std::future<InferenceResult>
+    submitImpl(nn::Tensor image, RequestOptions opts,
+               std::shared_ptr<CancelToken> token);
     void workerLoop();
     void runBatch(ClosedBatch &&batch);
+    /** Resolve a request's promise with a typed error; records the
+     *  matching metric and releases its outstanding slot. */
+    void failRequest(PendingRequest &req, ServeErrorCode code,
+                     const char *what);
     ThreadPool &computePool() const;
 
     const core::ScNetwork &net_;

@@ -273,9 +273,9 @@ TEST(RequestQueue, FullBatchPopsWithPayloads)
         serve::PendingRequest r;
         r.id = i;
         r.submitted = clock.now();
-        ASSERT_TRUE(q.push(std::move(r)));
+        ASSERT_EQ(q.push(std::move(r)), serve::AdmitResult::Accepted);
     }
-    const auto batch = q.popBatch();
+    const auto batch = q.popBatch().batch;
     ASSERT_TRUE(batch.has_value());
     EXPECT_EQ(batch->items.size(), 2u);
     EXPECT_EQ(batch->items[0].id, 0u);
@@ -289,17 +289,17 @@ TEST(RequestQueue, CloseDrainsBacklogThenSignalsExit)
     serve::PendingRequest r;
     r.id = 42;
     r.submitted = clock.now();
-    ASSERT_TRUE(q.push(std::move(r)));
+    ASSERT_EQ(q.push(std::move(r)), serve::AdmitResult::Accepted);
     q.close();
 
-    auto batch = q.popBatch(); // flushes the partial batch
+    auto batch = q.popBatch().batch; // flushes the partial batch
     ASSERT_TRUE(batch.has_value());
     EXPECT_EQ(batch->reason, CloseReason::Drain);
-    EXPECT_FALSE(q.popBatch().has_value()); // closed and empty
+    EXPECT_TRUE(q.popBatch().closed); // closed and empty
 
     serve::PendingRequest late;
     late.id = 43;
-    EXPECT_FALSE(q.push(std::move(late)));
+    EXPECT_EQ(q.push(std::move(late)), serve::AdmitResult::Closed);
 }
 
 // ------------------------------------------------- server end-to-end
@@ -576,6 +576,9 @@ TEST(InferenceServer, TightDeadlineDegradesToFasterClass)
     ServingFixture fx;
     serve::ServerConfig scfg;
     scfg.limits = limits(8, 50ms);
+    // Observe pure deadline degradation: with shedding on, a 1us
+    // deadline would be dropped as doomed before it could degrade.
+    scfg.limits.shed_doomed = false;
     serve::InferenceServer server(*fx.sc, scfg);
 
     // Warm the service estimate so urgency has something to bite on.
@@ -626,10 +629,18 @@ TEST(InferenceServer, ShutdownServesBacklogThenRejects)
     server.shutdown();
     EXPECT_NO_THROW(accepted.get()); // backlog still served
 
+    // The post-shutdown submit fails immediately with the typed
+    // error (still a std::runtime_error for legacy catch sites).
     auto rejected = server.submit(nn::DigitDataset::render(6, 7));
-    EXPECT_THROW(rejected.get(), std::runtime_error);
+    try {
+        rejected.get();
+        FAIL() << "post-shutdown submit should fail";
+    } catch (const serve::ServeError &e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::ShutDown);
+    }
     const auto snap = server.metricsSnapshot();
     EXPECT_EQ(snap.rejected, 1u);
+    EXPECT_EQ(snap.rejected_shutdown, 1u);
 }
 
 TEST(InferenceServer, MultipleBatchWorkersSharingOneComputePool)

@@ -11,7 +11,13 @@ images/sec on one thread.
 Serving: check BENCH_serving.json's gate block — the dynamic
 micro-batching server must sustain strictly higher images/sec than the
 per-request (batch=1) baseline at the same offered load — and compare
-throughput/p99 against the committed record.
+throughput/p99 against the committed record. The overload_gate block
+carries absolute robustness gates: goodput at 2.5x offered capacity
+must hold >= --min-goodput-ratio (default 0.8) of the 1.0x goodput,
+the rejected/shed/expedited counters must be non-zero (admission
+control, load shedding and deadline expediting all actually engaged),
+queue depth must stay within the configured per-class cap, and p99
+must stay within 3x the scenario deadline.
 
 The committed JSONs are the perf record of the last merged PR; the
 bench box carries roughly +/-10% run-to-run noise, so the default gate
@@ -178,6 +184,59 @@ def check_throughput(args):
     return check_batch(fresh_doc, committed_doc, args) and ok
 
 
+def check_overload(doc, args):
+    """Overload-robustness gate, absolute (no committed history
+    needed): at 2.5x offered capacity the hardened server must hold at
+    least --min-goodput-ratio of its 1.0x goodput, the overload
+    scenario must actually have exercised admission control
+    (rejected > 0), load shedding (shed > 0) and deadline expediting
+    (expedited > 0), the queue depth must stay bounded by the
+    configured per-class cap, and completed-request p99 must stay
+    within 3x the scenario deadline."""
+    gate = doc.get("overload_gate")
+    if not isinstance(gate, dict):
+        print("bench_check: fresh run carries no overload_gate block "
+              "(bench predates overload hardening); skipping")
+        return True
+
+    def g(key):
+        try:
+            return float(gate[key])
+        except (KeyError, TypeError, ValueError):
+            sys.stderr.write(f"bench_check: no overload_gate.{key}\n")
+            sys.exit(2)
+
+    ratio = g("goodput_ratio")
+    ok = ratio >= args.min_goodput_ratio
+    print(f"bench_check: overload goodput {g('goodput_1x_ips'):.1f} ips "
+          f"@1.0x -> {g('goodput_2p5x_ips'):.1f} ips @2.5x "
+          f"({ratio:.2f}x, floor {args.min_goodput_ratio:.2f}x): "
+          f"{'OK' if ok else 'REGRESSION'}")
+
+    for counter in ("rejected", "shed", "expedited"):
+        n = g(counter)
+        c_ok = n > 0
+        print(f"bench_check: overload {counter} count {n:.0f} "
+              f"(must be >0): {'OK' if c_ok else 'REGRESSION'}")
+        ok = ok and c_ok
+
+    cap = g("queue_cap_per_class")
+    depth = g("max_queue_depth")
+    # Three accuracy classes, each bounded by the per-class cap.
+    depth_ok = depth <= 3 * cap
+    print(f"bench_check: overload max queue depth {depth:.0f} "
+          f"(bound {3 * cap:.0f}): {'OK' if depth_ok else 'REGRESSION'}")
+    ok = ok and depth_ok
+
+    deadline = g("deadline_ms")
+    p99 = g("overload_p99_ms")
+    p99_ok = p99 <= 3.0 * deadline
+    print(f"bench_check: overload p99 {p99:.1f} ms (limit "
+          f"{3.0 * deadline:.1f} ms = 3x deadline): "
+          f"{'OK' if p99_ok else 'REGRESSION'}")
+    return ok and p99_ok
+
+
 def check_serving(args):
     """Micro-batching must beat per-request serving at the same offered
     load, and must not regress against the committed record."""
@@ -197,6 +256,7 @@ def check_serving(args):
           f"{per_request:.1f} ips vs micro-batching {micro:.1f} ips "
           f"({micro / per_request if per_request > 0 else 0:.2f}x, "
           f"must be >1): {verdict}")
+    ok = check_overload(doc, args) and ok
 
     if not os.path.exists(args.serving_committed):
         print(f"bench_check: no committed serving baseline at "
@@ -252,6 +312,11 @@ def main():
                         "SCDCNN_BENCH_BATCH_MIN", "1.5")),
                     help="required lenet5 batch-vs-single ips ratio "
                          "(default 1.5)")
+    ap.add_argument("--min-goodput-ratio", type=float,
+                    default=float(os.environ.get(
+                        "SCDCNN_BENCH_GOODPUT_MIN", "0.8")),
+                    help="required 2.5x-vs-1.0x overload goodput ratio "
+                         "(default 0.8)")
     args = ap.parse_args()
 
     if args.fresh is None and args.serving_fresh is None:
