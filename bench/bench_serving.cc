@@ -22,14 +22,29 @@
  * produces) so Progressive early exit behaves as it does on trained
  * weights; see bench_throughput.cc for the rationale.
  *
+ * A fourth section measures model-fleet isolation: three models
+ * (lenet5, lenet-l, mlp) behind one ModelRegistry sharing the global
+ * compute pool, each first measured solo, then all three under mixed
+ * load while the lenet5 model is poisoned mid-run with injected
+ * execution faults. Its circuit breaker must quarantine it (fast
+ * rejects, no compute) and later recover it through half-open probes,
+ * while the healthy models hold their solo goodput — the "fleet_gate"
+ * block records the healthy-goodput ratio, the poisoned model's
+ * quarantine/recovery trajectory and a bit-exactness sentinel that
+ * bench_check.py --fleet enforces.
+ *
  * Knobs: SCDCNN_SERVE_LEN (bit-stream length, default 256),
  * SCDCNN_SERVE_IMAGES (requests per scenario, default 48),
  * SCDCNN_SERVE_MAX_BATCH (default 8),
- * SCDCNN_SERVE_CLIENTS (closed-loop clients, default 4).
+ * SCDCNN_SERVE_CLIENTS (closed-loop clients, default 4),
+ * SCDCNN_SERVE_FLEET_IMAGES (fleet requests per model, default
+ * max(8, images/4)).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -40,6 +55,10 @@
 #include "core/sc_network.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/topology.h"
+#include "serve/artifact.h"
+#include "serve/fault_injection.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 
 using namespace scdcnn;
@@ -63,6 +82,72 @@ decisiveLenet5()
     nn::Network net = nn::buildLeNet5(nn::PoolingMode::Max, 1);
     nn::programDecisiveLogits(net);
     return net;
+}
+
+/**
+ * Every scenario's server config and request options, derived from one
+ * measured fused-predict latency so "1.5x capacity" and "a deadline of
+ * six service times" mean the same thing on every box. Shared by the
+ * open/closed-loop sections, the overload section and the fleet
+ * registry (which uses @p hardened as its per-model server template).
+ */
+struct ServingSetup
+{
+    serve::ServerConfig per_request; //!< max_batch=1, full precision
+    serve::ServerConfig micro;       //!< dynamic batching + QoS derive
+    serve::ServerConfig hardened;    //!< micro + admission/shed/cancel
+    serve::RequestOptions high;      //!< High class, no deadline
+    serve::RequestOptions balanced;  //!< Balanced, generous deadline
+    serve::RequestOptions deadlined; //!< Balanced, binding deadline
+    double overload_deadline_ms = 0;
+};
+
+ServingSetup
+buildServingSetup(double fused_ms, size_t len, size_t max_batch)
+{
+    ServingSetup s;
+
+    // Per-request baseline: every request its own batch, full
+    // precision, no deadline — serving without the subsystem's
+    // policies.
+    s.per_request.limits.max_batch = 1;
+    s.per_request.limits.max_queue_delay =
+        std::chrono::microseconds(100);
+    // The legacy throughput scenarios keep every admitted request:
+    // shedding is benchmarked separately, and turning it off here
+    // keeps these series comparable with earlier runs.
+    s.per_request.limits.shed_doomed = false;
+    s.high.accuracy = serve::AccuracyClass::High;
+
+    // Micro-batching + QoS: dynamic batches under (max_batch,
+    // max_queue_delay), Balanced progressive precision, a deadline
+    // generous at light load but binding under overload — queue
+    // pressure degrades precision instead of blowing up latency.
+    s.micro.limits.max_batch = max_batch;
+    s.micro.limits.max_queue_delay =
+        std::chrono::microseconds(static_cast<long>(fused_ms * 250.0));
+    s.micro.limits.shed_doomed = false; // see per_request comment
+    const size_t min_bits = std::max<size_t>(64, len / 4);
+    s.micro.qos[static_cast<size_t>(serve::AccuracyClass::Balanced)] = {
+        core::EngineMode::Progressive, 4.0, min_bits};
+    s.micro.qos[static_cast<size_t>(serve::AccuracyClass::Fast)] = {
+        core::EngineMode::Progressive, 2.0,
+        std::max<size_t>(64, len / 8)};
+    s.balanced.accuracy = serve::AccuracyClass::Balanced;
+    s.balanced.deadline = std::chrono::microseconds(
+        static_cast<long>(fused_ms * 6000.0)); // ~6 service times
+
+    // Overload hardening on top of micro: bounded per-class
+    // admission, doomed-request shedding, deadline-armed cancellation.
+    s.hardened = s.micro;
+    s.hardened.limits.shed_doomed = true;
+    s.hardened.limits.max_queue_per_class = 2 * max_batch;
+    s.hardened.cancel_on_deadline = true;
+    s.deadlined = s.balanced;
+    s.deadlined.deadline = std::chrono::microseconds(
+        static_cast<long>(fused_ms * 8000.0)); // ~8 service times
+    s.overload_deadline_ms = fused_ms * 8.0;
+    return s;
 }
 
 struct ScenarioResult
@@ -256,6 +341,469 @@ runClosedLoop(const core::ScNetwork &net, const char *name,
     return r;
 }
 
+// --------------------------------------------------------- model fleet
+
+/** One model of the serving fleet: its spec, a directly-built
+ *  reference engine (calibration + bit-exactness sentinel), the
+ *  per-model offered load, and the measured results. */
+struct FleetModel
+{
+    std::string id;
+    nn::TopologySpec spec;
+    nn::Network net;
+    std::unique_ptr<core::ScNetwork> ref;
+    double fused_ms = 0;
+    double offered_ips = 0;
+    serve::RequestOptions opts;
+
+    size_t n_events = 0;      //!< requests per phase (rate * horizon)
+    double solo_goodput = 0;  //!< goodput ips, model alone
+    double mixed_goodput = 0; //!< goodput ips, all models + poisoning
+    uint64_t mixed_ok = 0;
+    uint64_t mixed_failed = 0;
+    serve::ModelSnapshot snap; //!< registry state after the run
+};
+
+/** A pending fleet request together with its scheduled arrival
+ *  offset, so the phase wall can be reconstructed per model. */
+struct TimedFuture
+{
+    std::future<serve::InferenceResult> fut;
+    double at_ms; //!< scheduled arrival, relative to the phase start
+};
+
+/**
+ * Resolve a batch of timed futures. Returns the model's effective
+ * wall: the latest completion instant (arrival offset + measured
+ * total latency) across its answered requests. Measuring the wall
+ * from the requests themselves keeps solo and mixed phases
+ * comparable — in the mixed phase, wall-clock "after the merged loop"
+ * would charge every model for the longest co-tenant schedule.
+ */
+double
+settleTimed(std::vector<TimedFuture> &futs, uint64_t &ok,
+            uint64_t &ok_met, uint64_t &failed)
+{
+    double wall_ms = 0.0;
+    for (TimedFuture &tf : futs) {
+        try {
+            const serve::InferenceResult r = tf.fut.get();
+            ++ok;
+            if (r.deadline_met)
+                ++ok_met;
+            wall_ms = std::max(wall_ms, tf.at_ms + r.total_ms);
+        } catch (const serve::ServeError &) {
+            ++failed;
+        }
+    }
+    futs.clear();
+    return wall_ms;
+}
+
+struct FleetOutcome
+{
+    std::vector<FleetModel> models; //!< [0] is the poisoned model
+    size_t n_per_model = 0;
+    double offered_frac = 0;
+    double mixed_wall_ms = 0;
+    double healthy_ratio = 0; //!< min mixed/solo goodput, healthy only
+    bool poisoned_quarantined = false;
+    bool poisoned_recovered = false;
+    size_t sentinel_checked = 0;
+    size_t sentinel_mismatches = 0;
+};
+
+/**
+ * Fleet isolation scenario: three models behind one ModelRegistry
+ * (per-model servers built from the hardened template, one shared
+ * compute pool). Each model is measured solo at @p offered_frac of its
+ * own calibrated per-request capacity, then all three run together at
+ * the same per-model rates while the middle half of the lenet5 traffic
+ * is poisoned with injected execution faults. The breaker must
+ * quarantine lenet5 (fast rejects, no compute stolen from the healthy
+ * models) and recover it through half-open probes once the faults
+ * stop; every 4th mlp request doubles as a bit-exactness sentinel
+ * checked against the directly-built reference engine.
+ */
+FleetOutcome
+runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
+{
+    FleetOutcome out;
+    out.n_per_model = n_fleet;
+    // Per-model offered load as a fraction of its own calibrated
+    // capacity. Three tenants share one pool, so the aggregate is 3x
+    // this; 0.15 keeps the fleet at ~45% utilization, where multi-
+    // tenant queueing costs the healthy models well under the 20%
+    // goodput margin the fleet gate allows.
+    out.offered_frac = 0.15;
+
+    core::ScNetworkConfig cfg;
+    cfg.bitstream_len = len;
+    cfg.stream_segment_words = 1; // see main(): progressive checkpoints
+
+    const auto addModel = [&](const char *id,
+                              const nn::TopologySpec &spec) {
+        FleetModel m;
+        m.id = id;
+        m.spec = spec;
+        m.net = nn::buildTopology(spec, nn::PoolingMode::Max);
+        nn::programDecisiveLogits(m.net);
+        m.ref = std::make_unique<core::ScNetwork>(m.net, cfg);
+        out.models.push_back(std::move(m));
+    };
+    nn::TopologySpec lenet5;
+    lenet5.convs = {{20, 5}, {50, 5}};
+    lenet5.fc_hidden = {500};
+    addModel("lenet5", lenet5);
+    nn::TopologySpec lenetl;
+    lenetl.convs = {{20, 5}, {50, 5}, {64, 3}};
+    lenetl.fc_hidden = {128};
+    addModel("lenet-l", lenetl);
+    nn::TopologySpec mlp;
+    mlp.fc_hidden = {500};
+    addModel("mlp", mlp);
+    const size_t kPoisoned = 0; // lenet5
+    const size_t kSentinel = 2; // mlp: cheapest reference predict
+
+    serve::FaultInjector faults;
+    serve::RegistryConfig rc;
+    rc.server_template = setup.hardened;
+    // Shorter batches than the single-model overload scenario: with
+    // one shared pool, a closed batch of the slowest model is the
+    // head-of-line block every other model's requests wait behind.
+    rc.server_template.limits.max_batch = std::min<size_t>(
+        4, setup.hardened.limits.max_batch);
+    rc.faults = &faults;
+    // A small breaker so the poison window (n_fleet/2 failures) trips
+    // it and the recovery tail fits in the bench: three consecutive
+    // failures reach EWMA 0.936 >= 0.5, probes resume after 60 ms.
+    rc.breaker.alpha = 0.6;
+    rc.breaker.min_events = 3;
+    rc.breaker.trip_threshold = 0.5;
+    rc.breaker.backoff = std::chrono::microseconds(60000);
+    rc.breaker.probe_quota = 2;
+    serve::ModelRegistry reg(rc);
+
+    const nn::Tensor calib_img = nn::DigitDataset::render(3, 7);
+    for (FleetModel &m : out.models) {
+        const serve::InstallResult r = reg.install(
+            m.id, serve::makeArtifact(m.id, 1, m.spec,
+                                      nn::PoolingMode::Max, cfg, m.net));
+        if (!r.ok) {
+            std::fprintf(stderr, "fleet install %s failed: %s\n",
+                         m.id.c_str(), r.diagnostic.c_str());
+            continue;
+        }
+        // Calibrate this model's own per-request capacity and set its
+        // deadline in its own service times.
+        m.ref->predict(calib_img, 1); // warm-up
+        const SteadyClock::time_point t0 = SteadyClock::now();
+        for (int i = 0; i < 2; ++i)
+            m.ref->predict(calib_img, 2 + i);
+        m.fused_ms = msSince(t0) / 2.0;
+        m.offered_ips = out.offered_frac * 1000.0 / m.fused_ms;
+        m.opts = setup.deadlined;
+    }
+    // Per-model deadline: ten of its own service times plus a head-of-
+    // line allowance for the largest co-tenant — with one shared
+    // compute pool, a fast model's request can sit behind a whole
+    // batch of the slowest model, and that wait is fleet policy, not
+    // this model's failure.
+    double max_fused_ms = 0.0;
+    for (const FleetModel &m : out.models)
+        max_fused_ms = std::max(max_fused_ms, m.fused_ms);
+    for (FleetModel &m : out.models)
+        m.opts.deadline = std::chrono::microseconds(static_cast<long>(
+            (m.fused_ms * 10.0 + max_fused_ms * 6.0) * 1000.0));
+
+    // Every phase spans the same horizon: long enough for the slowest
+    // model to see n_fleet arrivals at its own rate, with each model's
+    // event count scaled to its rate. Solo and mixed goodput are then
+    // measured over comparable walls, so their ratio isolates the
+    // interference instead of the schedule-length mismatch a shared
+    // per-model count would create.
+    double horizon_s = 0.0;
+    for (const FleetModel &m : out.models)
+        horizon_s = std::max(
+            horizon_s, static_cast<double>(n_fleet) / m.offered_ips);
+    for (FleetModel &m : out.models)
+        m.n_events = std::max<size_t>(
+            4, static_cast<size_t>(m.offered_ips * horizon_s + 0.5));
+
+    // Solo phases: each model alone at its offered rate.
+    for (FleetModel &m : out.models) {
+        std::mt19937_64 rng(0xF1EE7);
+        std::exponential_distribution<double> gap(m.offered_ips);
+        std::vector<TimedFuture> futs;
+        futs.reserve(m.n_events);
+        const SteadyClock::time_point t0 = SteadyClock::now();
+        double arrival_s = 0.0;
+        for (size_t i = 0; i < m.n_events; ++i) {
+            arrival_s += gap(rng);
+            std::this_thread::sleep_until(
+                t0 +
+                std::chrono::duration_cast<SteadyClock::duration>(
+                    std::chrono::duration<double>(arrival_s)));
+            futs.push_back(
+                {reg.submit(m.id,
+                            nn::DigitDataset::render(i % 10, 300 + i),
+                            m.opts),
+                 arrival_s * 1000.0});
+        }
+        uint64_t ok = 0, ok_met = 0, failed = 0;
+        const double wall = settleTimed(futs, ok, ok_met, failed);
+        m.solo_goodput = wall > 0 ? static_cast<double>(ok_met) /
+                                        (wall / 1000.0)
+                                  : 0.0;
+        reg.drain();
+    }
+
+    // Mixed phase: one merged Poisson schedule across all models.
+    struct Event
+    {
+        double at_s;
+        size_t model;
+        size_t idx;
+    };
+    std::vector<Event> events;
+    std::mt19937_64 rng(0xF1EE7D);
+    for (size_t mi = 0; mi < out.models.size(); ++mi) {
+        std::exponential_distribution<double> gap(
+            out.models[mi].offered_ips);
+        double at = 0.0;
+        for (size_t i = 0; i < out.models[mi].n_events; ++i) {
+            at += gap(rng);
+            events.push_back({at, mi, i});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.at_s < b.at_s;
+              });
+
+    struct Sentinel
+    {
+        TimedFuture tf;
+        uint64_t seed;
+        size_t digit;
+        size_t render_seed;
+    };
+    std::vector<std::vector<TimedFuture>> futs(out.models.size());
+    std::vector<Sentinel> sentinels;
+    size_t poisoned_seen = 0;
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    for (const Event &e : events) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<SteadyClock::duration>(
+                     std::chrono::duration<double>(e.at_s)));
+        const size_t digit = e.idx % 10;
+        serve::RequestOptions opts = out.models[e.model].opts;
+        const bool is_sentinel =
+            e.model == kSentinel && e.idx % 4 == 0;
+        if (is_sentinel) {
+            // Full-precision with a pinned seed: the answer must be
+            // bit-exact with the reference engine regardless of the
+            // chaos on the poisoned model.
+            opts.accuracy = serve::AccuracyClass::High;
+            opts.seed = 7000 + e.idx;
+        }
+        // Poison the middle half of the lenet5 traffic: one armed
+        // ModelExecute shot consumed synchronously by this submit.
+        // The disarm afterwards clears the shot the submit did NOT
+        // consume when the breaker fast-rejected it, so a stale shot
+        // can never leak onto a healthy model's next request.
+        const size_t n_poisoned = out.models[kPoisoned].n_events;
+        const bool poison = e.model == kPoisoned &&
+                            poisoned_seen >= n_poisoned / 4 &&
+                            poisoned_seen < 3 * n_poisoned / 4;
+        if (e.model == kPoisoned)
+            ++poisoned_seen;
+        if (poison)
+            faults.arm(serve::FaultPoint::ModelExecute, 1);
+        std::future<serve::InferenceResult> fut = reg.submit(
+            out.models[e.model].id,
+            nn::DigitDataset::render(digit, 300 + e.idx), opts);
+        if (poison) {
+            faults.disarm(serve::FaultPoint::ModelExecute);
+            if (reg.state(out.models[kPoisoned].id) ==
+                serve::ModelState::Quarantined)
+                out.poisoned_quarantined = true;
+        }
+        if (is_sentinel)
+            sentinels.push_back({{std::move(fut), e.at_s * 1000.0},
+                                 7000 + e.idx,
+                                 digit,
+                                 300 + e.idx});
+        else
+            futs[e.model].push_back(
+                {std::move(fut), e.at_s * 1000.0});
+    }
+
+    // Per-model settle with per-model walls (see settleTimed).
+    std::vector<uint64_t> ok(out.models.size()),
+        ok_met(out.models.size()), failed(out.models.size());
+    std::vector<double> wall(out.models.size());
+    for (size_t mi = 0; mi < out.models.size(); ++mi)
+        wall[mi] = settleTimed(futs[mi], ok[mi], ok_met[mi],
+                               failed[mi]);
+    std::vector<serve::InferenceResult> sentinel_results;
+    std::vector<size_t> sentinel_idx;
+    for (size_t si = 0; si < sentinels.size(); ++si) {
+        try {
+            serve::InferenceResult r = sentinels[si].tf.fut.get();
+            ++ok[kSentinel];
+            if (r.deadline_met)
+                ++ok_met[kSentinel];
+            wall[kSentinel] =
+                std::max(wall[kSentinel],
+                         sentinels[si].tf.at_ms + r.total_ms);
+            sentinel_results.push_back(std::move(r));
+            sentinel_idx.push_back(si);
+        } catch (const serve::ServeError &) {
+            ++failed[kSentinel];
+        }
+    }
+    out.mixed_wall_ms = msSince(t0);
+
+    // Bit-exactness check against the reference engine, off the clock.
+    const core::PredictOptions sentinel_popts =
+        serve::QosPolicy{core::EngineMode::Fused, 0.0, 0}
+            .predictOptions();
+    for (size_t k = 0; k < sentinel_results.size(); ++k) {
+        const Sentinel &s = sentinels[sentinel_idx[k]];
+        ++out.sentinel_checked;
+        core::ForwardInfo info;
+        const size_t pred = out.models[kSentinel].ref->predictWith(
+            nn::DigitDataset::render(s.digit, s.render_seed), s.seed,
+            sentinel_popts, nullptr, &info);
+        if (sentinel_results[k].predicted != pred ||
+            sentinel_results[k].scores != info.scores)
+            ++out.sentinel_mismatches;
+    }
+
+    // Recovery tail: the faults are gone, so once the breaker backoff
+    // elapses its half-open probes succeed and close it again.
+    for (int i = 0;
+         i < 60 && reg.breakerState(out.models[kPoisoned].id) !=
+                       serve::BreakerState::Closed;
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        try {
+            reg.submit(out.models[kPoisoned].id,
+                       nn::DigitDataset::render(i % 10, 900 + i),
+                       out.models[kPoisoned].opts)
+                .get();
+        } catch (const serve::ServeError &) {
+            // Rejected while still open/probing: keep trying.
+        }
+    }
+    reg.drain();
+
+    for (size_t mi = 0; mi < out.models.size(); ++mi) {
+        FleetModel &m = out.models[mi];
+        m.mixed_ok = ok[mi];
+        m.mixed_failed = failed[mi];
+        m.mixed_goodput =
+            wall[mi] > 0 ? static_cast<double>(ok_met[mi]) /
+                               (wall[mi] / 1000.0)
+                         : 0.0;
+        m.snap = reg.modelSnapshot(m.id);
+    }
+    const FleetModel &poisoned = out.models[kPoisoned];
+    out.poisoned_quarantined =
+        out.poisoned_quarantined || poisoned.snap.trips >= 1;
+    out.poisoned_recovered =
+        reg.state(poisoned.id) == serve::ModelState::Serving &&
+        poisoned.snap.recoveries >= 1;
+    out.healthy_ratio = -1.0;
+    for (size_t mi = 0; mi < out.models.size(); ++mi) {
+        if (mi == kPoisoned)
+            continue;
+        const FleetModel &m = out.models[mi];
+        const double ratio =
+            m.solo_goodput > 0 ? m.mixed_goodput / m.solo_goodput : 0;
+        if (out.healthy_ratio < 0 || ratio < out.healthy_ratio)
+            out.healthy_ratio = ratio;
+    }
+    return out;
+}
+
+void
+printFleet(const FleetOutcome &fleet)
+{
+    for (const FleetModel &m : fleet.models) {
+        std::printf("  %-8s solo %6.1f -> mixed %6.1f goodput ips  "
+                    "state %-11s trips %llu recov %llu rejected %llu "
+                    "faulted %llu\n",
+                    m.id.c_str(), m.solo_goodput, m.mixed_goodput,
+                    serve::modelStateName(m.snap.state),
+                    static_cast<unsigned long long>(m.snap.trips),
+                    static_cast<unsigned long long>(m.snap.recoveries),
+                    static_cast<unsigned long long>(
+                        m.snap.unavailable_rejected),
+                    static_cast<unsigned long long>(m.snap.faulted));
+    }
+    std::printf("  healthy goodput ratio %.2f  poisoned quarantined "
+                "%s, recovered %s  sentinel %zu/%zu bit-exact\n",
+                fleet.healthy_ratio,
+                fleet.poisoned_quarantined ? "yes" : "NO",
+                fleet.poisoned_recovered ? "yes" : "NO",
+                fleet.sentinel_checked - fleet.sentinel_mismatches,
+                fleet.sentinel_checked);
+}
+
+void
+writeFleetJson(std::FILE *f, const FleetOutcome &fleet)
+{
+    std::fprintf(f, "  \"fleet\": [\n");
+    for (size_t i = 0; i < fleet.models.size(); ++i) {
+        const FleetModel &m = fleet.models[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"id\": \"%s\",\n", m.id.c_str());
+        std::fprintf(f, "      \"fused_ms\": %.3f,\n", m.fused_ms);
+        std::fprintf(f, "      \"offered_ips\": %.2f,\n",
+                     m.offered_ips);
+        std::fprintf(f, "      \"events\": %zu,\n", m.n_events);
+        std::fprintf(f, "      \"solo_goodput_ips\": %.2f,\n",
+                     m.solo_goodput);
+        std::fprintf(f, "      \"mixed_goodput_ips\": %.2f,\n",
+                     m.mixed_goodput);
+        std::fprintf(f, "      \"mixed_ok\": %llu,\n",
+                     static_cast<unsigned long long>(m.mixed_ok));
+        std::fprintf(f, "      \"mixed_failed\": %llu,\n",
+                     static_cast<unsigned long long>(m.mixed_failed));
+        std::fprintf(f, "      \"registry\": %s\n",
+                     m.snap.toJson().c_str());
+        std::fprintf(f, "    }%s\n",
+                     i + 1 == fleet.models.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"fleet_gate\": {\n");
+    std::fprintf(f, "    \"n_per_model\": %zu,\n", fleet.n_per_model);
+    std::fprintf(f, "    \"offered_frac\": %.2f,\n",
+                 fleet.offered_frac);
+    std::fprintf(f, "    \"mixed_wall_ms\": %.1f,\n",
+                 fleet.mixed_wall_ms);
+    std::fprintf(f, "    \"healthy_goodput_ratio\": %.3f,\n",
+                 fleet.healthy_ratio);
+    std::fprintf(f, "    \"poisoned_id\": \"%s\",\n",
+                 fleet.models[0].id.c_str());
+    std::fprintf(f, "    \"poisoned_trips\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     fleet.models[0].snap.trips));
+    std::fprintf(f, "    \"poisoned_quarantined\": %d,\n",
+                 fleet.poisoned_quarantined ? 1 : 0);
+    std::fprintf(f, "    \"poisoned_recovered\": %d,\n",
+                 fleet.poisoned_recovered ? 1 : 0);
+    std::fprintf(f, "    \"poisoned_final_state\": \"%s\",\n",
+                 serve::modelStateName(fleet.models[0].snap.state));
+    std::fprintf(f, "    \"sentinel_checked\": %zu,\n",
+                 fleet.sentinel_checked);
+    std::fprintf(f, "    \"sentinel_mismatches\": %zu\n",
+                 fleet.sentinel_mismatches);
+    std::fprintf(f, "  },\n");
+}
+
 void
 printScenario(const ScenarioResult &r)
 {
@@ -351,37 +899,12 @@ main()
                 "per-request capacity)\n\n",
                 fused_ms, capacity_ips);
 
-    // Per-request baseline: every request its own batch, full
-    // precision, no deadline — serving without the new subsystem's
-    // policies.
-    serve::ServerConfig per_request;
-    per_request.limits.max_batch = 1;
-    per_request.limits.max_queue_delay = std::chrono::microseconds(100);
-    // The legacy throughput scenarios keep every admitted request:
-    // shedding is benchmarked separately below, and turning it off
-    // here keeps these series comparable with earlier runs.
-    per_request.limits.shed_doomed = false;
-    serve::RequestOptions high;
-    high.accuracy = serve::AccuracyClass::High;
-
-    // Micro-batching + QoS: dynamic batches under (max_batch,
-    // max_queue_delay), Balanced progressive precision, a deadline
-    // generous at light load but binding under overload — queue
-    // pressure degrades precision instead of blowing up latency.
-    serve::ServerConfig micro;
-    micro.limits.max_batch = max_batch;
-    micro.limits.max_queue_delay =
-        std::chrono::microseconds(static_cast<long>(fused_ms * 250.0));
-    micro.limits.shed_doomed = false; // see per_request comment
-    const size_t min_bits = std::max<size_t>(64, len / 4);
-    micro.qos[static_cast<size_t>(serve::AccuracyClass::Balanced)] = {
-        core::EngineMode::Progressive, 4.0, min_bits};
-    micro.qos[static_cast<size_t>(serve::AccuracyClass::Fast)] = {
-        core::EngineMode::Progressive, 2.0, std::max<size_t>(64, len / 8)};
-    serve::RequestOptions balanced;
-    balanced.accuracy = serve::AccuracyClass::Balanced;
-    balanced.deadline = std::chrono::microseconds(
-        static_cast<long>(fused_ms * 6000.0)); // ~6 service times
+    // One derived config set feeds every section (see ServingSetup).
+    const ServingSetup setup = buildServingSetup(fused_ms, len, max_batch);
+    const serve::ServerConfig &per_request = setup.per_request;
+    const serve::ServerConfig &micro = setup.micro;
+    const serve::RequestOptions &high = setup.high;
+    const serve::RequestOptions &balanced = setup.balanced;
 
     const double offered = 1.5 * capacity_ips;
     const double light = 0.6 * capacity_ips;
@@ -419,14 +942,9 @@ main()
     // and shedding spend the scarce compute on requests that can
     // still make it, so goodput should hold up under overload instead
     // of collapsing with the queue.
-    serve::ServerConfig hardened = micro;
-    hardened.limits.shed_doomed = true;
-    hardened.limits.max_queue_per_class = 2 * max_batch;
-    hardened.cancel_on_deadline = true;
-    serve::RequestOptions deadlined = balanced;
-    deadlined.deadline = std::chrono::microseconds(
-        static_cast<long>(fused_ms * 8000.0)); // ~8 service times
-    const double overload_deadline_ms = fused_ms * 8.0;
+    const serve::ServerConfig &hardened = setup.hardened;
+    const serve::RequestOptions &deadlined = setup.deadlined;
+    const double overload_deadline_ms = setup.overload_deadline_ms;
 
     std::printf("\noverload (hardened: admission cap %zu/class, "
                 "shedding + deadline cancellation on):\n",
@@ -445,6 +963,16 @@ main()
     std::printf("  goodput at 2.5x offered load: %.1f ips (%.0f%% of "
                 "the 1.0x goodput)\n",
                 goodput_over, 100.0 * goodput_over / goodput_1x);
+
+    // Model-fleet isolation: three registered models, one poisoned
+    // mid-run; the healthy models must hold their solo goodput.
+    const size_t n_fleet = std::max<size_t>(
+        8, bench::envSize("SCDCNN_SERVE_FLEET_IMAGES", n / 4));
+    std::printf("\nmodel fleet (3 models @ 0.25x own capacity each, "
+                "%zu images/model, lenet5 poisoned mid-run):\n",
+                n_fleet);
+    const FleetOutcome fleet = runFleet(setup, len, n_fleet);
+    printFleet(fleet);
 
     const double gate_per_request = open[0].achieved_ips;
     const double gate_micro = open[1].achieved_ips;
@@ -506,6 +1034,7 @@ main()
     std::fprintf(f, "    \"overload_p99_ms\": %.2f\n",
                  om.total_latency.p99_ms);
     std::fprintf(f, "  },\n");
+    writeFleetJson(f, fleet);
     std::fprintf(f, "  \"gate\": {\n");
     std::fprintf(f, "    \"offered_ips\": %.2f,\n", offered);
     std::fprintf(f, "    \"per_request_ips\": %.2f,\n",

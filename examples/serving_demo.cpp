@@ -13,23 +13,35 @@
  * instead of a miss — stochastic computing's progressive precision
  * surfaced as a serving policy.
  *
- * The final section floods an overload-hardened server (bounded
- * per-class admission, doomed-request shedding, explicit cancellation)
- * past its queue capacity: overflow is rejected at submit() with a
- * typed ServeError instead of queuing unboundedly, requests whose
- * deadline became unmeetable are shed before any bits are spent on
- * them, and a cancelled request resolves immediately — every future
- * gets an answer either way.
+ * Section 6 floods an overload-hardened server (bounded per-class
+ * admission, doomed-request shedding, explicit cancellation) past its
+ * queue capacity: overflow is rejected at submit() with a typed
+ * ServeError instead of queuing unboundedly, requests whose deadline
+ * became unmeetable are shed before any bits are spent on them, and a
+ * cancelled request resolves immediately — every future gets an
+ * answer either way.
+ *
+ * Section 7 runs a model fleet: three topologies registered in one
+ * ModelRegistry, one of them poisoned with injected execution faults
+ * mid-run. Its circuit breaker trips (fast ModelUnavailable rejects,
+ * no compute wasted), then recovers through half-open probes once the
+ * faults stop — while the other two models keep answering. Per-model
+ * tallies make the isolation visible.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "core/sc_network.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
+#include "nn/topology.h"
+#include "serve/artifact.h"
+#include "serve/fault_injection.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 
 using namespace scdcnn;
@@ -174,5 +186,93 @@ main()
     hardened.drain();
     std::printf("\nhardened-server metrics snapshot:\n%s\n",
                 hardened.metricsSnapshot().toJson().c_str());
+
+    // --- 7. A model fleet: poison one, the rest keep serving -------
+    // Three topologies behind one registry, each its own engine and
+    // queue on the shared compute pool. Injected execution faults
+    // poison "mini" until its circuit breaker trips: further requests
+    // fail fast with ModelUnavailable (no queue slot, no compute).
+    // Once the faults stop, the breaker's half-open probes bring it
+    // back — all while "lenet5" and "mlp" answer normally.
+    serve::FaultInjector faults;
+    serve::RegistryConfig rc;
+    rc.server_template.limits.max_batch = 2;
+    rc.server_template.limits.max_queue_delay = 2ms;
+    rc.faults = &faults;
+    rc.breaker.alpha = 0.6;       // trip after 3 straight failures...
+    rc.breaker.min_events = 3;
+    rc.breaker.backoff = 30ms;    // ...probe again after 30ms
+    rc.breaker.probe_quota = 2;
+    serve::ModelRegistry registry(rc);
+
+    const auto installSpec = [&](const char *id,
+                                 const nn::TopologySpec &spec) {
+        core::ScNetworkConfig mcfg;
+        mcfg.bitstream_len = 128;
+        mcfg.stream_segment_words = 1;
+        nn::Network mnet = nn::buildTopology(spec, nn::PoolingMode::Max);
+        const serve::InstallResult r = registry.install(
+            id, serve::makeArtifact(id, 1, spec, nn::PoolingMode::Max,
+                                    mcfg, mnet));
+        std::printf("install %-7s v%u: %s\n", id, r.version,
+                    r.ok ? "serving" : r.diagnostic.c_str());
+    };
+    nn::TopologySpec lenet5_spec;
+    lenet5_spec.convs = {{20, 5}, {50, 5}};
+    lenet5_spec.fc_hidden = {500};
+    installSpec("lenet5", lenet5_spec);
+    nn::TopologySpec mini_spec;
+    mini_spec.convs = {{8, 5}};
+    mini_spec.fc_hidden = {32};
+    installSpec("mini", mini_spec);
+    nn::TopologySpec mlp_spec;
+    mlp_spec.fc_hidden = {500};
+    installSpec("mlp", mlp_spec);
+
+    const char *fleet[] = {"lenet5", "mini", "mlp"};
+    size_t fleet_ok[3] = {}, fleet_rejected[3] = {}, fleet_other[3] = {};
+    const auto fleetRound = [&](size_t rounds, bool poison_mini) {
+        for (size_t r = 0; r < rounds; ++r) {
+            for (size_t m = 0; m < 3; ++m) {
+                if (poison_mini && m == 1)
+                    faults.arm(serve::FaultPoint::ModelExecute, 1);
+                try {
+                    registry
+                        .submit(fleet[m],
+                                nn::DigitDataset::render(r % 10, 60 + r))
+                        .get();
+                    ++fleet_ok[m];
+                } catch (const serve::ServeError &e) {
+                    ++(e.code() ==
+                               serve::ServeErrorCode::ModelUnavailable
+                           ? fleet_rejected[m]
+                           : fleet_other[m]);
+                }
+                if (poison_mini && m == 1)
+                    faults.disarm(serve::FaultPoint::ModelExecute);
+            }
+        }
+    };
+    fleetRound(2, false); // healthy warm-up
+    fleetRound(6, true);  // mini poisoned: trips after 3 failures
+    std::printf("\nmid-chaos: mini is %s (breaker %s)\n",
+                serve::modelStateName(registry.state("mini")),
+                serve::breakerStateName(registry.breakerState("mini")));
+    // Faults cleared: wait out the backoff, then traffic doubles as
+    // half-open probes and closes the breaker again.
+    std::this_thread::sleep_for(40ms);
+    fleetRound(3, false);
+
+    std::printf("per-model outcome tallies:\n");
+    for (size_t m = 0; m < 3; ++m) {
+        const serve::ModelSnapshot s = registry.modelSnapshot(fleet[m]);
+        std::printf("  %-7s ok %2zu  unavailable %2zu  other %2zu | "
+                    "state %-9s trips %llu recoveries %llu\n",
+                    fleet[m], fleet_ok[m], fleet_rejected[m],
+                    fleet_other[m], serve::modelStateName(s.state),
+                    static_cast<unsigned long long>(s.trips),
+                    static_cast<unsigned long long>(s.recoveries));
+    }
+    registry.drain();
     return 0;
 }

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * ranges — the checksum of the weight/artifact serialization formats.
+ * Detects every single-bit flip and every burst error up to 32 bits,
+ * which is exactly the corruption class the artifact fuzz tests throw
+ * at the loaders. Incremental: feed the previous return value back in
+ * as @p seed to checksum a file in chunks.
+ */
+
+#ifndef SCDCNN_COMMON_CRC32_H
+#define SCDCNN_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scdcnn {
+
+/** CRC-32 of @p len bytes at @p data; chain via @p seed (0 to start). */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+} // namespace scdcnn
+
+#endif // SCDCNN_COMMON_CRC32_H

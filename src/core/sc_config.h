@@ -120,6 +120,30 @@ struct ScNetworkConfig
 
     /** Human-readable summary ("max L=1024 MUX-MUX-APC"). */
     std::string describe() const;
+
+    /** Field-wise equality — artifact round-trip tests assert a
+     *  deserialized config is exactly the one that was saved. */
+    friend bool operator==(const ScNetworkConfig &a,
+                           const ScNetworkConfig &b)
+    {
+        return a.pooling == b.pooling &&
+               a.layer_adders == b.layer_adders &&
+               a.bitstream_len == b.bitstream_len &&
+               a.weight_bits == b.weight_bits &&
+               a.segment_len == b.segment_len &&
+               a.k_policy == b.k_policy && a.input_c == b.input_c &&
+               a.input_h == b.input_h && a.input_w == b.input_w &&
+               a.stream_segment_words == b.stream_segment_words &&
+               a.batch_stream_segment_words ==
+                   b.batch_stream_segment_words &&
+               a.progressive_margin == b.progressive_margin &&
+               a.progressive_min_bits == b.progressive_min_bits;
+    }
+    friend bool operator!=(const ScNetworkConfig &a,
+                           const ScNetworkConfig &b)
+    {
+        return !(a == b);
+    }
 };
 
 /** One Table 6 row definition. */

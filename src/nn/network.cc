@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "nn/topology.h"
 
@@ -109,72 +111,258 @@ Network::addGradsFrom(const Network &o)
     }
 }
 
-namespace {
-
-constexpr uint32_t kWeightsMagic = 0x5CDC0001;
-
-bool
-writeVec(std::FILE *f, const std::vector<float> &v)
+const char *
+loadResultCodeName(LoadResult::Code code)
 {
-    auto n = static_cast<uint64_t>(v.size());
-    if (std::fwrite(&n, sizeof(n), 1, f) != 1)
-        return false;
-    return std::fwrite(v.data(), sizeof(float), v.size(), f) == v.size();
+    switch (code) {
+    case LoadResult::Code::Ok:
+        return "ok";
+    case LoadResult::Code::OpenFailed:
+        return "open_failed";
+    case LoadResult::Code::WriteFailed:
+        return "write_failed";
+    case LoadResult::Code::BadMagic:
+        return "bad_magic";
+    case LoadResult::Code::BadVersion:
+        return "bad_version";
+    case LoadResult::Code::Truncated:
+        return "truncated";
+    case LoadResult::Code::ShapeMismatch:
+        return "shape_mismatch";
+    case LoadResult::Code::CrcMismatch:
+        return "crc_mismatch";
+    case LoadResult::Code::BadField:
+        return "bad_field";
+    }
+    return "?";
 }
 
-bool
-readVec(std::FILE *f, std::vector<float> &v)
+LoadResult
+LoadResult::failure(Code code, size_t offset, std::string context,
+                    uint64_t expected, uint64_t actual,
+                    size_t tensor_index)
 {
+    LoadResult r;
+    r.code = code;
+    r.offset = offset;
+    r.context = std::move(context);
+    r.expected = expected;
+    r.actual = actual;
+    r.tensor_index = tensor_index;
+    return r;
+}
+
+std::string
+LoadResult::message() const
+{
+    if (ok())
+        return "ok";
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s at offset %zu",
+                  loadResultCodeName(code), offset);
+    std::string out = buf;
+    if (tensor_index != kNoTensor) {
+        std::snprintf(buf, sizeof buf, ", tensor %zu", tensor_index);
+        out += buf;
+    }
+    if (code == Code::CrcMismatch) {
+        std::snprintf(buf, sizeof buf,
+                      ", expected crc 0x%08llx actual 0x%08llx",
+                      static_cast<unsigned long long>(expected),
+                      static_cast<unsigned long long>(actual));
+        out += buf;
+    } else if (code == Code::ShapeMismatch || code == Code::BadField ||
+               code == Code::BadMagic || code == Code::BadVersion) {
+        std::snprintf(buf, sizeof buf,
+                      ", expected %llu actual %llu",
+                      static_cast<unsigned long long>(expected),
+                      static_cast<unsigned long long>(actual));
+        out += buf;
+    }
+    if (!context.empty()) {
+        out += " (";
+        out += context;
+        out += ")";
+    }
+    return out;
+}
+
+namespace {
+
+constexpr uint32_t kWeightsMagicLegacy = 0x5CDC0001; //!< headerless
+constexpr uint32_t kWeightsMagic = 0x5CDC0002;       //!< versioned+CRC
+constexpr uint32_t kWeightsFormatVersion = 2;
+
+using Code = LoadResult::Code;
+
+/** One checksummed tensor record: count, CRC-32 over count||payload,
+ *  then the float payload. The CRC covering the count means a flipped
+ *  length byte is caught as corruption, not misparsed as a shape. */
+bool
+writeRecord(std::FILE *f, const std::vector<float> &v)
+{
+    const auto n = static_cast<uint64_t>(v.size());
+    uint32_t crc = crc32(&n, sizeof(n));
+    crc = crc32(v.data(), v.size() * sizeof(float), crc);
+    return std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+           std::fwrite(&crc, sizeof(crc), 1, f) == 1 &&
+           std::fwrite(v.data(), sizeof(float), v.size(), f) ==
+               v.size();
+}
+
+/** Read one record into the (already-sized) tensor @p v. @p file_size
+ *  bounds the declared count before anything is trusted, so a corrupt
+ *  length can never drive an allocation or a long read. */
+LoadResult
+readRecord(std::FILE *f, std::vector<float> &v, long file_size,
+           size_t tensor_index, const char *what)
+{
+    const auto at = static_cast<size_t>(std::ftell(f));
+    uint64_t n = 0;
+    uint32_t stored_crc = 0;
+    if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+        std::fread(&stored_crc, sizeof(stored_crc), 1, f) != 1)
+        return LoadResult::failure(Code::Truncated, at, what, 0, 0,
+                                   tensor_index);
+    const auto remaining =
+        static_cast<uint64_t>(file_size) - static_cast<uint64_t>(at) -
+        sizeof(n) - sizeof(stored_crc);
+    if (n > remaining / sizeof(float))
+        return LoadResult::failure(Code::Truncated, at, what,
+                                   n * sizeof(float), remaining,
+                                   tensor_index);
+    if (n != v.size())
+        return LoadResult::failure(Code::ShapeMismatch, at, what,
+                                   v.size(), n, tensor_index);
+    if (std::fread(v.data(), sizeof(float), v.size(), f) != v.size())
+        return LoadResult::failure(Code::Truncated, at, what, 0, 0,
+                                   tensor_index);
+    uint32_t crc = crc32(&n, sizeof(n));
+    crc = crc32(v.data(), v.size() * sizeof(float), crc);
+    if (crc != stored_crc)
+        return LoadResult::failure(Code::CrcMismatch, at, what,
+                                   stored_crc, crc, tensor_index);
+    return LoadResult::success();
+}
+
+/** The pre-hardening record: count then raw floats, no checksum. */
+LoadResult
+readLegacyRecord(std::FILE *f, std::vector<float> &v, long file_size,
+                 size_t tensor_index, const char *what)
+{
+    const auto at = static_cast<size_t>(std::ftell(f));
     uint64_t n = 0;
     if (std::fread(&n, sizeof(n), 1, f) != 1)
-        return false;
+        return LoadResult::failure(Code::Truncated, at, what, 0, 0,
+                                   tensor_index);
+    const auto remaining = static_cast<uint64_t>(file_size) -
+                           static_cast<uint64_t>(at) - sizeof(n);
+    if (n > remaining / sizeof(float))
+        return LoadResult::failure(Code::Truncated, at, what,
+                                   n * sizeof(float), remaining,
+                                   tensor_index);
     if (n != v.size())
-        return false; // structure mismatch
-    return std::fread(v.data(), sizeof(float), v.size(), f) == v.size();
+        return LoadResult::failure(Code::ShapeMismatch, at, what,
+                                   v.size(), n, tensor_index);
+    if (std::fread(v.data(), sizeof(float), v.size(), f) != v.size())
+        return LoadResult::failure(Code::Truncated, at, what, 0, 0,
+                                   tensor_index);
+    return LoadResult::success();
+}
+
+long
+fileSize(std::FILE *f)
+{
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    return size;
 }
 
 } // namespace
 
-bool
+LoadResult
 Network::saveWeights(const std::string &path) const
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (f == nullptr)
-        return false;
-    bool ok = std::fwrite(&kWeightsMagic, sizeof(kWeightsMagic), 1, f) == 1;
+        return LoadResult::failure(Code::OpenFailed, 0, path);
+    bool ok =
+        std::fwrite(&kWeightsMagic, sizeof(kWeightsMagic), 1, f) == 1 &&
+        std::fwrite(&kWeightsFormatVersion, sizeof(kWeightsFormatVersion),
+                    1, f) == 1;
     for (const auto &l : layers_) {
         if (!ok)
             break;
         // clone() gives us non-const access patterns; cast is local.
         auto *mutable_layer = const_cast<Layer *>(l.get());
         if (auto *w = mutable_layer->weights())
-            ok = ok && writeVec(f, *w);
+            ok = ok && writeRecord(f, *w);
         if (auto *b = mutable_layer->biases())
-            ok = ok && writeVec(f, *b);
+            ok = ok && writeRecord(f, *b);
     }
+    const auto at = ok ? 0 : static_cast<size_t>(std::ftell(f));
     std::fclose(f);
-    return ok;
+    return ok ? LoadResult::success()
+              : LoadResult::failure(Code::WriteFailed, at, path);
 }
 
-bool
+LoadResult
 Network::loadWeights(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        return false;
+        return LoadResult::failure(Code::OpenFailed, 0, path);
+    const long size = fileSize(f);
+
     uint32_t magic = 0;
-    bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
-              magic == kWeightsMagic;
+    if (std::fread(&magic, sizeof(magic), 1, f) != 1) {
+        std::fclose(f);
+        return LoadResult::failure(Code::Truncated, 0, path);
+    }
+    bool legacy = false;
+    if (magic == kWeightsMagicLegacy) {
+        legacy = true;
+    } else if (magic == kWeightsMagic) {
+        uint32_t version = 0;
+        if (std::fread(&version, sizeof(version), 1, f) != 1) {
+            std::fclose(f);
+            return LoadResult::failure(Code::Truncated, sizeof(magic),
+                                       path);
+        }
+        if (version != kWeightsFormatVersion) {
+            std::fclose(f);
+            return LoadResult::failure(Code::BadVersion, sizeof(magic),
+                                       path, kWeightsFormatVersion,
+                                       version);
+        }
+    } else {
+        std::fclose(f);
+        return LoadResult::failure(Code::BadMagic, 0, path,
+                                   kWeightsMagic, magic);
+    }
+
+    LoadResult r;
+    size_t tensor = 0;
     for (auto &l : layers_) {
-        if (!ok)
+        if (!r.ok())
             break;
-        if (auto *w = l->weights())
-            ok = ok && readVec(f, *w);
-        if (auto *b = l->biases())
-            ok = ok && readVec(f, *b);
+        if (auto *w = l->weights()) {
+            r = legacy ? readLegacyRecord(f, *w, size, tensor, "weights")
+                       : readRecord(f, *w, size, tensor, "weights");
+            ++tensor;
+        }
+        if (r.ok()) {
+            if (auto *b = l->biases()) {
+                r = legacy
+                        ? readLegacyRecord(f, *b, size, tensor, "biases")
+                        : readRecord(f, *b, size, tensor, "biases");
+                ++tensor;
+            }
+        }
     }
     std::fclose(f);
-    return ok;
+    return r;
 }
 
 Network

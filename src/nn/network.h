@@ -16,6 +16,7 @@
 #ifndef SCDCNN_NN_NETWORK_H
 #define SCDCNN_NN_NETWORK_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,55 @@
 
 namespace scdcnn {
 namespace nn {
+
+/**
+ * Typed outcome of a serialization operation (weight files, model
+ * artifacts). A bare bool told callers nothing a fleet operator could
+ * act on; a LoadResult names what failed and where — the file offset,
+ * the tensor, the expected-vs-actual CRC or element count — so the
+ * model registry can surface the diagnostic in a Quarantine reason
+ * instead of swallowing it. Converts to bool (true == Ok), so
+ * pre-existing `if (net.loadWeights(...))` call sites keep working.
+ */
+struct LoadResult
+{
+    enum class Code : uint8_t
+    {
+        Ok = 0,
+        OpenFailed,    //!< file could not be opened
+        WriteFailed,   //!< short write while saving
+        BadMagic,      //!< not a recognized serialization format
+        BadVersion,    //!< recognized magic, unsupported format version
+        Truncated,     //!< ran out of bytes mid-record
+        ShapeMismatch, //!< element count disagrees with the structure
+        CrcMismatch,   //!< checksum failed — payload corrupted
+        BadField,      //!< a decoded field is out of its sane range
+    };
+
+    static constexpr size_t kNoTensor = static_cast<size_t>(-1);
+
+    Code code = Code::Ok;
+    size_t offset = 0;               //!< file offset of the failure
+    size_t tensor_index = kNoTensor; //!< tensor (load order), if any
+    uint64_t expected = 0; //!< expected CRC / element count / magic
+    uint64_t actual = 0;   //!< what the file actually held
+    std::string context;   //!< free-form site ("layer 3 biases", path)
+
+    bool ok() const { return code == Code::Ok; }
+    explicit operator bool() const { return ok(); }
+
+    /** "crc mismatch at offset 132 (tensor 2, layer 1 weights): ..." */
+    std::string message() const;
+
+    static LoadResult success() { return {}; }
+    static LoadResult failure(Code code, size_t offset,
+                              std::string context = {},
+                              uint64_t expected = 0, uint64_t actual = 0,
+                              size_t tensor_index = kNoTensor);
+};
+
+/** "ok" / "open_failed" / "bad_magic" / ... */
+const char *loadResultCodeName(LoadResult::Code code);
 
 /**
  * A sequential network.
@@ -64,9 +114,19 @@ class Network
     /** Accumulate another net's gradients into this one's. */
     void addGradsFrom(const Network &o);
 
-    /** Serialize / restore all parameters (simple binary format). */
-    bool saveWeights(const std::string &path) const;
-    bool loadWeights(const std::string &path);
+    /**
+     * Serialize / restore all parameters. saveWeights writes the
+     * versioned format: a magic + format-version header followed by
+     * one record per parameter tensor (element count + CRC-32 over
+     * count and payload + floats), so any single corrupted byte is
+     * detected at load time instead of silently serving garbage.
+     * loadWeights also still reads the legacy headerless format
+     * (magic 0x5CDC0001, no CRCs) that pre-hardening files carry.
+     * Both report a typed LoadResult; on any failure the network's
+     * parameters may be partially overwritten and must not be served.
+     */
+    LoadResult saveWeights(const std::string &path) const;
+    LoadResult loadWeights(const std::string &path);
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Versioned, checksummed model artifacts: one file carrying everything
+ * the registry needs to stand up a served model — a model name and
+ * version, the declarative TopologySpec, the pooling mode, the full
+ * ScNetworkConfig, and every parameter tensor.
+ *
+ * Layout: magic, format version, a length-prefixed CRC-32-protected
+ * header (name/version/spec/pooling/config/tensor count), then one
+ * checksummed tensor record per parameter tensor in layer order (the
+ * same record format as the v2 weight files: element count, CRC-32
+ * over count and payload, floats). Every field a loader trusts is
+ * covered by a checksum first and range-validated second, so a
+ * corrupted artifact is rejected with a typed nn::LoadResult
+ * diagnostic — never parsed into a panic, an allocation bomb, or a
+ * silently-wrong model.
+ */
+
+#ifndef SCDCNN_SERVE_ARTIFACT_H
+#define SCDCNN_SERVE_ARTIFACT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sc_config.h"
+#include "nn/network.h"
+#include "nn/topology.h"
+#include "serve/fault_injection.h"
+
+namespace scdcnn {
+namespace serve {
+
+/** In-memory form of one serialized model. */
+struct ModelArtifact
+{
+    std::string name;     //!< human-readable model id hint
+    uint32_t version = 1; //!< monotonically increasing per model
+    nn::TopologySpec spec;
+    nn::PoolingMode pooling = nn::PoolingMode::Max;
+    core::ScNetworkConfig config;
+    /** Parameter tensors in network layer order (weights then biases
+     *  per parameterized layer) — Network serialization order. */
+    std::vector<std::vector<float>> tensors;
+};
+
+/** Capture @p net's parameters (which must be a buildTopology(spec,
+ *  pooling) instance) into an artifact. */
+ModelArtifact makeArtifact(std::string name, uint32_t version,
+                           const nn::TopologySpec &spec,
+                           nn::PoolingMode pooling,
+                           const core::ScNetworkConfig &config,
+                           const nn::Network &net);
+
+/** Write @p artifact to @p path (OpenFailed / WriteFailed on error). */
+nn::LoadResult saveArtifact(const ModelArtifact &artifact,
+                            const std::string &path);
+
+/**
+ * Read and validate an artifact. Checksums are verified before any
+ * field is trusted, declared lengths are bounded by the file size
+ * before any allocation, and decoded fields are range-checked
+ * (BadField) so a crafted file cannot reach buildTopology's panics.
+ * @p faults, when armed: an ArtifactRead shot corrupts one header
+ * byte after the read (the torn-read fault — surfaces as
+ * CrcMismatch), a ModelLoad shot stalls inside the load.
+ * On failure @p out is unspecified and must not be used.
+ */
+nn::LoadResult loadArtifact(const std::string &path, ModelArtifact *out,
+                            FaultInjector *faults = nullptr);
+
+/**
+ * Build the network an artifact describes: buildTopology(spec,
+ * pooling) with the artifact's tensors installed. Tensor-count or
+ * element-count disagreements with the constructed structure report
+ * ShapeMismatch; on failure @p out is unspecified.
+ */
+nn::LoadResult instantiate(const ModelArtifact &artifact,
+                           nn::Network *out);
+
+} // namespace serve
+} // namespace scdcnn
+
+#endif // SCDCNN_SERVE_ARTIFACT_H

@@ -19,6 +19,16 @@ faultPointName(FaultPoint point)
         return "worker_pop";
     case FaultPoint::BatchExecute:
         return "batch_execute";
+    case FaultPoint::ArtifactRead:
+        return "artifact_read";
+    case FaultPoint::ModelLoad:
+        return "model_load";
+    case FaultPoint::SwapInstall:
+        return "swap_install";
+    case FaultPoint::BreakerProbe:
+        return "breaker_probe";
+    case FaultPoint::ModelExecute:
+        return "model_execute";
     }
     SCDCNN_ASSERT(false, "unknown fault point");
     return "?";

@@ -36,12 +36,17 @@ enum class FaultPoint : uint8_t
     SchedulerPoll = 1, //!< scheduler: suppress one close decision
     WorkerPop = 2,     //!< worker: stall after taking a batch
     BatchExecute = 3,  //!< worker: stall inside the timed batch window
+    ArtifactRead = 4,  //!< registry: corrupt the artifact bytes on read
+    ModelLoad = 5,     //!< registry: stall inside artifact load/warmup
+    SwapInstall = 6,   //!< registry: crash between load and swap
+    BreakerProbe = 7,  //!< registry: force a half-open probe to fail
+    ModelExecute = 8,  //!< registry: fail a routed request (poison)
 };
 
 /** Number of fault points (array sizing). */
-constexpr size_t kFaultPoints = 4;
+constexpr size_t kFaultPoints = 9;
 
-/** "queue_admit" / "scheduler_poll" / "worker_pop" / "batch_execute". */
+/** "queue_admit" / "scheduler_poll" / ... / "model_execute". */
 const char *faultPointName(FaultPoint point);
 
 /**

@@ -212,10 +212,8 @@ ServerMetrics::snapshot() const
     return s;
 }
 
-namespace {
-
 void
-appendf(std::string &out, const char *fmt, ...)
+jsonAppendf(std::string &out, const char *fmt, ...)
 {
     char buf[256];
     va_list ap;
@@ -226,16 +224,21 @@ appendf(std::string &out, const char *fmt, ...)
 }
 
 void
-appendLatency(std::string &out, const char *name,
-              const LatencyHistogram::Stats &s)
+jsonAppendLatency(std::string &out, const char *name,
+                  const LatencyHistogram::Stats &s)
 {
-    appendf(out,
-            "\"%s\": {\"count\": %llu, \"mean_ms\": %.3f, "
-            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
-            "\"max_ms\": %.3f}",
-            name, static_cast<unsigned long long>(s.count), s.mean_ms,
-            s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
+    jsonAppendf(out,
+                "\"%s\": {\"count\": %llu, \"mean_ms\": %.3f, "
+                "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"max_ms\": %.3f}",
+                name, static_cast<unsigned long long>(s.count),
+                s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
 }
+
+namespace {
+
+constexpr auto appendf = jsonAppendf;
+constexpr auto appendLatency = jsonAppendLatency;
 
 template <size_t N>
 void

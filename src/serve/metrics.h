@@ -106,6 +106,15 @@ struct MetricsSnapshot
     std::string toJson() const;
 };
 
+/** printf-append onto a JSON string under construction — the shared
+ *  primitive behind every toJson() in the serving layer (metrics,
+ *  registry snapshots, the bench's scenario records). */
+void jsonAppendf(std::string &out, const char *fmt, ...);
+
+/** Append one latency-stats JSON object ("name": {count, mean, ...}). */
+void jsonAppendLatency(std::string &out, const char *name,
+                       const LatencyHistogram::Stats &s);
+
 class ServerMetrics
 {
   public:

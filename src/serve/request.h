@@ -56,12 +56,14 @@ enum class ServeErrorCode : uint8_t
     QueueFull = 1, //!< admission control: class queue at capacity
     Shed = 2,      //!< load shedding: deadline unmeetable even at Fast
     Cancelled = 3, //!< cooperative cancellation stopped the request
+    ModelUnavailable = 4, //!< registry: model quarantined/loading/retired
+    UnknownModel = 5,     //!< registry: no model under that id
 };
 
 /** Number of serve error codes (array sizing). */
-constexpr size_t kServeErrorCodes = 4;
+constexpr size_t kServeErrorCodes = 6;
 
-/** "shutdown" / "queue_full" / "shed" / "cancelled". */
+/** "shutdown" / "queue_full" / ... / "unknown_model". */
 const char *serveErrorCodeName(ServeErrorCode code);
 
 /**
@@ -160,6 +162,22 @@ struct InferenceResult
     size_t batch_size = 0;       //!< size of the micro-batch it rode in
     double queue_ms = 0.0;       //!< submit -> batch close
     double total_ms = 0.0;       //!< submit -> result ready
+};
+
+/**
+ * Terminal outcome of one request, reported to ServerConfig's
+ * outcome_hook as the promise resolves. The model registry's circuit
+ * breaker feeds on these: sheds and faults count against a model's
+ * health EWMA, completions count for it. Invoked from whatever thread
+ * resolves the request (submitter on admission failure, batch worker
+ * on delivery), so hooks must be thread-safe.
+ */
+struct RequestOutcome
+{
+    bool success = false; //!< resolved with a result, not a ServeError
+    ServeErrorCode code = ServeErrorCode::ShutDown; //!< iff !success
+    bool deadline_met = true;
+    AccuracyClass accuracy = AccuracyClass::Balanced;
 };
 
 /** How one accuracy class maps onto the engine. */

@@ -34,6 +34,10 @@ serveErrorCodeName(ServeErrorCode code)
         return "shed";
     case ServeErrorCode::Cancelled:
         return "cancelled";
+    case ServeErrorCode::ModelUnavailable:
+        return "model_unavailable";
+    case ServeErrorCode::UnknownModel:
+        return "unknown_model";
     }
     return "?";
 }

@@ -128,6 +128,16 @@ InferenceServer::failRequest(PendingRequest &req, ServeErrorCode code,
         metrics_.recordShed();
     else if (code == ServeErrorCode::Cancelled)
         metrics_.recordCancelled();
+    // Hook before resolving the promise: a caller that observes the
+    // failed future then sees breaker state that already reflects it.
+    if (cfg_.outcome_hook) {
+        RequestOutcome o;
+        o.success = false;
+        o.code = code;
+        o.deadline_met = false;
+        o.accuracy = req.opts.accuracy;
+        cfg_.outcome_hook(o);
+    }
     req.promise.set_exception(
         std::make_exception_ptr(ServeError(code, what)));
     {
@@ -268,6 +278,14 @@ InferenceServer::runBatch(ClosedBatch &&batch)
         r.queue_ms = toMs(batch.closed_at - item.submitted);
         r.total_ms = toMs(t1 - item.submitted);
         metrics_.recordResult(r, item.deadline.has_value());
+        // Hook before resolving the promise (see failRequest).
+        if (cfg_.outcome_hook) {
+            RequestOutcome o;
+            o.success = true;
+            o.deadline_met = r.deadline_met;
+            o.accuracy = item.opts.accuracy;
+            cfg_.outcome_hook(o);
+        }
         item.promise.set_value(std::move(r));
         ++delivered;
     }

@@ -21,6 +21,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -72,6 +73,14 @@ struct ServerConfig
      *  at queue admission, scheduler polls, worker pops and batch
      *  execution. Must outlive the server. */
     FaultInjector *faults = nullptr;
+
+    /** Called as each request's promise resolves — with success=true
+     *  on delivery, success=false (plus the error code) on any typed
+     *  failure. The registry's per-model circuit breaker observes a
+     *  model's health through this without polling metrics. Invoked
+     *  from submitter and worker threads; must be thread-safe and
+     *  must not call back into the server. */
+    std::function<void(const RequestOutcome &)> outcome_hook;
 
     /** Accuracy class -> engine policy, indexed by AccuracyClass.
      *  High runs full-length Fused; Balanced/Fast run Progressive at

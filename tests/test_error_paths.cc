@@ -178,8 +178,10 @@ TEST(WeightSerialization, RoundTripsOnACustomTopology)
 TEST(WeightSerialization, MissingFileLoadsFalse)
 {
     nn::Network net = customNet();
-    EXPECT_FALSE(net.loadWeights(
-        tempWeightsPath("does_not_exist_anywhere")));
+    const nn::LoadResult r = net.loadWeights(
+        tempWeightsPath("does_not_exist_anywhere"));
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.code, nn::LoadResult::Code::OpenFailed);
 }
 
 TEST(WeightSerialization, CorruptMagicLoadsFalse)
@@ -194,7 +196,76 @@ TEST(WeightSerialization, CorruptMagicLoadsFalse)
         ASSERT_EQ(std::fwrite(&junk, sizeof(junk), 1, f), 1u);
         std::fclose(f);
     }
-    EXPECT_FALSE(net.loadWeights(path));
+    const nn::LoadResult r = net.loadWeights(path);
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.code, nn::LoadResult::Code::BadMagic);
+    EXPECT_EQ(r.actual, 0xDEADBEEFu);
+    EXPECT_NE(r.message().find("bad_magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(WeightSerialization, CorruptPayloadReportsCrcMismatch)
+{
+    // Flip one bit in the middle of the file (a tensor payload byte):
+    // the per-tensor CRC must catch it and name the tensor.
+    const std::string path = tempWeightsPath("bitflip");
+    nn::Network net = customNet();
+    ASSERT_TRUE(net.saveWeights(path));
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fseek(f, size / 2, SEEK_SET);
+        int c = std::fgetc(f);
+        ASSERT_NE(c, EOF);
+        std::fseek(f, size / 2, SEEK_SET);
+        std::fputc(c ^ 0x01, f);
+        std::fclose(f);
+    }
+    nn::Network fresh = customNet(7);
+    const nn::LoadResult r = fresh.loadWeights(path);
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.code, nn::LoadResult::Code::CrcMismatch);
+    EXPECT_NE(r.tensor_index, nn::LoadResult::kNoTensor);
+    EXPECT_NE(r.expected, r.actual);
+    std::remove(path.c_str());
+}
+
+TEST(WeightSerialization, LegacyHeaderlessFilesStillLoad)
+{
+    // Pre-hardening files: magic 0x5CDC0001, then bare
+    // count-prefixed float vectors with no checksums. Write one by
+    // hand and load it back.
+    const std::string path = tempWeightsPath("legacy");
+    nn::Network a = customNet(5);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const uint32_t magic = 0x5CDC0001;
+        ASSERT_EQ(std::fwrite(&magic, sizeof(magic), 1, f), 1u);
+        for (size_t i = 0; i < a.layerCount(); ++i) {
+            for (auto *v : {a.layer(i).weights(), a.layer(i).biases()}) {
+                if (v == nullptr)
+                    continue;
+                const auto n = static_cast<uint64_t>(v->size());
+                ASSERT_EQ(std::fwrite(&n, sizeof(n), 1, f), 1u);
+                ASSERT_EQ(std::fwrite(v->data(), sizeof(float),
+                                      v->size(), f),
+                          v->size());
+            }
+        }
+        std::fclose(f);
+    }
+    nn::Network b = customNet(99);
+    ASSERT_TRUE(b.loadWeights(path));
+    for (size_t i = 0; i < a.layerCount(); ++i) {
+        auto *wa = a.layer(i).weights();
+        auto *wb = b.layer(i).weights();
+        if (wa != nullptr) {
+            EXPECT_EQ(*wa, *wb) << "layer " << i;
+        }
+    }
     std::remove(path.c_str());
 }
 
@@ -238,7 +309,10 @@ TEST(WeightSerialization, ShapeMismatchLoadsFalse)
     other.fc_hidden = {11};
     other.n_classes = 6;
     nn::Network b = nn::buildTopology(other);
-    EXPECT_FALSE(b.loadWeights(path));
+    const nn::LoadResult r = b.loadWeights(path);
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.code, nn::LoadResult::Code::ShapeMismatch);
+    EXPECT_NE(r.expected, r.actual);
     std::remove(path.c_str());
 }
 

@@ -19,6 +19,14 @@ control, load shedding and deadline expediting all actually engaged),
 queue depth must stay within the configured per-class cap, and p99
 must stay within 3x the scenario deadline.
 
+Fleet: the fleet_gate block (three registered models, one poisoned
+mid-run) carries absolute gates too: the healthy models must hold
+>= --min-fleet-goodput (default 0.8) of their solo goodput, the
+poisoned model must be quarantined by its circuit breaker and recover
+via half-open probes, and every bit-exactness sentinel must match the
+reference engine (zero cross-model result corruption). --fleet makes
+the block mandatory; without it, old JSONs skip with a note.
+
 The committed JSONs are the perf record of the last merged PR; the
 bench box carries roughly +/-10% run-to-run noise, so the default gate
 only trips on a >25% slowdown. Machines differ — when the fresh run
@@ -237,6 +245,61 @@ def check_overload(doc, args):
     return ok and p99_ok
 
 
+def check_fleet(doc, args):
+    """Model-fleet isolation gate, absolute (no committed history
+    needed): with one of three registered models poisoned mid-run, the
+    healthy models must hold at least --min-fleet-goodput of their solo
+    goodput, the poisoned model must actually have been quarantined
+    (breaker tripped) and must have recovered through half-open probes
+    once the fault cleared, and every bit-exactness sentinel answered
+    during the chaos must match the reference engine exactly (zero
+    cross-model result corruption). Skipped with a note when the JSON
+    predates the fleet scenario, unless --fleet demands it."""
+    gate = doc.get("fleet_gate")
+    if not isinstance(gate, dict):
+        if args.fleet:
+            print("bench_check: --fleet demanded but the fresh run "
+                  "carries no fleet_gate block: REGRESSION")
+            return False
+        print("bench_check: fresh run carries no fleet_gate block "
+              "(bench predates the model fleet); skipping")
+        return True
+
+    def g(key):
+        try:
+            return float(gate[key])
+        except (KeyError, TypeError, ValueError):
+            sys.stderr.write(f"bench_check: no fleet_gate.{key}\n")
+            sys.exit(2)
+
+    ratio = g("healthy_goodput_ratio")
+    ok = ratio >= args.min_fleet_goodput
+    print(f"bench_check: fleet healthy goodput ratio {ratio:.2f} "
+          f"(floor {args.min_fleet_goodput:.2f}, poisoned model "
+          f"{gate.get('poisoned_id', '?')}): "
+          f"{'OK' if ok else 'REGRESSION'}")
+
+    quarantined = g("poisoned_quarantined") > 0 and g("poisoned_trips") > 0
+    print(f"bench_check: fleet poisoned model quarantined "
+          f"(trips {g('poisoned_trips'):.0f}): "
+          f"{'OK' if quarantined else 'REGRESSION'}")
+    ok = ok and quarantined
+
+    recovered = g("poisoned_recovered") > 0
+    print(f"bench_check: fleet poisoned model recovered via half-open "
+          f"probe (final state {gate.get('poisoned_final_state', '?')}): "
+          f"{'OK' if recovered else 'REGRESSION'}")
+    ok = ok and recovered
+
+    checked = g("sentinel_checked")
+    mismatches = g("sentinel_mismatches")
+    exact = checked > 0 and mismatches == 0
+    print(f"bench_check: fleet bit-exactness sentinels "
+          f"{checked - mismatches:.0f}/{checked:.0f} exact "
+          f"(must be all, >0): {'OK' if exact else 'REGRESSION'}")
+    return ok and exact
+
+
 def check_serving(args):
     """Micro-batching must beat per-request serving at the same offered
     load, and must not regress against the committed record."""
@@ -257,6 +320,7 @@ def check_serving(args):
           f"({micro / per_request if per_request > 0 else 0:.2f}x, "
           f"must be >1): {verdict}")
     ok = check_overload(doc, args) and ok
+    ok = check_fleet(doc, args) and ok
 
     if not os.path.exists(args.serving_committed):
         print(f"bench_check: no committed serving baseline at "
@@ -317,6 +381,14 @@ def main():
                         "SCDCNN_BENCH_GOODPUT_MIN", "0.8")),
                     help="required 2.5x-vs-1.0x overload goodput ratio "
                          "(default 0.8)")
+    ap.add_argument("--fleet", action="store_true",
+                    help="require the fleet_gate block to be present "
+                         "(default: skip with a note when absent)")
+    ap.add_argument("--min-fleet-goodput", type=float,
+                    default=float(os.environ.get(
+                        "SCDCNN_BENCH_FLEET_GOODPUT_MIN", "0.8")),
+                    help="required healthy-model mixed-vs-solo goodput "
+                         "ratio in the fleet scenario (default 0.8)")
     args = ap.parse_args()
 
     if args.fresh is None and args.serving_fresh is None:
