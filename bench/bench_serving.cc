@@ -56,6 +56,9 @@
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "nn/topology.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "serve/artifact.h"
 #include "serve/fault_injection.h"
 #include "serve/model_registry.h"
@@ -66,12 +69,14 @@ using SteadyClock = std::chrono::steady_clock;
 
 namespace {
 
+/** Scenario walls are measured with obs::ScopedSpan (which reads its
+ *  clock whether or not tracing is armed), so when a traced run is
+ *  requested the same interval that produces the printed numbers
+ *  appears as a "scenario" span in the exported trace. */
 double
-msSince(SteadyClock::time_point t0)
+spanWallMs(obs::ScopedSpan &span)
 {
-    return std::chrono::duration<double, std::milli>(
-               SteadyClock::now() - t0)
-        .count();
+    return static_cast<double>(span.finish()) * 1e-6;
 }
 
 /** LeNet-5 with the output layer programmed to decisive +1/-1/0
@@ -196,6 +201,7 @@ runOpenLoop(const core::ScNetwork &net, const char *name,
 
     std::vector<std::future<serve::InferenceResult>> futs;
     futs.reserve(n);
+    obs::ScopedSpan wall_span(obs::SpanName::Scenario, 0, 0, n);
     const SteadyClock::time_point t0 = SteadyClock::now();
     double arrival_s = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -209,7 +215,7 @@ runOpenLoop(const core::ScNetwork &net, const char *name,
     }
     uint64_t ok = 0, ok_met = 0, failed = 0;
     settle(futs, ok, ok_met, failed);
-    const double wall = msSince(t0);
+    const double wall = spanWallMs(wall_span);
     server.drain();
 
     ScenarioResult r;
@@ -261,9 +267,15 @@ runOverload(const core::ScNetwork &net, const char *name,
             server.submit(nn::DigitDataset::render(i, 40 + i), urgent));
     settle(futs, ok, ok_met, failed);
 
-    // Phase 2: Poisson arrivals at the offered rate.
+    // Phase 2: Poisson arrivals at the offered rate. Every 8th
+    // request keeps the High class: mixed QoS is the normal serving
+    // regime, and the full-precision sliver walks every stream
+    // segment — so traced runs show the engine's per-segment phase
+    // spans at every depth, not only the first Progressive
+    // checkpoint.
     std::mt19937_64 rng(0xA221'7E57);
     std::exponential_distribution<double> gap(offered_ips);
+    obs::ScopedSpan wall_span(obs::SpanName::Scenario, 0, 0, n);
     const SteadyClock::time_point t0 = SteadyClock::now();
     double arrival_s = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -271,13 +283,16 @@ runOverload(const core::ScNetwork &net, const char *name,
         std::this_thread::sleep_until(
             t0 + std::chrono::duration_cast<SteadyClock::duration>(
                      std::chrono::duration<double>(arrival_s)));
+        serve::RequestOptions opts = ropts;
+        if (i % 8 == 0)
+            opts.accuracy = serve::AccuracyClass::High;
         futs.push_back(
             server.submit(nn::DigitDataset::render(i % 10, 100 + i),
-                          ropts));
+                          opts));
     }
     uint64_t p_ok = 0, p_ok_met = 0, p_failed = 0;
     settle(futs, p_ok, p_ok_met, p_failed);
-    const double wall = msSince(t0);
+    const double wall = spanWallMs(wall_span);
 
     // Phase 3: queue-full burst.
     serve::RequestOptions tight = ropts;
@@ -311,7 +326,7 @@ runClosedLoop(const core::ScNetwork &net, const char *name,
 {
     serve::InferenceServer server(net, scfg);
     std::atomic<size_t> next{0};
-    const SteadyClock::time_point t0 = SteadyClock::now();
+    obs::ScopedSpan wall_span(obs::SpanName::Scenario, 0, 0, n);
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (size_t c = 0; c < clients; ++c) {
@@ -329,7 +344,7 @@ runClosedLoop(const core::ScNetwork &net, const char *name,
     }
     for (auto &t : threads)
         t.join();
-    const double wall = msSince(t0);
+    const double wall = spanWallMs(wall_span);
 
     ScenarioResult r;
     r.name = name;
@@ -411,6 +426,7 @@ struct FleetOutcome
     bool poisoned_recovered = false;
     size_t sentinel_checked = 0;
     size_t sentinel_mismatches = 0;
+    size_t flight_dumps = 0; //!< postmortem dumps written by the run
 };
 
 /**
@@ -466,6 +482,10 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
     const size_t kSentinel = 2; // mlp: cheapest reference predict
 
     serve::FaultInjector faults;
+    // Postmortem hook: the breaker trips the poison window forces
+    // must each leave a flight-recorder dump next to the bench JSONs
+    // (fleet_gate carries the count for bench_check.py).
+    obs::FlightRecorder flight;
     serve::RegistryConfig rc;
     rc.server_template = setup.hardened;
     // Shorter batches than the single-model overload scenario: with
@@ -482,6 +502,7 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
     rc.breaker.trip_threshold = 0.5;
     rc.breaker.backoff = std::chrono::microseconds(60000);
     rc.breaker.probe_quota = 2;
+    rc.flight_recorder = &flight;
     serve::ModelRegistry reg(rc);
 
     const nn::Tensor calib_img = nn::DigitDataset::render(3, 7);
@@ -497,10 +518,10 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
         // Calibrate this model's own per-request capacity and set its
         // deadline in its own service times.
         m.ref->predict(calib_img, 1); // warm-up
-        const SteadyClock::time_point t0 = SteadyClock::now();
+        obs::ScopedSpan calib(obs::SpanName::Scenario);
         for (int i = 0; i < 2; ++i)
             m.ref->predict(calib_img, 2 + i);
-        m.fused_ms = msSince(t0) / 2.0;
+        m.fused_ms = spanWallMs(calib) / 2.0;
         m.offered_ips = out.offered_frac * 1000.0 / m.fused_ms;
         m.opts = setup.deadlined;
     }
@@ -591,6 +612,7 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
     std::vector<std::vector<TimedFuture>> futs(out.models.size());
     std::vector<Sentinel> sentinels;
     size_t poisoned_seen = 0;
+    obs::ScopedSpan mixed_span(obs::SpanName::Scenario);
     const SteadyClock::time_point t0 = SteadyClock::now();
     for (const Event &e : events) {
         std::this_thread::sleep_until(
@@ -663,7 +685,7 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
             ++failed[kSentinel];
         }
     }
-    out.mixed_wall_ms = msSince(t0);
+    out.mixed_wall_ms = spanWallMs(mixed_span);
 
     // Bit-exactness check against the reference engine, off the clock.
     const core::PredictOptions sentinel_popts =
@@ -725,6 +747,7 @@ runFleet(const ServingSetup &setup, size_t len, size_t n_fleet)
         if (out.healthy_ratio < 0 || ratio < out.healthy_ratio)
             out.healthy_ratio = ratio;
     }
+    out.flight_dumps = flight.dumpCount();
     return out;
 }
 
@@ -744,12 +767,13 @@ printFleet(const FleetOutcome &fleet)
                     static_cast<unsigned long long>(m.snap.faulted));
     }
     std::printf("  healthy goodput ratio %.2f  poisoned quarantined "
-                "%s, recovered %s  sentinel %zu/%zu bit-exact\n",
+                "%s, recovered %s  sentinel %zu/%zu bit-exact  "
+                "flight dumps %zu\n",
                 fleet.healthy_ratio,
                 fleet.poisoned_quarantined ? "yes" : "NO",
                 fleet.poisoned_recovered ? "yes" : "NO",
                 fleet.sentinel_checked - fleet.sentinel_mismatches,
-                fleet.sentinel_checked);
+                fleet.sentinel_checked, fleet.flight_dumps);
 }
 
 void
@@ -799,8 +823,9 @@ writeFleetJson(std::FILE *f, const FleetOutcome &fleet)
                  serve::modelStateName(fleet.models[0].snap.state));
     std::fprintf(f, "    \"sentinel_checked\": %zu,\n",
                  fleet.sentinel_checked);
-    std::fprintf(f, "    \"sentinel_mismatches\": %zu\n",
+    std::fprintf(f, "    \"sentinel_mismatches\": %zu,\n",
                  fleet.sentinel_mismatches);
+    std::fprintf(f, "    \"flight_dumps\": %zu\n", fleet.flight_dumps);
     std::fprintf(f, "  },\n");
 }
 
@@ -890,10 +915,10 @@ main()
     // loads, so "1.5x the per-request capacity" means the same thing
     // on every box.
     sc.predict(calib_img, 1); // warm-up
-    auto t0 = SteadyClock::now();
+    obs::ScopedSpan calib_span(obs::SpanName::Scenario);
     for (int r = 0; r < 3; ++r)
         sc.predict(calib_img, 2 + r);
-    const double fused_ms = msSince(t0) / 3.0;
+    const double fused_ms = spanWallMs(calib_span) / 3.0;
     const double capacity_ips = 1000.0 / fused_ms;
     std::printf("calibration: fused predict %.1f ms  (~%.1f ips "
                 "per-request capacity)\n\n",
@@ -953,10 +978,28 @@ main()
     over.push_back(runOverload(sc, "overload@1.0x", hardened, deadlined,
                                n, 1.0 * capacity_ips, /*burst=*/0));
     printScenario(over.back());
+    // SCDCNN_SERVE_TRACE=<path>: run the 2.5x overload scenario with
+    // tracing armed and export everything it recorded as a Chrome
+    // trace — the CI traced-burst step validates the file with
+    // tools/trace_check.py.
+    const char *trace_env = std::getenv("SCDCNN_SERVE_TRACE");
+    const bool tracing = trace_env != nullptr && *trace_env != '\0';
+    obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+    if (tracing) {
+        rec.clear(); // no writers yet: the previous server is gone
+        rec.arm();
+    }
     over.push_back(runOverload(sc, "overload@2.5x", hardened, deadlined,
                                n, 2.5 * capacity_ips,
                                /*burst=*/6 * hardened.limits
                                                  .max_queue_per_class));
+    if (tracing) {
+        rec.disarm();
+        if (obs::writeChromeTrace(trace_env))
+            std::printf("  wrote Chrome trace %s\n", trace_env);
+        else
+            std::fprintf(stderr, "cannot write trace %s\n", trace_env);
+    }
     printScenario(over.back());
     const double goodput_1x = over[0].goodput_ips;
     const double goodput_over = over[1].goodput_ips;

@@ -29,6 +29,7 @@
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "nn/topology.h"
+#include "obs/trace.h"
 #include "sc/simd.h"
 
 using namespace scdcnn;
@@ -65,17 +66,34 @@ struct PhaseMs
     double output = 0;
 };
 
+/** Read the per-phase totals out of the tracing aggregate the
+ *  engine's phase spans feed while armed — the same numbers an
+ *  exported Chrome trace of the run would show, so the table, the
+ *  JSON and the trace all come from one timing source
+ *  (tests/test_trace.cc pins this aggregate to the engine's own
+ *  PhaseBreakdown counters). */
 PhaseMs
-phaseMs(const core::PhaseBreakdown &p, size_t reps)
+phaseMs(const obs::TraceRecorder &rec, size_t reps)
 {
     const double scale = 1e-6 / static_cast<double>(reps);
     PhaseMs ms;
-    ms.encode = static_cast<double>(p.encode_ns.load()) * scale;
+    ms.encode = static_cast<double>(
+                    rec.profileTotalNs(obs::SpanName::Encode)) *
+                scale;
     ms.inner_product =
-        static_cast<double>(p.inner_product_ns.load()) * scale;
-    ms.pooling = static_cast<double>(p.pooling_ns.load()) * scale;
-    ms.activation = static_cast<double>(p.activation_ns.load()) * scale;
-    ms.output = static_cast<double>(p.output_ns.load()) * scale;
+        static_cast<double>(
+            rec.profileTotalNs(obs::SpanName::InnerProduct)) *
+        scale;
+    ms.pooling = static_cast<double>(
+                     rec.profileTotalNs(obs::SpanName::Pooling)) *
+                 scale;
+    ms.activation =
+        static_cast<double>(
+            rec.profileTotalNs(obs::SpanName::Activation)) *
+        scale;
+    ms.output = static_cast<double>(
+                    rec.profileTotalNs(obs::SpanName::Output)) *
+                scale;
     return ms;
 }
 
@@ -139,14 +157,21 @@ main()
     nn::Tensor img = nn::DigitDataset::render(3, 7);
 
     // --- single-image latency, both engine modes -------------------
+    // The per-phase breakdown comes from the tracing aggregate (armed
+    // around the timed reps) rather than a private PhaseBreakdown;
+    // cost-wise this is the same as the old profiled run — the phase
+    // clocks were already on — plus one ring write per phase span.
+    obs::TraceRecorder &rec = obs::TraceRecorder::instance();
     sc_net.setEngineMode(core::EngineMode::Fused);
     sc_net.predict(img, 1); // warm-up
-    core::PhaseBreakdown phases;
+    rec.resetProfile();
+    rec.arm();
     auto t0 = std::chrono::steady_clock::now();
     for (size_t r = 0; r < fused_reps; ++r)
-        sc_net.predict(img, 2 + r, &phases);
+        sc_net.predict(img, 2 + r);
     const double fused_ms = msSince(t0) / static_cast<double>(fused_reps);
-    const PhaseMs fused_phases = phaseMs(phases, fused_reps);
+    rec.disarm();
+    const PhaseMs fused_phases = phaseMs(rec, fused_reps);
 
     sc_net.setEngineMode(core::EngineMode::Reference);
     t0 = std::chrono::steady_clock::now();
@@ -207,6 +232,46 @@ main()
                 prog_avg_bits, len);
     std::printf("    %-26s %9zu/%zu\n\n", "early exits", prog_exits,
                 fused_reps);
+
+    // --- tracing overhead ------------------------------------------
+    // Alternate disarmed and armed fused predicts in adjacent pairs
+    // and take the *minimum per-pair ratio*: a real regression in the
+    // armed path (a lock, an allocation, a syscall in an emitter)
+    // taxes every armed rep, so it survives the min, while one-sided
+    // scheduler/frequency noise — which would make a best-of-each-side
+    // comparison flap around the gate — does not. Pairing keeps the
+    // two sides of each ratio adjacent in time so drift cancels.
+    // bench_check.py gates the ratio (<= 3% by default) so the armed
+    // tracer can never quietly become a tax on the serving path.
+    const size_t ov_reps =
+        std::max<size_t>(3, bench::envSize("SCDCNN_BENCH_TRACE_REPS", 5));
+    double disarmed_best = 0.0, armed_best = 0.0;
+    double pair_ratio_min = 0.0;
+    for (size_t r = 0; r < ov_reps; ++r) {
+        t0 = std::chrono::steady_clock::now();
+        sc_net.predict(img, 500 + 2 * r);
+        const double off_ms = msSince(t0);
+        rec.arm();
+        t0 = std::chrono::steady_clock::now();
+        sc_net.predict(img, 501 + 2 * r);
+        const double on_ms = msSince(t0);
+        rec.disarm();
+        if (r == 0 || off_ms < disarmed_best)
+            disarmed_best = off_ms;
+        if (r == 0 || on_ms < armed_best)
+            armed_best = on_ms;
+        const double ratio = off_ms > 0 ? on_ms / off_ms : 1.0;
+        if (r == 0 || ratio < pair_ratio_min)
+            pair_ratio_min = ratio;
+    }
+    const double trace_overhead = pair_ratio_min - 1.0;
+    std::printf("  tracing overhead (armed vs disarmed fused predict, "
+                "min pair ratio of %zu):\n",
+                ov_reps);
+    std::printf("    %-26s %10.1f ms\n", "disarmed (best)", disarmed_best);
+    std::printf("    %-26s %10.1f ms\n", "armed (best)", armed_best);
+    std::printf("    %-26s %+9.2f%%\n\n", "overhead",
+                100.0 * trace_overhead);
 
     // --- batched throughput across thread counts -------------------
     std::vector<nn::Tensor> images;
@@ -371,6 +436,12 @@ main()
     std::fprintf(f, "      \"early_exits\": %zu,\n", prog_exits);
     std::fprintf(f, "      \"reps\": %zu\n", fused_reps);
     std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"trace_overhead\": {\n");
+    std::fprintf(f, "    \"reps\": %zu,\n", ov_reps);
+    std::fprintf(f, "    \"disarmed_ms\": %.3f,\n", disarmed_best);
+    std::fprintf(f, "    \"armed_ms\": %.3f,\n", armed_best);
+    std::fprintf(f, "    \"overhead_frac\": %.4f\n", trace_overhead);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"batch\": {\n");
     std::fprintf(f, "    \"images\": %zu,\n", batch_images);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace scdcnn {
 
 namespace {
@@ -147,6 +149,9 @@ void
 ThreadPool::workerLoop()
 {
     tls_in_worker = true;
+    // Name this thread's trace ring up front (allocates; never on the
+    // job hot path) so exported traces label pool workers.
+    obs::TraceRecorder::instance().labelThisThread("pool-worker");
     for (;;) {
         std::function<void()> job;
         {

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "nn/quantize.h"
+#include "obs/trace.h"
 #include "sc/btanh.h"
 #include "sc/fused.h"
 #include "sc/sng.h"
@@ -56,14 +57,34 @@ struct PhaseTimer
     uint64_t activation = 0;
 };
 
+/**
+ * Chunk flush: the same accumulated lap durations feed both the
+ * caller's PhaseBreakdown and (when tracing is armed) per-segment
+ * engine phase spans — one measurement, two consumers, so
+ * bench_throughput's phase table and the trace profile agree by
+ * construction. Spans are end-anchored at the recorder's clock with
+ * the segment's first word as the "seg" argument.
+ */
 void
-flushPhases(PhaseBreakdown *profile, const PhaseTimer &t)
+flushPhases(PhaseBreakdown *profile, const PhaseTimer &t,
+            size_t seg_w0)
 {
-    if (profile == nullptr)
-        return;
-    profile->inner_product_ns += t.inner_product;
-    profile->pooling_ns += t.pooling;
-    profile->activation_ns += t.activation;
+    if (profile != nullptr) {
+        profile->inner_product_ns += t.inner_product;
+        profile->pooling_ns += t.pooling;
+        profile->activation_ns += t.activation;
+    }
+    if (obs::armed()) {
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        const uint64_t end = rec.nowNs();
+        const auto span = [&](obs::SpanName name, uint64_t dur) {
+            if (dur > 0)
+                rec.spanComplete(name, end - dur, dur, 0, 0, seg_w0);
+        };
+        span(obs::SpanName::InnerProduct, t.inner_product);
+        span(obs::SpanName::Pooling, t.pooling);
+        span(obs::SpanName::Activation, t.activation);
+    }
 }
 
 /**
@@ -284,11 +305,19 @@ ScNetwork::encodeImage(const nn::Tensor &image, uint64_t seed,
         // the same function the float network was trained on.
         grid.arena.assign(i, bank.bipolar(image[i], cfg_.bitstream_len));
     }
+    // One measured duration feeds both the profile and the trace.
+    const auto encode_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - t0)
+            .count());
     if (profile != nullptr)
-        profile->encode_ns += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - t0)
-                .count());
+        profile->encode_ns += encode_ns;
+    if (obs::armed()) {
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        const uint64_t end = rec.nowNs();
+        rec.spanComplete(obs::SpanName::Encode, end - encode_ns,
+                         encode_ns);
+    }
     return grid;
 }
 
@@ -390,7 +419,7 @@ ScNetwork::runConvLayerSegment(const StreamGrid &in,
             seg_stream.resize(seg_words);
         }
         sc::Bitstream pooled_stream;
-        PhaseTimer timer(profile != nullptr);
+        PhaseTimer timer(profile != nullptr || obs::armed());
         for (size_t item = lo; item < hi; ++item) {
             const size_t g = item / positions;
             const size_t q = item % positions;
@@ -577,7 +606,7 @@ ScNetwork::runConvLayerSegment(const StreamGrid &in,
                 timer.lap(timer.activation);
             }
         }
-        flushPhases(profile, timer);
+        flushPhases(profile, timer, seg.w0);
     });
 }
 
@@ -637,7 +666,7 @@ ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
         std::vector<uint64_t> product_block;
         if (!use_apc)
             product_block.resize(sc::kFilterLanes * seg_words);
-        PhaseTimer timer(profile != nullptr);
+        PhaseTimer timer(profile != nullptr || obs::armed());
         for (size_t g = lo; g < hi; ++g) {
             const sc::WeightBlockView block = weights.blocked.block(g);
             timer.start();
@@ -700,7 +729,7 @@ ScNetwork::runFcLayerSegment(const std::vector<sc::BitstreamView> &in,
                 timer.lap(timer.activation);
             }
         }
-        flushPhases(profile, timer);
+        flushPhases(profile, timer, seg.w0);
     });
 }
 
@@ -734,11 +763,18 @@ ScNetwork::runOutputSegment(const std::vector<sc::BitstreamView> &in,
                                                 run.acc[o]);
     }
     run.consumed += seg.n_cycles;
+    const auto output_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - t0)
+            .count());
     if (profile != nullptr)
-        profile->output_ns += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - t0)
-                .count());
+        profile->output_ns += output_ns;
+    if (obs::armed()) {
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        const uint64_t end = rec.nowNs();
+        rec.spanComplete(obs::SpanName::Output, end - output_ns,
+                         output_ns, 0, 0, seg.w0);
+    }
 }
 
 ScNetwork::BatchStreamGrid
@@ -1354,6 +1390,7 @@ ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
         // bit-identical to a run without the cancellation.
         if (seg.w1 < n_words &&
             (mode == EngineMode::Progressive || poll_cancel)) {
+            const size_t before = active.size();
             size_t kept = 0;
             for (size_t j = 0; j < active.size(); ++j) {
                 const uint32_t img = active[j];
@@ -1384,12 +1421,20 @@ ScNetwork::forwardBatchFused(const std::vector<nn::Tensor> &images,
                         static_cast<double>(out.consumed[img]);
                     exit_now = margin >= opts.progressive_margin;
                 }
-                if (exit_now)
+                if (exit_now) {
                     exited[img] = 1;
-                else
+                    if (obs::armed())
+                        obs::TraceRecorder::instance().instant(
+                            obs::SpanName::EarlyExit, 0, 0,
+                            out.consumed[img], seg.w1);
+                } else {
                     active[kept++] = img;
+                }
             }
             active.resize(kept);
+            if (kept < before && obs::armed())
+                obs::TraceRecorder::instance().instant(
+                    obs::SpanName::BatchCompact, 0, 0, kept, before);
         }
     }
 
@@ -1542,6 +1587,10 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
                 (static_cast<double>(best) - static_cast<double>(second)) /
                 static_cast<double>(out.consumed);
             early_exit = margin >= opts.progressive_margin;
+            if (early_exit && obs::armed())
+                obs::TraceRecorder::instance().instant(
+                    obs::SpanName::EarlyExit, 0, 0, out.consumed,
+                    seg.w1);
         }
     }
 

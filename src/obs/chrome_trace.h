@@ -1,0 +1,27 @@
+// Chrome trace_event exporter: renders TraceRecorder events as the
+// JSON Object Format understood by chrome://tracing and Perfetto.
+#ifndef SCDCNN_OBS_CHROME_TRACE_H
+#define SCDCNN_OBS_CHROME_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace scdcnn::obs {
+
+// Renders events (as returned by TraceRecorder::snapshot*) to a
+// complete Chrome trace JSON document. Thread labels and interned
+// tags are resolved through the process TraceRecorder.
+std::string chromeTraceJson(const std::vector<Event> &events);
+
+// chromeTraceJson + write to `path`; false on I/O failure.
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<Event> &events);
+
+// Convenience: snapshot the recorder and write everything.
+bool writeChromeTrace(const std::string &path);
+
+} // namespace scdcnn::obs
+
+#endif // SCDCNN_OBS_CHROME_TRACE_H

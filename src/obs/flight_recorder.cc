@@ -1,0 +1,92 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/chrome_trace.h"
+
+namespace scdcnn::obs {
+
+namespace {
+
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    return out.empty() ? std::string("unknown") : out;
+}
+
+// Process-wide dump sequence number: two trips in the same
+// nanosecond (manual test clocks make that real) still get distinct
+// file names.
+std::atomic<uint64_t> g_dump_seq{0};
+
+} // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    if (cfg_.dir.empty())
+        cfg_.dir.push_back('.');
+    if (cfg_.max_events == 0)
+        cfg_.max_events = 1;
+}
+
+FlightDump
+FlightRecorder::dump(const std::string &reason,
+                     const std::string &model_id, uint16_t tag)
+{
+    TraceRecorder &rec = TraceRecorder::instance();
+    std::vector<Event> events = rec.snapshotTagged(tag);
+    if (events.size() > cfg_.max_events)
+        events.erase(events.begin(),
+                     events.end() -
+                         static_cast<ptrdiff_t>(cfg_.max_events));
+
+    FlightDump d;
+    d.reason = reason;
+    d.model_id = model_id;
+    d.n_events = events.size();
+    char name[256];
+    std::snprintf(name, sizeof(name),
+                  "flight_%s_%s_%" PRIu64 "_%" PRIu64 ".json",
+                  sanitize(model_id).c_str(),
+                  sanitize(reason).c_str(), rec.nowNs(),
+                  g_dump_seq.fetch_add(1));
+    d.path = cfg_.dir + "/" + name;
+    d.written = writeChromeTrace(d.path, events);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    dumps_.push_back(d);
+    return d;
+}
+
+std::vector<FlightDump>
+FlightRecorder::dumps() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dumps_;
+}
+
+size_t
+FlightRecorder::dumpCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dumps_.size();
+}
+
+std::string
+FlightRecorder::lastPath() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dumps_.empty() ? std::string() : dumps_.back().path;
+}
+
+} // namespace scdcnn::obs

@@ -1,0 +1,61 @@
+// Flight recorder: on a quarantine-worthy event (breaker trip, failed
+// hot-swap, artifact-load failure) dump the last N trace events for
+// the affected model to a timestamped Chrome-trace JSON file, so
+// postmortems are self-serve instead of "wish we had been tracing".
+#ifndef SCDCNN_OBS_FLIGHT_RECORDER_H
+#define SCDCNN_OBS_FLIGHT_RECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace scdcnn::obs {
+
+struct FlightRecorderConfig
+{
+    // Directory dump files are written to ("." by default).
+    std::string dir = ".";
+    // Keep at most this many trailing events per dump.
+    size_t max_events = 512;
+};
+
+struct FlightDump
+{
+    std::string path;
+    std::string reason;
+    std::string model_id;
+    size_t n_events = 0;
+    bool written = false; // false: I/O failed, dump recorded anyway
+};
+
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightRecorderConfig cfg = {});
+
+    // Snapshot the recorder's rings filtered to `tag` (events tagged
+    // for this model plus untagged ones), keep the trailing
+    // cfg.max_events, and write them as Chrome-trace JSON to
+    // <dir>/flight_<model>_<reason>_<seq>.json. Never throws; I/O
+    // failure is recorded in the returned FlightDump.
+    FlightDump dump(const std::string &reason,
+                    const std::string &model_id, uint16_t tag);
+
+    // Dumps taken so far (oldest first).
+    std::vector<FlightDump> dumps() const;
+    size_t dumpCount() const;
+    std::string lastPath() const;
+
+  private:
+    FlightRecorderConfig cfg_;
+    mutable std::mutex mu_;
+    std::vector<FlightDump> dumps_;
+};
+
+} // namespace scdcnn::obs
+
+#endif // SCDCNN_OBS_FLIGHT_RECORDER_H

@@ -209,6 +209,7 @@ ServerMetrics::snapshot() const
             close_reasons_[i].load(std::memory_order_relaxed);
     s.total_latency = total_latency_.stats();
     s.queue_latency = queue_latency_.stats();
+    s.phase_profile = obs::TraceRecorder::instance().profile();
     return s;
 }
 
@@ -263,6 +264,7 @@ std::string
 MetricsSnapshot::toJson() const
 {
     std::string out = "{";
+    appendf(out, "\"schema_version\": %u, ", kSchemaVersion);
     appendf(out,
             "\"submitted\": %llu, \"completed\": %llu, "
             "\"good_completed\": %llu, \"rejected\": %llu, "
@@ -302,18 +304,34 @@ MetricsSnapshot::toJson() const
             static_cast<unsigned long long>(max_effective_bits_spread));
     appendLatency(out, "latency", total_latency);
     out += ", ";
-    appendLatency(out, "queue", queue_latency);
+    // v2: queue-wait (admit -> batch close) as its own histogram
+    // under its own name — the same per-request duration the tracer
+    // emits as queue_wait spans, so metrics and traces tell one story.
+    appendLatency(out, "queue_wait", queue_latency);
     out += ", ";
     appendCounts(out, "batch_sizes", batch_size_counts);
     out += ", ";
     appendCounts(out, "queue_depths", queue_depth_counts);
     appendf(out,
             ", \"close_reasons\": {\"full\": %llu, \"delay\": %llu, "
-            "\"expedited\": %llu, \"drain\": %llu}}",
+            "\"expedited\": %llu, \"drain\": %llu}",
             static_cast<unsigned long long>(close_reasons[0]),
             static_cast<unsigned long long>(close_reasons[1]),
             static_cast<unsigned long long>(close_reasons[2]),
             static_cast<unsigned long long>(close_reasons[3]));
+    out += ", \"phase_profile\": {";
+    for (size_t i = 0; i < phase_profile.size(); ++i) {
+        const obs::PhaseProfileEntry &p = phase_profile[i];
+        appendf(out,
+                "%s\"%s\": {\"count\": %llu, \"total_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"max_ms\": %.3f}",
+                i > 0 ? ", " : "", obs::spanName(p.name),
+                static_cast<unsigned long long>(p.count),
+                static_cast<double>(p.total_ns) * 1e-6,
+                static_cast<double>(p.p99_ns) * 1e-6,
+                static_cast<double>(p.max_ns) * 1e-6);
+    }
+    out += "}}";
     return out;
 }
 

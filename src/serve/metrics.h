@@ -15,7 +15,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/trace.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 
@@ -61,6 +63,13 @@ class LatencyHistogram
 /** Point-in-time fold of all serving counters. */
 struct MetricsSnapshot
 {
+    /** toJson() schema version, bumped on any rename or semantic
+     *  change of an existing field (additions don't bump it).
+     *  v2: "queue" histogram renamed "queue_wait" (admit -> batch
+     *  close, the same duration traces report as queue_wait spans);
+     *  schema_version and phase_profile added. */
+    static constexpr uint32_t kSchemaVersion = 2;
+
     uint64_t submitted = 0;
     uint64_t completed = 0;
     /** Completed with their deadline met (undeadlined requests always
@@ -101,6 +110,11 @@ struct MetricsSnapshot
     /** deepest queue observed at any batch close — with bounded
      *  admission this stays under classes * max_queue_per_class. */
     uint64_t max_queue_depth = 0;
+
+    /** Process-wide tracing aggregate (count/total/max/p99 per span
+     *  kind) captured from obs::TraceRecorder at snapshot time; empty
+     *  unless tracing has been armed. */
+    std::vector<obs::PhaseProfileEntry> phase_profile;
 
     /** Render as a JSON object string. */
     std::string toJson() const;

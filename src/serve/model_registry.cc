@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace scdcnn {
 namespace serve {
@@ -199,6 +201,8 @@ ModelRegistry::getOrCreate(const std::string &id)
     auto &slot = entries_[id];
     if (slot == nullptr) {
         slot = std::make_unique<Entry>();
+        slot->id = id;
+        slot->trace_tag = obs::TraceRecorder::instance().internTag(id);
         slot->breaker =
             std::make_unique<CircuitBreaker>(cfg_.breaker, clock_);
     }
@@ -214,8 +218,16 @@ ModelRegistry::failedFuture(ServeErrorCode code, const char *what)
 }
 
 void
+ModelRegistry::flightDump(Entry &e, const char *reason)
+{
+    if (cfg_.flight_recorder != nullptr)
+        cfg_.flight_recorder->dump(reason, e.id, e.trace_tag);
+}
+
+void
 ModelRegistry::feedBreaker(Entry &e, const RequestOutcome &outcome)
 {
+    const uint64_t trips_before = e.breaker->trips();
     // Health signal: completions count for the model, sheds and
     // injected execution faults against it. Admission refusals and
     // cancellations are registry/caller behaviour, not model health —
@@ -245,6 +257,11 @@ ModelRegistry::feedBreaker(Entry &e, const RequestOutcome &outcome)
             e.breaker->onProbeAbandoned();
         break;
     }
+    // A quarantine event is exactly when a postmortem wants the
+    // recent per-model trace: dump it while the evidence is still in
+    // the rings. (The success path above cannot trip.)
+    if (e.breaker->trips() > trips_before)
+        flightDump(e, "breaker_trip");
 }
 
 InstallResult
@@ -259,8 +276,11 @@ ModelRegistry::install(const std::string &id, const std::string &path)
         // Surface the load failure on an existing entry (or record it
         // on a fresh one) so snapshots carry the quarantine reason.
         Entry &e = getOrCreate(id);
-        std::lock_guard<std::mutex> lk(e.mu);
-        e.last_error = res.diagnostic;
+        {
+            std::lock_guard<std::mutex> lk(e.mu);
+            e.last_error = res.diagnostic;
+        }
+        flightDump(e, "artifact_load_failed");
         return res;
     }
     return install(id, artifact);
@@ -281,14 +301,18 @@ ModelRegistry::install(const std::string &id,
     const nn::LoadResult r = instantiate(artifact, &net);
     if (!r.ok()) {
         res.diagnostic = r.message();
-        std::lock_guard<std::mutex> lk(e.mu);
-        e.last_error = res.diagnostic;
+        {
+            std::lock_guard<std::mutex> lk(e.mu);
+            e.last_error = res.diagnostic;
+        }
+        flightDump(e, "swap_failed");
         return res;
     }
     auto serving = std::make_shared<Serving>(net, artifact.config,
                                              artifact.version);
     ServerConfig scfg = cfg_.server_template;
     scfg.faults = nullptr; // registry fires its own fault points
+    scfg.trace_tag = e.trace_tag;
     Entry *eptr = &e;
     scfg.outcome_hook = [this, eptr](const RequestOutcome &o) {
         feedBreaker(*eptr, o);
@@ -311,8 +335,11 @@ ModelRegistry::install(const std::string &id,
         cfg_.faults->fire(FaultPoint::SwapInstall)) {
         serving->server->shutdown();
         res.diagnostic = "injected crash between load and swap";
-        std::lock_guard<std::mutex> lk(e.mu);
-        e.last_error = res.diagnostic;
+        {
+            std::lock_guard<std::mutex> lk(e.mu);
+            e.last_error = res.diagnostic;
+        }
+        flightDump(e, "swap_failed");
         return res;
     }
 
@@ -402,10 +429,17 @@ ModelRegistry::submit(const std::string &id, nn::Tensor image,
     if (cfg_.faults != nullptr &&
         cfg_.faults->fire(FaultPoint::ModelExecute)) {
         e->faulted.fetch_add(1, std::memory_order_relaxed);
+        if (obs::armed())
+            obs::TraceRecorder::instance().instant(
+                obs::SpanName::Fault, e->trace_tag, 0,
+                static_cast<uint64_t>(FaultPoint::ModelExecute));
+        const uint64_t trips_before = e->breaker->trips();
         if (gate == CircuitBreaker::Gate::Probe)
             e->breaker->onProbeResult(false);
         else
             e->breaker->onOutcome(false);
+        if (e->breaker->trips() > trips_before)
+            flightDump(*e, "breaker_trip");
         return failedFuture(ServeErrorCode::ModelUnavailable,
                             "injected model execution fault");
     }

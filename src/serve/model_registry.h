@@ -39,6 +39,11 @@
 #include "serve/server.h"
 
 namespace scdcnn {
+
+namespace obs {
+class FlightRecorder;
+}
+
 namespace serve {
 
 /** Circuit-breaker policy knobs. */
@@ -175,6 +180,12 @@ struct RegistryConfig
      *  is swapped in, so the first real request never pays one-time
      *  construction costs. */
     bool warm_on_install = true;
+
+    /** Postmortem hook (null: off): on a breaker trip, a failed
+     *  hot-swap, or an artifact-load failure the registry dumps the
+     *  model's recent trace events through this recorder. Must
+     *  outlive the registry. */
+    obs::FlightRecorder *flight_recorder = nullptr;
 };
 
 /** Outcome of install(): the diagnostic is a LoadResult message or a
@@ -294,6 +305,8 @@ class ModelRegistry
     struct Entry
     {
         mutable std::mutex mu; //!< guards serving/base/last_error
+        std::string id;        //!< immutable after getOrCreate
+        uint16_t trace_tag = 0; //!< interned model id (immutable)
         std::shared_ptr<Serving> serving;
         ModelState base = ModelState::Loading;
         std::unique_ptr<CircuitBreaker> breaker;
@@ -307,6 +320,8 @@ class ModelRegistry
     Entry *find(const std::string &id) const;
     Entry &getOrCreate(const std::string &id);
     void feedBreaker(Entry &e, const RequestOutcome &outcome);
+    /** Flight-recorder dump for @p e (no-op without a recorder). */
+    void flightDump(Entry &e, const char *reason);
     static std::future<InferenceResult>
     failedFuture(ServeErrorCode code, const char *what);
     ModelSnapshot snapshotEntry(const std::string &id,

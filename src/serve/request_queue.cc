@@ -1,6 +1,7 @@
 #include "serve/request_queue.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace scdcnn {
 namespace serve {
@@ -32,6 +33,9 @@ RequestQueue::push(PendingRequest &&req)
         scheduler_.push(req.id, req.opts.accuracy, req.submitted,
                         req.deadline);
         payload_.emplace(req.id, std::move(req));
+        if (obs::armed())
+            obs::TraceRecorder::instance().counter(
+                obs::SpanName::QueueDepth, scheduler_.depth());
     }
     cv_.notify_all();
     return AdmitResult::Accepted;

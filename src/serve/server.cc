@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace scdcnn {
 namespace serve {
@@ -16,6 +17,15 @@ double
 toMs(ClockSource::Duration d)
 {
     return std::chrono::duration<double, std::milli>(d).count();
+}
+
+uint64_t
+toTraceNs(ClockSource::Duration d)
+{
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+            .count();
+    return ns > 0 ? static_cast<uint64_t>(ns) : 0;
 }
 
 } // namespace
@@ -87,6 +97,10 @@ InferenceServer::submitImpl(nn::Tensor image, RequestOptions opts,
                    ? *opts.seed
                    : cfg_.base_seed + req.id * 7919;
     req.submitted = clock_->now();
+    if (obs::armed())
+        obs::TraceRecorder::instance().asyncBegin(
+            obs::SpanName::Request, req.id, cfg_.trace_tag,
+            static_cast<uint16_t>(opts.accuracy), req.id);
     if (opts.deadline.count() > 0) {
         req.deadline = req.submitted + opts.deadline;
         if (cfg_.cancel_on_deadline && token == nullptr)
@@ -128,6 +142,19 @@ InferenceServer::failRequest(PendingRequest &req, ServeErrorCode code,
         metrics_.recordShed();
     else if (code == ServeErrorCode::Cancelled)
         metrics_.recordCancelled();
+    if (obs::armed()) {
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        const obs::SpanName why =
+            code == ServeErrorCode::Shed ? obs::SpanName::Shed
+            : code == ServeErrorCode::Cancelled
+                ? obs::SpanName::Cancelled
+                : obs::SpanName::Rejected;
+        rec.instant(why, cfg_.trace_tag,
+                    static_cast<uint16_t>(code), req.id);
+        rec.asyncEnd(obs::SpanName::Request, req.id, cfg_.trace_tag,
+                     static_cast<uint16_t>(req.opts.accuracy), req.id,
+                     0);
+    }
     // Hook before resolving the promise: a caller that observes the
     // failed future then sees breaker state that already reflects it.
     if (cfg_.outcome_hook) {
@@ -150,6 +177,7 @@ InferenceServer::failRequest(PendingRequest &req, ServeErrorCode code,
 void
 InferenceServer::workerLoop()
 {
+    obs::TraceRecorder::instance().labelThisThread("batch-worker");
     for (;;) {
         PopOutcome out = queue_.popBatch();
         // Doomed requests swept from the queue: their deadline is
@@ -175,6 +203,27 @@ InferenceServer::runBatch(ClosedBatch &&batch)
 {
     const size_t n = batch.items.size();
     metrics_.recordBatch(n, batch.depth_after, batch.reason);
+    if (obs::armed()) {
+        // The batch-close instant plus one queue-wait span per item.
+        // Queue waits are measured on the server's injected clock
+        // (admit -> close, the same duration recordResult later folds
+        // into the queue_wait histogram) but end-anchored at the
+        // recorder's clock, so they render correctly even under a
+        // manual test clock.
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        rec.instant(obs::SpanName::BatchClose, cfg_.trace_tag,
+                    static_cast<uint16_t>(batch.reason), n,
+                    batch.depth_after);
+        const uint64_t end = rec.nowNs();
+        for (const PendingRequest &item : batch.items) {
+            const uint64_t wait_ns =
+                toTraceNs(batch.closed_at - item.submitted);
+            rec.spanComplete(obs::SpanName::QueueWait,
+                             end - wait_ns, wait_ns, cfg_.trace_tag,
+                             static_cast<uint16_t>(item.opts.accuracy),
+                             item.id);
+        }
+    }
     const QosPolicy &policy = cfg_.qos[static_cast<size_t>(batch.cls)];
     const core::PredictOptions popts = policy.predictOptions();
 
@@ -237,6 +286,14 @@ InferenceServer::runBatch(ClosedBatch &&batch)
     metrics_.recordBatchExecution(
         core::ScNetwork::batchKernelEligible(popts, n_run),
         bits_hi - bits_lo);
+    if (obs::armed()) {
+        obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+        const uint64_t dur_ns = toTraceNs(t1 - t0);
+        rec.spanComplete(obs::SpanName::BatchCompute,
+                         rec.nowNs() - dur_ns, dur_ns, cfg_.trace_tag,
+                         static_cast<uint16_t>(batch.cls), n_run,
+                         bits_hi);
+    }
 
     // Feed the measured per-image service time back into the
     // scheduler's deadline-urgency estimate (EWMA smooths batch-size
@@ -286,6 +343,11 @@ InferenceServer::runBatch(ClosedBatch &&batch)
             o.accuracy = item.opts.accuracy;
             cfg_.outcome_hook(o);
         }
+        if (obs::armed())
+            obs::TraceRecorder::instance().asyncEnd(
+                obs::SpanName::Request, item.id, cfg_.trace_tag,
+                static_cast<uint16_t>(item.opts.accuracy), item.id,
+                r.effective_bits);
         item.promise.set_value(std::move(r));
         ++delivered;
     }

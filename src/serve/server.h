@@ -59,6 +59,12 @@ struct ServerConfig
      *  with an explicit RequestOptions::seed bypass it). */
     uint64_t base_seed = 0x5EED;
 
+    /** Trace tag (obs::TraceRecorder::internTag) stamped on every
+     *  event this server emits — the registry interns each model id
+     *  so traces and flight-recorder dumps can be filtered per model.
+     *  0 leaves events untagged. */
+    uint16_t trace_tag = 0;
+
     /**
      * Arm every deadlined request's cancellation token against its
      * absolute deadline: an in-flight prediction then stops burning

@@ -162,6 +162,31 @@ def check_batch(fresh_doc, committed_doc, args):
     return ok
 
 
+def check_trace_overhead(doc, args):
+    """Armed-tracing overhead gate, absolute (no committed history
+    needed): the bench alternates disarmed and armed fused predicts
+    and reports best-of-reps on each side; the armed side must stay
+    within --max-trace-overhead (default 3%) of the disarmed one, so
+    arming the tracer never quietly becomes a tax on the serving
+    path."""
+    block = doc.get("trace_overhead")
+    if not isinstance(block, dict):
+        print("bench_check: fresh run carries no trace_overhead block "
+              "(bench predates the tracing subsystem); skipping")
+        return True
+    try:
+        frac = float(block["overhead_frac"])
+    except (KeyError, TypeError, ValueError):
+        sys.stderr.write(
+            "bench_check: no trace_overhead.overhead_frac\n")
+        sys.exit(2)
+    ok = frac <= args.max_trace_overhead
+    print(f"bench_check: armed-tracing overhead {100.0 * frac:+.2f}% "
+          f"(limit {100.0 * args.max_trace_overhead:.2f}%): "
+          f"{'OK' if ok else 'REGRESSION'}")
+    return ok
+
+
 def check_throughput(args):
     """Fused single-image latency vs the committed record."""
     if not os.path.exists(args.fresh):
@@ -171,8 +196,10 @@ def check_throughput(args):
     if not os.path.exists(args.committed):
         print(f"bench_check: no committed baseline at {args.committed}; "
               "nothing to compare")
-        # The batch gate is absolute, so it holds even with no history.
-        return check_batch(fresh_doc, {}, args)
+        # The batch/tracing gates are absolute, so they hold even with
+        # no history.
+        ok = check_batch(fresh_doc, {}, args)
+        return check_trace_overhead(fresh_doc, args) and ok
 
     committed_doc = load(args.committed)
     fresh = field(fresh_doc, ("single_image", "fused_ms"), args.fresh)
@@ -189,7 +216,8 @@ def check_throughput(args):
     print(f"bench_check: fused single-image {committed:.1f} ms -> "
           f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
     ok = check_topologies(fresh_doc, committed_doc, args) and ok
-    return check_batch(fresh_doc, committed_doc, args) and ok
+    ok = check_batch(fresh_doc, committed_doc, args) and ok
+    return check_trace_overhead(fresh_doc, args) and ok
 
 
 def check_overload(doc, args):
@@ -297,7 +325,19 @@ def check_fleet(doc, args):
     print(f"bench_check: fleet bit-exactness sentinels "
           f"{checked - mismatches:.0f}/{checked:.0f} exact "
           f"(must be all, >0): {'OK' if exact else 'REGRESSION'}")
-    return ok and exact
+    ok = ok and exact
+
+    if "flight_dumps" in gate:
+        dumps = g("flight_dumps")
+        d_ok = dumps > 0
+        print(f"bench_check: fleet flight-recorder dumps {dumps:.0f} "
+              f"(must be >0 — a breaker trip must leave a postmortem): "
+              f"{'OK' if d_ok else 'REGRESSION'}")
+        ok = ok and d_ok
+    else:
+        print("bench_check: fleet_gate carries no flight_dumps count "
+              "(bench predates the flight recorder); skipping")
+    return ok
 
 
 def check_serving(args):
@@ -376,6 +416,11 @@ def main():
                         "SCDCNN_BENCH_BATCH_MIN", "1.5")),
                     help="required lenet5 batch-vs-single ips ratio "
                          "(default 1.5)")
+    ap.add_argument("--max-trace-overhead", type=float,
+                    default=float(os.environ.get(
+                        "SCDCNN_BENCH_TRACE_MAX", "0.03")),
+                    help="allowed armed-vs-disarmed tracing overhead "
+                         "fraction (default 0.03)")
     ap.add_argument("--min-goodput-ratio", type=float,
                     default=float(os.environ.get(
                         "SCDCNN_BENCH_GOODPUT_MIN", "0.8")),
