@@ -29,6 +29,7 @@
 #include "nn/dataset.h"
 #include "nn/network.h"
 #include "nn/topology.h"
+#include "nn/trainer.h"
 #include "obs/trace.h"
 #include "sc/simd.h"
 
@@ -206,6 +207,56 @@ main()
         static_cast<double>(prog_bits) / static_cast<double>(fused_reps);
     sc_net.setEngineMode(core::EngineMode::Fused);
 
+    // Binary XNOR-popcount sibling backend: one deterministic pass at
+    // stream length 1, no sampling — far cheaper per image than any
+    // SC mode, so it needs many more reps for a stable clock.
+    core::PredictOptions binary_opts;
+    binary_opts.mode = core::EngineMode::Binary;
+    const size_t binary_reps = fused_reps * 100;
+    sc_net.predictWith(img, 1, binary_opts, nullptr, nullptr); // warm-up
+    t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < binary_reps; ++r)
+        sc_net.predictWith(img, 2 + r, binary_opts, nullptr, nullptr);
+    const double binary_ms =
+        msSince(t0) / static_cast<double>(binary_reps);
+    const double binary_speedup = fused_ms / binary_ms;
+
+    // SC-vs-BNN accuracy on a trained mini-LeNet: the binary backend
+    // collapses every weight and activation to its sign, so the
+    // interesting number is how much held-out accuracy that costs
+    // relative to the fused SC engine on the same trained weights —
+    // keep the delta on record so the trade stays visible in the
+    // trajectory. (The untrained bench networks score chance under
+    // every engine and would hide the gap.)
+    constexpr size_t kAccImages = 100;
+    size_t sc_correct = 0, bnn_correct = 0;
+    {
+        nn::Dataset acc_train = nn::DigitDataset::generate(1500, 5);
+        nn::Network acc_net =
+            nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
+        nn::TrainConfig tc;
+        tc.epochs = 3;
+        nn::Trainer(acc_net, tc).train(acc_train);
+        nn::Dataset acc_test = nn::DigitDataset::generate(kAccImages, 6);
+
+        core::ScNetworkConfig acc_cfg;
+        acc_cfg.pooling = nn::PoolingMode::Max;
+        acc_cfg.bitstream_len = len;
+        core::ScNetwork acc_sc(acc_net, acc_cfg);
+        core::PredictOptions acc_fused; // EngineMode::Fused default
+        for (size_t i = 0; i < kAccImages; ++i) {
+            const nn::Tensor &di = acc_test.samples[i].image;
+            const size_t label = acc_test.samples[i].label;
+            sc_correct +=
+                acc_sc.predictWith(di, 777 + i * 7919, acc_fused,
+                                   nullptr, nullptr) == label;
+            bnn_correct += acc_sc.predictWith(di, 0, binary_opts,
+                                              nullptr, nullptr) == label;
+        }
+    }
+    const double sc_acc = static_cast<double>(sc_correct) / kAccImages;
+    const double bnn_acc = static_cast<double>(bnn_correct) / kAccImages;
+
     const double speedup = ref_ms / fused_ms;
     const double ns_per_feb = fused_ms * 1e6 / kFebsPerForward;
 
@@ -232,6 +283,12 @@ main()
                 prog_avg_bits, len);
     std::printf("    %-26s %9zu/%zu\n\n", "early exits", prog_exits,
                 fused_reps);
+    std::printf("  binary backend (XNOR-popcount, L = 1):\n");
+    std::printf("    %-26s %10.3f ms (%.1fx vs fused)\n", "latency",
+                binary_ms, binary_speedup);
+    std::printf("    %-26s %9.0f%% SC vs %.0f%% BNN "
+                "(trained mini-LeNet, %zu held-out images)\n\n",
+                "accuracy", 100.0 * sc_acc, 100.0 * bnn_acc, kAccImages);
 
     // --- tracing overhead ------------------------------------------
     // Alternate disarmed and armed fused predicts in adjacent pairs
@@ -334,6 +391,8 @@ main()
         double batch_ms;
         double batch_ips;
         double batch_ratio; //!< batch ips / single-image ips, 1 thread
+        double binary_ms;
+        double binary_ratio; //!< binary ips / fused single-image ips
     };
     std::vector<TopoPoint> topo_points;
     {
@@ -364,10 +423,21 @@ main()
             const double bips =
                 static_cast<double>(batch_images) / (bms / 1000.0);
             const double ratio = bips / (1000.0 / ms);
-            topo_points.push_back({s.name, ms, bms, bips, ratio});
+            topo_net.predictWith(img, 1, binary_opts, nullptr,
+                                 nullptr); // warm-up
+            t0 = std::chrono::steady_clock::now();
+            for (size_t r = 0; r < binary_reps; ++r)
+                topo_net.predictWith(img, 2 + r, binary_opts, nullptr,
+                                     nullptr);
+            const double bin_ms =
+                msSince(t0) / static_cast<double>(binary_reps);
+            const double bin_ratio = ms / bin_ms;
+            topo_points.push_back(
+                {s.name, ms, bms, bips, ratio, bin_ms, bin_ratio});
             std::printf("  %-10s %10.1f ms single, %10.1f ms batch "
-                        "(%6.2f images/sec, %4.2fx)\n",
-                        s.name, ms, bms, bips, ratio);
+                        "(%6.2f images/sec, %4.2fx), %8.3f ms binary "
+                        "(%5.1fx)\n",
+                        s.name, ms, bms, bips, ratio, bin_ms, bin_ratio);
         }
     }
 
@@ -435,6 +505,21 @@ main()
     std::fprintf(f, "      \"effective_bits\": %.1f,\n", prog_avg_bits);
     std::fprintf(f, "      \"early_exits\": %zu,\n", prog_exits);
     std::fprintf(f, "      \"reps\": %zu\n", fused_reps);
+    std::fprintf(f, "    },\n");
+    std::fprintf(f, "    \"binary\": {\n");
+    std::fprintf(f, "      \"ms\": %.4f,\n", binary_ms);
+    std::fprintf(f, "      \"images_per_sec\": %.2f,\n",
+                 1000.0 / binary_ms);
+    std::fprintf(f, "      \"speedup_vs_fused\": %.2f,\n",
+                 binary_speedup);
+    std::fprintf(f, "      \"reps\": %zu\n", binary_reps);
+    std::fprintf(f, "    },\n");
+    std::fprintf(f, "    \"accuracy_trained\": {\n");
+    std::fprintf(f, "      \"images\": %zu,\n", kAccImages);
+    std::fprintf(f, "      \"sc\": %.3f,\n", sc_acc);
+    std::fprintf(f, "      \"binary\": %.3f,\n", bnn_acc);
+    std::fprintf(f, "      \"sc_minus_binary\": %.3f\n",
+                 sc_acc - bnn_acc);
     std::fprintf(f, "    }\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"trace_overhead\": {\n");
@@ -467,9 +552,13 @@ main()
                      "\"images_per_sec\": %.2f, "
                      "\"batch_ms_total\": %.3f, "
                      "\"batch_images_per_sec\": %.2f, "
-                     "\"batch_ips_per_single_ips\": %.3f}%s\n",
+                     "\"batch_ips_per_single_ips\": %.3f, "
+                     "\"binary_ms\": %.4f, "
+                     "\"binary_images_per_sec\": %.2f, "
+                     "\"binary_ips_per_fused_ips\": %.2f}%s\n",
                      p.name, p.fused_ms, 1000.0 / p.fused_ms, p.batch_ms,
-                     p.batch_ips, p.batch_ratio,
+                     p.batch_ips, p.batch_ratio, p.binary_ms,
+                     1000.0 / p.binary_ms, p.binary_ratio,
                      i + 1 < topo_points.size() ? "," : "");
     }
     std::fprintf(f, "  }\n");

@@ -121,5 +121,20 @@ main()
                     "%zu bits)\n",
                     i, preds[i], infos[i].scores[preds[i]],
                     infos[i].effective_bits);
+
+    // --- 9. The binary sibling backend -------------------------------
+    // At stream length 1 a bipolar stream is a sign bit and nothing is
+    // stochastic: EngineMode::Binary runs the same topology as a
+    // deterministic XNOR-popcount BNN — weights and activations
+    // collapsed to signs, one pass, no sampling. The seed is ignored
+    // and scores are exact signed match counts (2m - n). This is the
+    // backend the serving layer's Fast QoS class routes to.
+    core::PredictOptions bin;
+    bin.mode = core::EngineMode::Binary;
+    const size_t bin_pred =
+        engine.predictWith(img, /*seed=*/0, bin, nullptr, &info);
+    std::printf("\nbinary backend: class %zu, top score %+.0f "
+                "(%zu-bit \"streams\", deterministic)\n",
+                bin_pred, info.scores[bin_pred], info.effective_bits);
     return 0;
 }

@@ -1,0 +1,454 @@
+#include "core/binary_net.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/layers.h"
+#include "nn/quantize.h"
+#include "sc/fused.h"
+
+namespace scdcnn {
+namespace core {
+
+namespace {
+
+/** Incremental bit packer: appends chunks of up to 64 bits LSB-first
+ *  into a word buffer (the operand/flatten gather of the binary
+ *  forward pass). Tail bits of the last word stay zero. */
+struct BitPacker
+{
+    uint64_t *out;
+    uint64_t acc = 0;
+    size_t fill = 0;   //!< bits buffered in acc
+    size_t word_i = 0; //!< words already flushed
+
+    explicit BitPacker(uint64_t *dst) : out(dst) {}
+
+    void push(uint64_t bits, size_t nb)
+    {
+        acc |= bits << fill;
+        if (fill + nb >= 64) {
+            out[word_i++] = acc;
+            const size_t used = 64 - fill;
+            acc = used < nb ? bits >> used : 0;
+            fill = fill + nb - 64;
+        } else {
+            fill += nb;
+        }
+    }
+
+    void pushBit(bool b) { push(b ? 1 : 0, 1); }
+
+    void finish()
+    {
+        if (fill > 0) {
+            out[word_i++] = acc;
+            acc = 0;
+            fill = 0;
+        }
+    }
+};
+
+size_t
+argmaxFirst(const std::vector<double> &scores)
+{
+    size_t best = 0;
+    for (size_t i = 1; i < scores.size(); ++i)
+        if (scores[i] > scores[best])
+            best = i;
+    return best;
+}
+
+} // namespace
+
+BinaryNetwork::BinaryNetwork(const nn::Network &trained,
+                             const nn::NetworkPlan &plan, Options opts)
+    : plan_(plan), opts_(opts)
+{
+    SCDCNN_ASSERT(plan_.in_w <= 64,
+                  "binary row packing needs width <= 64, got %zu",
+                  plan_.in_w);
+    // The plan carries geometry but not the pooling flavour; recover
+    // it from the trained net's pool layers so the binary pass matches
+    // the float oracle exactly.
+    const std::vector<nn::StageOutline> outline =
+        nn::outlineNetworkStages(trained);
+    stages_.resize(plan_.stages.size());
+    for (size_t l = 0; l < plan_.stages.size(); ++l) {
+        SCDCNN_ASSERT(plan_.stages[l].out_w <= 64,
+                      "binary row packing needs width <= 64, got %zu",
+                      plan_.stages[l].out_w);
+        packStage(trained, plan_.stages[l],
+                  opts_.full_precision_edges && l == 0, stages_[l]);
+        if (plan_.stages[l].kind == nn::StageOutline::Kind::Conv) {
+            const auto &pool = dynamic_cast<const nn::PoolLayer &>(
+                trained.layer(outline[l].pool_index));
+            stages_[l].max_pool = pool.mode() == nn::PoolLayer::Mode::Max;
+        }
+    }
+    packStage(trained, plan_.output, opts_.full_precision_edges, out_);
+}
+
+void
+BinaryNetwork::packStage(const nn::Network &net, const nn::PlanStage &st,
+                         bool fp_edge, Stage &out) const
+{
+    out.st = st;
+    out.n = st.fan_in + 1;
+    const bool conv = st.kind == nn::StageOutline::Kind::Conv;
+    const size_t filters = conv ? st.out_c : st.flatOut();
+
+    if (fp_edge) {
+        // Full-precision stage: keep the trained float parameters in
+        // the oracle's (ci, ky, kx) tap order; no packed weights.
+        out.fw.resize(filters * st.fan_in);
+        out.fb.resize(filters);
+        if (conv) {
+            const auto &layer = dynamic_cast<const nn::ConvLayer &>(
+                net.layer(st.layer_index));
+            size_t i = 0;
+            for (size_t co = 0; co < filters; ++co) {
+                for (size_t ci = 0; ci < layer.cIn(); ++ci)
+                    for (size_t ky = 0; ky < layer.kernel(); ++ky)
+                        for (size_t kx = 0; kx < layer.kernel(); ++kx)
+                            out.fw[i++] = layer.weightAt(co, ci, ky, kx);
+                out.fb[co] = layer.biasAt(co);
+            }
+        } else {
+            const auto &layer = dynamic_cast<const nn::FullyConnected &>(
+                net.layer(st.layer_index));
+            size_t i = 0;
+            for (size_t o = 0; o < filters; ++o) {
+                for (size_t in = 0; in < layer.nIn(); ++in)
+                    out.fw[i++] = layer.weightAt(o, in);
+                out.fb[o] = layer.biasAt(o);
+            }
+        }
+        return;
+    }
+
+    // Sign-quantized stage: one packed stream per filter, fan_in taps
+    // in (ci, ky, kx) / input order plus the bias sign as the last
+    // tap (its operand bit is the constant +1).
+    out.weights.reset(filters, 1, out.n);
+    sc::Bitstream bits(out.n);
+    if (conv) {
+        const auto &layer = dynamic_cast<const nn::ConvLayer &>(
+            net.layer(st.layer_index));
+        for (size_t co = 0; co < filters; ++co) {
+            bits.reset(out.n);
+            size_t i = 0;
+            for (size_t ci = 0; ci < layer.cIn(); ++ci)
+                for (size_t ky = 0; ky < layer.kernel(); ++ky)
+                    for (size_t kx = 0; kx < layer.kernel(); ++kx)
+                        bits.set(i++, nn::signQuantizeBit(
+                                          layer.weightAt(co, ci, ky, kx)));
+            bits.set(i, nn::signQuantizeBit(layer.biasAt(co)));
+            out.weights.assign(co, 0, sc::BitstreamView(bits));
+        }
+    } else {
+        const auto &layer = dynamic_cast<const nn::FullyConnected &>(
+            net.layer(st.layer_index));
+        for (size_t o = 0; o < filters; ++o) {
+            bits.reset(out.n);
+            size_t i = 0;
+            for (size_t in = 0; in < layer.nIn(); ++in)
+                bits.set(i++,
+                         nn::signQuantizeBit(layer.weightAt(o, in)));
+            bits.set(i, nn::signQuantizeBit(layer.biasAt(o)));
+            out.weights.assign(o, 0, sc::BitstreamView(bits));
+        }
+    }
+}
+
+void
+BinaryNetwork::runConvStage(const Stage &stage, const BitGrid &in,
+                            Kernel kernel, BitGrid &out) const
+{
+    const nn::PlanStage &st = stage.st;
+    SCDCNN_ASSERT(in.c == st.in_c && in.h == st.in_h && in.w == st.in_w,
+                  "conv stage input grid mismatch");
+    const size_t k = st.in_h - (st.pooled ? 2 * st.out_h : st.out_h) + 1;
+    const size_t n_win = st.pooled ? 4 : 1;
+    const uint64_t kmask = (uint64_t{1} << k) - 1;
+    const size_t n_words = (stage.n + 63) / 64;
+
+    out.c = st.out_c;
+    out.h = st.out_h;
+    out.w = st.out_w;
+    out.rows.assign(out.c * out.h, 0);
+
+    // Per-window packed operands (gathered once, shared by every
+    // filter block), per-channel window sums of one output row, and
+    // the row's pooled pre-activations.
+    std::vector<uint64_t> xwin(n_win * n_words);
+    std::vector<uint32_t> matches(sc::kFilterLanes);
+    std::vector<int32_t> win_buf(st.out_c * st.out_w * n_win);
+    std::vector<int32_t> row_s(st.out_w);
+
+    for (size_t oy = 0; oy < st.out_h; ++oy) {
+        for (size_t ox = 0; ox < st.out_w; ++ox) {
+            for (size_t widx = 0; widx < n_win; ++widx) {
+                const size_t cy =
+                    (st.pooled ? 2 * oy + widx / 2 : oy);
+                const size_t cx =
+                    (st.pooled ? 2 * ox + widx % 2 : ox);
+                BitPacker pk(xwin.data() + widx * n_words);
+                for (size_t ci = 0; ci < in.c; ++ci)
+                    for (size_t ky = 0; ky < k; ++ky)
+                        pk.push((in.rows[ci * in.h + cy + ky] >> cx) &
+                                    kmask,
+                                k);
+                pk.pushBit(true); // bias input
+                pk.finish();
+            }
+            for (size_t g = 0; g < stage.weights.groups(); ++g) {
+                const sc::WeightBlockView block = stage.weights.block(g);
+                for (size_t widx = 0; widx < n_win; ++widx) {
+                    const sc::BitstreamView x(
+                        xwin.data() + widx * n_words, stage.n);
+                    if (kernel == Kernel::Fused)
+                        sc::fusedXnorPopcountMulti(x, block,
+                                                   matches.data());
+                    else
+                        sc::referenceXnorPopcountMulti(x, block,
+                                                       matches.data());
+                    for (size_t f = 0; f < block.lanes; ++f) {
+                        const size_t co = g * sc::kFilterLanes + f;
+                        win_buf[(co * st.out_w + ox) * n_win + widx] =
+                            2 * static_cast<int32_t>(matches[f]) -
+                            static_cast<int32_t>(stage.n);
+                    }
+                }
+            }
+        }
+        const bool max_pool = stage.max_pool;
+        for (size_t co = 0; co < st.out_c; ++co) {
+            const int32_t *wins =
+                win_buf.data() + co * st.out_w * n_win;
+            if (n_win == 4) {
+                if (kernel == Kernel::Fused)
+                    sc::fusedBinaryPool4(wins, st.out_w, max_pool,
+                                         row_s.data());
+                else
+                    sc::referenceBinaryPool4(wins, st.out_w, max_pool,
+                                             row_s.data());
+            } else {
+                std::copy(wins, wins + st.out_w, row_s.begin());
+            }
+            uint64_t *row = &out.rows[co * out.h + oy];
+            if (kernel == Kernel::Fused)
+                sc::fusedSignPack(row_s.data(), st.out_w, row);
+            else
+                sc::referenceSignPack(row_s.data(), st.out_w, row);
+        }
+    }
+}
+
+void
+BinaryNetwork::runConvStageFp(const Stage &stage, const nn::Tensor &image,
+                              BitGrid &out) const
+{
+    const nn::PlanStage &st = stage.st;
+    const size_t k = st.in_h - (st.pooled ? 2 * st.out_h : st.out_h) + 1;
+    const size_t n_win = st.pooled ? 4 : 1;
+
+    out.c = st.out_c;
+    out.h = st.out_h;
+    out.w = st.out_w;
+    out.rows.assign(out.c * out.h, 0);
+
+    for (size_t co = 0; co < st.out_c; ++co) {
+        const double *fw = stage.fw.data() + co * st.fan_in;
+        for (size_t oy = 0; oy < st.out_h; ++oy) {
+            uint64_t row = 0;
+            for (size_t ox = 0; ox < st.out_w; ++ox) {
+                double pooled = 0.0;
+                for (size_t widx = 0; widx < n_win; ++widx) {
+                    const size_t cy =
+                        (st.pooled ? 2 * oy + widx / 2 : oy);
+                    const size_t cx =
+                        (st.pooled ? 2 * ox + widx % 2 : ox);
+                    double s = 0.0;
+                    size_t i = 0;
+                    for (size_t ci = 0; ci < st.in_c; ++ci)
+                        for (size_t ky = 0; ky < k; ++ky)
+                            for (size_t kx = 0; kx < k; ++kx)
+                                s += fw[i++] *
+                                     static_cast<double>(image.at(
+                                         ci, cy + ky, cx + kx));
+                    s += stage.fb[co];
+                    if (widx == 0)
+                        pooled = s;
+                    else if (stage.max_pool)
+                        pooled = std::max(pooled, s);
+                    else
+                        pooled += s;
+                }
+                if (pooled >= 0.0)
+                    row |= uint64_t{1} << ox;
+            }
+            out.rows[co * out.h + oy] = row;
+        }
+    }
+}
+
+void
+BinaryNetwork::runFcStage(const Stage &stage, const std::vector<uint64_t> &x,
+                          Kernel kernel, std::vector<int32_t> &s_out) const
+{
+    const size_t filters = stage.weights.filters();
+    s_out.resize(filters);
+    const sc::BitstreamView xv(x.data(), stage.n);
+    uint32_t matches[sc::kFilterLanes];
+    for (size_t g = 0; g < stage.weights.groups(); ++g) {
+        const sc::WeightBlockView block = stage.weights.block(g);
+        if (kernel == Kernel::Fused)
+            sc::fusedXnorPopcountMulti(xv, block, matches);
+        else
+            sc::referenceXnorPopcountMulti(xv, block, matches);
+        for (size_t f = 0; f < block.lanes; ++f)
+            s_out[g * sc::kFilterLanes + f] =
+                2 * static_cast<int32_t>(matches[f]) -
+                static_cast<int32_t>(stage.n);
+    }
+}
+
+size_t
+BinaryNetwork::predict(const nn::Tensor &image, std::vector<double> *scores,
+                       Kernel kernel) const
+{
+    SCDCNN_ASSERT(image.channels() == plan_.in_c &&
+                      image.height() == plan_.in_h &&
+                      image.width() == plan_.in_w,
+                  "image geometry does not match the plan");
+    const bool fp = opts_.full_precision_edges;
+    const size_t n_conv = plan_.convCount();
+
+    // Conv stages: packed (channel, row) grids.
+    BitGrid grid;
+    size_t l = 0;
+    if (n_conv > 0) {
+        if (fp) {
+            runConvStageFp(stages_[0], image, grid);
+        } else {
+            BitGrid in;
+            in.c = plan_.in_c;
+            in.h = plan_.in_h;
+            in.w = plan_.in_w;
+            in.rows.assign(in.c * in.h, 0);
+            for (size_t ci = 0; ci < in.c; ++ci)
+                for (size_t y = 0; y < in.h; ++y) {
+                    uint64_t row = 0;
+                    for (size_t x = 0; x < in.w; ++x)
+                        if (binarizePixel(image.at(ci, y, x)))
+                            row |= uint64_t{1} << x;
+                    in.rows[ci * in.h + y] = row;
+                }
+            runConvStage(stages_[0], in, kernel, grid);
+        }
+        for (l = 1; l < n_conv; ++l) {
+            BitGrid next;
+            runConvStage(stages_[l], grid, kernel, next);
+            grid = std::move(next);
+        }
+    }
+
+    // Flatten into the packed fc activation vector, (ci, y, x) order.
+    std::vector<uint64_t> flat;
+    size_t flat_bits = 0;
+    std::vector<int32_t> s;
+    std::vector<double> fc_fp; // first-fc-stage double sums (fp mode)
+    if (n_conv > 0) {
+        flat_bits = grid.c * grid.h * grid.w;
+        flat.assign((flat_bits + 63) / 64, 0);
+        BitPacker pk(flat.data());
+        for (size_t ci = 0; ci < grid.c; ++ci)
+            for (size_t y = 0; y < grid.h; ++y)
+                pk.push(grid.rows[ci * grid.h + y], grid.w);
+        pk.finish();
+    } else if (!fp) {
+        flat_bits = plan_.in_c * plan_.in_h * plan_.in_w;
+        flat.assign((flat_bits + 63) / 64, 0);
+        BitPacker pk(flat.data());
+        for (size_t i = 0; i < image.size(); ++i)
+            pk.pushBit(binarizePixel(image[i]));
+        pk.finish();
+    }
+
+    // Hidden fc stages.
+    for (; l < stages_.size(); ++l) {
+        const Stage &sg = stages_[l];
+        if (fp && l == 0) {
+            // First hidden stage is fully-connected: double path over
+            // the raw pixels (flat (ci, y, x) == tensor order).
+            fc_fp.resize(sg.fw.size() / sg.st.fan_in);
+            for (size_t o = 0; o < fc_fp.size(); ++o) {
+                const double *fw = sg.fw.data() + o * sg.st.fan_in;
+                double acc = 0.0;
+                for (size_t i = 0; i < sg.st.fan_in; ++i)
+                    acc += fw[i] * static_cast<double>(image[i]);
+                fc_fp[o] = acc + sg.fb[o];
+            }
+            s.resize(fc_fp.size());
+            for (size_t o = 0; o < fc_fp.size(); ++o)
+                s[o] = fc_fp[o] >= 0.0 ? 1 : -1;
+        } else {
+            SCDCNN_ASSERT(flat_bits == sg.st.fan_in,
+                          "fc fan-in mismatch: %zu != %zu", flat_bits,
+                          sg.st.fan_in);
+            std::vector<uint64_t> x((sg.n + 63) / 64, 0);
+            std::copy(flat.begin(), flat.end(), x.begin());
+            x[sg.st.fan_in / 64] |= uint64_t{1} << (sg.st.fan_in % 64);
+            runFcStage(sg, x, kernel, s);
+        }
+        // Popcount-sign activation into the next packed vector.
+        flat_bits = s.size();
+        flat.assign((flat_bits + 63) / 64, 0);
+        if (kernel == Kernel::Fused)
+            sc::fusedSignPack(s.data(), flat_bits, flat.data());
+        else
+            sc::referenceSignPack(s.data(), flat_bits, flat.data());
+    }
+
+    // Output layer.
+    std::vector<double> out_scores;
+    const size_t n_out = plan_.output.flatOut();
+    if (fp) {
+        out_scores.resize(n_out);
+        for (size_t o = 0; o < n_out; ++o) {
+            const double *fw = out_.fw.data() + o * out_.st.fan_in;
+            double acc = 0.0;
+            if (stages_.empty()) {
+                // Degenerate single-layer net: the output edge is also
+                // the input edge, so it consumes the raw pixels.
+                for (size_t i = 0; i < out_.st.fan_in; ++i)
+                    acc += fw[i] * static_cast<double>(image[i]);
+            } else {
+                for (size_t i = 0; i < out_.st.fan_in; ++i) {
+                    const bool bit =
+                        (flat[i / 64] >> (i % 64)) & 1;
+                    acc += bit ? fw[i] : -fw[i];
+                }
+            }
+            out_scores[o] = acc + out_.fb[o];
+        }
+    } else {
+        SCDCNN_ASSERT(flat_bits == out_.st.fan_in,
+                      "output fan-in mismatch: %zu != %zu", flat_bits,
+                      out_.st.fan_in);
+        std::vector<uint64_t> x((out_.n + 63) / 64, 0);
+        std::copy(flat.begin(), flat.end(), x.begin());
+        x[out_.st.fan_in / 64] |= uint64_t{1} << (out_.st.fan_in % 64);
+        runFcStage(out_, x, kernel, s);
+        out_scores.assign(s.begin(), s.end());
+    }
+
+    const size_t pred = argmaxFirst(out_scores);
+    if (scores != nullptr)
+        *scores = std::move(out_scores);
+    return pred;
+}
+
+} // namespace core
+} // namespace scdcnn

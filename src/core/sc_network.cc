@@ -171,7 +171,11 @@ ScNetwork::ScNetwork(const nn::Network &trained, ScNetworkConfig cfg,
                      uint64_t weight_seed)
     : cfg_(cfg),
       plan_(nn::deriveNetworkPlan(trained, cfg.input_c, cfg.input_h,
-                                  cfg.input_w))
+                                  cfg.input_w)),
+      // The binary sibling backend reads the *unquantized* trained
+      // weights: sign(w) of the SC-quantized copy below can differ
+      // from sign(w) of the raw weight.
+      binary_(trained, plan_)
 {
     // Store the weights the way the hardware would: quantized per the
     // Section 5.2/5.3 storage scheme (grouping derived from the plan).
@@ -1476,6 +1480,22 @@ ScNetwork::predictWith(const nn::Tensor &image, uint64_t seed,
                        PhaseBreakdown *profile, ForwardInfo *info) const
 {
     const EngineMode mode = opts.mode;
+
+    // The binary backend is deterministic and single-pass: no streams,
+    // no segments, no seeds, nothing to cancel mid-flight. Dispatch
+    // before any stream state is built.
+    if (mode == EngineMode::Binary) {
+        std::vector<double> scores;
+        const size_t pred = binary_.predict(image, &scores);
+        if (info != nullptr) {
+            info->scores = std::move(scores);
+            info->effective_bits = 1;
+            info->early_exit = false;
+            info->cancelled = false;
+        }
+        return pred;
+    }
+
     const size_t len = cfg_.bitstream_len;
     const size_t n_words = (len + 63) / 64;
     // The Reference oracle always runs whole streams; the fused engine

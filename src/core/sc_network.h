@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "blocks/pooling.h"
+#include "core/binary_net.h"
 #include "core/sc_config.h"
 #include "nn/dataset.h"
 #include "nn/network.h"
@@ -67,12 +68,19 @@ namespace core {
  * Fused and Reference consume identical RNG sequences, so their
  * predictions are bit-exact across modes, segment sizes, and thread
  * counts.
+ * Binary is the XNOR-popcount sibling backend (core/binary_net.h):
+ * the same derived plan executed at stream length 1 with
+ * sign-quantized weights, popcount-sign activations, and no stream
+ * sampling at all — fully deterministic (seeds are ignored), roughly
+ * an order of magnitude faster than Fused, and differentially tested
+ * for exact equality against a float sign-network oracle.
  */
 enum class EngineMode
 {
     Fused,
     Reference,
     Progressive,
+    Binary,
 };
 
 /**
@@ -262,14 +270,17 @@ class ScNetwork
      * Whether forwardBatch would take the weight-stationary batch
      * kernels for a micro-batch of @p n_images under @p opts: more
      * than one image, opts.batch_path == BatchPath::Batched, and a
-     * non-Reference mode (the bit-serial oracle always runs the
-     * per-image loop). What the serving layer records per batch.
+     * non-Reference, non-Binary mode (the bit-serial oracle always
+     * runs the per-image loop; the binary backend is deterministic
+     * per image, so the parallel per-image loop already is its batch
+     * path). What the serving layer records per batch.
      */
     static bool batchKernelEligible(const PredictOptions &opts,
                                     size_t n_images)
     {
         return n_images > 1 && opts.batch_path == BatchPath::Batched &&
-               opts.mode != EngineMode::Reference;
+               opts.mode != EngineMode::Reference &&
+               opts.mode != EngineMode::Binary;
     }
 
     /**
@@ -315,6 +326,10 @@ class ScNetwork
 
     /** The derived construction plan this instance was built from. */
     const nn::NetworkPlan &plan() const { return plan_; }
+
+    /** The XNOR-popcount sibling backend EngineMode::Binary runs —
+     *  built from the same trained net and plan at construction. */
+    const BinaryNetwork &binaryNet() const { return binary_; }
 
   private:
     /** The per-call options the instance-wide knobs (engineMode(),
@@ -559,6 +574,10 @@ class ScNetwork
     sc::FsmTableCache fsm_tables_;
     std::vector<const sc::StanhBatchTable *> stanh_tables_;
     std::vector<const sc::BtanhBatchTable *> btanh_tables_;
+
+    /** The EngineMode::Binary backend (declared after plan_: it is
+     *  built from the trained net and the already-derived plan). */
+    BinaryNetwork binary_;
 };
 
 } // namespace core

@@ -58,5 +58,23 @@ quantizeNetworkGroup(Network &net, size_t which, unsigned bits)
             quantizeLayer(net.layer(s.layer_index), bits);
 }
 
+void
+signQuantizeLayer(Layer &layer)
+{
+    if (auto *w = layer.weights())
+        for (auto &v : *w)
+            v = static_cast<float>(signQuantizeWeight(v));
+    if (auto *b = layer.biases())
+        for (auto &v : *b)
+            v = static_cast<float>(signQuantizeWeight(v));
+}
+
+void
+signQuantizeNetwork(Network &net)
+{
+    for (const StageOutline &s : outlineNetworkStages(net))
+        signQuantizeLayer(net.layer(s.layer_index));
+}
+
 } // namespace nn
 } // namespace scdcnn

@@ -49,6 +49,33 @@ void quantizeNetwork(Network &net, const std::array<unsigned, 3> &bits);
  */
 void quantizeNetworkGroup(Network &net, size_t which, unsigned bits);
 
+// ------- Sign (1-bit) quantization --------------------------------
+//
+// The binary backend (core/binary_net.h) is the w = 1 extreme of the
+// precision axis: a weight keeps only its sign. The convention below
+// is the single source of truth shared by the engine's packed weight
+// bits and the float sign-network oracle the tests compare against —
+// ties (x == 0) round up to +1, matching the w-bit mapping above,
+// which also stores 0 as a non-negative code.
+
+/** The packed weight bit of the binary backend: 1 encodes +1 (any
+ *  x >= 0, ties included), 0 encodes -1. */
+inline bool signQuantizeBit(double x) { return x >= 0.0; }
+
+/** Sign-quantized weight value, +1.0 or -1.0. */
+inline double signQuantizeWeight(double x)
+{
+    return signQuantizeBit(x) ? 1.0 : -1.0;
+}
+
+/** Sign-quantize all parameters of one layer in place. */
+void signQuantizeLayer(Layer &layer);
+
+/** Sign-quantize every conv and fc layer of the network in place —
+ *  the float sign-network the binary backend is differentially
+ *  tested against. */
+void signQuantizeNetwork(Network &net);
+
 } // namespace nn
 } // namespace scdcnn
 

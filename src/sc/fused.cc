@@ -820,5 +820,107 @@ referenceProductCountTotal(const std::vector<BitstreamView> &xs,
     return total;
 }
 
+// ------- Binary (L = 1) XNOR-popcount kernels ---------------------
+
+void
+fusedXnorPopcountMulti(const BitstreamView &x, const WeightBlockView &block,
+                       uint32_t *matches)
+{
+    SCDCNN_ASSERT(block.taps == 1,
+                  "binary weight block has %zu taps, expected 1",
+                  block.taps);
+    SCDCNN_ASSERT(x.length == block.length,
+                  "operand length %zu != block length %zu", x.length,
+                  block.length);
+    for (size_t f = 0; f < block.lanes; ++f)
+        matches[f] = 0;
+    const size_t n_words = block.wordCount();
+    size_t w = simd::avx2XnorPopcountMulti(x.words, block, matches);
+    for (; w < n_words; ++w) {
+        const size_t hi = std::min<size_t>(64, block.length - w * 64);
+        const uint64_t mask =
+            hi == 64 ? ~uint64_t{0} : (uint64_t{1} << hi) - 1;
+        const uint64_t xw = x.words[w];
+        const uint64_t *wrow = block.at(w, 0);
+        for (size_t f = 0; f < block.lanes; ++f)
+            matches[f] += static_cast<uint32_t>(
+                std::popcount(~(xw ^ wrow[f]) & mask));
+    }
+}
+
+void
+referenceXnorPopcountMulti(const BitstreamView &x,
+                           const WeightBlockView &block, uint32_t *matches)
+{
+    SCDCNN_ASSERT(block.taps == 1,
+                  "binary weight block has %zu taps, expected 1",
+                  block.taps);
+    SCDCNN_ASSERT(x.length == block.length,
+                  "operand length %zu != block length %zu", x.length,
+                  block.length);
+    for (size_t f = 0; f < block.lanes; ++f) {
+        uint32_t m = 0;
+        for (size_t i = 0; i < block.length; ++i)
+            if (x.get(i) == block.get(f, 0, i))
+                ++m;
+        matches[f] = m;
+    }
+}
+
+void
+fusedSignPack(const int32_t *s, size_t n, uint64_t *out)
+{
+    const size_t n_words = (n + 63) / 64;
+    for (size_t w = 0; w < n_words; ++w) {
+        const size_t hi = std::min<size_t>(64, n - w * 64);
+        uint64_t word = 0;
+        for (size_t b = 0; b < hi; ++b)
+            word |= static_cast<uint64_t>(s[w * 64 + b] >= 0) << b;
+        out[w] = word;
+    }
+}
+
+void
+referenceSignPack(const int32_t *s, size_t n, uint64_t *out)
+{
+    const size_t n_words = (n + 63) / 64;
+    for (size_t w = 0; w < n_words; ++w)
+        out[w] = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (s[i] >= 0)
+            out[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+void
+fusedBinaryPool4(const int32_t *windows, size_t n_pixels, bool max_pool,
+                 int32_t *out)
+{
+    if (max_pool) {
+        for (size_t p = 0; p < n_pixels; ++p) {
+            const int32_t *w = windows + 4 * p;
+            out[p] = std::max(std::max(w[0], w[1]),
+                              std::max(w[2], w[3]));
+        }
+    } else {
+        for (size_t p = 0; p < n_pixels; ++p) {
+            const int32_t *w = windows + 4 * p;
+            out[p] = w[0] + w[1] + w[2] + w[3];
+        }
+    }
+}
+
+void
+referenceBinaryPool4(const int32_t *windows, size_t n_pixels,
+                     bool max_pool, int32_t *out)
+{
+    for (size_t p = 0; p < n_pixels; ++p) {
+        int32_t acc = windows[4 * p];
+        for (size_t w = 1; w < 4; ++w)
+            acc = max_pool ? std::max(acc, windows[4 * p + w])
+                           : acc + windows[4 * p + w];
+        out[p] = acc;
+    }
+}
+
 } // namespace sc
 } // namespace scdcnn

@@ -205,6 +205,57 @@ void referenceProductCountTotalRange(const std::vector<BitstreamView> &xs,
                                      size_t begin_word, size_t end_word,
                                      ProductCountAccum &acc);
 
+// ------- Binary (L = 1) XNOR-popcount kernels ---------------------
+//
+// The binary backend (core/binary_net.h) is the SC machinery collapsed
+// to one-bit streams: a sign activation or weight is a single packed
+// bit, an n-tap inner product is the XNOR match count m, and the
+// pre-activation integer is s = 2m - n. The kernels below are that
+// backend's hot paths and follow the same discipline as the SC kernels
+// above: a word-parallel fused implementation (dispatching to the AVX2
+// path of sc/simd.h) with a bit-serial reference twin asserted
+// bit-exact by the tests.
+
+/**
+ * Filter-blocked XNOR-popcount inner product: matches[f] accumulates
+ * the number of positions in [0, block.length) where @p x and lane f's
+ * packed sign-weight vector carry the same bit. x.length must equal
+ * block.length and block.taps must be 1 (the binary weight arena packs
+ * a filter's whole fan-in as one stream). Exactly block.lanes entries
+ * of @p matches are written (overwritten, not accumulated).
+ */
+void fusedXnorPopcountMulti(const BitstreamView &x,
+                            const WeightBlockView &block,
+                            uint32_t *matches);
+
+/** Bit-serial oracle for fusedXnorPopcountMulti (per-bit get()). */
+void referenceXnorPopcountMulti(const BitstreamView &x,
+                                const WeightBlockView &block,
+                                uint32_t *matches);
+
+/**
+ * Popcount-sign activation: bit i of @p out is 1 when s[i] >= 0 (ties
+ * activate to +1, the nn::signQuantizeBit convention). Packs @p n bits
+ * into ceil(n / 64) words; tail bits of the last word are zeroed.
+ */
+void fusedSignPack(const int32_t *s, size_t n, uint64_t *out);
+
+/** Bit-serial oracle for fusedSignPack (one set() per cycle). */
+void referenceSignPack(const int32_t *s, size_t n, uint64_t *out);
+
+/**
+ * Binary-domain pooling over the four window pre-activations of one
+ * pixel row: out[p] = max (max pooling) or sum (average pooling — the
+ * sum carries the sign of the mean, which is all the popcount-sign
+ * activation consumes) of windows[4p .. 4p + 4).
+ */
+void fusedBinaryPool4(const int32_t *windows, size_t n_pixels,
+                      bool max_pool, int32_t *out);
+
+/** Naive per-window oracle for fusedBinaryPool4. */
+void referenceBinaryPool4(const int32_t *windows, size_t n_pixels,
+                          bool max_pool, int32_t *out);
+
 // ------- Batch-axis (weight-stationary) kernel variants -----------
 //
 // The *MultiBatch kernels run one filter block against a whole

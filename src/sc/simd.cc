@@ -1473,6 +1473,37 @@ avx2BtanhWordsBatch(const uint16_t *const *counts, size_t length,
                                    n_streams, k, n_inputs);
 }
 
+__attribute__((target("avx2"))) size_t
+avx2XnorPopcountMulti(const uint64_t *x_words, const WeightBlockView &block,
+                      uint32_t *matches)
+{
+    if (!enabled())
+        return 0;
+    const size_t full = block.length / 64;
+    const __m256i all_ones = _mm256_set1_epi8(-1);
+    const __m256i zero = _mm256_setzero_si256();
+    // Lane f of the 64-bit accumulator carries filter f's running
+    // match count; psadbw folds each match word's byte popcounts into
+    // its lane, so the loop is one broadcast, one vector load and four
+    // cheap vector ops per input word for all kFilterLanes filters.
+    __m256i acc = zero;
+    for (size_t w = 0; w < full; ++w) {
+        const __m256i xv =
+            _mm256_set1_epi64x(static_cast<long long>(x_words[w]));
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(block.at(w, 0)));
+        const __m256i match =
+            _mm256_xor_si256(_mm256_xor_si256(xv, wv), all_ones);
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(popcountBytes(match), zero));
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    for (size_t f = 0; f < block.lanes; ++f)
+        matches[f] += static_cast<uint32_t>(lanes[f]);
+    return full;
+}
+
 #else // !SCDCNN_SIMD_X86
 
 size_t
@@ -1588,6 +1619,13 @@ avx2SumU16(const uint16_t *values, size_t n)
 size_t
 avx2BtanhWordsBatch(const uint16_t *const *, size_t, uint64_t *const *,
                     uint16_t *const *, size_t, unsigned, unsigned)
+{
+    return 0;
+}
+
+size_t
+avx2XnorPopcountMulti(const uint64_t *, const WeightBlockView &,
+                      uint32_t *)
 {
     return 0;
 }

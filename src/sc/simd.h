@@ -245,6 +245,20 @@ size_t avx2ProductCountTotal(const BitstreamView *xs,
 uint64_t avx2SumU16(const uint16_t *values, size_t n);
 
 /**
+ * Binary XNOR-popcount accumulation over the full words of a binary
+ * weight block (taps == 1, one packed sign stream per lane): for every
+ * full word w (all 64 bits inside block.length) and lane f,
+ * popcount(~(x_words[w] ^ lane word)) is added into matches[f]. The
+ * partial tail word (its pad bits need masking) stays with the scalar
+ * caller, as does initializing matches.
+ *
+ * @return the number of words processed; 0 when AVX2 is not enabled.
+ */
+size_t avx2XnorPopcountMulti(const uint64_t *x_words,
+                             const WeightBlockView &block,
+                             uint32_t *matches);
+
+/**
  * Lane-parallel Btanh batch step: the saturating up/down counter of
  * stream s advances as an int16 lane, 16 streams per register, so the
  * whole micro-batch steps per cycle in a handful of vector ops instead

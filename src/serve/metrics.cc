@@ -119,10 +119,13 @@ ServerMetrics::recordBatch(size_t batch_size, size_t depth_after,
 
 void
 ServerMetrics::recordBatchExecution(bool batch_kernel,
+                                    core::EngineMode mode,
                                     uint64_t bits_spread)
 {
     (batch_kernel ? batch_kernel_batches_ : loop_batches_)
         .fetch_add(1, std::memory_order_relaxed);
+    batches_by_mode_[static_cast<size_t>(mode)].fetch_add(
+        1, std::memory_order_relaxed);
     bits_spread_sum_.fetch_add(bits_spread, std::memory_order_relaxed);
     uint64_t seen = bits_spread_max_.load(std::memory_order_relaxed);
     while (bits_spread > seen &&
@@ -173,6 +176,9 @@ ServerMetrics::snapshot() const
     s.batch_kernel_batches =
         batch_kernel_batches_.load(std::memory_order_relaxed);
     s.loop_batches = loop_batches_.load(std::memory_order_relaxed);
+    for (size_t m = 0; m < s.batches_by_mode.size(); ++m)
+        s.batches_by_mode[m] =
+            batches_by_mode_[m].load(std::memory_order_relaxed);
     s.max_effective_bits_spread =
         bits_spread_max_.load(std::memory_order_relaxed);
     const uint64_t executed = s.batch_kernel_batches + s.loop_batches;
@@ -302,6 +308,13 @@ MetricsSnapshot::toJson() const
             static_cast<unsigned long long>(loop_batches),
             avg_effective_bits_spread,
             static_cast<unsigned long long>(max_effective_bits_spread));
+    appendf(out,
+            "\"batches_by_mode\": {\"fused\": %llu, \"reference\": %llu, "
+            "\"progressive\": %llu, \"binary\": %llu}, ",
+            static_cast<unsigned long long>(batches_by_mode[0]),
+            static_cast<unsigned long long>(batches_by_mode[1]),
+            static_cast<unsigned long long>(batches_by_mode[2]),
+            static_cast<unsigned long long>(batches_by_mode[3]));
     appendLatency(out, "latency", total_latency);
     out += ", ";
     // v2: queue-wait (admit -> batch close) as its own histogram

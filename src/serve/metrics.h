@@ -82,9 +82,13 @@ struct MetricsSnapshot
     uint64_t cancelled = 0; //!< stopped in flight (token/deadline)
     uint64_t batches = 0;
     /** micro-batches executed by the weight-stationary batch kernels
-     *  vs the per-image loop (size-1 and Reference batches). */
+     *  vs the per-image loop (size-1, Reference and Binary batches). */
     uint64_t batch_kernel_batches = 0;
     uint64_t loop_batches = 0;
+    /** executed micro-batches per engine mode, indexed like
+     *  core::EngineMode (Fused, Reference, Progressive, Binary) —
+     *  which QoS policy actually ran each batch. */
+    std::array<uint64_t, 4> batches_by_mode{};
     uint64_t early_exits = 0;
     uint64_t degraded = 0;
     uint64_t deadline_missed = 0;
@@ -157,9 +161,11 @@ class ServerMetrics
 
     /** One executed micro-batch, after the forward pass: whether it
      *  took the weight-stationary batch kernels or the per-image loop,
-     *  and the spread (max - min) of the images' consumed effective
-     *  bits — the dispersion Progressive early exit introduces. */
-    void recordBatchExecution(bool batch_kernel, uint64_t bits_spread);
+     *  the engine mode its QoS policy selected, and the spread
+     *  (max - min) of the images' consumed effective bits — the
+     *  dispersion Progressive early exit introduces. */
+    void recordBatchExecution(bool batch_kernel, core::EngineMode mode,
+                              uint64_t bits_spread);
 
     /** One finished request (also feeds the latency histograms). */
     void recordResult(const InferenceResult &result, bool had_deadline);
@@ -181,6 +187,7 @@ class ServerMetrics
     std::atomic<uint64_t> batches_{0};
     std::atomic<uint64_t> batch_kernel_batches_{0};
     std::atomic<uint64_t> loop_batches_{0};
+    std::array<std::atomic<uint64_t>, 4> batches_by_mode_{};
     std::atomic<uint64_t> bits_spread_sum_{0};
     std::atomic<uint64_t> bits_spread_max_{0};
     std::atomic<uint64_t> early_exits_{0};

@@ -5,11 +5,12 @@
  *
  * The accuracy class is stochastic computing's progressive-precision
  * knob surfaced per request (Li et al., budget-driven SC-DCNN
- * optimization): High spends the full bit-stream, Balanced and Fast
- * map onto EngineMode::Progressive with successively looser early-exit
- * margins, and a deadline lets the scheduler degrade a request toward
- * Fast when its remaining time budget no longer covers the precision
- * it asked for. The result reports what was actually spent
+ * optimization): High spends the full bit-stream, Balanced maps onto
+ * EngineMode::Progressive at the calibrated early-exit margin, Fast
+ * runs the deterministic XNOR-popcount binary backend
+ * (EngineMode::Binary — single-pass, no streams at all), and a
+ * deadline lets the scheduler degrade a request toward Fast when its
+ * remaining time budget no longer covers the precision it asked for. The result reports what was actually spent
  * (effective_bits, served class) so callers see the trade they got.
  */
 
@@ -35,7 +36,7 @@ enum class AccuracyClass : uint8_t
 {
     High = 0,     //!< full-length streams (EngineMode::Fused)
     Balanced = 1, //!< Progressive at the calibrated default margin
-    Fast = 2,     //!< Progressive at an aggressive margin
+    Fast = 2,     //!< binary XNOR-popcount backend (EngineMode::Binary)
 };
 
 /** Number of accuracy classes (array sizing). */

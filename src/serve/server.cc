@@ -38,8 +38,10 @@ InferenceServer::InferenceServer(const core::ScNetwork &net,
       queue_(cfg_.limits, clock_, cfg_.faults)
 {
     // Resolve the QoS derive sentinels from the served network's
-    // calibrated Progressive knobs: Balanced inherits them, Fast runs
-    // at half the margin and a quarter of the floor.
+    // calibrated Progressive knobs: Balanced inherits them; a Fast
+    // policy overridden to Progressive gets half the margin and a
+    // quarter of the floor (the default Fast policy is Binary, whose
+    // explicit zeros skip resolution).
     const core::ScNetworkConfig &ncfg = net_.config();
     for (size_t c = 0; c < kAccuracyClasses; ++c) {
         QosPolicy &q = cfg_.qos[c];
@@ -284,7 +286,7 @@ InferenceServer::runBatch(ClosedBatch &&batch)
         bits_hi = std::max<uint64_t>(bits_hi, info.effective_bits);
     }
     metrics_.recordBatchExecution(
-        core::ScNetwork::batchKernelEligible(popts, n_run),
+        core::ScNetwork::batchKernelEligible(popts, n_run), popts.mode,
         bits_hi - bits_lo);
     if (obs::armed()) {
         obs::TraceRecorder &rec = obs::TraceRecorder::instance();

@@ -89,16 +89,18 @@ struct ServerConfig
     std::function<void(const RequestOutcome &)> outcome_hook;
 
     /** Accuracy class -> engine policy, indexed by AccuracyClass.
-     *  High runs full-length Fused; Balanced/Fast run Progressive at
-     *  successively looser margins. Margins/floors default to the
-     *  QosPolicy derive sentinels: the server resolves them from the
-     *  served network's calibrated Progressive config at construction
-     *  (read the resolved table back via config().qos). Explicit
-     *  values are kept as-is. */
+     *  High runs full-length Fused; Balanced runs Progressive at the
+     *  calibrated margin; Fast runs the deterministic XNOR-popcount
+     *  binary backend — the cheapest mode the engine has, trading
+     *  SC-stream accuracy for single-pass latency. Margins/floors
+     *  default to the QosPolicy derive sentinels: the server resolves
+     *  them from the served network's calibrated Progressive config at
+     *  construction (read the resolved table back via config().qos).
+     *  Explicit values are kept as-is. */
     std::array<QosPolicy, kAccuracyClasses> qos = {
         QosPolicy{core::EngineMode::Fused, 0.0, 0},
         QosPolicy{core::EngineMode::Progressive},
-        QosPolicy{core::EngineMode::Progressive},
+        QosPolicy{core::EngineMode::Binary, 0.0, 0},
     };
 };
 

@@ -238,8 +238,12 @@ TEST(ServerMetrics, SnapshotJsonCarriesTheHeadlineFields)
     r.queue_ms = 1.0;
     m.recordResult(r, /*had_deadline=*/false);
 
-    m.recordBatchExecution(/*batch_kernel=*/true, /*bits_spread=*/96);
-    m.recordBatchExecution(/*batch_kernel=*/false, /*bits_spread=*/32);
+    m.recordBatchExecution(/*batch_kernel=*/true,
+                           core::EngineMode::Progressive,
+                           /*bits_spread=*/96);
+    m.recordBatchExecution(/*batch_kernel=*/false,
+                           core::EngineMode::Binary,
+                           /*bits_spread=*/32);
 
     const auto snap = m.snapshot();
     EXPECT_EQ(snap.submitted, 1u);
@@ -261,6 +265,14 @@ TEST(ServerMetrics, SnapshotJsonCarriesTheHeadlineFields)
     EXPECT_NE(json.find("\"loop_batches\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"max_effective_bits_spread\": 96"),
               std::string::npos);
+    EXPECT_EQ(snap.batches_by_mode[static_cast<size_t>(
+                  core::EngineMode::Progressive)],
+              1u);
+    EXPECT_EQ(snap.batches_by_mode[static_cast<size_t>(
+                  core::EngineMode::Binary)],
+              1u);
+    EXPECT_NE(json.find("\"batches_by_mode\""), std::string::npos);
+    EXPECT_NE(json.find("\"binary\": 1"), std::string::npos);
 }
 
 // ------------------------------------------------------ request queue
@@ -453,7 +465,9 @@ TEST(InferenceServer, QosTableIsDerivedFromTheServedNetwork)
 {
     // A network calibrated with its own Progressive knobs propagates
     // them into the server's resolved QoS table: Balanced inherits
-    // margin/floor, Fast halves the margin and quarters the floor;
+    // margin/floor; the default Fast policy is the binary backend
+    // (explicit zeros, nothing to derive); a Fast entry overridden to
+    // sentinel Progressive halves the margin and quarters the floor;
     // explicit entries are untouched.
     nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
     core::ScNetworkConfig cfg;
@@ -469,8 +483,19 @@ TEST(InferenceServer, QosTableIsDerivedFromTheServedNetwork)
     EXPECT_DOUBLE_EQ(balanced.progressive_margin, 3.0);
     EXPECT_EQ(balanced.progressive_min_bits, 128u);
     const auto &fast = qos[static_cast<size_t>(AccuracyClass::Fast)];
-    EXPECT_DOUBLE_EQ(fast.progressive_margin, 1.5);
-    EXPECT_EQ(fast.progressive_min_bits, 32u);
+    EXPECT_EQ(fast.mode, core::EngineMode::Binary);
+    EXPECT_DOUBLE_EQ(fast.progressive_margin, 0.0);
+    EXPECT_EQ(fast.progressive_min_bits, 0u);
+
+    serve::ServerConfig derive_cfg;
+    derive_cfg.qos[static_cast<size_t>(AccuracyClass::Fast)] =
+        serve::QosPolicy{core::EngineMode::Progressive};
+    serve::InferenceServer server_derived(engine, derive_cfg);
+    const auto &fast_derived =
+        server_derived.config()
+            .qos[static_cast<size_t>(AccuracyClass::Fast)];
+    EXPECT_DOUBLE_EQ(fast_derived.progressive_margin, 1.5);
+    EXPECT_EQ(fast_derived.progressive_min_bits, 32u);
 
     serve::ServerConfig explicit_cfg;
     explicit_cfg.qos[static_cast<size_t>(AccuracyClass::Fast)] = {
@@ -546,6 +571,11 @@ TEST(InferenceServer, ProgressiveClassReportsEffectiveBits)
 
     serve::ServerConfig scfg;
     scfg.limits = limits(2, 100us);
+    // Opt Fast back into sentinel Progressive (the default Fast policy
+    // is now the binary backend): the server derives the aggressive
+    // half-margin / quarter-floor knobs this test exercises.
+    scfg.qos[static_cast<size_t>(AccuracyClass::Fast)] =
+        serve::QosPolicy{core::EngineMode::Progressive};
     serve::InferenceServer server(sc, scfg);
 
     const nn::Tensor img = nn::DigitDataset::render(3, 7);
@@ -569,6 +599,53 @@ TEST(InferenceServer, ProgressiveClassReportsEffectiveBits)
     EXPECT_EQ(r.effective_bits, direct.effective_bits);
     EXPECT_EQ(r.early_exit, direct.early_exit);
     EXPECT_TRUE(r.early_exit); // decisive logits at a loose margin
+}
+
+TEST(InferenceServer, FastClassRoutesToTheBinaryBackend)
+{
+    // The Fast accuracy class is served by EngineMode::Binary end to
+    // end: predictions match direct BinaryNetwork calls (the backend
+    // is deterministic, so the server's seed schedule is irrelevant),
+    // results report the single-pass cost, and the metrics snapshot
+    // records the batches under the binary mode.
+    nn::Network net = nn::buildMiniLeNet(nn::PoolingMode::Max, 1);
+    core::ScNetworkConfig cfg;
+    cfg.bitstream_len = 256;
+    core::ScNetwork sc(net, cfg);
+
+    serve::ServerConfig scfg;
+    scfg.limits = limits(4, 300us);
+    serve::InferenceServer server(sc, scfg);
+
+    std::vector<std::future<serve::InferenceResult>> futs;
+    constexpr size_t kImages = 12;
+    for (size_t i = 0; i < kImages; ++i) {
+        serve::RequestOptions opts;
+        opts.accuracy = AccuracyClass::Fast;
+        opts.seed = 4200 + i;
+        futs.push_back(
+            server.submit(nn::DigitDataset::render(i % 10, i), opts));
+    }
+    for (size_t i = 0; i < kImages; ++i) {
+        serve::InferenceResult r = futs[i].get();
+        const nn::Tensor img = nn::DigitDataset::render(i % 10, i);
+        std::vector<double> scores;
+        EXPECT_EQ(r.predicted, sc.binaryNet().predict(img, &scores));
+        EXPECT_EQ(r.effective_bits, 1u);
+        EXPECT_FALSE(r.early_exit);
+        EXPECT_EQ(r.served, AccuracyClass::Fast);
+    }
+
+    const auto snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.completed, kImages);
+    const uint64_t binary_batches = snap.batches_by_mode[static_cast<
+        size_t>(core::EngineMode::Binary)];
+    EXPECT_GT(binary_batches, 0u);
+    // Every executed batch of this run was a Fast batch.
+    EXPECT_EQ(binary_batches,
+              snap.batch_kernel_batches + snap.loop_batches);
+    // Binary batches never take the SC weight-stationary batch driver.
+    EXPECT_EQ(snap.batch_kernel_batches, 0u);
 }
 
 TEST(InferenceServer, TightDeadlineDegradesToFasterClass)

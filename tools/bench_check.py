@@ -6,7 +6,11 @@ the committed one and fail on a single-image fused-latency regression
 beyond the allowed ratio. The weight-stationary batch path carries an
 absolute gate on top of the trend checks: the LeNet-5 micro-batch must
 sustain at least --min-batch-ratio x (default 1.5x) the single-image
-images/sec on one thread.
+images/sec on one thread. The binary XNOR-popcount backend carries its
+own absolute gate: it must sustain at least --min-binary-ratio x
+(default 5x) the fused-SC single-image images/sec, with per-topology
+binary/fused ratios trend-checked against committed history; the
+SC-vs-BNN trained mini-LeNet accuracy delta is reported informationally.
 
 Serving: check BENCH_serving.json's gate block — the dynamic
 micro-batching server must sustain strictly higher images/sec than the
@@ -162,6 +166,72 @@ def check_batch(fresh_doc, committed_doc, args):
     return ok
 
 
+def check_binary(fresh_doc, committed_doc, args):
+    """Binary-backend gate. Absolute: the XNOR-popcount backend must
+    sustain at least --min-binary-ratio x (default 5x) the fused-SC
+    single-image images/sec — the whole point of the L=1 sibling is a
+    large constant-factor win, so a speedup that collapses toward 1x
+    means the packed path quietly fell off a cliff. Trend:
+    per-topology binary/fused ratios are compared against committed
+    history when it exists; committed JSONs that predate the binary
+    backend skip with a note, matching the batch-gate idiom."""
+    block = fresh_doc.get("single_image", {}).get("binary")
+    if not isinstance(block, dict):
+        print("bench_check: fresh run carries no single_image.binary "
+              "block (bench predates the binary backend); skipping "
+              "binary gate")
+        return True
+    try:
+        speedup = float(block["speedup_vs_fused"])
+    except (KeyError, TypeError, ValueError):
+        sys.stderr.write(
+            "bench_check: no single_image.binary.speedup_vs_fused\n")
+        sys.exit(2)
+    ok = speedup >= args.min_binary_ratio
+    print(f"bench_check: lenet5 binary backend {speedup:.1f}x fused-SC "
+          f"ips (floor {args.min_binary_ratio:.2f}x): "
+          f"{'OK' if ok else 'REGRESSION'}")
+
+    acc = fresh_doc.get("single_image", {}).get("accuracy_trained")
+    if isinstance(acc, dict):
+        print(f"bench_check: trained mini-LeNet accuracy SC "
+              f"{float(acc.get('sc', 0)):.3f} vs binary "
+              f"{float(acc.get('binary', 0)):.3f} "
+              f"(delta {float(acc.get('sc_minus_binary', 0)):+.3f}, "
+              "informational)")
+
+    fresh_topos = fresh_doc.get("topologies", {})
+    committed_topos = committed_doc.get("topologies", {})
+    if not isinstance(committed_topos, dict):
+        committed_topos = {}
+    floor = 1.0 / (1.0 + args.max_regress)
+    for name in sorted(fresh_topos):
+        entry = fresh_topos[name]
+        fresh_r = (entry.get("binary_ips_per_fused_ips")
+                   if isinstance(entry, dict) else None)
+        if fresh_r is None:
+            continue
+        fresh_r = float(fresh_r)
+        prev = committed_topos.get(name)
+        prev_r = (prev.get("binary_ips_per_fused_ips")
+                  if isinstance(prev, dict) else None)
+        if prev_r is None:
+            print(f"bench_check: topology {name} binary ratio "
+                  f"{fresh_r:.1f}x (no committed history — skipping "
+                  "gate)")
+            continue
+        prev_r = float(prev_r)
+        if prev_r <= 0:
+            continue
+        rel = fresh_r / prev_r
+        entry_ok = rel >= floor
+        print(f"bench_check: topology {name} binary ratio {prev_r:.1f}x "
+              f"-> {fresh_r:.1f}x ({rel:.2f}x, floor {floor:.2f}x): "
+              f"{'OK' if entry_ok else 'REGRESSION'}")
+        ok = ok and entry_ok
+    return ok
+
+
 def check_trace_overhead(doc, args):
     """Armed-tracing overhead gate, absolute (no committed history
     needed): the bench alternates disarmed and armed fused predicts
@@ -196,9 +266,10 @@ def check_throughput(args):
     if not os.path.exists(args.committed):
         print(f"bench_check: no committed baseline at {args.committed}; "
               "nothing to compare")
-        # The batch/tracing gates are absolute, so they hold even with
-        # no history.
+        # The batch/binary/tracing gates are absolute, so they hold
+        # even with no history.
         ok = check_batch(fresh_doc, {}, args)
+        ok = check_binary(fresh_doc, {}, args) and ok
         return check_trace_overhead(fresh_doc, args) and ok
 
     committed_doc = load(args.committed)
@@ -217,6 +288,7 @@ def check_throughput(args):
           f"{fresh:.1f} ms ({ratio:.2f}x, limit {limit:.2f}x): {verdict}")
     ok = check_topologies(fresh_doc, committed_doc, args) and ok
     ok = check_batch(fresh_doc, committed_doc, args) and ok
+    ok = check_binary(fresh_doc, committed_doc, args) and ok
     return check_trace_overhead(fresh_doc, args) and ok
 
 
@@ -416,6 +488,11 @@ def main():
                         "SCDCNN_BENCH_BATCH_MIN", "1.5")),
                     help="required lenet5 batch-vs-single ips ratio "
                          "(default 1.5)")
+    ap.add_argument("--min-binary-ratio", type=float,
+                    default=float(os.environ.get(
+                        "SCDCNN_BENCH_BINARY_MIN", "5.0")),
+                    help="required lenet5 binary-vs-fused ips ratio "
+                         "(default 5.0)")
     ap.add_argument("--max-trace-overhead", type=float,
                     default=float(os.environ.get(
                         "SCDCNN_BENCH_TRACE_MAX", "0.03")),
